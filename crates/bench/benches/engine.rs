@@ -1,0 +1,68 @@
+//! Criterion: raw throughput of the virtual-time engine — message rate
+//! of ping-pong chains and fan-in patterns, and the cost of spawning a
+//! cluster. These numbers bound how large a simulated experiment can be.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hcs_sim::machines;
+
+fn bench_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_pingpong");
+    for msgs in [1_000usize, 10_000] {
+        g.throughput(Throughput::Elements(msgs as u64 * 2));
+        g.bench_with_input(BenchmarkId::from_parameter(msgs), &msgs, |b, &msgs| {
+            b.iter(|| {
+                machines::testbed(2, 1).cluster(1).run(move |ctx| {
+                    if ctx.rank() == 0 {
+                        for i in 0..msgs as u32 {
+                            ctx.send_f64(1, i & 0xFF, 1.0);
+                            let _ = ctx.recv_f64(1, i & 0xFF);
+                        }
+                    } else {
+                        for i in 0..msgs as u32 {
+                            let v = ctx.recv_f64(0, i & 0xFF);
+                            ctx.send_f64(0, i & 0xFF, v);
+                        }
+                    }
+                    ctx.now()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fanin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_fan_in");
+    g.sample_size(10);
+    for ranks in [16usize, 64, 256] {
+        g.throughput(Throughput::Elements(ranks as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                machines::testbed(ranks / 4, 4).cluster(2).run(|ctx| {
+                    if ctx.rank() == 0 {
+                        for src in 1..ctx.size() {
+                            let _ = ctx.recv(src, 0);
+                        }
+                    } else {
+                        ctx.send(0, 0, &[0u8; 8]);
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_spawn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_spawn_teardown");
+    g.sample_size(10);
+    for ranks in [64usize, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| machines::testbed(ranks / 8, 8).cluster(3).run(|ctx| ctx.rank()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pingpong, bench_fanin, bench_spawn);
+criterion_main!(benches);

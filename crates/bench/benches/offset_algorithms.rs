@@ -1,0 +1,47 @@
+//! Criterion: the two clock-offset building blocks (SKaMPI-Offset vs
+//! Mean-RTT-Offset) and the effect of the ping-pong count — the
+//! paper's §III-C3 ablation (SKaMPI-Offset inside JK boosted precision;
+//! fewer ping-pongs cut cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcs_clock::{LocalClock, Oscillator};
+use hcs_core::prelude::*;
+use hcs_mpi::Comm;
+use hcs_sim::machines;
+
+fn measure_pair(make: &(dyn Fn() -> Box<dyn OffsetAlgorithm> + Sync), reps: usize) -> f64 {
+    let cluster = machines::testbed(2, 1).cluster(3);
+    let out = cluster.run(|ctx| {
+        let comm = Comm::world(ctx);
+        let mut clk = LocalClock::from_oscillator(Oscillator::with_skew(1e-6), 0);
+        let mut alg = make();
+        let mut last = 0.0;
+        for _ in 0..reps {
+            if let Some(o) = alg.measure_offset(ctx, &comm, &mut clk, 0, 1) {
+                last = o.offset;
+            }
+        }
+        last
+    });
+    out[1]
+}
+
+fn bench_offsets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("offset_algorithms");
+    for pp in [5usize, 10, 20, 50] {
+        g.bench_with_input(BenchmarkId::new("skampi", pp), &pp, |b, &pp| {
+            b.iter(|| {
+                measure_pair(&move || Box::new(SkampiOffset::new(pp)) as Box<dyn OffsetAlgorithm>, 20)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("mean_rtt", pp), &pp, |b, &pp| {
+            b.iter(|| {
+                measure_pair(&move || Box::new(MeanRttOffset::new(pp)) as Box<dyn OffsetAlgorithm>, 20)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_offsets);
+criterion_main!(benches);

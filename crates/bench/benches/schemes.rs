@@ -1,0 +1,90 @@
+//! Criterion: the three measurement schemes (barrier / window /
+//! Round-Time) and the ablation of the Round-Time slack factor `B`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcs_bench::schemes::{
+    run_barrier_scheme, run_round_time, run_window_scheme, RoundTimeConfig, WindowConfig,
+};
+use hcs_clock::{LocalClock, TimeSource};
+use hcs_core::prelude::*;
+use hcs_mpi::{BarrierAlgorithm, Comm, ReduceOp};
+use hcs_sim::machines;
+
+fn with_global<R: Send>(
+    f: impl Fn(&mut hcs_sim::RankCtx, &mut Comm, &mut hcs_clock::BoxClock) -> R + Sync,
+) -> Vec<R> {
+    machines::testbed(4, 4).cluster(5).run(|ctx| {
+        let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let mut comm = Comm::world(ctx);
+        let mut sync = Hca3::skampi(20, 5);
+        let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+        f(ctx, &mut comm, &mut g)
+    })
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("measurement_schemes_16_ranks_30_reps");
+    g.sample_size(10);
+    g.bench_function("barrier_tree", |b| {
+        b.iter(|| {
+            with_global(|ctx, comm, clk| {
+                let mut op = |ctx: &mut hcs_sim::RankCtx, comm: &mut Comm| {
+                    let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
+                };
+                run_barrier_scheme(ctx, comm, clk.as_mut(), BarrierAlgorithm::Tree, 30, &mut op)
+                    .len()
+            })
+        })
+    });
+    g.bench_function("window", |b| {
+        b.iter(|| {
+            with_global(|ctx, comm, clk| {
+                let mut op = |ctx: &mut hcs_sim::RankCtx, comm: &mut Comm| {
+                    let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
+                };
+                let cfg = WindowConfig { window_s: 300e-6, nreps: 30, first_window_slack_s: 1e-3 };
+                run_window_scheme(ctx, comm, clk.as_mut(), cfg, &mut op).samples.len()
+            })
+        })
+    });
+    g.bench_function("round_time", |b| {
+        b.iter(|| {
+            with_global(|ctx, comm, clk| {
+                let mut op = |ctx: &mut hcs_sim::RankCtx, comm: &mut Comm| {
+                    let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
+                };
+                let cfg =
+                    RoundTimeConfig { max_time_slice_s: 1.0, max_nrep: 30, ..Default::default() };
+                run_round_time(ctx, comm, clk.as_mut(), cfg, &mut op).len()
+            })
+        })
+    });
+    g.finish();
+
+    // Ablation: the slack factor B trades wasted wait time against the
+    // probability of invalid (late) rounds.
+    let mut g = c.benchmark_group("round_time_slack_ablation");
+    g.sample_size(10);
+    for slack in [1.0f64, 2.0, 4.0, 8.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(slack), &slack, |b, &slack| {
+            b.iter(|| {
+                with_global(|ctx, comm, clk| {
+                    let mut op = |ctx: &mut hcs_sim::RankCtx, comm: &mut Comm| {
+                        let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
+                    };
+                    let cfg = RoundTimeConfig {
+                        max_time_slice_s: 1.0,
+                        max_nrep: 30,
+                        slack_b: slack,
+                        ..Default::default()
+                    };
+                    run_round_time(ctx, comm, clk.as_mut(), cfg, &mut op).len()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Figure 2: clock offset between a reference process and other MPI
+//! ranks over a fixed period of time (Hydra, one rank per node).
+//!
+//! - Fig. 2a: drift of 9 ranks over 500 s,
+//! - Fig. 2b: two ranks over 500 s with fitted linear models (the
+//!   linearity assumption *breaks* at this horizon),
+//! - Fig. 2c: the first 10 s (drift is linear, R² > 0.9).
+//!
+//! ```text
+//! cargo run --release -p hcs-experiments --bin fig2 \
+//!     [--ranks 10] [--span 500] [--seed 1] [--csv out/fig2.csv]
+//! ```
+
+use hcs_clock::{fit_linear_model, LocalClock, TimeSource};
+use hcs_core::prelude::*;
+use hcs_experiments::{Args, CsvWriter};
+use hcs_mpi::Comm;
+use hcs_sim::machines;
+
+fn main() {
+    let args = Args::parse(&["ranks", "span", "seed", "csv", "step"]);
+    let ranks = args.get_usize("ranks", 10);
+    let span = args.get_f64("span", 500.0);
+    let step = args.get_f64("step", 2.0);
+    let seed = args.get_u64("seed", 1);
+    assert!(ranks >= 2, "--ranks must be >= 2 (one reference + at least one client)");
+    assert!(span / step >= 2.0, "--span must cover at least two --step intervals");
+
+    // One rank per node, like the paper (pinned to the first core).
+    let machine = machines::hydra().with_shape(ranks, 1, 1);
+    let cluster = machine.cluster(seed);
+
+    // Sample the offset of each rank's clock to rank 0 every `step`
+    // seconds, using SKaMPI-Offset measurements over the live network.
+    let nsamples = (span / step) as usize;
+    let series = cluster.run(|ctx| {
+        let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let comm = Comm::world(ctx);
+        let mut probe = SkampiOffset::new(20);
+        let mut points: Vec<(f64, f64)> = Vec::new();
+        // Anchor: subtract the initial offset so every series starts at 0
+        // (the paper plots drift relative to the start).
+        let mut first: Option<f64> = None;
+        for i in 0..nsamples {
+            let target = i as f64 * step;
+            if ctx.rank() == 0 {
+                // Serve every client once per sample epoch.
+                for c in 1..comm.size() {
+                    probe.measure_offset(ctx, &comm, &mut clk, 0, c);
+                }
+                ctx.jump_to(target + step * 0.5);
+            } else {
+                let o = probe
+                    .measure_offset(ctx, &comm, &mut clk, 0, ctx.rank())
+                    .expect("client measures");
+                let anchor = *first.get_or_insert(o.offset);
+                points.push((target, o.offset - anchor));
+                ctx.jump_to(target + step * 0.5);
+            }
+        }
+        points
+    });
+
+    println!("Fig. 2a: clock drift over {span:.0} s, {} ranks vs rank 0, Hydra", ranks - 1);
+    println!("(offsets in us; one row per sampled instant, one column per rank)\n");
+    let header: Vec<String> =
+        std::iter::once("time_s".to_string()).chain((1..ranks).map(|r| format!("rank{r}"))).collect();
+    println!("{}", header.join("\t"));
+    for i in (0..nsamples).step_by((nsamples / 25).max(1)) {
+        let mut row = vec![format!("{:7.1}", series[1][i].0)];
+        for pts in series.iter().skip(1) {
+            row.push(format!("{:9.2}", pts[i].1 * 1e6));
+        }
+        println!("{}", row.join("\t"));
+    }
+
+    // Fig. 2b/2c: linear fits over the full span and the first 10 s.
+    println!("\nFig. 2b/2c: linearity of the drift (rank 1 and 2 vs rank 0)");
+    println!(
+        "{:<6} {:>12} {:>16} {:>10} {:>16} {:>10}",
+        "rank", "window [s]", "slope [ppm]", "R2", "slope10 [ppm]", "R2(10s)"
+    );
+    for (r, pts) in series.iter().enumerate().take(ranks.min(3)).skip(1) {
+        let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        let full = fit_linear_model(&xs, &ys);
+        let n10 = xs.iter().take_while(|&&x| x <= 10.0).count().max(2);
+        let short = fit_linear_model(&xs[..n10], &ys[..n10]);
+        println!(
+            "{:<6} {:>12.0} {:>16.4} {:>10.4} {:>16.4} {:>10.4}",
+            r,
+            span,
+            full.model.slope * 1e6,
+            full.r_squared,
+            short.model.slope * 1e6,
+            short.r_squared
+        );
+    }
+    // The operational consequence (what actually breaks tracing tools):
+    // a linear model fitted on the first 10 s extrapolates poorly.
+    println!("\nextrapolation error of the 10 s model (the reason clocks must be re-synchronized):");
+    println!("{:<6} {:>16} {:>16} {:>16}", "rank", "@60s [us]", "@200s [us]", "@500s [us]");
+    for (r, pts) in series.iter().enumerate().take(ranks.min(4)).skip(1) {
+        let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        let n10 = xs.iter().take_while(|&&x| x <= 10.0).count().max(2);
+        let short = fit_linear_model(&xs[..n10], &ys[..n10]).model;
+        let err_at = |t: f64| {
+            let idx = xs.iter().position(|&x| x >= t).unwrap_or(xs.len() - 1);
+            (ys[idx] - (short.slope * xs[idx] + short.intercept)).abs() * 1e6
+        };
+        println!(
+            "{:<6} {:>16.2} {:>16.2} {:>16.2}",
+            r,
+            err_at(60.0),
+            err_at(200.0),
+            err_at(span.min(500.0) - step)
+        );
+    }
+    println!("\nTake-away (paper §III-C2): over ~10 s the drift is linear (R2 > 0.9) and a");
+    println!("global clock model is accurate for roughly 0-20 s; after a minute the");
+    println!("wander has bent the drift away from the fitted line by tens of us.");
+
+    if let Some(path) = args_csv(&args) {
+        let mut w = CsvWriter::create(&path, &["rank", "time_s", "offset_us"]).unwrap();
+        for (r, pts) in series.iter().enumerate().skip(1) {
+            for &(t, off) in pts {
+                w.row(&[r.to_string(), format!("{t}"), format!("{}", off * 1e6)]).unwrap();
+            }
+        }
+        w.finish().unwrap();
+        println!("\nraw series written to {}", path.display());
+    }
+}
+
+fn args_csv(args: &Args) -> Option<std::path::PathBuf> {
+    let s = args.get_str("csv", "");
+    (!s.is_empty()).then(|| s.into())
+}

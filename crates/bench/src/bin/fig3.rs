@@ -1,0 +1,153 @@
+//! Figure 3: synchronization duration vs. maximum clock offset to the
+//! reference rank, measured right after synchronization (a) and 10 s
+//! later (b); HCA, HCA2, HCA3 and JK on Jupiter with 32 × 16 processes.
+//!
+//! Also reproduces the §III-C3 headline numbers: JK needs ~O(p/log p)
+//! more time than HCA3 for comparable accuracy.
+//!
+//! Default scale is 16 × 8 = 128 ranks so the full sweep runs in
+//! seconds; pass `--nodes 32 --ppn 16` for the paper's 512 ranks.
+//!
+//! ```text
+//! cargo run --release -p hcs-experiments --bin fig3 \
+//!     [--nodes 16] [--ppn 8] [--runs 10] [--fitpoints 100] \
+//!     [--pingpongs 10] [--wait 10] [--seed 1] [--csv out/fig3.csv]
+//! ```
+
+use hcs_clock::{LocalClock, TimeSource};
+use hcs_core::prelude::*;
+use hcs_core::SyncFactory;
+use hcs_experiments::{Args, CsvWriter};
+use hcs_mpi::Comm;
+use hcs_sim::machines;
+
+struct Row {
+    label: String,
+    duration: f64,
+    max_at0: f64,
+    max_at10: f64,
+}
+
+fn main() {
+    let args = Args::parse(&[
+        "nodes", "ppn", "runs", "fitpoints", "pingpongs", "wait", "seed", "csv",
+    ]);
+    let nodes = args.get_usize("nodes", 16);
+    let ppn = args.get_usize("ppn", 8);
+    let runs = args.get_usize("runs", 10);
+    let nfit = args.get_usize("fitpoints", 100);
+    let pp = args.get_usize("pingpongs", 10);
+    let wait = args.get_f64("wait", 10.0);
+    let seed0 = args.get_u64("seed", 1);
+
+    let machine = machines::jupiter().with_shape(nodes, 2, ppn / 2);
+    let p = machine.topology.total_cores();
+    println!(
+        "Fig. 3: max clock offset vs sync duration; Jupiter, {nodes} x {ppn} = {p} procs, nmpiruns = {runs}\n"
+    );
+
+    // The paper's four algorithms with their best-found configurations.
+    let makers: Vec<(String, SyncFactory)> = vec![
+        (format!("hca/{nfit}/skampi_offset/{pp}"), {
+            Box::new(move || Box::new(Hca::skampi(nfit, pp)) as Box<dyn ClockSync>) as SyncFactory
+        }),
+        (format!("hca2/recompute_intercept/{nfit}/skampi_offset/{pp}"), {
+            Box::new(move || Box::new(Hca2::skampi(nfit, pp)) as Box<dyn ClockSync>)
+        }),
+        (format!("hca3/recompute_intercept/{nfit}/skampi_offset/{pp}"), {
+            Box::new(move || Box::new(Hca3::skampi(nfit, pp)) as Box<dyn ClockSync>)
+        }),
+        // JK: the paper found 20 ping-pongs sufficient (and SKaMPI-Offset
+        // inside JK superior to Mean-RTT-Offset). JK needs denser fits:
+        // its slope error is multiplied by the full O(p) run time before
+        // the clock is ever used, so we give it the paper's relative
+        // budget (same fit points as the HCA family at 1/5 the per-point
+        // cost, packed into a tighter window).
+        (format!("jk/{}/skampi_offset/20", nfit * 4), {
+            Box::new(move || {
+                Box::new(Jk::skampi(nfit * 4, 20).with_spacing(0.1e-3)) as Box<dyn ClockSync>
+            })
+        }),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (label, make) in &makers {
+        for run in 0..runs {
+            let cluster = machine.cluster(seed0 + 1000 * run as u64);
+            let out = cluster.run(|ctx| {
+                let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+                let mut comm = Comm::world(ctx);
+                let mut alg = make();
+                let outcome = run_sync(alg.as_mut(), ctx, &mut comm, Box::new(clk));
+                let mut g = outcome.clock;
+                let mut probe = SkampiOffset::new(10);
+                let report =
+                    check_clock_accuracy(ctx, &mut comm, g.as_mut(), &mut probe, wait, 1.0);
+                (outcome.duration, report)
+            });
+            let duration = out.iter().map(|o| o.0).fold(0.0f64, f64::max);
+            let report = out[0].1.as_ref().expect("root reports");
+            rows.push(Row {
+                label: label.clone(),
+                duration,
+                max_at0: report.max_abs_at_sync(),
+                max_at10: report.max_abs_after_wait(),
+            });
+        }
+    }
+
+    println!(
+        "{:<55} {:>10} {:>14} {:>14}",
+        "algorithm (one row per mpirun)", "dur [s]", "max@0s [us]", "max@10s [us]"
+    );
+    for r in &rows {
+        println!(
+            "{:<55} {:>10.3} {:>14.3} {:>14.3}",
+            r.label,
+            r.duration,
+            r.max_at0 * 1e6,
+            r.max_at10 * 1e6
+        );
+    }
+
+    println!("\nper-algorithm means (the horizontal bars of Fig. 3):");
+    println!("{:<55} {:>10} {:>14} {:>14}", "algorithm", "dur [s]", "max@0s [us]", "max@10s [us]");
+    for (label, _) in &makers {
+        let sel: Vec<&Row> = rows.iter().filter(|r| &r.label == label).collect();
+        let n = sel.len() as f64;
+        let d = sel.iter().map(|r| r.duration).sum::<f64>() / n;
+        let a0 = sel.iter().map(|r| r.max_at0).sum::<f64>() / n;
+        let a1 = sel.iter().map(|r| r.max_at10).sum::<f64>() / n;
+        println!("{:<55} {:>10.3} {:>14.3} {:>14.3}", label, d, a0 * 1e6, a1 * 1e6);
+    }
+    let jk_d = mean_dur(&rows, "jk/");
+    let hca3_d = mean_dur(&rows, "hca3/");
+    println!(
+        "\nspeedup of HCA3 over JK in sync duration: {:.1}x (paper: ~15x at p = 512)",
+        jk_d / hca3_d
+    );
+
+    let csv = args.get_str("csv", "");
+    if !csv.is_empty() {
+        let path: std::path::PathBuf = csv.into();
+        let mut w =
+            CsvWriter::create(&path, &["algorithm", "duration_s", "max_at0_us", "max_at10_us"])
+                .unwrap();
+        for r in &rows {
+            w.row(&[
+                r.label.clone(),
+                format!("{}", r.duration),
+                format!("{}", r.max_at0 * 1e6),
+                format!("{}", r.max_at10 * 1e6),
+            ])
+            .unwrap();
+        }
+        w.finish().unwrap();
+        println!("raw rows written to {}", path.display());
+    }
+}
+
+fn mean_dur(rows: &[Row], prefix: &str) -> f64 {
+    let sel: Vec<&Row> = rows.iter().filter(|r| r.label.starts_with(prefix)).collect();
+    sel.iter().map(|r| r.duration).sum::<f64>() / sel.len() as f64
+}

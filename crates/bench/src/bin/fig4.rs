@@ -1,0 +1,45 @@
+//! Figure 4: HCA3 vs the hierarchical H2HCA (HCA3 between nodes +
+//! ClockPropSync within nodes) on Jupiter, 32 × 16 processes,
+//! nmpiruns = 10; max clock offset 0 s and 10 s after synchronization.
+//!
+//! Defaults are scaled (16 × 8, 5 runs); use
+//! `--nodes 32 --ppn 16 --runs 10` for the paper's scale.
+//!
+//! ```text
+//! cargo run --release -p hcs-experiments --bin fig4 \
+//!     [--nodes 16] [--ppn 8] [--runs 5] [--fithi 100] [--fitlo 50] \
+//!     [--pingpongs 10] [--wait 10] [--seed 1] [--csv out/fig4.csv]
+//! ```
+
+use hcs_experiments::hier_experiment::{fig4_configs, print_hier_rows, run_hier_experiment, write_hier_csv};
+use hcs_experiments::Args;
+use hcs_sim::machines;
+
+fn main() {
+    let args = Args::parse(&[
+        "nodes", "ppn", "runs", "fithi", "fitlo", "pingpongs", "wait", "seed", "csv",
+    ]);
+    let nodes = args.get_usize("nodes", 16);
+    let ppn = args.get_usize("ppn", 8);
+    let runs = args.get_usize("runs", 5);
+    let fit_hi = args.get_usize("fithi", 100);
+    let fit_lo = args.get_usize("fitlo", 50);
+    let pp = args.get_usize("pingpongs", 10);
+    let wait = args.get_f64("wait", 10.0);
+    let seed = args.get_u64("seed", 1);
+
+    let machine = machines::jupiter().with_shape(nodes, 2, ppn / 2);
+    println!(
+        "Fig. 4: HCA3 vs H2HCA; Jupiter, {} x {} = {} procs, nmpiruns = {}\n",
+        nodes,
+        ppn,
+        machine.topology.total_cores(),
+        runs
+    );
+    let configs = fig4_configs(fit_hi, fit_lo, pp);
+    let rows = run_hier_experiment(&machine, &configs, runs, wait, 1.0, seed);
+    print_hier_rows(&rows, &configs, wait);
+    println!("\nExpected shape (paper): the Top/.../ClockPropagation rows are faster");
+    println!("(fewer tree levels) at equal or better accuracy.");
+    write_hier_csv(&rows, &args.get_str("csv", ""));
+}

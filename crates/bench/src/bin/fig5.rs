@@ -1,0 +1,44 @@
+//! Figure 5: HCA3 vs H2HCA on Hydra (OmniPath; 36 × 32 processes in the
+//! paper), nmpiruns = 10. Same protocol as Fig. 4, different machine:
+//! the lower-latency network gives sub-microsecond accuracy right after
+//! synchronization (paper: < 0.2 µs on average).
+//!
+//! ```text
+//! cargo run --release -p hcs-experiments --bin fig5 \
+//!     [--nodes 18] [--ppn 16] [--runs 5] [--fithi 100] [--fitlo 50] \
+//!     [--pingpongs 10] [--wait 10] [--seed 1] [--csv out/fig5.csv]
+//! ```
+
+use hcs_experiments::hier_experiment::{fig4_configs, print_hier_rows, run_hier_experiment, write_hier_csv};
+use hcs_experiments::Args;
+use hcs_sim::machines;
+
+fn main() {
+    let args = Args::parse(&[
+        "nodes", "ppn", "runs", "fithi", "fitlo", "pingpongs", "wait", "seed", "csv",
+    ]);
+    let nodes = args.get_usize("nodes", 18);
+    let ppn = args.get_usize("ppn", 16);
+    let runs = args.get_usize("runs", 5);
+    let fit_hi = args.get_usize("fithi", 100);
+    let fit_lo = args.get_usize("fitlo", 50);
+    let pp = args.get_usize("pingpongs", 10);
+    let wait = args.get_f64("wait", 10.0);
+    let seed = args.get_u64("seed", 1);
+
+    let machine = machines::hydra().with_shape(nodes, 2, ppn / 2);
+    println!(
+        "Fig. 5: HCA3 vs H2HCA; Hydra, {} x {} = {} procs, nmpiruns = {}\n",
+        nodes,
+        ppn,
+        machine.topology.total_cores(),
+        runs
+    );
+    let configs = fig4_configs(fit_hi, fit_lo, pp);
+    let rows = run_hier_experiment(&machine, &configs, runs, wait, 1.0, seed);
+    print_hier_rows(&rows, &configs, wait);
+    println!("\nExpected shape (paper): all configurations sub-us right after sync on");
+    println!("this faster network; precision degrades with the waiting time as the");
+    println!("changing clock drift (Fig. 2) kicks in.");
+    write_hier_csv(&rows, &args.get_str("csv", ""));
+}

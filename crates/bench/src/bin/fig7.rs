@@ -1,0 +1,105 @@
+//! Figure 7: average latency of `MPI_Allreduce` for small messages
+//! (4/8/16 B) as reported by the three benchmark suites (IMB, OSU,
+//! ReproMPI) under three `MPI_Barrier` algorithms (bruck, recursive
+//! doubling, tree); Jupiter, 32 × 16 processes. ("double ring" is
+//! omitted in the paper's figure because its influence is even larger —
+//! pass `--with-double-ring` to include it.)
+//!
+//! ```text
+//! cargo run --release -p hcs-experiments --bin fig7 \
+//!     [--nodes 16] [--ppn 8] [--reps 200] [--seed 1] [--with-double-ring] \
+//!     [--csv out/fig7.csv]
+//! ```
+
+use hcs_bench::suites::{measure_allreduce, Suite, SuiteConfig};
+use hcs_clock::{LocalClock, TimeSource};
+use hcs_core::prelude::*;
+use hcs_experiments::{Args, CsvWriter};
+use hcs_mpi::{BarrierAlgorithm, Comm};
+use hcs_sim::machines;
+
+fn main() {
+    let args = Args::parse(&["nodes", "ppn", "reps", "seed", "with-double-ring", "csv"]);
+    let nodes = args.get_usize("nodes", 16);
+    let ppn = args.get_usize("ppn", 8);
+    let reps = args.get_usize("reps", 200);
+    let seed = args.get_u64("seed", 1);
+
+    let machine = machines::jupiter().with_shape(nodes, 2, ppn / 2);
+    let msizes = [4usize, 8, 16];
+    let mut barriers = vec![
+        BarrierAlgorithm::Bruck,
+        BarrierAlgorithm::RecursiveDoubling,
+        BarrierAlgorithm::Tree,
+    ];
+    if args.has_flag("with-double-ring") {
+        barriers.push(BarrierAlgorithm::DoubleRing);
+    }
+    let suites = [Suite::Imb, Suite::Osu, Suite::ReproMpi];
+
+    println!(
+        "Fig. 7: MPI_Allreduce latency by benchmark suite and MPI_Barrier algorithm;\nJupiter, {} x {} = {} procs, {} reps\n",
+        nodes,
+        ppn,
+        machine.topology.total_cores(),
+        reps
+    );
+
+    let csv_path = args.get_str("csv", "");
+    let mut csv = if csv_path.is_empty() {
+        None
+    } else {
+        Some(
+            CsvWriter::create(
+                &std::path::PathBuf::from(&csv_path),
+                &["msize_b", "barrier", "suite", "latency_us", "nreps"],
+            )
+            .unwrap(),
+        )
+    };
+
+    for &msize in &msizes {
+        println!("msize = {msize} Bytes");
+        println!("{:<16} {:>12} {:>12} {:>14}", "barrier", "IMB [us]", "OSU [us]", "ReproMPI [us]");
+        for &barrier in &barriers {
+            let mut cells = Vec::new();
+            for &suite in &suites {
+                let cluster = machine.cluster(seed + msize as u64 * 17);
+                let results = cluster.run(|ctx| {
+                    let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+                    let mut comm = Comm::world(ctx);
+                    let mut sync = Hca3::skampi(60, 10);
+                    let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+                    let cfg = SuiteConfig { nreps: reps, barrier, time_slice_s: 0.2 };
+                    measure_allreduce(ctx, &mut comm, g.as_mut(), suite, msize, cfg)
+                });
+                let r = results[0].expect("root reports");
+                cells.push(r);
+                if let Some(w) = csv.as_mut() {
+                    w.row(&[
+                        msize.to_string(),
+                        barrier.label().to_string(),
+                        suite.label().to_string(),
+                        format!("{}", r.latency_s * 1e6),
+                        r.nreps.to_string(),
+                    ])
+                    .unwrap();
+                }
+            }
+            println!(
+                "{:<16} {:>12.2} {:>12.2} {:>14.2}",
+                barrier.label(),
+                cells[0].latency_s * 1e6,
+                cells[1].latency_s * 1e6,
+                cells[2].latency_s * 1e6
+            );
+        }
+        println!();
+    }
+    println!("Expected shape (paper): IMB/OSU cells move with the barrier algorithm");
+    println!("(\"tree\" gives the smallest latencies); the ReproMPI column is stable.");
+    if let Some(w) = csv {
+        w.finish().unwrap();
+        println!("raw rows written to {csv_path}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Figure 9: latency of `MPI_Allreduce` over message sizes 4 B–1 KiB,
+//! measured with OSU Micro-Benchmarks (barrier-based) and with ReproMPI
+//! using the Round-Time scheme; Titan, 64 × 16 processes, nmpiruns = 3
+//! (error bars: min/max of the per-run average).
+//!
+//! ```text
+//! cargo run --release -p hcs-experiments --bin fig9 \
+//!     [--nodes 32] [--runs 3] [--reps 200] [--slice 1.0] [--seed 1] \
+//!     [--csv out/fig9.csv]
+//! ```
+
+use hcs_bench::suites::{measure_allreduce, Suite, SuiteConfig};
+use hcs_clock::{LocalClock, TimeSource};
+use hcs_core::prelude::*;
+use hcs_experiments::{Args, CsvWriter};
+use hcs_mpi::{BarrierAlgorithm, Comm};
+use hcs_sim::machines;
+
+fn main() {
+    let args = Args::parse(&["nodes", "runs", "reps", "slice", "seed", "csv"]);
+    let nodes = args.get_usize("nodes", 32);
+    let runs = args.get_usize("runs", 3);
+    let reps = args.get_usize("reps", 200);
+    let slice = args.get_f64("slice", 1.0);
+    let seed = args.get_u64("seed", 1);
+
+    let machine = machines::titan().with_shape(nodes, 1, 16);
+    println!(
+        "Fig. 9: MPI_Allreduce latency vs message size; OSU vs ReproMPI (Round-Time);\nTitan, {} x 16 = {} procs, nmpiruns = {}, time slice {slice} s\n",
+        nodes,
+        machine.topology.total_cores(),
+        runs
+    );
+
+    let msizes = [4usize, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let csv_path = args.get_str("csv", "");
+    let mut csv = if csv_path.is_empty() {
+        None
+    } else {
+        Some(
+            CsvWriter::create(
+                &std::path::PathBuf::from(&csv_path),
+                &["msize_b", "suite", "run", "latency_us"],
+            )
+            .unwrap(),
+        )
+    };
+
+    println!(
+        "{:>8} {:>14} {:>22} {:>14} {:>22}",
+        "msize", "OSU avg [us]", "OSU [min..max]", "RT avg [us]", "RT [min..max]"
+    );
+    for &msize in &msizes {
+        let mut per_suite: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
+        for run in 0..runs {
+            for (si, suite) in [Suite::Osu, Suite::ReproMpi].into_iter().enumerate() {
+                let cluster = machine.cluster(seed + run as u64 * 101 + msize as u64);
+                let results = cluster.run(|ctx| {
+                    let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+                    let mut comm = Comm::world(ctx);
+                    let mut sync = Hca3::skampi(60, 10);
+                    let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+                    let cfg = SuiteConfig {
+                        nreps: reps,
+                        barrier: BarrierAlgorithm::Bruck,
+                        time_slice_s: slice,
+                    };
+                    measure_allreduce(ctx, &mut comm, g.as_mut(), suite, msize, cfg)
+                });
+                let lat = results[0].expect("root reports").latency_s;
+                per_suite[si].push(lat);
+                if let Some(w) = csv.as_mut() {
+                    w.row(&[
+                        msize.to_string(),
+                        suite.label().to_string(),
+                        run.to_string(),
+                        format!("{}", lat * 1e6),
+                    ])
+                    .unwrap();
+                }
+            }
+        }
+        let stats = |xs: &Vec<f64>| {
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            (mean * 1e6, min * 1e6, max * 1e6)
+        };
+        let (om, olo, ohi) = stats(&per_suite[0]);
+        let (rm, rlo, rhi) = stats(&per_suite[1]);
+        println!(
+            "{:>8} {:>14.2} {:>10.2}..{:<10.2} {:>14.2} {:>10.2}..{:<10.2}",
+            msize, om, olo, ohi, rm, rlo, rhi
+        );
+    }
+    println!("\nExpected shape (paper): OSU reports visibly higher latencies across the");
+    println!("whole small-message range (its barrier contaminates the measurement);");
+    println!("the gap closes as the message size grows and the operation dominates.");
+    if let Some(w) = csv {
+        w.finish().unwrap();
+        println!("raw rows written to {csv_path}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Performance-guideline verification (PGMPI — the paper's refs \[4\]-\[6\]
+//! and the context that motivated its precise clocks): check the
+//! self-consistent guidelines under different measurement schemes and
+//! message sizes.
+//!
+//! ```text
+//! cargo run --release -p hcs-experiments --bin guidelines \
+//!     [--nodes 8] [--ppn 4] [--msizes 8,512,8192] [--reps 60] [--seed 1]
+//! ```
+
+use hcs_bench::guidelines::{check_guideline, Guideline};
+use hcs_bench::tuner::TuneScheme;
+use hcs_clock::{LocalClock, TimeSource};
+use hcs_core::prelude::*;
+use hcs_experiments::Args;
+use hcs_mpi::{BarrierAlgorithm, Comm};
+use hcs_sim::machines;
+
+fn main() {
+    let args = Args::parse(&["nodes", "ppn", "msizes", "reps", "seed"]);
+    let nodes = args.get_usize("nodes", 8);
+    let ppn = args.get_usize("ppn", 4);
+    let msizes: Vec<usize> = args
+        .get_str("msizes", "8,512,8192")
+        .split(',')
+        .map(|s| s.parse().expect("msize"))
+        .collect();
+    let reps = args.get_usize("reps", 60);
+    let seed = args.get_u64("seed", 1);
+
+    let machine = machines::jupiter().with_shape(nodes, 2, ppn / 2);
+    println!(
+        "PGMPI-style guideline check on {}, {} ranks\n",
+        machine.name,
+        machine.topology.total_cores()
+    );
+
+    let schemes = [
+        ("barrier/bruck", TuneScheme::Barrier { barrier: BarrierAlgorithm::Bruck, reps }),
+        ("round-time", TuneScheme::RoundTime { slice_s: 0.1, max_reps: reps }),
+    ];
+
+    for (scheme_name, scheme) in schemes {
+        println!("scheme: {scheme_name}");
+        println!(
+            "{:<46} {:>8} {:>14} {:>14} {:>9} {:>8}",
+            "guideline", "msize", "special [us]", "emulated [us]", "speedup", "holds?"
+        );
+        for &msize in &msizes {
+            for gl in Guideline::ALL {
+                let msizes_inner = msize;
+                let cluster = machine.cluster(seed + msize as u64);
+                let res = cluster.run(move |ctx| {
+                    let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+                    let mut comm = Comm::world(ctx);
+                    let mut sync = Hca3::skampi(40, 8);
+                    let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+                    check_guideline(ctx, &mut comm, g.as_mut(), scheme, gl, msizes_inner)
+                });
+                if let Some(v) = res[0] {
+                    println!(
+                        "{:<46} {:>8} {:>14.2} {:>14.2} {:>9.2} {:>8}",
+                        v.guideline.statement(),
+                        v.msize,
+                        v.specialized_s * 1e6,
+                        v.emulation_s * 1e6,
+                        v.speedup(),
+                        if v.holds(0.1) { "yes" } else { "VIOLATED" }
+                    );
+                }
+            }
+        }
+        println!();
+    }
+    println!("A 'VIOLATED' row is a tuning opportunity: the emulation is faster than");
+    println!("the specialized collective, so the library's algorithm choice is wrong");
+    println!("for that size — but note how the latencies backing the verdict depend");
+    println!("on the measurement scheme (the paper's warning).");
+}

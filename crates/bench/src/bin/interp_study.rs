@@ -1,0 +1,126 @@
+//! Interpolation study (extends the paper's §II discussion): how well do
+//! the three timestamp-correction strategies used in practice hold up
+//! over a long trace on wandering clocks?
+//!
+//! 1. **none** — raw local timestamps,
+//! 2. **linear interpolation** between a begin and an end sync epoch
+//!    (Scalasca-style post-mortem correction),
+//! 3. **global clock** — HCA3 once at the start,
+//! 4. **global clock + periodic resync** (`ResyncSession`).
+//!
+//! The error metric is the true cross-rank timestamp error at several
+//! probe instants (simulation oracle). With non-linear drift (Fig. 2),
+//! interpolation beats raw clocks by orders of magnitude but still
+//! leaves tens-of-µs errors mid-trace, while periodic resync holds the
+//! line — the quantitative version of "they have to re-synchronize
+//! clocks periodically".
+//!
+//! ```text
+//! cargo run --release -p hcs-experiments --bin interp_study \
+//!     [--ranks 8] [--span 300] [--resync 15] [--seed 1]
+//! ```
+
+use hcs_bench::postmortem::{interpolate, measure_epoch, SyncEpoch};
+use hcs_clock::{Clock, LocalClock, TimeSource};
+use hcs_core::prelude::*;
+use hcs_experiments::Args;
+use hcs_mpi::Comm;
+use hcs_sim::machines;
+
+fn main() {
+    let args = Args::parse(&["ranks", "span", "resync", "seed"]);
+    let ranks = args.get_usize("ranks", 8);
+    let span = args.get_f64("span", 300.0);
+    let resync = args.get_f64("resync", 15.0);
+    let seed = args.get_u64("seed", 1);
+
+    // One rank per node on Hydra (the Fig. 2 machine: visible wander).
+    let machine = machines::hydra().with_shape(ranks, 1, 1);
+    let cluster = machine.cluster(seed);
+    let probes: Vec<f64> = (1..=6).map(|i| span * i as f64 / 6.0).collect();
+
+    struct RankOut {
+        /// (epoch_begin, epoch_end) for interpolation.
+        epochs: (SyncEpoch, SyncEpoch),
+        /// Raw local clock evaluated at the probe instants (oracle).
+        raw: Vec<f64>,
+        /// Startup global clock evaluated at the probes.
+        global_once: Vec<f64>,
+        /// Resynced global clock evaluated at the probes (at each probe
+        /// instant the session has resynced on schedule).
+        global_resync: Vec<f64>,
+    }
+
+    let probes_arg = probes.clone();
+    let outs = cluster.run(|ctx| {
+        let probes = probes_arg.clone();
+        let raw_for_eval = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let mut raw = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let mut comm = Comm::world(ctx);
+        let mut probe_alg = SkampiOffset::new(20);
+
+        // Strategy 3+4 clocks: sync once, and a resync session.
+        let base_once = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let base_rs = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let mut alg_once = Hca3::skampi(60, 10);
+        let once = alg_once.sync_clocks(ctx, &mut comm, Box::new(base_once));
+        let mut alg_rs = Hca3::skampi(60, 10);
+        let mut session =
+            ResyncSession::start(ctx, &mut comm, &mut alg_rs, Box::new(base_rs), resync);
+
+        // Begin epoch for interpolation.
+        let begin = measure_epoch(ctx, &comm, &mut raw, &mut probe_alg);
+
+        // "Application": idle in steps, resyncing at checkpoints, and
+        // record the resynced clock's view at each probe instant.
+        let mut global_resync = Vec::with_capacity(probes.len());
+        for (i, &p) in probes.iter().enumerate() {
+            while ctx.now() < p {
+                ctx.compute((2.0f64).min(p - ctx.now()));
+                session.maybe_resync(ctx, &mut comm, &mut alg_rs);
+            }
+            let _ = i;
+            global_resync.push(session.clock().true_eval(p));
+        }
+        // End epoch.
+        let end = measure_epoch(ctx, &comm, &mut raw, &mut probe_alg);
+
+        RankOut {
+            epochs: (begin, end),
+            raw: probes.iter().map(|&p| raw_for_eval.true_eval(p)).collect(),
+            global_once: probes.iter().map(|&p| once.true_eval(p)).collect(),
+            global_resync,
+        }
+    });
+
+    println!(
+        "Timestamp-correction study; Hydra, {ranks} ranks, {span:.0} s trace, resync every {resync:.0} s"
+    );
+    println!("(max cross-rank timestamp error at each probe instant, in us)\n");
+    println!(
+        "{:>9} {:>14} {:>16} {:>14} {:>16}",
+        "t [s]", "raw local", "interpolation", "global once", "global+resync"
+    );
+    for (i, &p) in probes.iter().enumerate() {
+        let err = |vals: Vec<f64>| -> f64 {
+            let r0 = vals[0];
+            vals.iter().map(|v| (v - r0).abs()).fold(0.0, f64::max) * 1e6
+        };
+        let raw = err(outs.iter().map(|o| o.raw[i]).collect());
+        let interp = err(outs
+            .iter()
+            .map(|o| {
+                let (b, e) = o.epochs;
+                interpolate(b, e, o.raw[i])
+            })
+            .collect());
+        let once = err(outs.iter().map(|o| o.global_once[i]).collect());
+        let rs = err(outs.iter().map(|o| o.global_resync[i]).collect());
+        println!("{p:>9.0} {raw:>14.2} {interp:>16.2} {once:>14.2} {rs:>16.2}");
+    }
+    println!("\nExpected: raw local clocks are off by their boot offsets (useless);");
+    println!("linear interpolation pins the endpoints but leaves the wander's curvature");
+    println!("(several us mid-trace); a single global clock decays steadily; periodic");
+    println!("resync stays at the sync floor throughout — the quantitative reason the");
+    println!("paper says tracing tools must re-synchronize periodically.");
+}

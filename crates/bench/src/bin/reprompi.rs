@@ -1,0 +1,159 @@
+//! `reprompi` — a ReproMPI-style benchmark CLI over the simulated
+//! cluster: pick a machine, a shape, collectives, message sizes, a
+//! clock synchronization algorithm and a measurement scheme, get a
+//! reproducible latency table.
+//!
+//! This is the "downstream user" entry point: the figure binaries are
+//! fixed experiments, this tool is the general instrument.
+//!
+//! ```text
+//! cargo run --release -p hcs-experiments --bin reprompi -- \
+//!     --machine jupiter --nodes 8 --ppn 4 \
+//!     --ops allreduce,bcast,barrier --msizes 8,64,512 \
+//!     --sync hca3 --scheme roundtime --reps 200 --seed 1
+//! ```
+
+use hcs_bench::prelude::*;
+use hcs_bench::schemes::{run_barrier_scheme, run_round_time, RoundTimeConfig};
+use hcs_clock::{BoxClock, LocalClock, TimeSource};
+use hcs_core::prelude::*;
+use hcs_experiments::Args;
+use hcs_mpi::{BarrierAlgorithm, Comm, ReduceOp};
+use hcs_sim::{machines, MachineSpec, RankCtx};
+
+fn machine_by_name(name: &str) -> MachineSpec {
+    match name {
+        "jupiter" => machines::jupiter(),
+        "hydra" => machines::hydra(),
+        "titan" => machines::titan(),
+        "ethernet" => machines::ethernet(),
+        other => panic!("unknown machine {other:?} (jupiter|hydra|titan|ethernet)"),
+    }
+}
+
+fn sync_by_name(name: &str) -> Box<dyn ClockSync> {
+    match name {
+        "hca" => Box::new(Hca::skampi(100, 10)),
+        "hca2" => Box::new(Hca2::skampi(100, 10)),
+        "hca3" => Box::new(Hca3::skampi(100, 10)),
+        "jk" => Box::new(Jk::skampi(100, 10)),
+        "h2hca" => Box::new(Hierarchical::h2(
+            Box::new(Hca3::skampi(100, 10)),
+            Box::new(ClockPropSync::verified()),
+        )),
+        other => panic!("unknown sync {other:?} (hca|hca2|hca3|jk|h2hca)"),
+    }
+}
+
+/// A boxed operation under test.
+type BoxedOp<'a> = Box<dyn FnMut(&mut RankCtx, &mut Comm) + 'a>;
+
+fn op_by_name(name: &str, msize: usize) -> BoxedOp<'_> {
+    match name {
+        "allreduce" => Box::new(move |ctx: &mut RankCtx, comm: &mut Comm| {
+            let _ = comm.allreduce(ctx, &vec![0u8; msize], ReduceOp::ByteMax);
+        }),
+        "bcast" => Box::new(move |ctx: &mut RankCtx, comm: &mut Comm| {
+            let _ = comm.bcast(ctx, 0, &vec![0u8; msize]);
+        }),
+        "barrier" => Box::new(|ctx: &mut RankCtx, comm: &mut Comm| {
+            comm.barrier(ctx, BarrierAlgorithm::Bruck);
+        }),
+        "gather" => Box::new(move |ctx: &mut RankCtx, comm: &mut Comm| {
+            let _ = comm.gather(ctx, 0, &vec![0u8; msize]);
+        }),
+        other => panic!("unknown op {other:?} (allreduce|bcast|barrier|gather)"),
+    }
+}
+
+fn main() {
+    let args = Args::parse(&[
+        "machine", "nodes", "ppn", "ops", "msizes", "sync", "scheme", "reps", "slice", "seed",
+    ]);
+    let machine_name = args.get_str("machine", "jupiter");
+    let nodes = args.get_usize("nodes", 8);
+    let ppn = args.get_usize("ppn", 4);
+    let ops: Vec<String> =
+        args.get_str("ops", "allreduce").split(',').map(|s| s.to_string()).collect();
+    let msizes: Vec<usize> = args
+        .get_str("msizes", "8,64,512")
+        .split(',')
+        .map(|s| s.parse().expect("msize"))
+        .collect();
+    let sync_name = args.get_str("sync", "hca3");
+    let scheme = args.get_str("scheme", "roundtime");
+    let reps = args.get_usize("reps", 200);
+    let slice = args.get_f64("slice", 0.5);
+    let seed = args.get_u64("seed", 1);
+
+    let mut machine = machine_by_name(&machine_name);
+    let sockets = if machine.topology.sockets_per_node() > 1 && ppn >= 2 { 2 } else { 1 };
+    machine = machine.with_shape(nodes, sockets, ppn / sockets);
+    let cluster = machine.cluster(seed);
+
+    println!("# reprompi (simulated) — machine {}, {} x {} = {} ranks", machine.name, nodes, ppn, machine.topology.total_cores());
+    println!("# sync {} | scheme {} | reps {} | slice {} s | seed {}", sync_name, scheme, reps, slice, seed);
+    println!("{:<12} {:>8} {:>10} {:>12} {:>12} {:>12} {:>12}", "op", "msize", "nrep", "median[us]", "mean[us]", "min[us]", "max[us]");
+
+    for op_name in &ops {
+        for &msize in &msizes {
+            let sync_name = sync_name.clone();
+            let scheme = scheme.clone();
+            let results = cluster.run(|ctx| {
+                let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+                let mut comm = Comm::world(ctx);
+                let mut sync = sync_by_name(&sync_name);
+                let mut g: BoxClock = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+                let mut op = op_by_name(op_name, msize);
+
+                let samples: Vec<f64> = match scheme.as_str() {
+                    "roundtime" => {
+                        let bl = estimate_bcast_latency(ctx, &mut comm, g.as_mut(), 10);
+                        let cfg = RoundTimeConfig {
+                            max_time_slice_s: slice,
+                            max_nrep: reps,
+                            slack_b: 3.0,
+                            bcast_latency_s: bl,
+                        };
+                        let reps = run_round_time(ctx, &mut comm, g.as_mut(), cfg, op.as_mut());
+                        // Global latency per repetition.
+                        reps.iter()
+                            .map(|s| {
+                                comm.allreduce_f64(ctx, s.end, ReduceOp::F64Max) - s.start
+                            })
+                            .collect()
+                    }
+                    "barrier" => run_barrier_scheme(
+                        ctx,
+                        &mut comm,
+                        g.as_mut(),
+                        BarrierAlgorithm::Bruck,
+                        reps,
+                        op.as_mut(),
+                    )
+                    .iter()
+                    .map(|s| s.latency())
+                    .collect(),
+                    other => panic!("unknown scheme {other:?} (roundtime|barrier)"),
+                };
+                (comm.rank() == 0).then_some(samples)
+            });
+            let samples = results[0].clone().expect("root collects");
+            if samples.is_empty() {
+                println!("{:<12} {:>8} {:>10} (no valid repetitions)", op_name, msize, 0);
+                continue;
+            }
+            let s = Summary::of(&samples);
+            println!(
+                "{:<12} {:>8} {:>10} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+                op_name,
+                msize,
+                s.n,
+                s.median * 1e6,
+                s.mean * 1e6,
+                s.min * 1e6,
+                s.max * 1e6
+            );
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! The tuning dilemma (paper §I and §V-B): tune `MPI_Allreduce` with
+//! different measurement schemes and watch the selected algorithm — and
+//! the latencies backing the decision — change with the scheme.
+//!
+//! ```text
+//! cargo run --release -p hcs-experiments --bin tuner \
+//!     [--nodes 16] [--ppn 8] [--msizes 8,64,512,4096] [--reps 100] [--seed 1]
+//! ```
+
+use hcs_bench::tuner::{tune_allreduce, TuneScheme, TuningResult};
+use hcs_clock::{LocalClock, TimeSource};
+use hcs_core::prelude::*;
+use hcs_experiments::Args;
+use hcs_mpi::{BarrierAlgorithm, Comm};
+use hcs_sim::machines;
+
+fn run_scheme(
+    machine: &hcs_sim::MachineSpec,
+    seed: u64,
+    scheme: TuneScheme,
+    msizes: &[usize],
+) -> Vec<TuningResult> {
+    let cluster = machine.cluster(seed);
+    let res = cluster.run(|ctx| {
+        let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let mut comm = Comm::world(ctx);
+        let mut sync = Hca3::skampi(60, 10);
+        let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+        tune_allreduce(ctx, &mut comm, g.as_mut(), scheme, msizes)
+    });
+    res[0].clone().expect("root reports")
+}
+
+fn main() {
+    let args = Args::parse(&["nodes", "ppn", "msizes", "reps", "seed"]);
+    let nodes = args.get_usize("nodes", 16);
+    let ppn = args.get_usize("ppn", 8);
+    let msizes: Vec<usize> = args
+        .get_str("msizes", "8,64,512,4096")
+        .split(',')
+        .map(|s| s.parse().expect("msize"))
+        .collect();
+    let reps = args.get_usize("reps", 100);
+    let seed = args.get_u64("seed", 1);
+
+    let machine = machines::jupiter().with_shape(nodes, 2, ppn / 2);
+    println!(
+        "Tuning MPI_Allreduce on {}, {} x {} = {} ranks — does the measurement scheme\nchange the tuning decision?\n",
+        machine.name,
+        nodes,
+        ppn,
+        machine.topology.total_cores()
+    );
+
+    let schemes = [
+        TuneScheme::Barrier { barrier: BarrierAlgorithm::Bruck, reps },
+        TuneScheme::Barrier { barrier: BarrierAlgorithm::DoubleRing, reps },
+        TuneScheme::Barrier { barrier: BarrierAlgorithm::Tree, reps },
+        TuneScheme::RoundTime { slice_s: 0.2, max_reps: reps },
+    ];
+
+    // header
+    print!("{:<10}", "msize");
+    for s in &schemes {
+        print!(" {:>26}", s.label());
+    }
+    println!();
+
+    let all: Vec<Vec<TuningResult>> =
+        schemes.iter().map(|&s| run_scheme(&machine, seed, s, &msizes)).collect();
+
+    for (i, &msize) in msizes.iter().enumerate() {
+        print!("{:<10}", msize);
+        for per_scheme in &all {
+            let r = &per_scheme[i];
+            let w = r.winner();
+            print!(" {:>15} {:>9.2}us", w.name, w.latency_s * 1e6);
+        }
+        println!();
+    }
+
+    println!("\nfull candidate tables (latency in us):");
+    for (s, per_scheme) in schemes.iter().zip(&all) {
+        println!("\nscheme: {}", s.label());
+        for r in per_scheme {
+            let cells: Vec<String> = r
+                .candidates
+                .iter()
+                .map(|c| format!("{} {:.2}", c.name, c.latency_s * 1e6))
+                .collect();
+            println!("  {:>6} B: {}", r.msize, cells.join(" | "));
+        }
+    }
+    println!("\nThe paper's point: if the winners (or the margins) differ between the");
+    println!("barrier-based columns and the round-time column, a tuner driven by the");
+    println!("wrong scheme ships the wrong algorithm selection.");
+}

@@ -1,0 +1,129 @@
+//! Tiny dependency-free CLI flag parser shared by the experiment
+//! binaries.
+//!
+//! Supported syntax: `--key value` and `--flag` (boolean). Every binary
+//! documents its own keys; unknown keys abort with a message so typos
+//! do not silently run the default configuration.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+    allowed: Vec<&'static str>,
+}
+
+impl Args {
+    /// Parses `std::env::args`, allowing only the given keys.
+    pub fn parse(allowed: &[&'static str]) -> Self {
+        Self::from_iter(std::env::args().skip(1), allowed)
+    }
+
+    /// Parses an explicit iterator (testable entry point).
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I, allowed: &[&'static str]) -> Self {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut it = iter.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            let key = match arg.strip_prefix("--") {
+                Some(k) => k.to_string(),
+                None => panic!("unexpected positional argument {arg:?}"),
+            };
+            assert!(
+                allowed.contains(&key.as_str()),
+                "unknown flag --{key}; allowed: {allowed:?}"
+            );
+            match it.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    values.insert(key, it.next().unwrap());
+                }
+                _ => flags.push(key),
+            }
+        }
+        Self { values, flags, allowed: allowed.to_vec() }
+    }
+
+    /// A `usize` value with default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.check(key);
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// An `f64` value with default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.check(key);
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// A `u64` value with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.check(key);
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// A string value with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.check(key);
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Whether a boolean flag was passed.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.check(key);
+        self.flags.iter().any(|f| f == key)
+    }
+
+    fn check(&self, key: &str) {
+        debug_assert!(self.allowed.contains(&key), "binary queried undeclared flag --{key}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str], allowed: &[&'static str]) -> Args {
+        Args::from_iter(s.iter().map(|x| x.to_string()), allowed)
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = args(&["--nodes", "16", "--full", "--seed", "7"], &["nodes", "full", "seed"]);
+        assert_eq!(a.get_usize("nodes", 4), 16);
+        assert_eq!(a.get_u64("seed", 1), 7);
+        assert!(a.has_flag("full"));
+        assert!(!a.has_flag("nodes"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = args(&[], &["nodes", "frac"]);
+        assert_eq!(a.get_usize("nodes", 4), 4);
+        assert_eq!(a.get_f64("frac", 0.5), 0.5);
+        assert_eq!(a.get_str("nodes", "x"), "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = args(&["--oops"], &["nodes"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_integer_panics() {
+        let a = args(&["--nodes", "many"], &["nodes"]);
+        let _ = a.get_usize("nodes", 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Minimal CSV emission for experiment outputs.
+//!
+//! Every figure binary prints a human-readable table to stdout and
+//! (optionally, with `--csv <path>`) writes the raw series as CSV so the
+//! plots can be regenerated with any plotting tool.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// A CSV file writer with simple quoting.
+pub struct CsvWriter {
+    out: BufWriter<File>,
+}
+
+impl CsvWriter {
+    /// Creates/truncates the file and writes the header row.
+    pub fn create(path: &Path, header: &[&str]) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut w = Self { out: BufWriter::new(File::create(path)?) };
+        w.row(header)?;
+        Ok(w)
+    }
+
+    /// Writes one row, quoting fields that contain separators.
+    pub fn row<S: AsRef<str>>(&mut self, fields: &[S]) -> std::io::Result<()> {
+        let mut first = true;
+        for f in fields {
+            if !first {
+                write!(self.out, ",")?;
+            }
+            first = false;
+            let f = f.as_ref();
+            if f.contains([',', '"', '\n']) {
+                write!(self.out, "\"{}\"", f.replace('"', "\"\""))?;
+            } else {
+                write!(self.out, "{f}")?;
+            }
+        }
+        writeln!(self.out)
+    }
+
+    /// Flushes buffered rows to disk.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows_with_quoting() {
+        let dir = std::env::temp_dir().join("hcs_csv_test");
+        let path = dir.join("t.csv");
+        let mut w = CsvWriter::create(&path, &["a", "b"]).unwrap();
+        w.row(&["1", "plain"]).unwrap();
+        w.row(&["2", "with,comma"]).unwrap();
+        w.row(&["3", "with\"quote"]).unwrap();
+        w.finish().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,plain\n2,\"with,comma\"\n3,\"with\"\"quote\"\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

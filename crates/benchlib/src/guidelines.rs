@@ -1,0 +1,226 @@
+//! Self-consistent MPI performance guidelines (Träff, Gropp & Thakur;
+//! the paper's refs \[5\], \[6\] and the PGMPITuneLib context \[4\]).
+//!
+//! A guideline states that a specialized collective should not be slower
+//! than an equivalent emulation built from other collectives, e.g.
+//!
+//! ```text
+//! MPI_Allreduce(n)  ≼  MPI_Reduce(n) + MPI_Bcast(n)
+//! MPI_Bcast(n)      ≼  MPI_Scatter(n) + MPI_Allgather(n)   (simplified)
+//! MPI_Scan(n)       ≼  MPI_Allreduce-based emulation
+//! ```
+//!
+//! PGMPITuneLib benchmarks both sides and flags violations — and the
+//! paper's warning applies here too: whether a violation is detected
+//! depends on the measurement scheme. This module measures both sides
+//! under any [`TuneScheme`] and reports the verdicts.
+
+use hcs_clock::Clock;
+use hcs_mpi::{AllreduceAlgorithm, Comm, ReduceOp};
+use hcs_sim::RankCtx;
+
+use crate::tuner::{measure_candidate, TuneScheme};
+
+/// A boxed collective operation (one side of a guideline).
+type BoxedOp<'a> = Box<dyn FnMut(&mut RankCtx, &mut Comm) + 'a>;
+
+/// One guideline: a specialized operation vs. its emulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Guideline {
+    /// `MPI_Allreduce ≼ MPI_Reduce + MPI_Bcast`.
+    AllreduceVsReduceBcast,
+    /// `MPI_Bcast ≼ MPI_Scatter + MPI_Allgather` (byte-sliced).
+    BcastVsScatterAllgather,
+    /// `MPI_Scan ≼ MPI_Allreduce`-based emulation (exclusive masking).
+    ScanVsAllreduce,
+}
+
+impl Guideline {
+    /// All implemented guidelines.
+    pub const ALL: [Guideline; 3] = [
+        Guideline::AllreduceVsReduceBcast,
+        Guideline::BcastVsScatterAllgather,
+        Guideline::ScanVsAllreduce,
+    ];
+
+    /// Human-readable statement.
+    pub fn statement(&self) -> &'static str {
+        match self {
+            Guideline::AllreduceVsReduceBcast => "MPI_Allreduce <= MPI_Reduce + MPI_Bcast",
+            Guideline::BcastVsScatterAllgather => "MPI_Bcast <= MPI_Scatter + MPI_Allgather",
+            Guideline::ScanVsAllreduce => "MPI_Scan <= MPI_Allreduce emulation",
+        }
+    }
+}
+
+/// Verdict for one guideline at one message size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuidelineVerdict {
+    /// The guideline checked.
+    pub guideline: Guideline,
+    /// Message size, bytes.
+    pub msize: usize,
+    /// Measured latency of the specialized operation, seconds.
+    pub specialized_s: f64,
+    /// Measured latency of the emulation, seconds.
+    pub emulation_s: f64,
+}
+
+impl GuidelineVerdict {
+    /// Whether the guideline holds (with `tol` relative slack for
+    /// measurement noise; PGMPI uses a similar tolerance).
+    pub fn holds(&self, tol: f64) -> bool {
+        self.specialized_s <= self.emulation_s * (1.0 + tol)
+    }
+
+    /// Speedup of the specialized operation over the emulation.
+    pub fn speedup(&self) -> f64 {
+        self.emulation_s / self.specialized_s
+    }
+}
+
+/// Measures one guideline at one message size under the given scheme.
+/// Returns `Some(verdict)` at the root. Collective.
+pub fn check_guideline(
+    ctx: &mut RankCtx,
+    comm: &mut Comm,
+    g_clk: &mut dyn Clock,
+    scheme: TuneScheme,
+    guideline: Guideline,
+    msize: usize,
+) -> Option<GuidelineVerdict> {
+    let payload = vec![0u8; msize.max(1)];
+    let (spec, emu): (BoxedOp<'_>, BoxedOp<'_>) = match guideline {
+        Guideline::AllreduceVsReduceBcast => {
+            let p1 = payload.clone();
+            let p2 = payload.clone();
+            (
+                Box::new(move |ctx: &mut RankCtx, comm: &mut Comm| {
+                    let _ = comm.allreduce_alg(
+                        ctx,
+                        &p1,
+                        ReduceOp::ByteMax,
+                        AllreduceAlgorithm::RecursiveDoubling,
+                    );
+                }),
+                Box::new(move |ctx: &mut RankCtx, comm: &mut Comm| {
+                    let reduced = comm.reduce(ctx, 0, &p2, ReduceOp::ByteMax);
+                    let at_root = reduced.unwrap_or_else(|| p2.clone());
+                    let _ = comm.bcast(ctx, 0, &at_root);
+                }),
+            )
+        }
+        Guideline::BcastVsScatterAllgather => {
+            let p1 = payload.clone();
+            let p2 = payload.clone();
+            (
+                Box::new(move |ctx: &mut RankCtx, comm: &mut Comm| {
+                    let _ = comm.bcast(ctx, 0, &p1);
+                }),
+                Box::new(move |ctx: &mut RankCtx, comm: &mut Comm| {
+                    // Slice the buffer into p chunks, scatter, allgather.
+                    let p = comm.size();
+                    let chunks: Option<Vec<Vec<u8>>> = (comm.rank() == 0).then(|| {
+                        (0..p)
+                            .map(|i| {
+                                let lo = p2.len() * i / p;
+                                let hi = p2.len() * (i + 1) / p;
+                                p2[lo..hi].to_vec()
+                            })
+                            .collect()
+                    });
+                    let mine = comm.scatter(ctx, 0, chunks.as_deref());
+                    let _ = comm.allgather(ctx, &mine);
+                }),
+            )
+        }
+        Guideline::ScanVsAllreduce => {
+            let p1 = payload.clone();
+            let p2 = payload.clone();
+            (
+                Box::new(move |ctx: &mut RankCtx, comm: &mut Comm| {
+                    let _ = comm.scan(ctx, &p1, ReduceOp::ByteMax);
+                }),
+                Box::new(move |ctx: &mut RankCtx, comm: &mut Comm| {
+                    // Emulation: everyone contributes, then discards the
+                    // suffix contributions locally — same wire traffic as
+                    // the allreduce.
+                    let _ = comm.allreduce(ctx, &p2, ReduceOp::ByteMax);
+                }),
+            )
+        }
+    };
+
+    let mut spec = spec;
+    let mut emu = emu;
+    let spec_lat = measure_candidate(ctx, comm, g_clk, scheme, spec.as_mut());
+    let emu_lat = measure_candidate(ctx, comm, g_clk, scheme, emu.as_mut());
+    match (spec_lat, emu_lat) {
+        (Some(s), Some(e)) => Some(GuidelineVerdict {
+            guideline,
+            msize,
+            specialized_s: s,
+            emulation_s: e,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_clock::{LocalClock, TimeSource};
+    use hcs_core::{ClockSync, Hca3};
+    use hcs_mpi::BarrierAlgorithm;
+    use hcs_sim::machines::testbed;
+
+    fn verdicts(scheme: TuneScheme) -> Vec<GuidelineVerdict> {
+        let cluster = testbed(4, 2).cluster(11);
+        let res = cluster.run(move |ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut sync = Hca3::skampi(25, 6);
+            let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+            Guideline::ALL
+                .iter()
+                .filter_map(|&gl| check_guideline(ctx, &mut comm, g.as_mut(), scheme, gl, 64))
+                .collect::<Vec<_>>()
+        });
+        res[0].clone()
+    }
+
+    #[test]
+    fn guidelines_hold_for_sane_implementations() {
+        // Our collectives are reasonable, so the guidelines should hold
+        // (with tolerance) under the Round-Time scheme.
+        let out = verdicts(TuneScheme::RoundTime { slice_s: 0.05, max_reps: 40 });
+        assert_eq!(out.len(), 3);
+        for v in &out {
+            assert!(
+                v.holds(0.25),
+                "{} at {} B: specialized {:.3e} vs emulation {:.3e}",
+                v.guideline.statement(),
+                v.msize,
+                v.specialized_s,
+                v.emulation_s
+            );
+            assert!(v.specialized_s > 0.0 && v.emulation_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_beats_reduce_bcast_clearly() {
+        let out = verdicts(TuneScheme::Barrier { barrier: BarrierAlgorithm::Tree, reps: 40 });
+        let v = out.iter().find(|v| v.guideline == Guideline::AllreduceVsReduceBcast).unwrap();
+        assert!(v.speedup() > 1.0, "speedup {:.2}", v.speedup());
+    }
+
+    #[test]
+    fn statements_are_stable() {
+        assert_eq!(
+            Guideline::AllreduceVsReduceBcast.statement(),
+            "MPI_Allreduce <= MPI_Reduce + MPI_Bcast"
+        );
+        assert_eq!(Guideline::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,80 @@
+//! Barrier exit-imbalance measurement (paper Fig. 8).
+//!
+//! Protocol (paper §V-B): each barrier call is *started* via a
+//! Round-Time-style common start timestamp on the logical global clock;
+//! every process records its barrier exit timestamp; the *imbalance* of
+//! the call is the skew between the first and the last process leaving
+//! the barrier. "A barrier-based measurement scheme suffers less from
+//! barrier effects if this imbalance is small."
+
+use hcs_clock::{busy_wait_until, Clock};
+use hcs_mpi::{BarrierAlgorithm, Comm, ReduceOp};
+use hcs_sim::RankCtx;
+
+/// Measures the exit imbalance of `ncalls` barrier invocations.
+/// Returns one imbalance (seconds) per call on the root; `None` on
+/// other ranks.
+pub fn measure_barrier_imbalance(
+    ctx: &mut RankCtx,
+    comm: &mut Comm,
+    g_clk: &mut dyn Clock,
+    barrier_alg: BarrierAlgorithm,
+    ncalls: usize,
+    slack_s: f64,
+) -> Option<Vec<f64>> {
+    let mut out = Vec::with_capacity(ncalls);
+    for _ in 0..ncalls {
+        // Common start on the global clock.
+        let proposal = g_clk.get_time(ctx) + slack_s;
+        let start = comm.bcast_f64(ctx, 0, proposal);
+        busy_wait_until(g_clk, ctx, start);
+
+        comm.barrier(ctx, barrier_alg);
+        let exit = g_clk.get_time(ctx);
+
+        // Imbalance = max exit − min exit across ranks.
+        let max_exit = comm.allreduce_f64(ctx, exit, ReduceOp::F64Max);
+        let min_exit = comm.allreduce_f64(ctx, exit, ReduceOp::F64Min);
+        out.push(max_exit - min_exit);
+    }
+    (comm.rank() == 0).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+    use hcs_clock::{LocalClock, TimeSource};
+    use hcs_core::{ClockSync, Hca3};
+    use hcs_sim::machines::testbed;
+
+    fn imbalances(alg: BarrierAlgorithm, seed: u64) -> Vec<f64> {
+        let cluster = testbed(6, 4).cluster(seed);
+        let res = cluster.run(|ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut sync = Hca3::skampi(25, 6);
+            let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+            measure_barrier_imbalance(ctx, &mut comm, g.as_mut(), alg, 40, 200e-6)
+        });
+        res[0].clone().expect("root reports")
+    }
+
+    #[test]
+    fn imbalances_are_positive_and_bounded() {
+        let xs = imbalances(BarrierAlgorithm::Tree, 1);
+        assert_eq!(xs.len(), 40);
+        for &x in &xs {
+            assert!(x >= 0.0);
+            assert!(x < 1e-3, "imbalance {x:.3e}");
+        }
+    }
+
+    #[test]
+    fn double_ring_is_much_worse_than_tree() {
+        // The qualitative core of Fig. 8.
+        let tree = Summary::of(&imbalances(BarrierAlgorithm::Tree, 2)).median;
+        let ring = Summary::of(&imbalances(BarrierAlgorithm::DoubleRing, 2)).median;
+        assert!(ring > 3.0 * tree, "tree {tree:.3e} vs double ring {ring:.3e}");
+    }
+}

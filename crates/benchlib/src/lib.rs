@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # hcs-bench — MPI benchmarking schemes, suite emulations and tracing
+//!
+//! The measurement side of the CLUSTER'18 reproduction:
+//!
+//! - [`schemes`] — the three process-coordination schemes the paper
+//!   compares: **barrier-based** (what OSU/IMB do), **window-based**
+//!   (SKaMPI/NBCBench) and the paper's novel **Round-Time**
+//!   (Algorithm 5),
+//! - [`suites`] — emulations of how OSU Micro-Benchmarks, Intel MPI
+//!   Benchmarks and ReproMPI aggregate samples into a reported latency
+//!   (Figs. 7 and 9),
+//! - [`imbalance`] — barrier exit-imbalance measurement (Fig. 8),
+//! - [`trace`] + [`workloads`] — a minimal MPI tracing layer and the
+//!   AMG2013-proxy workload behind the Gantt charts of Fig. 10,
+//! - [`stats`] — summary statistics used throughout.
+
+pub mod guidelines;
+pub mod imbalance;
+pub mod postmortem;
+pub mod profile;
+pub mod schemes;
+pub mod stats;
+pub mod suites;
+pub mod trace;
+pub mod tuner;
+pub mod workloads;
+
+pub use guidelines::{check_guideline, Guideline, GuidelineVerdict};
+pub use imbalance::measure_barrier_imbalance;
+pub use postmortem::{correct_events, interpolate, measure_epoch, SyncEpoch};
+pub use profile::{ProfileReport, Profiler, RegionStats};
+pub use schemes::{
+    estimate_allreduce_latency, estimate_bcast_latency, run_barrier_scheme, run_round_time,
+    run_window_scheme, RepSample, RoundTimeConfig, WindowConfig, WindowOutcome,
+};
+pub use stats::{Histogram, Summary};
+pub use suites::{measure_allreduce, Suite, SuiteConfig, SuiteResult};
+pub use trace::{TraceEvent, Tracer};
+pub use tuner::{measure_candidate, tune_allreduce, tune_alltoall, CandidateResult, TuneScheme, TuningResult};
+pub use workloads::{amg_proxy, halo_proxy, AmgProxyConfig, HaloProxyConfig};
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::guidelines::{check_guideline, Guideline, GuidelineVerdict};
+    pub use crate::imbalance::measure_barrier_imbalance;
+    pub use crate::postmortem::{correct_events, interpolate, measure_epoch, SyncEpoch};
+    pub use crate::profile::{ProfileReport, Profiler, RegionStats};
+    pub use crate::schemes::{
+        estimate_allreduce_latency, estimate_bcast_latency, run_barrier_scheme, run_round_time,
+        run_window_scheme, RepSample, RoundTimeConfig, WindowConfig, WindowOutcome,
+    };
+    pub use crate::stats::{Histogram, Summary};
+    pub use crate::suites::{measure_allreduce, Suite, SuiteConfig, SuiteResult};
+    pub use crate::trace::{TraceEvent, Tracer};
+    pub use crate::tuner::{
+        measure_candidate, tune_allreduce, tune_alltoall, CandidateResult, TuneScheme,
+        TuningResult,
+    };
+    pub use crate::workloads::{amg_proxy, halo_proxy, AmgProxyConfig, HaloProxyConfig};
+}

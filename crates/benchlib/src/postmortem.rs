@@ -1,0 +1,154 @@
+//! Post-mortem timestamp correction — what trace analysis tools do.
+//!
+//! The paper (§II): "Trace analysis tools like Scalasca use linear
+//! interpolation to adjust timestamps. This is usually done by
+//! considering the clock drift measured between the initialization and
+//! the finalization phase of an MPI application. Here, the assumption is
+//! made that the clock drift is linear over time, which is not always
+//! true."
+//!
+//! This module implements exactly that pipeline: measure a
+//! [`SyncEpoch`] (local reading + offset to the reference) at trace
+//! begin and end, then linearly interpolate every recorded timestamp —
+//! and lets experiments quantify where the linearity assumption breaks
+//! (see the `interp_study` binary).
+
+use hcs_clock::Clock;
+use hcs_core::{ClockOffset, OffsetAlgorithm};
+use hcs_mpi::Comm;
+use hcs_sim::RankCtx;
+
+use crate::trace::TraceEvent;
+
+/// One synchronization point: at local clock reading `local`, this
+/// rank's offset to the reference clock was `offset` (reference −
+/// local).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncEpoch {
+    /// Local clock reading at the measurement.
+    pub local: f64,
+    /// Estimated reference − local offset at that reading.
+    pub offset: f64,
+}
+
+impl SyncEpoch {
+    /// The epoch of the reference rank itself (zero offset by
+    /// definition).
+    pub fn reference(local: f64) -> Self {
+        Self { local, offset: 0.0 }
+    }
+}
+
+/// Measures a sync epoch between the root and every other rank
+/// (collective; ranks are served in order, like Algorithm 6's phases).
+/// Every rank returns its own epoch.
+pub fn measure_epoch(
+    ctx: &mut RankCtx,
+    comm: &Comm,
+    clk: &mut dyn Clock,
+    offset_alg: &mut dyn OffsetAlgorithm,
+) -> SyncEpoch {
+    let me = comm.rank();
+    if me == 0 {
+        for client in 1..comm.size() {
+            offset_alg.measure_offset(ctx, comm, clk, 0, client);
+        }
+        SyncEpoch::reference(clk.get_time(ctx))
+    } else {
+        let ClockOffset { timestamp, offset } = offset_alg
+            .measure_offset(ctx, comm, clk, 0, me)
+            .expect("client obtains an offset");
+        SyncEpoch { local: timestamp, offset }
+    }
+}
+
+/// Scalasca-style linear interpolation: maps a local timestamp into the
+/// reference frame using the drift observed between `begin` and `end`.
+///
+/// # Panics
+/// Panics if the epochs coincide (no time base to interpolate over).
+pub fn interpolate(begin: SyncEpoch, end: SyncEpoch, t_local: f64) -> f64 {
+    let span = end.local - begin.local;
+    assert!(span.abs() > f64::EPSILON, "sync epochs must be distinct");
+    let drift = (end.offset - begin.offset) / span;
+    t_local + begin.offset + drift * (t_local - begin.local)
+}
+
+/// Applies [`interpolate`] to every event of a per-rank trace.
+pub fn correct_events(events: &[TraceEvent], begin: SyncEpoch, end: SyncEpoch) -> Vec<TraceEvent> {
+    events
+        .iter()
+        .map(|e| TraceEvent {
+            iter: e.iter,
+            enter: interpolate(begin, end, e.enter),
+            exit: interpolate(begin, end, e.exit),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::SkampiOffset;
+    use hcs_clock::{LocalClock, Oscillator};
+    use hcs_sim::machines::testbed;
+
+    #[test]
+    fn interpolation_is_exact_for_constant_drift() {
+        // Client clock runs 10 ppm fast with 1 ms initial offset; two
+        // epochs bracket the trace; interpolation must recover the
+        // reference frame exactly at any point in between.
+        let skew = 10e-6;
+        let offset0 = -1e-3; // ref - local at local=0
+        let begin = SyncEpoch { local: 100.0, offset: offset0 - skew * 100.0 };
+        let end = SyncEpoch { local: 200.0, offset: offset0 - skew * 200.0 };
+        for t in [100.0, 137.5, 200.0, 150.0] {
+            let corrected = interpolate(begin, end, t);
+            let want = t + offset0 - skew * t;
+            assert!((corrected - want).abs() < 1e-9, "t={t}: {corrected} vs {want}");
+        }
+    }
+
+    #[test]
+    fn interpolation_extrapolates_linearly_outside_the_window() {
+        let begin = SyncEpoch { local: 0.0, offset: 0.0 };
+        let end = SyncEpoch { local: 10.0, offset: 1e-3 };
+        // 1e-4 s/s drift, extrapolated to t=20.
+        assert!((interpolate(begin, end, 20.0) - 20.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correct_events_preserves_durations_up_to_drift() {
+        let begin = SyncEpoch { local: 0.0, offset: 0.0 };
+        let end = SyncEpoch { local: 100.0, offset: 1e-3 };
+        let evs = vec![TraceEvent { iter: 0, enter: 50.0, exit: 50.5 }];
+        let fixed = correct_events(&evs, begin, end);
+        // Duration scales by (1 + 1e-5).
+        assert!((fixed[0].duration() - 0.5 * (1.0 + 1e-5)).abs() < 1e-9);
+        assert_eq!(fixed[0].iter, 0);
+    }
+
+    #[test]
+    fn measured_epochs_track_planted_offsets() {
+        let cluster = testbed(2, 1).cluster(3);
+        let epochs = cluster.run(|ctx| {
+            let skew = if ctx.rank() == 1 { 5e-6 } else { 0.0 };
+            let mut clk = LocalClock::from_oscillator(Oscillator::with_skew(skew), 0);
+            let comm = Comm::world(ctx);
+            let mut alg = SkampiOffset::new(10);
+            // Let the clocks drift apart before measuring.
+            ctx.compute(2.0);
+            measure_epoch(ctx, &comm, &mut clk, &mut alg)
+        });
+        assert_eq!(epochs[0].offset, 0.0);
+        // Client gained 5 us/s for 2 s => ref - client ~ -10 us.
+        assert!((epochs[1].offset + 10e-6).abs() < 2e-6, "offset {:.3e}", epochs[1].offset);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn coinciding_epochs_panic() {
+        let e = SyncEpoch { local: 1.0, offset: 0.0 };
+        let _ = interpolate(e, e, 1.0);
+    }
+}

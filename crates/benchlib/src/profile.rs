@@ -1,0 +1,235 @@
+//! Region-based profiling (mpiP/IPM style).
+//!
+//! The paper selects AMG2013 because its IPM profile shows "the
+//! application spends about 80% of the time in `MPI_Allreduce` with a
+//! buffer size of 8 B" (§V-C, ref \[22\]). This module provides the same
+//! kind of evidence for simulated applications: nested regions are
+//! timed with any clock, aggregated per rank, gathered at the root and
+//! reported as a percentage table.
+
+use std::collections::HashMap;
+
+use hcs_clock::Clock;
+use hcs_mpi::Comm;
+use hcs_sim::RankCtx;
+
+/// Accumulated statistics of one region on one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RegionStats {
+    /// Number of enter/leave pairs.
+    pub calls: u64,
+    /// Total time spent inside, seconds.
+    pub total_s: f64,
+}
+
+/// A per-rank region profiler.
+///
+/// Regions nest: time inside an inner region is *also* charged to the
+/// outer one (inclusive timing, like IPM's default view).
+#[derive(Debug, Default)]
+pub struct Profiler {
+    stats: HashMap<String, RegionStats>,
+    stack: Vec<(String, f64)>,
+    run_begin: Option<f64>,
+    run_end: Option<f64>,
+}
+
+impl Profiler {
+    /// A fresh profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enters a region at the clock's current reading.
+    pub fn enter(&mut self, name: &str, clk: &mut dyn Clock, ctx: &mut RankCtx) {
+        let now = clk.get_time(ctx);
+        self.run_begin.get_or_insert(now);
+        self.stack.push((name.to_string(), now));
+    }
+
+    /// Leaves the innermost region.
+    ///
+    /// # Panics
+    /// Panics if no region is open or the name does not match.
+    pub fn leave(&mut self, name: &str, clk: &mut dyn Clock, ctx: &mut RankCtx) {
+        let now = clk.get_time(ctx);
+        let (open, begin) = self.stack.pop().expect("leave without matching enter");
+        assert_eq!(open, name, "region nesting violated: left {name}, open {open}");
+        let entry = self.stats.entry(open).or_default();
+        entry.calls += 1;
+        entry.total_s += now - begin;
+        // Clock readings can be negative (boot offsets), so the end
+        // marker must start unset rather than at zero.
+        self.run_end = Some(self.run_end.map_or(now, |e| e.max(now)));
+    }
+
+    /// Times `body` as one region call.
+    pub fn scoped<T>(
+        &mut self,
+        name: &str,
+        clk: &mut dyn Clock,
+        ctx: &mut RankCtx,
+        comm: &mut Comm,
+        body: impl FnOnce(&mut RankCtx, &mut Comm, &mut dyn Clock) -> T,
+    ) -> T {
+        self.enter(name, clk, ctx);
+        let out = body(ctx, comm, clk);
+        self.leave(name, clk, ctx);
+        out
+    }
+
+    /// This rank's stats for a region (zeroes if never entered).
+    pub fn region(&self, name: &str) -> RegionStats {
+        self.stats.get(name).copied().unwrap_or_default()
+    }
+
+    /// Total profiled wall time on this rank (first enter → last leave).
+    pub fn span_s(&self) -> f64 {
+        match (self.run_begin, self.run_end) {
+            (Some(b), Some(e)) => e - b,
+            _ => 0.0,
+        }
+    }
+
+    /// Serializes `(name, calls, total)` rows.
+    fn pack(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (name, s) in &self.stats {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&s.calls.to_le_bytes());
+            out.extend_from_slice(&s.total_s.to_le_bytes());
+        }
+        out.extend_from_slice(&self.span_s().to_le_bytes());
+        out
+    }
+
+    /// Gathers all ranks' profiles at the root and merges them into a
+    /// cluster-wide report. Collective.
+    pub fn gather(&self, ctx: &mut RankCtx, comm: &mut Comm) -> Option<ProfileReport> {
+        let gathered = comm.gather(ctx, 0, &self.pack())?;
+        let mut merged: HashMap<String, RegionStats> = HashMap::new();
+        let mut total_span = 0.0;
+        for raw in &gathered {
+            let mut off = 0usize;
+            while off + 4 <= raw.len() - 8 {
+                let nl = u32::from_le_bytes(raw[off..off + 4].try_into().unwrap()) as usize;
+                off += 4;
+                let name = String::from_utf8(raw[off..off + nl].to_vec()).expect("utf8 region");
+                off += nl;
+                let calls = u64::from_le_bytes(raw[off..off + 8].try_into().unwrap());
+                off += 8;
+                let total = f64::from_le_bytes(raw[off..off + 8].try_into().unwrap());
+                off += 8;
+                let e = merged.entry(name).or_default();
+                e.calls += calls;
+                e.total_s += total;
+            }
+            total_span += f64::from_le_bytes(raw[raw.len() - 8..].try_into().unwrap());
+        }
+        Some(ProfileReport { regions: merged, total_span_s: total_span })
+    }
+}
+
+/// Cluster-wide merged profile.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Region name → aggregated stats over all ranks.
+    pub regions: HashMap<String, RegionStats>,
+    /// Sum of per-rank profiled spans (the denominator for percentages).
+    pub total_span_s: f64,
+}
+
+impl ProfileReport {
+    /// Fraction of total profiled time spent in `name` (0 if absent).
+    pub fn fraction(&self, name: &str) -> f64 {
+        if self.total_span_s <= 0.0 {
+            return 0.0;
+        }
+        self.regions.get(name).map_or(0.0, |s| s.total_s / self.total_span_s)
+    }
+
+    /// Rows `(name, calls, total_s, fraction)` sorted by time, largest
+    /// first.
+    pub fn rows(&self) -> Vec<(String, u64, f64, f64)> {
+        let mut rows: Vec<_> = self
+            .regions
+            .iter()
+            .map(|(n, s)| (n.clone(), s.calls, s.total_s, self.fraction(n)))
+            .collect();
+        rows.sort_by(|a, b| b.2.total_cmp(&a.2));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_clock::{LocalClock, TimeSource};
+    use hcs_mpi::ReduceOp;
+    use hcs_sim::machines::testbed;
+
+    #[test]
+    fn regions_accumulate_time_and_calls() {
+        let cluster = testbed(1, 2).cluster(1);
+        cluster.run(|ctx| {
+            let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut prof = Profiler::new();
+            for _ in 0..3 {
+                prof.enter("compute", &mut clk, ctx);
+                ctx.compute(1e-3);
+                prof.leave("compute", &mut clk, ctx);
+            }
+            let s = prof.region("compute");
+            assert_eq!(s.calls, 3);
+            assert!((s.total_s - 3e-3).abs() < 1e-4, "total {}", s.total_s);
+            assert!(prof.span_s() >= 3e-3);
+        });
+    }
+
+    #[test]
+    fn nested_regions_are_inclusive() {
+        let cluster = testbed(1, 1).cluster(2);
+        cluster.run(|ctx| {
+            let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut prof = Profiler::new();
+            prof.enter("outer", &mut clk, ctx);
+            prof.enter("inner", &mut clk, ctx);
+            ctx.compute(2e-3);
+            prof.leave("inner", &mut clk, ctx);
+            ctx.compute(1e-3);
+            prof.leave("outer", &mut clk, ctx);
+            assert!(prof.region("outer").total_s >= 2.9e-3);
+            assert!((prof.region("inner").total_s - 2e-3).abs() < 1e-4);
+        });
+    }
+
+    #[test]
+    fn gather_merges_across_ranks() {
+        let cluster = testbed(2, 2).cluster(3);
+        let reports = cluster.run(|ctx| {
+            let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut prof = Profiler::new();
+            prof.enter("mpi_allreduce", &mut clk, ctx);
+            let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
+            prof.leave("mpi_allreduce", &mut clk, ctx);
+            prof.gather(ctx, &mut comm)
+        });
+        let r = reports[0].as_ref().unwrap();
+        assert_eq!(r.regions["mpi_allreduce"].calls, 4, "one call per rank");
+        assert!(r.fraction("mpi_allreduce") > 0.5, "only region should dominate");
+    }
+
+    #[test]
+    #[should_panic(expected = "nesting violated")]
+    fn mismatched_leave_panics() {
+        let cluster = testbed(1, 1).cluster(4);
+        cluster.run(|ctx| {
+            let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut prof = Profiler::new();
+            prof.enter("a", &mut clk, ctx);
+            prof.leave("b", &mut clk, ctx);
+        });
+    }
+}

@@ -1,0 +1,393 @@
+//! Process-coordination schemes for measuring MPI collectives.
+//!
+//! Three ways to decide *when* each repetition starts:
+//!
+//! 1. **Barrier-based** ([`run_barrier_scheme`]) — `MPI_Barrier` before
+//!    every repetition (OSU / Intel MPI Benchmarks). Cheap, but the
+//!    barrier's own exit imbalance leaks into the measurement when the
+//!    operation under test is of comparable latency.
+//! 2. **Window-based** ([`run_window_scheme`]) — processes agree on a
+//!    grid of start times `t_sync + i·w` on a logical global clock
+//!    (SKaMPI / NBCBench). Needs a good window-size estimate; a single
+//!    outlier invalidates *all* subsequent windows it overlaps.
+//! 3. **Round-Time** ([`run_round_time`]) — the paper's Algorithm 5:
+//!    the reference broadcasts the *next* start time before every
+//!    repetition and a fixed time slice bounds the total effort; an
+//!    `MPI_Allreduce` of `invalid`/`out_of_time` flags after each round
+//!    keeps everyone consistent and makes single outliers cost exactly
+//!    one repetition.
+
+use hcs_clock::{busy_wait_until, Clock};
+use hcs_mpi::{BarrierAlgorithm, Comm, ReduceOp};
+use hcs_sim::RankCtx;
+
+/// The operation under test, e.g. one `MPI_Allreduce` call.
+pub type OpUnderTest<'a> = &'a mut dyn FnMut(&mut RankCtx, &mut Comm);
+
+/// One measured repetition, in the clock units of the coordinating
+/// scheme (local clock for barrier-based, global clock otherwise).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepSample {
+    /// When this rank started the operation (for the window and
+    /// Round-Time schemes this is the *common* start time).
+    pub start: f64,
+    /// When the operation returned on this rank.
+    pub end: f64,
+}
+
+impl RepSample {
+    /// This rank's local view of the operation latency.
+    pub fn latency(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Barrier-based measurement: `nreps` repetitions, each preceded by an
+/// `MPI_Barrier` with the given algorithm. Returns this rank's local
+/// samples (timed with `clk`).
+pub fn run_barrier_scheme(
+    ctx: &mut RankCtx,
+    comm: &mut Comm,
+    clk: &mut dyn Clock,
+    barrier_alg: BarrierAlgorithm,
+    nreps: usize,
+    op: OpUnderTest,
+) -> Vec<RepSample> {
+    let mut out = Vec::with_capacity(nreps);
+    for _ in 0..nreps {
+        comm.barrier(ctx, barrier_alg);
+        let start = clk.get_time(ctx);
+        op(ctx, comm);
+        let end = clk.get_time(ctx);
+        out.push(RepSample { start, end });
+    }
+    out
+}
+
+/// Configuration of the window-based scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowConfig {
+    /// Window size, seconds — must exceed the operation latency or most
+    /// windows invalidate.
+    pub window_s: f64,
+    /// Number of windows (= attempted repetitions).
+    pub nreps: usize,
+    /// Slack between "now" and the first window start, seconds.
+    pub first_window_slack_s: f64,
+}
+
+/// Result of the window scheme on this rank.
+#[derive(Debug, Clone)]
+pub struct WindowOutcome {
+    /// One sample per window (including invalid ones).
+    pub samples: Vec<RepSample>,
+    /// Whether *this rank* hit each window start in time. A repetition
+    /// is globally valid only if every rank was on time — decided
+    /// post-hoc (here via an allreduce so each rank knows).
+    pub valid: Vec<bool>,
+}
+
+/// Window-based measurement over a logical global clock.
+pub fn run_window_scheme(
+    ctx: &mut RankCtx,
+    comm: &mut Comm,
+    g_clk: &mut dyn Clock,
+    cfg: WindowConfig,
+    op: OpUnderTest,
+) -> WindowOutcome {
+    // Agree on the window grid: the root broadcasts the base time.
+    let now = g_clk.get_time(ctx);
+    let base = comm.bcast_f64(ctx, 0, now + cfg.first_window_slack_s);
+    let mut samples = Vec::with_capacity(cfg.nreps);
+    let mut on_time = Vec::with_capacity(cfg.nreps);
+    for i in 0..cfg.nreps {
+        let start = base + i as f64 * cfg.window_s;
+        let before = g_clk.get_time(ctx);
+        let late = before > start;
+        busy_wait_until(g_clk, ctx, start);
+        op(ctx, comm);
+        let end = g_clk.get_time(ctx);
+        samples.push(RepSample { start, end });
+        on_time.push(!late);
+    }
+    // Validity is global: all ranks must have been on time.
+    let mut valid = Vec::with_capacity(cfg.nreps);
+    for &mine in &on_time {
+        let ok = comm.allreduce_f64(ctx, if mine { 0.0 } else { 1.0 }, ReduceOp::F64LOr);
+        valid.push(ok == 0.0);
+    }
+    WindowOutcome { samples, valid }
+}
+
+/// Configuration of the Round-Time scheme (paper Algorithm 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundTimeConfig {
+    /// The time slice allotted to this measurement, seconds (the paper
+    /// uses 5 s per message size on Titan).
+    pub max_time_slice_s: f64,
+    /// Upper bound on valid repetitions (`max_nrep`).
+    pub max_nrep: usize,
+    /// Slack factor `B ≥ 1` applied to the broadcast latency estimate
+    /// when picking the next start time.
+    pub slack_b: f64,
+    /// Estimated latency of `MPI_Bcast` (from
+    /// [`estimate_bcast_latency`]).
+    pub bcast_latency_s: f64,
+}
+
+impl Default for RoundTimeConfig {
+    fn default() -> Self {
+        Self { max_time_slice_s: 1.0, max_nrep: 1000, slack_b: 3.0, bcast_latency_s: 50e-6 }
+    }
+}
+
+/// Round-Time measurement (Algorithm 5). Returns this rank's *valid*
+/// samples; all ranks return equally many (validity is agreed on by the
+/// per-round allreduce).
+pub fn run_round_time(
+    ctx: &mut RankCtx,
+    comm: &mut Comm,
+    g_clk: &mut dyn Clock,
+    cfg: RoundTimeConfig,
+    op: OpUnderTest,
+) -> Vec<RepSample> {
+    // Initial alignment: processes may reach this point at very
+    // different times (the tree synchronization finishes leaves early).
+    // ReproMPI separates phases with a barrier; here the global clock
+    // itself provides the rendezvous — everyone waits for a first common
+    // instant, which also anchors the time-slice accounting.
+    let proposal = g_clk.get_time(ctx) + cfg.slack_b.max(2.0) * cfg.bcast_latency_s;
+    let first = comm.bcast_f64(ctx, 0, proposal);
+    busy_wait_until(g_clk, ctx, first);
+    let t_start = g_clk.get_time(ctx);
+    let mut nrep = 0usize;
+    let mut out = Vec::new();
+    loop {
+        // The reference picks and broadcasts the next start time.
+        let proposal = g_clk.get_time(ctx) + cfg.slack_b * cfg.bcast_latency_s;
+        let start_time = comm.bcast_f64(ctx, 0, proposal);
+
+        // Late processes invalidate this round.
+        let mut invalid = g_clk.get_time(ctx) >= start_time;
+        if !invalid {
+            busy_wait_until(g_clk, ctx, start_time);
+        }
+        let t0 = g_clk.get_time(ctx);
+        op(ctx, comm);
+        let t1 = g_clk.get_time(ctx);
+
+        let out_of_time = t1 - t_start >= cfg.max_time_slice_s;
+        // Single allreduce combining both flags (the paper's line 21).
+        let mut flags = Vec::with_capacity(16);
+        flags.extend_from_slice(&(if invalid { 1.0f64 } else { 0.0 }).to_le_bytes());
+        flags.extend_from_slice(&(if out_of_time { 1.0f64 } else { 0.0 }).to_le_bytes());
+        let combined = comm.allreduce(ctx, &flags, ReduceOp::F64LOr);
+        invalid = f64::from_le_bytes(combined[0..8].try_into().unwrap()) != 0.0;
+        let out_of_time = f64::from_le_bytes(combined[8..16].try_into().unwrap()) != 0.0;
+
+        if !invalid {
+            out.push(RepSample { start: t0.max(start_time), end: t1 });
+            nrep += 1;
+        }
+        if out_of_time || nrep == cfg.max_nrep {
+            break;
+        }
+    }
+    out
+}
+
+/// Estimates the one-shot propagation latency of `MPI_Bcast` on this
+/// communicator: the root broadcasts its clock reading; every rank
+/// computes `its reading at receipt − root's reading at send` and the
+/// maximum over ranks is averaged over `nreps` repetitions.
+///
+/// The differencing happens *across ranks*, so `g_clk` must be a
+/// synchronized logical global clock (which the Round-Time scheme — the
+/// consumer of this estimate — has anyway).
+pub fn estimate_bcast_latency(
+    ctx: &mut RankCtx,
+    comm: &mut Comm,
+    g_clk: &mut dyn Clock,
+    nreps: usize,
+) -> f64 {
+    assert!(nreps > 0);
+    let mut total = 0.0;
+    for _ in 0..nreps {
+        comm.barrier(ctx, BarrierAlgorithm::Tree);
+        let sent = if comm.rank() == 0 { g_clk.get_time(ctx) } else { 0.0 };
+        let t_send = comm.bcast_f64(ctx, 0, sent);
+        let lat = (g_clk.get_time(ctx) - t_send).max(0.0);
+        total += comm.allreduce_f64(ctx, lat, ReduceOp::F64Max);
+    }
+    total / nreps as f64
+}
+
+/// Estimates the latency of an `msize`-byte `MPI_Allreduce` (mean of
+/// `nreps` barrier-separated calls, reduced to the max over ranks).
+pub fn estimate_allreduce_latency(
+    ctx: &mut RankCtx,
+    comm: &mut Comm,
+    clk: &mut dyn Clock,
+    msize: usize,
+    nreps: usize,
+) -> f64 {
+    assert!(nreps > 0);
+    let payload = vec![0u8; msize];
+    let mut total = 0.0;
+    for _ in 0..nreps {
+        comm.barrier(ctx, BarrierAlgorithm::Tree);
+        let t0 = clk.get_time(ctx);
+        let _ = comm.allreduce(ctx, &payload, ReduceOp::ByteMax);
+        total += clk.get_time(ctx) - t0;
+    }
+    comm.allreduce_f64(ctx, total / nreps as f64, ReduceOp::F64Max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_clock::{LocalClock, TimeSource};
+    use hcs_core::{ClockSync, Hca3};
+    use hcs_sim::machines::testbed;
+
+    fn allreduce_op(msize: usize) -> impl FnMut(&mut RankCtx, &mut Comm) {
+        move |ctx, comm| {
+            let payload = vec![0u8; msize];
+            let _ = comm.allreduce(ctx, &payload, ReduceOp::ByteMax);
+        }
+    }
+
+    #[test]
+    fn barrier_scheme_returns_positive_latencies() {
+        let cluster = testbed(2, 2).cluster(1);
+        let res = cluster.run(|ctx| {
+            let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut op = allreduce_op(8);
+            run_barrier_scheme(ctx, &mut comm, &mut clk, BarrierAlgorithm::Tree, 10, &mut op)
+        });
+        for samples in res {
+            assert_eq!(samples.len(), 10);
+            for s in samples {
+                assert!(s.latency() > 0.0);
+                assert!(s.latency() < 1e-3, "latency {:.3e}", s.latency());
+            }
+        }
+    }
+
+    #[test]
+    fn round_time_produces_agreed_sample_counts() {
+        let cluster = testbed(2, 2).cluster(2);
+        let res = cluster.run(|ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut sync = Hca3::skampi(20, 5);
+            let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+            let cfg = RoundTimeConfig { max_time_slice_s: 0.02, max_nrep: 50, ..Default::default() };
+            let mut op = allreduce_op(8);
+            run_round_time(ctx, &mut comm, g.as_mut(), cfg, &mut op).len()
+        });
+        assert!(res.iter().all(|&n| n == res[0]), "{res:?}");
+        assert!(res[0] > 0, "no valid repetitions");
+    }
+
+    #[test]
+    fn round_time_respects_time_slice() {
+        let cluster = testbed(2, 1).cluster(3);
+        let res = cluster.run(|ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut sync = Hca3::skampi(20, 5);
+            let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+            let before = ctx.now();
+            let cfg = RoundTimeConfig {
+                max_time_slice_s: 0.05,
+                max_nrep: usize::MAX,
+                ..Default::default()
+            };
+            let mut op = allreduce_op(8);
+            let n = run_round_time(ctx, &mut comm, g.as_mut(), cfg, &mut op).len();
+            (n, ctx.now() - before)
+        });
+        for &(n, dur) in &res {
+            assert!(n > 10, "expected many reps, got {n}");
+            // Bounded by the slice plus one round.
+            assert!(dur < 0.08, "duration {dur}");
+        }
+    }
+
+    #[test]
+    fn round_time_caps_at_max_nrep() {
+        let cluster = testbed(2, 1).cluster(4);
+        let res = cluster.run(|ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut sync = Hca3::skampi(20, 5);
+            let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+            let cfg =
+                RoundTimeConfig { max_time_slice_s: 10.0, max_nrep: 7, ..Default::default() };
+            let mut op = allreduce_op(8);
+            run_round_time(ctx, &mut comm, g.as_mut(), cfg, &mut op).len()
+        });
+        assert!(res.iter().all(|&n| n == 7), "{res:?}");
+    }
+
+    #[test]
+    fn window_scheme_validates_windows() {
+        let cluster = testbed(2, 2).cluster(5);
+        let res = cluster.run(|ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut sync = Hca3::skampi(20, 5);
+            let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+            // Generous window: everything should validate.
+            let cfg = WindowConfig { window_s: 500e-6, nreps: 20, first_window_slack_s: 1e-3 };
+            let mut op = allreduce_op(8);
+            run_window_scheme(ctx, &mut comm, g.as_mut(), cfg, &mut op)
+        });
+        let valid = res[0].valid.iter().filter(|&&v| v).count();
+        assert!(valid >= 18, "valid {valid}/20");
+        // All ranks agree on validity.
+        for r in &res[1..] {
+            assert_eq!(r.valid, res[0].valid);
+        }
+    }
+
+    #[test]
+    fn too_small_windows_invalidate_in_cascades() {
+        let cluster = testbed(2, 2).cluster(6);
+        let res = cluster.run(|ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut sync = Hca3::skampi(20, 5);
+            let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+            // Window much smaller than the op latency: once a rank
+            // overruns, subsequent windows invalidate.
+            let cfg = WindowConfig { window_s: 3e-6, nreps: 20, first_window_slack_s: 1e-3 };
+            let mut op = allreduce_op(64);
+            run_window_scheme(ctx, &mut comm, g.as_mut(), cfg, &mut op)
+        });
+        let valid = res[0].valid.iter().filter(|&&v| v).count();
+        assert!(valid <= 3, "tiny windows should mostly invalidate, got {valid} valid");
+    }
+
+    #[test]
+    fn latency_estimates_are_plausible() {
+        let cluster = testbed(4, 1).cluster(7);
+        let res = cluster.run(|ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut sync = Hca3::skampi(20, 5);
+            let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+            let b = estimate_bcast_latency(ctx, &mut comm, g.as_mut(), 10);
+            let a = estimate_allreduce_latency(ctx, &mut comm, g.as_mut(), 8, 10);
+            (b, a)
+        });
+        for &(b, a) in &res {
+            // Inter-node base is 3.3 us; bcast over 4 ranks = 2 hops.
+            assert!(b > 1e-6 && b < 100e-6, "bcast {b:.3e}");
+            assert!(a > 3e-6 && a < 200e-6, "allreduce {a:.3e}");
+            assert_eq!(res[0].0, b, "all ranks share the root's estimate");
+        }
+    }
+}

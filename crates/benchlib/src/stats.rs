@@ -1,0 +1,191 @@
+//! Summary statistics for latency samples.
+
+/// Summary of a sample set (all values in the sample's unit, typically
+/// seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (lower-middle for even n).
+    pub median: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation (0 for n < 2).
+    pub sd: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `xs`.
+    ///
+    /// # Panics
+    /// Panics on an empty slice or non-finite values.
+    pub fn of(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "summary of empty sample set");
+        assert!(xs.iter().all(|x| x.is_finite()), "non-finite sample");
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[(n - 1) / 2];
+        let min = sorted[0];
+        let max = sorted[n - 1];
+        let sd = if n < 2 {
+            0.0
+        } else {
+            (xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64).sqrt()
+        };
+        Self { n, mean, median, min, max, sd }
+    }
+
+    /// Percentile in `[0, 100]` by nearest-rank.
+    pub fn percentile(xs: &[f64], p: f64) -> f64 {
+        assert!(!xs.is_empty(), "percentile of empty sample set");
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx]
+    }
+}
+
+/// A fixed-bin histogram (for imbalance/latency distributions like the
+/// paper's Fig. 8 box plots).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+    /// Samples below `lo` / above `hi`.
+    outliers: (usize, usize),
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics on an empty range or zero bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram needs hi > lo");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Self { lo, hi, counts: vec![0; bins], outliers: (0, 0) }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.outliers.0 += 1;
+        } else if x >= self.hi {
+            self.outliers.1 += 1;
+        } else {
+            let nbins = self.counts.len();
+            let bin = ((x - self.lo) / (self.hi - self.lo) * nbins as f64) as usize;
+            self.counts[bin.min(nbins - 1)] += 1;
+        }
+    }
+
+    /// Adds every sample of a slice.
+    pub fn add_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// `(below-range, above-range)` sample counts.
+    pub fn outliers(&self) -> (usize, usize) {
+        self.outliers
+    }
+
+    /// Renders the histogram as fixed-width text rows
+    /// `lo..hi | ####### count`, scaled to `width` characters.
+    pub fn render(&self, width: usize, unit_scale: f64, unit: &str) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let bin_w = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let lo = (self.lo + i as f64 * bin_w) * unit_scale;
+            let hi = (self.lo + (i + 1) as f64 * bin_w) * unit_scale;
+            let bar = "#".repeat(c * width / max);
+            out.push_str(&format!("{lo:>8.1}..{hi:<8.1}{unit} |{bar:<width$}| {c}\n"));
+        }
+        if self.outliers.1 > 0 {
+            out.push_str(&format!("{:>8} above range: {}\n", "", self.outliers.1));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.sd - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::of(&[7.5]);
+        assert_eq!(s.median, 7.5);
+        assert_eq!(s.sd, 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        assert_eq!(Summary::percentile(&xs, 0.0), 0.0);
+        assert_eq!(Summary::percentile(&xs, 50.0), 50.0);
+        assert_eq!(Summary::percentile(&xs, 100.0), 100.0);
+        assert_eq!(Summary::percentile(&xs, 95.0), 95.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add_all(&[0.5, 1.0, 2.5, 9.99, -1.0, 10.0, 55.0]);
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.outliers(), (1, 2));
+    }
+
+    #[test]
+    fn histogram_renders_rows() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.add_all(&[0.1, 0.2, 1.5]);
+        let txt = h.render(10, 1.0, "s");
+        assert_eq!(txt.lines().count(), 2);
+        assert!(txt.contains("##"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_panics() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,233 @@
+//! Emulations of how the common benchmark suites turn raw samples into
+//! a reported `MPI_Allreduce` latency (the comparison of Figs. 7 & 9).
+//!
+//! | Suite            | Coordination | Aggregation                          |
+//! |------------------|--------------|--------------------------------------|
+//! | OSU              | barrier      | mean over reps, then mean over ranks |
+//! | Intel MPI (IMB)  | barrier      | mean over reps, then max over ranks  |
+//! | ReproMPI         | Round-Time   | median of per-rep *global* latencies |
+//!
+//! The two barrier-based suites measure with each rank's local clock;
+//! ReproMPI uses the logical global clock, so a repetition's latency is
+//! `max(end over ranks) − common start` — immune to barrier-exit
+//! imbalance by construction.
+
+use hcs_clock::Clock;
+use hcs_mpi::{BarrierAlgorithm, Comm, ReduceOp};
+use hcs_sim::RankCtx;
+
+use crate::schemes::{
+    estimate_bcast_latency, run_barrier_scheme, run_round_time, RoundTimeConfig,
+};
+use crate::stats::Summary;
+
+/// Which benchmark suite's methodology to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// OSU Micro-Benchmarks style.
+    Osu,
+    /// Intel MPI Benchmarks style.
+    Imb,
+    /// ReproMPI with the Round-Time scheme.
+    ReproMpi,
+    /// SKaMPI style: window-based on the global clock, with the window
+    /// auto-sized from a pilot latency estimate (the scheme whose two
+    /// weaknesses — window sizing and outlier cascades — the paper's
+    /// Round-Time fixes).
+    Skampi,
+}
+
+impl Suite {
+    /// Display label (Fig. 7 x-axis).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Suite::Osu => "OSU",
+            Suite::Imb => "IMB",
+            Suite::ReproMpi => "ReproMPI",
+            Suite::Skampi => "SKaMPI",
+        }
+    }
+}
+
+/// Common measurement configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteConfig {
+    /// Repetitions (barrier-based) or `max_nrep` (Round-Time).
+    pub nreps: usize,
+    /// `MPI_Barrier` algorithm used by the barrier-based suites.
+    pub barrier: BarrierAlgorithm,
+    /// Round-Time time slice, seconds.
+    pub time_slice_s: f64,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        Self { nreps: 200, barrier: BarrierAlgorithm::Bruck, time_slice_s: 0.5 }
+    }
+}
+
+/// The reported latency, available on the root (comm rank 0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteResult {
+    /// The latency the suite would print, seconds.
+    pub latency_s: f64,
+    /// Valid repetitions that entered the aggregation.
+    pub nreps: usize,
+}
+
+/// Measures an `msize`-byte `MPI_Allreduce` the way `suite` would, and
+/// returns the reported latency on the root (`None` elsewhere).
+///
+/// `g_clk` is the rank's clock: for the barrier suites any local clock
+/// works; ReproMPI requires a synchronized logical global clock.
+pub fn measure_allreduce(
+    ctx: &mut RankCtx,
+    comm: &mut Comm,
+    g_clk: &mut dyn Clock,
+    suite: Suite,
+    msize: usize,
+    cfg: SuiteConfig,
+) -> Option<SuiteResult> {
+    let payload = vec![0u8; msize];
+    let mut op = |ctx: &mut RankCtx, comm: &mut Comm| {
+        let _ = comm.allreduce(ctx, &payload, ReduceOp::ByteMax);
+    };
+    match suite {
+        Suite::Osu | Suite::Imb => {
+            let samples =
+                run_barrier_scheme(ctx, comm, g_clk, cfg.barrier, cfg.nreps, &mut op);
+            let local_mean =
+                samples.iter().map(|s| s.latency()).sum::<f64>() / samples.len() as f64;
+            let agg = match suite {
+                Suite::Osu => {
+                    comm.allreduce_f64(ctx, local_mean, ReduceOp::F64Sum) / comm.size() as f64
+                }
+                _ => comm.allreduce_f64(ctx, local_mean, ReduceOp::F64Max),
+            };
+            (comm.rank() == 0).then_some(SuiteResult { latency_s: agg, nreps: samples.len() })
+        }
+        Suite::Skampi => {
+            // Pilot estimate sizes the window (SKaMPI's auto-sizing);
+            // the factor leaves room for jitter without wasting slots.
+            let pilot = crate::schemes::estimate_allreduce_latency(ctx, comm, g_clk, msize, 5);
+            let cfg = crate::schemes::WindowConfig {
+                window_s: pilot * 4.0,
+                nreps: cfg.nreps,
+                first_window_slack_s: 20.0 * pilot,
+            };
+            let outcome = crate::schemes::run_window_scheme(ctx, comm, g_clk, cfg, &mut op);
+            // Global latency of the valid windows.
+            let mut globals = Vec::new();
+            for (s, &valid) in outcome.samples.iter().zip(&outcome.valid) {
+                let max_end = comm.allreduce_f64(ctx, s.end, ReduceOp::F64Max);
+                if valid {
+                    globals.push(max_end - s.start);
+                }
+            }
+            (comm.rank() == 0).then(|| SuiteResult {
+                latency_s: if globals.is_empty() {
+                    f64::NAN
+                } else {
+                    globals.iter().sum::<f64>() / globals.len() as f64
+                },
+                nreps: globals.len(),
+            })
+        }
+        Suite::ReproMpi => {
+            let bcast_lat = estimate_bcast_latency(ctx, comm, g_clk, 10);
+            let rt = RoundTimeConfig {
+                max_time_slice_s: cfg.time_slice_s,
+                max_nrep: cfg.nreps,
+                slack_b: 3.0,
+                bcast_latency_s: bcast_lat,
+            };
+            let samples = run_round_time(ctx, comm, g_clk, rt, &mut op);
+            // Global per-rep latency: the slowest rank's end minus the
+            // common start (all on the global clock).
+            let mut globals = Vec::with_capacity(samples.len());
+            for s in &samples {
+                let max_end = comm.allreduce_f64(ctx, s.end, ReduceOp::F64Max);
+                globals.push(max_end - s.start);
+            }
+            (comm.rank() == 0).then(|| SuiteResult {
+                latency_s: if globals.is_empty() { f64::NAN } else { Summary::of(&globals).median },
+                nreps: globals.len(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_clock::{LocalClock, TimeSource};
+    use hcs_core::{ClockSync, Hca3};
+    use hcs_sim::machines::testbed;
+
+    fn run_suite(suite: Suite, barrier: BarrierAlgorithm, seed: u64) -> SuiteResult {
+        let cluster = testbed(4, 2).cluster(seed);
+        let results = cluster.run(|ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut sync = Hca3::skampi(20, 5);
+            let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+            let cfg = SuiteConfig { nreps: 50, barrier, time_slice_s: 0.05 };
+            measure_allreduce(ctx, &mut comm, g.as_mut(), suite, 8, cfg)
+        });
+        results[0].expect("root reports")
+    }
+
+    #[test]
+    fn skampi_window_suite_reports_and_validates() {
+        let r = run_suite(Suite::Skampi, BarrierAlgorithm::Tree, 9);
+        assert!(r.latency_s > 3e-6 && r.latency_s < 300e-6, "{:.3e}", r.latency_s);
+        // Auto-sized windows should validate the bulk of the repetitions.
+        assert!(r.nreps >= 35, "only {} valid windows", r.nreps);
+    }
+
+    #[test]
+    fn all_suites_report_plausible_latencies() {
+        for suite in [Suite::Osu, Suite::Imb, Suite::ReproMpi, Suite::Skampi] {
+            let r = run_suite(suite, BarrierAlgorithm::Tree, 1);
+            assert!(
+                r.latency_s > 3e-6 && r.latency_s < 300e-6,
+                "{suite:?}: {:.3e}",
+                r.latency_s
+            );
+            assert!(r.nreps > 10);
+        }
+    }
+
+    #[test]
+    fn barrier_choice_shifts_barrier_based_suites() {
+        // The paper's Fig. 7 finding: the measured latency of the same
+        // operation depends on the barrier algorithm for OSU/IMB.
+        let tree = run_suite(Suite::Osu, BarrierAlgorithm::Tree, 2).latency_s;
+        let ring = run_suite(Suite::Osu, BarrierAlgorithm::DoubleRing, 2).latency_s;
+        assert!(
+            (ring - tree).abs() / tree > 0.1,
+            "expected >10% shift: tree {tree:.3e} vs double-ring {ring:.3e}"
+        );
+    }
+
+    #[test]
+    fn non_root_ranks_get_none() {
+        let cluster = testbed(2, 1).cluster(3);
+        let results = cluster.run(|ctx| {
+            let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let cfg = SuiteConfig { nreps: 5, ..Default::default() };
+            measure_allreduce(ctx, &mut comm, &mut clk, Suite::Osu, 8, cfg)
+        });
+        assert!(results[0].is_some());
+        assert!(results[1].is_none());
+    }
+
+    #[test]
+    fn suite_labels() {
+        assert_eq!(Suite::Osu.label(), "OSU");
+        assert_eq!(Suite::Imb.label(), "IMB");
+        assert_eq!(Suite::ReproMpi.label(), "ReproMPI");
+        assert_eq!(Suite::Skampi.label(), "SKaMPI");
+    }
+}

@@ -1,0 +1,148 @@
+//! A minimal MPI tracing layer (for the paper's Fig. 10 case study).
+//!
+//! Each rank records `(iteration, enter, exit)` events for the traced
+//! operation using a caller-supplied clock — a local time source
+//! reproduces the distorted Gantt charts of Fig. 10 (right column), a
+//! synchronized global clock the coherent ones (left column).
+
+use hcs_mpi::Comm;
+use hcs_sim::{RankCtx, Tag};
+
+/// One traced operation instance on one rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Iteration (or sequence) number.
+    pub iter: u32,
+    /// Clock reading at operation entry.
+    pub enter: f64,
+    /// Clock reading at operation exit.
+    pub exit: f64,
+}
+
+impl TraceEvent {
+    /// Duration of the traced operation.
+    pub fn duration(&self) -> f64 {
+        self.exit - self.enter
+    }
+}
+
+/// Per-rank event recorder.
+#[derive(Debug, Default, Clone)]
+pub struct Tracer {
+    events: Vec<TraceEvent>,
+}
+
+const TAG_TRACE: Tag = 0x01A0;
+
+impl Tracer {
+    /// A fresh, empty tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event.
+    pub fn record(&mut self, iter: u32, enter: f64, exit: f64) {
+        self.events.push(TraceEvent { iter, enter, exit });
+    }
+
+    /// This rank's events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Gathers all ranks' events at the root (post-mortem, like real
+    /// tracing tools). Returns `Some(per_rank_events)` on comm rank 0.
+    pub fn gather(&self, ctx: &mut RankCtx, comm: &mut Comm) -> Option<Vec<Vec<TraceEvent>>> {
+        let mut buf = Vec::with_capacity(self.events.len() * 20);
+        for e in &self.events {
+            buf.extend_from_slice(&e.iter.to_le_bytes());
+            buf.extend_from_slice(&e.enter.to_le_bytes());
+            buf.extend_from_slice(&e.exit.to_le_bytes());
+        }
+        let _ = TAG_TRACE; // tag reserved for streaming extensions
+        let gathered = comm.gather(ctx, 0, &buf)?;
+        Some(
+            gathered
+                .into_iter()
+                .map(|raw| {
+                    raw.chunks_exact(20)
+                        .map(|c| TraceEvent {
+                            iter: u32::from_le_bytes(c[0..4].try_into().unwrap()),
+                            enter: f64::from_le_bytes(c[4..12].try_into().unwrap()),
+                            exit: f64::from_le_bytes(c[12..20].try_into().unwrap()),
+                        })
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+}
+
+/// A Gantt row for one rank and one iteration: `(rank, start, duration)`
+/// with `start` normalized to the earliest start among ranks (this is
+/// what Fig. 10 plots).
+pub fn gantt_rows(per_rank: &[Vec<TraceEvent>], iter: u32) -> Vec<(usize, f64, f64)> {
+    let starts: Vec<Option<&TraceEvent>> =
+        per_rank.iter().map(|evs| evs.iter().find(|e| e.iter == iter)).collect();
+    let min_start = starts
+        .iter()
+        .flatten()
+        .map(|e| e.enter)
+        .fold(f64::INFINITY, f64::min);
+    starts
+        .iter()
+        .enumerate()
+        .filter_map(|(rank, ev)| ev.map(|e| (rank, e.enter - min_start, e.duration())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_sim::machines::testbed;
+
+    #[test]
+    fn record_and_gather_roundtrip() {
+        let cluster = testbed(2, 2).cluster(1);
+        let res = cluster.run(|ctx| {
+            let mut comm = Comm::world(ctx);
+            let mut tr = Tracer::new();
+            let base = comm.rank() as f64;
+            tr.record(0, base, base + 0.5);
+            tr.record(1, base + 1.0, base + 1.25);
+            tr.gather(ctx, &mut comm)
+        });
+        let all = res[0].as_ref().unwrap();
+        assert_eq!(all.len(), 4);
+        for (rank, evs) in all.iter().enumerate() {
+            assert_eq!(evs.len(), 2);
+            assert_eq!(evs[0].iter, 0);
+            assert!((evs[0].enter - rank as f64).abs() < 1e-12);
+            assert!((evs[1].duration() - 0.25).abs() < 1e-12);
+        }
+        assert!(res[1].is_none());
+    }
+
+    #[test]
+    fn gantt_rows_normalize_to_earliest() {
+        let per_rank = vec![
+            vec![TraceEvent { iter: 3, enter: 10.0, exit: 10.5 }],
+            vec![TraceEvent { iter: 3, enter: 9.0, exit: 9.25 }],
+            vec![], // a rank without this iteration
+        ];
+        let rows = gantt_rows(&per_rank, 3);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (0, 1.0, 0.5));
+        assert_eq!(rows[1], (1, 0.0, 0.25));
+    }
+
+    #[test]
+    fn empty_tracer_gathers_empty() {
+        let cluster = testbed(1, 2).cluster(2);
+        let res = cluster.run(|ctx| {
+            let mut comm = Comm::world(ctx);
+            Tracer::new().gather(ctx, &mut comm)
+        });
+        assert!(res[0].as_ref().unwrap().iter().all(|v| v.is_empty()));
+    }
+}

@@ -1,0 +1,213 @@
+//! Synthetic workloads, chiefly the **AMG2013 proxy** used for the
+//! tracing case study (paper §V-C, Fig. 10).
+//!
+//! The paper profiles the DOE mini-app AMG2013 (inputs N=40, P=6),
+//! which spends ~80 % of its time in 8-byte `MPI_Allreduce` calls. The
+//! proxy reproduces the communication/timing structure that matters for
+//! the Gantt-chart case study: iterations of *imbalanced* local compute
+//! (a rank-dependent base plus random per-iteration noise) followed by a
+//! small allreduce — without carrying the actual algebraic multigrid
+//! solver along.
+
+use hcs_clock::Clock;
+use hcs_mpi::{Comm, ReduceOp};
+use hcs_sim::rngx::{self, label};
+use hcs_sim::RankCtx;
+use rand::Rng;
+
+use crate::trace::Tracer;
+
+/// Parameters of the AMG proxy run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmgProxyConfig {
+    /// Number of solver iterations (each ends in one allreduce).
+    pub iterations: u32,
+    /// Allreduce payload, bytes (AMG2013: 8 B).
+    pub msize: usize,
+    /// Mean local compute per iteration, seconds.
+    pub compute_mean_s: f64,
+    /// Relative rank-dependent compute imbalance (0.2 = ±20 %).
+    pub imbalance: f64,
+    /// Relative random per-iteration compute noise.
+    pub noise: f64,
+}
+
+impl Default for AmgProxyConfig {
+    fn default() -> Self {
+        Self { iterations: 20, msize: 8, compute_mean_s: 150e-6, imbalance: 0.25, noise: 0.1 }
+    }
+}
+
+/// Runs the AMG proxy, tracing every allreduce with `trace_clk` (which
+/// may be a raw local clock or a synchronized global clock — that is
+/// the whole point of Fig. 10). Returns this rank's tracer.
+pub fn amg_proxy(
+    ctx: &mut RankCtx,
+    comm: &mut Comm,
+    trace_clk: &mut dyn Clock,
+    cfg: AmgProxyConfig,
+) -> Tracer {
+    let mut tracer = Tracer::new();
+    let mut rng = rngx::stream_rng(ctx.master_seed(), label::rank_workload(ctx.rank()));
+    // Deterministic rank-dependent imbalance factor in [1-i, 1+i].
+    let spread = if comm.size() > 1 {
+        comm.rank() as f64 / (comm.size() - 1) as f64 * 2.0 - 1.0
+    } else {
+        0.0
+    };
+    let my_base = cfg.compute_mean_s * (1.0 + cfg.imbalance * spread);
+    let payload = vec![0u8; cfg.msize];
+    for iter in 0..cfg.iterations {
+        let noise = 1.0 + cfg.noise * (rng.gen::<f64>() * 2.0 - 1.0);
+        ctx.compute((my_base * noise).max(0.0));
+        let enter = trace_clk.get_time(ctx);
+        let _ = comm.allreduce(ctx, &payload, ReduceOp::ByteMax);
+        let exit = trace_clk.get_time(ctx);
+        tracer.record(iter, enter, exit);
+    }
+    tracer
+}
+
+/// Parameters of the halo-exchange (stencil) proxy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HaloProxyConfig {
+    /// Iterations.
+    pub iterations: u32,
+    /// Halo message size per neighbor, bytes.
+    pub halo_bytes: usize,
+    /// Mean local compute per iteration, seconds.
+    pub compute_mean_s: f64,
+    /// Residual allreduce every `k` iterations (0 = never).
+    pub allreduce_every: u32,
+}
+
+impl Default for HaloProxyConfig {
+    fn default() -> Self {
+        Self { iterations: 20, halo_bytes: 1024, compute_mean_s: 120e-6, allreduce_every: 4 }
+    }
+}
+
+/// A 1-D stencil proxy: each iteration exchanges halos with both ring
+/// neighbors (eager send + two receives, like `MPI_Sendrecv` pairs) and
+/// periodically runs a residual allreduce — the other common
+/// communication pattern of the DOE mini-apps the paper motivates with.
+/// Traces the halo phase per iteration with `trace_clk`.
+pub fn halo_proxy(
+    ctx: &mut RankCtx,
+    comm: &mut Comm,
+    trace_clk: &mut dyn Clock,
+    cfg: HaloProxyConfig,
+) -> Tracer {
+    let mut tracer = Tracer::new();
+    let mut rng = rngx::stream_rng(ctx.master_seed(), label::rank_workload(ctx.rank()) ^ 0xA10);
+    let p = comm.size();
+    let me = comm.rank();
+    let left = (me + p - 1) % p;
+    let right = (me + 1) % p;
+    let halo = vec![0u8; cfg.halo_bytes];
+    const TAG_L: u32 = 0x300;
+    const TAG_R: u32 = 0x301;
+    for iter in 0..cfg.iterations {
+        let noise = 1.0 + 0.15 * (rng.gen::<f64>() * 2.0 - 1.0);
+        ctx.compute(cfg.compute_mean_s * noise);
+        let enter = trace_clk.get_time(ctx);
+        if p > 1 {
+            // Exchange with both neighbors (eager sends first, so the
+            // pattern is deadlock-free like MPI_Sendrecv).
+            comm.send(ctx, right, TAG_R, &halo);
+            comm.send(ctx, left, TAG_L, &halo);
+            let _ = comm.recv(ctx, left, TAG_R);
+            let _ = comm.recv(ctx, right, TAG_L);
+        }
+        if cfg.allreduce_every > 0 && iter % cfg.allreduce_every == 0 {
+            let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
+        }
+        let exit = trace_clk.get_time(ctx);
+        tracer.record(iter, enter, exit);
+    }
+    tracer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_clock::{LocalClock, TimeSource};
+    use hcs_sim::machines::testbed;
+
+    #[test]
+    fn proxy_records_every_iteration() {
+        let cluster = testbed(2, 2).cluster(1);
+        let res = cluster.run(|ctx| {
+            let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let cfg = AmgProxyConfig { iterations: 10, ..Default::default() };
+            amg_proxy(ctx, &mut comm, &mut clk, cfg).events().len()
+        });
+        assert!(res.iter().all(|&n| n == 10));
+    }
+
+    #[test]
+    fn allreduce_dominates_wait_time_for_fast_ranks() {
+        // The slowest rank arrives last; fast ranks' allreduce time
+        // includes waiting for it, so their traced durations exceed the
+        // slow rank's.
+        let cluster = testbed(2, 2).cluster(2);
+        let res = cluster.run(|ctx| {
+            let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let cfg = AmgProxyConfig {
+                iterations: 8,
+                compute_mean_s: 300e-6,
+                imbalance: 0.5,
+                noise: 0.0,
+                ..Default::default()
+            };
+            let tr = amg_proxy(ctx, &mut comm, &mut clk, cfg);
+            tr.events().iter().map(|e| e.duration()).sum::<f64>() / tr.events().len() as f64
+        });
+        // Rank 0 (fastest compute) waits longest inside the allreduce;
+        // the last rank (slowest) waits least.
+        assert!(res[0] > res[3], "fast rank {:.3e} vs slow rank {:.3e}", res[0], res[3]);
+    }
+
+    #[test]
+    fn halo_proxy_runs_and_records() {
+        let cluster = testbed(3, 2).cluster(6);
+        let res = cluster.run(|ctx| {
+            let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let cfg = HaloProxyConfig { iterations: 12, ..Default::default() };
+            let tr = halo_proxy(ctx, &mut comm, &mut clk, cfg);
+            (tr.events().len(), ctx.counters().sent_msgs)
+        });
+        for &(n, sent) in &res {
+            assert_eq!(n, 12);
+            // 2 halo sends per iteration + allreduce traffic.
+            assert!(sent >= 24, "sent {sent}");
+        }
+    }
+
+    #[test]
+    fn halo_proxy_single_rank_degenerates_gracefully() {
+        let cluster = testbed(1, 1).cluster(7);
+        cluster.run(|ctx| {
+            let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let tr = halo_proxy(ctx, &mut comm, &mut clk, HaloProxyConfig::default());
+            assert_eq!(tr.events().len(), 20);
+        });
+    }
+
+    #[test]
+    fn proxy_is_deterministic() {
+        let run = || {
+            testbed(2, 1).cluster(5).run(|ctx| {
+                let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+                let mut comm = Comm::world(ctx);
+                let tr = amg_proxy(ctx, &mut comm, &mut clk, AmgProxyConfig::default());
+                tr.events().last().map(|e| e.exit)
+            })
+        };
+        assert_eq!(run(), run());
+    }
+}

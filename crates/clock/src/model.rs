@@ -1,0 +1,235 @@
+//! Linear clock-drift models and their algebra.
+//!
+//! A [`LinearModel`] `(slope, intercept)` predicts the *offset* of a
+//! reference clock relative to a client clock as a function of the
+//! client clock's own reading `x`:
+//!
+//! ```text
+//! offset(x) ≈ slope · x + intercept
+//! global(x) = x + offset(x) = (1 + slope) · x + intercept
+//! ```
+//!
+//! This is exactly the model HCA/HCA2/HCA3/JK learn by least-squares
+//! regression over `(timestamp, offset)` fit points ([`fit_linear_model`]),
+//! and the decorator `GlobalClockLM` applies.
+//!
+//! HCA2 additionally *merges* models along tree edges
+//! (`cm(0,3) = MERGE(cm(0,2), cm(2,3))` in the paper's Fig. 1a); that is
+//! affine composition, provided by [`LinearModel::compose`].
+
+/// A linear drift model (slope, intercept), mapping a client clock
+/// reading to the estimated offset of the reference clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearModel {
+    /// Relative frequency error of the reference w.r.t. the client.
+    pub slope: f64,
+    /// Offset at client reading 0, seconds.
+    pub intercept: f64,
+}
+
+impl LinearModel {
+    /// The identity model: client *is* the reference.
+    pub const IDENTITY: LinearModel = LinearModel { slope: 0.0, intercept: 0.0 };
+
+    /// Creates a model from slope and intercept.
+    pub fn new(slope: f64, intercept: f64) -> Self {
+        Self { slope, intercept }
+    }
+
+    /// Predicted reference−client offset at client reading `x`.
+    pub fn offset_at(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// Maps a client clock reading into the reference frame.
+    pub fn apply(&self, x: f64) -> f64 {
+        x + self.offset_at(x)
+    }
+
+    /// Inverse mapping: the client reading whose image is `g`.
+    ///
+    /// # Panics
+    /// Panics if the model is degenerate (`slope == -1`).
+    pub fn invert(&self, g: f64) -> f64 {
+        let a = 1.0 + self.slope;
+        assert!(a != 0.0, "degenerate clock model (slope == -1)");
+        (g - self.intercept) / a
+    }
+
+    /// Composition for model merging (HCA2, paper Fig. 1a):
+    ///
+    /// If `outer` maps clock B → reference and `inner` maps clock C → B,
+    /// the result maps C → reference:
+    /// `result.apply(x) == outer.apply(inner.apply(x))` for all `x`.
+    pub fn compose(outer: &LinearModel, inner: &LinearModel) -> LinearModel {
+        let ao = 1.0 + outer.slope;
+        let ai = 1.0 + inner.slope;
+        LinearModel {
+            slope: ao * ai - 1.0,
+            intercept: ao * inner.intercept + outer.intercept,
+        }
+    }
+
+    /// Re-anchors the intercept so that the model passes exactly through
+    /// the fit point `(timestamp, offset)` while keeping the slope
+    /// (the paper's `COMPUTE_AND_SET_INTERCEPT`, Algorithm 2 line 21).
+    pub fn reanchor(&mut self, timestamp: f64, offset: f64) {
+        self.intercept = self.slope * (-timestamp) + offset;
+    }
+}
+
+impl Default for LinearModel {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+/// Result of a least-squares fit: the model plus goodness-of-fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// The fitted model.
+    pub model: LinearModel,
+    /// Coefficient of determination of the fit.
+    pub r_squared: f64,
+}
+
+/// Ordinary least-squares fit of `offset ≈ slope · timestamp + intercept`
+/// (the paper's `FIT_LINEAR_MODEL`).
+///
+/// With a single point the slope is zero and the intercept is that
+/// point's offset; with zero points the identity model is returned.
+///
+/// Numerical note: timestamps can be huge (boot-time based raw clocks),
+/// so the fit is centered on the mean before computing moments.
+pub fn fit_linear_model(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "fit needs equally many x and y");
+    let n = xs.len();
+    if n == 0 {
+        return LinearFit { model: LinearModel::IDENTITY, r_squared: 1.0 };
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    if n == 1 {
+        return LinearFit { model: LinearModel::new(0.0, my), r_squared: 1.0 };
+    }
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        // All timestamps identical: fall back to a constant offset.
+        return LinearFit { model: LinearModel::new(0.0, my), r_squared: 1.0 };
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LinearFit { model: LinearModel::new(slope, intercept), r_squared }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let m = LinearModel::IDENTITY;
+        for x in [0.0, 1.0, -5.5, 1e9] {
+            assert_eq!(m.apply(x), x);
+        }
+    }
+
+    #[test]
+    fn apply_and_invert_roundtrip() {
+        let m = LinearModel::new(2.5e-6, -3.2e-4);
+        for x in [0.0, 17.25, 1e5] {
+            let g = m.apply(x);
+            assert!((m.invert(g) - x).abs() < 1e-9 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let outer = LinearModel::new(1.5e-6, 2e-3);
+        let inner = LinearModel::new(-0.7e-6, -1e-3);
+        let merged = LinearModel::compose(&outer, &inner);
+        for x in [0.0, 12.0, 9999.5] {
+            let direct = outer.apply(inner.apply(x));
+            let via = merged.apply(x);
+            assert!((direct - via).abs() < 1e-12 * (1.0 + direct.abs()), "{direct} vs {via}");
+        }
+    }
+
+    #[test]
+    fn compose_with_identity_is_noop() {
+        let m = LinearModel::new(3e-6, 0.5);
+        let right = LinearModel::compose(&m, &LinearModel::IDENTITY);
+        assert!((right.slope - m.slope).abs() < 1e-15);
+        assert!((right.intercept - m.intercept).abs() < 1e-15);
+        let composed = LinearModel::compose(&LinearModel::IDENTITY, &m);
+        assert!((composed.slope - m.slope).abs() < 1e-15);
+        assert!((composed.intercept - m.intercept).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reanchor_passes_through_point() {
+        let mut m = LinearModel::new(4e-6, 123.0);
+        m.reanchor(1000.0, 0.25);
+        assert!((m.offset_at(1000.0) - 0.25).abs() < 1e-12);
+        assert_eq!(m.slope, 4e-6);
+    }
+
+    #[test]
+    fn fit_recovers_exact_line() {
+        let xs: Vec<f64> = (0..50).map(|i| 100.0 + i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3e-6 * x - 0.125).collect();
+        let fit = fit_linear_model(&xs, &ys);
+        assert!((fit.model.slope - 3e-6).abs() < 1e-15);
+        assert!((fit.model.intercept + 0.125).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999_999);
+    }
+
+    #[test]
+    fn fit_handles_huge_offsets() {
+        // Boot-time based raw clocks: x ~ 1e4 s, y intercept large.
+        let xs: Vec<f64> = (0..100).map(|i| 5.0e4 + i as f64 * 0.01).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -2e-7 * x + 40.0).collect();
+        let fit = fit_linear_model(&xs, &ys);
+        assert!((fit.model.slope + 2e-7).abs() < 1e-12, "slope {}", fit.model.slope);
+        let mid = 5.0e4 + 0.5;
+        assert!((fit.model.offset_at(mid) - (-2e-7 * mid + 40.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_degenerate_inputs() {
+        assert_eq!(fit_linear_model(&[], &[]).model, LinearModel::IDENTITY);
+        let one = fit_linear_model(&[5.0], &[0.75]);
+        assert_eq!(one.model.slope, 0.0);
+        assert_eq!(one.model.intercept, 0.75);
+        let same_x = fit_linear_model(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(same_x.model.slope, 0.0);
+        assert!((same_x.model.intercept - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_r2_reflects_noise() {
+        let xs: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        // Deterministic pseudo-noise strong enough to hurt R^2.
+        let ys: Vec<f64> =
+            xs.iter().map(|&x| 1e-6 * x + 1e-4 * ((x * 12.9898).sin() * 43758.5453).fract()).collect();
+        let fit = fit_linear_model(&xs, &ys);
+        assert!(fit.r_squared < 0.9, "r2 {}", fit.r_squared);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn invert_degenerate_panics() {
+        let _ = LinearModel::new(-1.0, 0.0).invert(5.0);
+    }
+}

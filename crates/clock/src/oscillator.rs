@@ -1,0 +1,192 @@
+//! Physical oscillator model of a compute node's time source.
+//!
+//! A node's clock frequency error is modeled as
+//!
+//! ```text
+//! d(t) = skew + a1·sin(2π t / p1 + φ1) + a2·sin(2π t / p2 + φ2)
+//! ```
+//!
+//! (all terms dimensionless frequency fractions, e.g. `1e-6` = 1 ppm).
+//! The *displacement* of the clock relative to true time is the integral
+//! of `d(t)`, which is analytic, so clock readings are O(1) to compute.
+//!
+//! This matches the paper's empirical findings (Fig. 2 and §III-C2 /
+//! Doleschal et al.): over a 10 s window drift is almost perfectly linear
+//! (R² > 0.9), while over 500 s the wander terms curve it visibly.
+
+use hcs_sim::rngx::{self, label};
+use hcs_sim::{ClockSpec, SimTime};
+use rand::Rng;
+
+use std::f64::consts::TAU;
+
+/// Deterministic per-node frequency-error model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Oscillator {
+    /// Constant frequency error (fraction, 1e-6 = 1 ppm).
+    pub skew: f64,
+    /// Primary wander amplitude (fraction).
+    pub a1: f64,
+    /// Primary wander period, s.
+    pub p1: f64,
+    /// Primary wander phase, rad.
+    pub phi1: f64,
+    /// Secondary wander amplitude (fraction).
+    pub a2: f64,
+    /// Secondary wander period, s.
+    pub p2: f64,
+    /// Secondary wander phase, rad.
+    pub phi2: f64,
+}
+
+impl Oscillator {
+    /// A perfect oscillator (zero error).
+    pub fn perfect() -> Self {
+        Self { skew: 0.0, a1: 0.0, p1: 1.0, phi1: 0.0, a2: 0.0, p2: 1.0, phi2: 0.0 }
+    }
+
+    /// An oscillator with constant skew only (fraction, not ppm).
+    pub fn with_skew(skew: f64) -> Self {
+        Self { skew, ..Self::perfect() }
+    }
+
+    /// Derives the oscillator of `node` from the machine's [`ClockSpec`]
+    /// and the run's master seed. All ranks of a node share this
+    /// oscillator — that is precisely the property `ClockPropSync`
+    /// exploits.
+    pub fn for_node(spec: &ClockSpec, master_seed: u64, node: usize) -> Self {
+        let mut rng = rngx::stream_rng(master_seed, label::node_oscillator(node));
+        let ppm = 1e-6;
+        let skew = rngx::normal_with(&mut rng, 0.0, spec.skew_sd_ppm * ppm);
+        let a1 = spec.wander_amp_ppm * ppm * rng.gen_range(0.6..1.4);
+        let p1 = spec.wander_period_s * rng.gen_range(0.5..1.5);
+        let phi1 = rng.gen_range(0.0..TAU);
+        let a2 = spec.wander2_amp_ppm * ppm * rng.gen_range(0.6..1.4);
+        let p2 = spec.wander2_period_s * rng.gen_range(0.5..1.5);
+        let phi2 = rng.gen_range(0.0..TAU);
+        Self { skew, a1, p1, phi1, a2, p2, phi2 }
+    }
+
+    /// Instantaneous frequency error at true time `t`.
+    pub fn drift_rate(&self, t: SimTime) -> f64 {
+        self.skew
+            + self.a1 * (TAU * t / self.p1 + self.phi1).sin()
+            + self.a2 * (TAU * t / self.p2 + self.phi2).sin()
+    }
+
+    /// Accumulated clock displacement at true time `t`:
+    /// `∫₀ᵗ d(τ) dτ` (seconds of clock error relative to true time).
+    pub fn displacement(&self, t: SimTime) -> f64 {
+        let w1 = if self.a1 != 0.0 {
+            self.a1 * self.p1 / TAU * (self.phi1.cos() - (TAU * t / self.p1 + self.phi1).cos())
+        } else {
+            0.0
+        };
+        let w2 = if self.a2 != 0.0 {
+            self.a2 * self.p2 / TAU * (self.phi2.cos() - (TAU * t / self.p2 + self.phi2).cos())
+        } else {
+            0.0
+        };
+        self.skew * t + w1 + w2
+    }
+
+    /// The clock's elapsed reading after `t` seconds of true time
+    /// (without any constant offset): `t + displacement(t)`.
+    pub fn elapsed(&self, t: SimTime) -> f64 {
+        t + self.displacement(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_tracks_true_time() {
+        let o = Oscillator::perfect();
+        for t in [0.0, 1.0, 100.0, 12345.6] {
+            assert_eq!(o.elapsed(t), t);
+        }
+    }
+
+    #[test]
+    fn constant_skew_is_linear() {
+        let o = Oscillator::with_skew(1e-6);
+        assert!((o.elapsed(10.0) - (10.0 + 10.0e-6)).abs() < 1e-15);
+        assert!((o.elapsed(500.0) - (500.0 + 500.0e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn displacement_is_integral_of_drift_rate() {
+        let o = Oscillator {
+            skew: 0.4e-6,
+            a1: 0.1e-6,
+            p1: 250.0,
+            phi1: 1.2,
+            a2: 0.02e-6,
+            p2: 31.0,
+            phi2: 0.3,
+        };
+        // Numerically integrate drift_rate and compare to displacement.
+        let t_end = 200.0;
+        let n = 200_000;
+        let dt = t_end / n as f64;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let t = (i as f64 + 0.5) * dt;
+            acc += o.drift_rate(t) * dt;
+        }
+        let err = (acc - o.displacement(t_end)).abs();
+        assert!(err < 1e-12, "integration mismatch: {err:.3e}");
+    }
+
+    #[test]
+    fn displacement_starts_at_zero() {
+        let o = Oscillator::for_node(&ClockSpec::commodity(), 1, 0);
+        assert_eq!(o.displacement(0.0), 0.0);
+    }
+
+    #[test]
+    fn per_node_derivation_is_deterministic_and_distinct() {
+        let spec = ClockSpec::commodity();
+        let a = Oscillator::for_node(&spec, 99, 3);
+        let b = Oscillator::for_node(&spec, 99, 3);
+        let c = Oscillator::for_node(&spec, 99, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn commodity_magnitudes_match_fig2() {
+        // Relative drift between two nodes over 500 s should be in the
+        // hundreds-of-microseconds range (paper Fig. 2a: ~100-400 us).
+        let spec = ClockSpec::commodity();
+        let mut max_rel: f64 = 0.0;
+        for node in 1..10 {
+            let a = Oscillator::for_node(&spec, 7, 0);
+            let b = Oscillator::for_node(&spec, 7, node);
+            let rel = (a.displacement(500.0) - b.displacement(500.0)).abs();
+            max_rel = max_rel.max(rel);
+        }
+        assert!(max_rel > 50e-6, "max relative drift {max_rel:.3e}");
+        assert!(max_rel < 3e-3, "max relative drift {max_rel:.3e}");
+    }
+
+    #[test]
+    fn short_windows_are_nearly_linear() {
+        // R^2 of a linear fit over 10 s must exceed 0.9 (paper §III-C2).
+        let spec = ClockSpec::commodity();
+        let a = Oscillator::for_node(&spec, 11, 0);
+        let b = Oscillator::for_node(&spec, 11, 1);
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|&t| a.displacement(t) - b.displacement(t)).collect();
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+        let r2 = sxy * sxy / (sxx * syy);
+        assert!(r2 > 0.9, "r2 {r2}");
+    }
+}

@@ -1,0 +1,242 @@
+//! **HCA3** — the paper's novel clock synchronization algorithm
+//! (Algorithm 1, §III-B).
+//!
+//! HCA3 pushes the reference time *down* a binomial tree in
+//! `⌊log₂ p⌋ (+1)` rounds. In each round a process is either a reference
+//! (it already holds a global clock model, or *is* the global reference)
+//! or a client. Crucially, a reference *emulates the global reference
+//! clock* when timestamping: it passes its own `GlobalClockLM` to the
+//! offset measurement, so clients directly learn models against the
+//! global frame — no model merging, no error-compounding composition
+//! (the PulseSync idea adapted to MPI).
+
+use hcs_clock::{BoxClock, GlobalClockLM};
+use hcs_mpi::Comm;
+use hcs_sim::RankCtx;
+
+use crate::learn::{learn_clock_model, LearnParams};
+use crate::offset::OffsetSpec;
+use crate::sync::ClockSync;
+
+/// The HCA3 synchronization algorithm.
+#[derive(Debug, Clone)]
+pub struct Hca3 {
+    /// Regression parameters (`nfitpoints`, `recompute_intercept`).
+    pub params: LearnParams,
+    /// Which offset estimator to use as the building block.
+    pub offset: OffsetSpec,
+}
+
+impl Default for Hca3 {
+    fn default() -> Self {
+        Self { params: LearnParams::default(), offset: OffsetSpec::Skampi { nexchanges: 10 } }
+    }
+}
+
+impl Hca3 {
+    /// HCA3 with explicit parameters.
+    pub fn new(params: LearnParams, offset: OffsetSpec) -> Self {
+        Self { params, offset }
+    }
+
+    /// The paper's well-performing configuration scaled by the caller:
+    /// `hca3/recompute intercept/<nfitpoints>/SKaMPI-Offset/<pingpongs>`.
+    pub fn skampi(nfitpoints: usize, pingpongs: usize) -> Self {
+        Self {
+            params: LearnParams { nfitpoints, recompute_intercept: true, ..LearnParams::default() },
+            offset: OffsetSpec::Skampi { nexchanges: pingpongs },
+        }
+    }
+
+    /// Overrides the fit-point spacing (see `LearnParams::spacing_s`).
+    pub fn with_spacing(mut self, spacing_s: f64) -> Self {
+        self.params.spacing_s = spacing_s;
+        self
+    }
+}
+
+impl ClockSync for Hca3 {
+    fn sync_clocks(&mut self, ctx: &mut RankCtx, comm: &mut Comm, clk: BoxClock) -> BoxClock {
+        let nprocs = comm.size();
+        let r = comm.rank();
+        let mut offset_alg = self.offset.build();
+
+        let nrounds = (usize::BITS - 1 - nprocs.leading_zeros().min(usize::BITS - 1)) as usize;
+        let nrounds = if nprocs <= 1 { 0 } else { nrounds };
+        let max_power = 1usize << nrounds;
+
+        // Default dummy clock (paper line 4) — keeps every rank's return
+        // type uniform even when it never takes part in a round.
+        let mut my_clk: BoxClock = GlobalClockLM::dummy(clk).boxed();
+        if nprocs <= 1 {
+            return my_clk;
+        }
+
+        // Step 1: top-down over the binomial tree spanning ranks
+        // 0 .. max_power-1.
+        for i in (1..=nrounds).rev() {
+            let running_power = 1usize << i;
+            let next_power = 1usize << (i - 1);
+            if r >= max_power {
+                break;
+            }
+            if r.is_multiple_of(running_power) {
+                // Reference for this round: emulate the global clock.
+                let other_rank = r + next_power;
+                if other_rank < nprocs {
+                    learn_clock_model(
+                        ctx,
+                        comm,
+                        offset_alg.as_mut(),
+                        self.params,
+                        r,
+                        other_rank,
+                        &mut my_clk,
+                    );
+                }
+            } else if r % running_power == next_power {
+                // Client: learn my drift against the (emulated) global
+                // clock of the reference.
+                let other_rank = r - next_power;
+                let lm = learn_clock_model(
+                    ctx,
+                    comm,
+                    offset_alg.as_mut(),
+                    self.params,
+                    other_rank,
+                    r,
+                    &mut my_clk,
+                )
+                .expect("client obtains a model");
+                my_clk = GlobalClockLM::new(my_clk, lm).boxed();
+            }
+        }
+
+        // Step 2: ranks max_power .. nprocs-1 sync against their
+        // counterpart r - max_power (which now holds a global clock).
+        if r >= max_power {
+            let other_rank = r - max_power;
+            let lm = learn_clock_model(
+                ctx,
+                comm,
+                offset_alg.as_mut(),
+                self.params,
+                other_rank,
+                r,
+                &mut my_clk,
+            )
+            .expect("client obtains a model");
+            my_clk = GlobalClockLM::new(my_clk, lm).boxed();
+        } else if r < nprocs - max_power {
+            let other_rank = r + max_power;
+            learn_clock_model(
+                ctx,
+                comm,
+                offset_alg.as_mut(),
+                self.params,
+                r,
+                other_rank,
+                &mut my_clk,
+            );
+        }
+        my_clk
+    }
+
+    fn label(&self) -> String {
+        let ri = if self.params.recompute_intercept { "recompute_intercept/" } else { "" };
+        format!("hca3/{ri}{}/{}", self.params.nfitpoints, self.offset.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::run_sync;
+    use hcs_clock::{Clock, LocalClock, TimeSource};
+    use hcs_sim::machines::{quiet_testbed, testbed};
+
+    /// Runs HCA3 and returns the true global-clock error of each rank
+    /// relative to rank 0, evaluated at the same true instant.
+    fn hca3_errors(nodes: usize, cores: usize, seed: u64, quiet: bool) -> Vec<f64> {
+        let machine = if quiet { quiet_testbed(nodes, cores) } else { testbed(nodes, cores) };
+        let cluster = machine.cluster(seed);
+        let evals = cluster.run(|ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut alg = Hca3::skampi(40, 10);
+            let out = run_sync(&mut alg, ctx, &mut comm, Box::new(clk));
+            // Evaluate the global clock at a fixed true time beyond all
+            // ranks' sync completion.
+            (out.clock.true_eval(5.0), out.duration)
+        });
+        let reference = evals[0].0;
+        evals.iter().map(|(v, _)| v - reference).collect()
+    }
+
+    #[test]
+    fn perfect_network_syncs_perfectly() {
+        // Quiet testbed has ideal clocks (zero skew), so models should be
+        // near-identity and errors tiny.
+        for err in hca3_errors(4, 2, 1, true) {
+            assert!(err.abs() < 1e-7, "error {err:.3e}");
+        }
+    }
+
+    #[test]
+    fn realistic_network_syncs_to_microseconds() {
+        // Commodity clocks drift ~0.5 ppm; right after sync the global
+        // clocks must agree to a few microseconds (paper Fig. 3a).
+        for (r, err) in hca3_errors(8, 2, 2, false).iter().enumerate() {
+            assert!(err.abs() < 5e-6, "rank {r} error {err:.3e}");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_sizes_work() {
+        for p in [3usize, 5, 6, 7] {
+            let errs = hca3_errors(p, 1, 10 + p as u64, false);
+            assert_eq!(errs.len(), p);
+            for (r, err) in errs.iter().enumerate() {
+                assert!(err.abs() < 5e-6, "p={p} rank {r} err {err:.3e}");
+            }
+        }
+    }
+
+    #[test]
+    fn duration_scales_logarithmically() {
+        // Doubling p should add ~one round, not double the duration.
+        let dur = |nodes: usize| {
+            let cluster = testbed(nodes, 1).cluster(3);
+            let outs = cluster.run(|ctx| {
+                let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+                let mut comm = Comm::world(ctx);
+                let mut alg = Hca3::skampi(20, 5);
+                run_sync(&mut alg, ctx, &mut comm, Box::new(clk)).duration
+            });
+            outs.into_iter().fold(0.0f64, f64::max)
+        };
+        let d8 = dur(8);
+        let d16 = dur(16);
+        // log2(16)/log2(8) = 4/3; allow generous slack but rule out O(p).
+        assert!(d16 < d8 * 1.8, "d8={d8:.4} d16={d16:.4}");
+    }
+
+    #[test]
+    fn single_rank_returns_dummy() {
+        let cluster = testbed(1, 1).cluster(4);
+        cluster.run(|ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut alg = Hca3::default();
+            let g = alg.sync_clocks(ctx, &mut comm, Box::new(clk));
+            // Dummy wrap: identical readings to the base clock.
+            assert_eq!(g.true_eval(1.0), LocalClock::new(ctx, TimeSource::MpiWtime).true_eval(1.0));
+        });
+    }
+
+    #[test]
+    fn label_matches_paper_style() {
+        let alg = Hca3::skampi(1000, 100);
+        assert_eq!(alg.label(), "hca3/recompute_intercept/1000/SKaMPI-Offset/100");
+    }
+}

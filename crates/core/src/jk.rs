@@ -1,0 +1,140 @@
+//! **JK** — the Jones & Koenig baseline: the reference synchronizes
+//! every client one after the other, `O(p)` rounds.
+//!
+//! Accurate (each client learns directly against the reference clock)
+//! but slow at scale — the paper measures ~60 s for 512 processes where
+//! HCA3 needs ~2 s. The paper also reports (§III-C3) that swapping JK's
+//! traditional Mean-RTT-Offset for SKaMPI-Offset improves its precision;
+//! both are available here via [`OffsetSpec`].
+
+use hcs_clock::{BoxClock, GlobalClockLM};
+use hcs_mpi::Comm;
+use hcs_sim::RankCtx;
+
+use crate::learn::{learn_clock_model, LearnParams};
+use crate::offset::OffsetSpec;
+use crate::sync::ClockSync;
+
+/// The JK synchronization algorithm.
+#[derive(Debug, Clone)]
+pub struct Jk {
+    /// Regression parameters.
+    pub params: LearnParams,
+    /// Offset estimator building block (the paper's JK label uses 20
+    /// ping-pongs with SKaMPI-Offset on Jupiter).
+    pub offset: OffsetSpec,
+}
+
+impl Default for Jk {
+    fn default() -> Self {
+        Self {
+            params: LearnParams { recompute_intercept: false, ..LearnParams::default() },
+            offset: OffsetSpec::MeanRtt { nexchanges: 10 },
+        }
+    }
+}
+
+impl Jk {
+    /// JK with explicit parameters.
+    pub fn new(params: LearnParams, offset: OffsetSpec) -> Self {
+        Self { params, offset }
+    }
+
+    /// The paper's improved configuration:
+    /// `jk/<nfitpoints>/SKaMPI-Offset/<pingpongs>`.
+    pub fn skampi(nfitpoints: usize, pingpongs: usize) -> Self {
+        Self {
+            params: LearnParams { nfitpoints, recompute_intercept: false, ..LearnParams::default() },
+            offset: OffsetSpec::Skampi { nexchanges: pingpongs },
+        }
+    }
+
+    /// The traditional configuration with Mean-RTT-Offset.
+    pub fn mean_rtt(nfitpoints: usize, pingpongs: usize) -> Self {
+        Self {
+            params: LearnParams { nfitpoints, recompute_intercept: false, ..LearnParams::default() },
+            offset: OffsetSpec::MeanRtt { nexchanges: pingpongs },
+        }
+    }
+
+    /// Overrides the fit-point spacing (see `LearnParams::spacing_s`).
+    pub fn with_spacing(mut self, spacing_s: f64) -> Self {
+        self.params.spacing_s = spacing_s;
+        self
+    }
+}
+
+impl ClockSync for Jk {
+    fn sync_clocks(&mut self, ctx: &mut RankCtx, comm: &mut Comm, clk: BoxClock) -> BoxClock {
+        let mut my_clk: BoxClock = GlobalClockLM::dummy(clk).boxed();
+        let r = comm.rank();
+        let mut offset_alg = self.offset.build();
+        if r == 0 {
+            for client in 1..comm.size() {
+                learn_clock_model(ctx, comm, offset_alg.as_mut(), self.params, 0, client, &mut my_clk);
+            }
+        } else {
+            let lm = learn_clock_model(ctx, comm, offset_alg.as_mut(), self.params, 0, r, &mut my_clk)
+                .expect("client obtains a model");
+            my_clk = GlobalClockLM::new(my_clk, lm).boxed();
+        }
+        my_clk
+    }
+
+    fn label(&self) -> String {
+        format!("jk/{}/{}", self.params.nfitpoints, self.offset.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::run_sync;
+    use hcs_clock::{Clock, LocalClock, TimeSource};
+    use hcs_sim::machines::testbed;
+
+    fn jk_run(nodes: usize, seed: u64, make: fn() -> Jk) -> (Vec<f64>, f64) {
+        let cluster = testbed(nodes, 1).cluster(seed);
+        let evals = cluster.run(|ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut alg = make();
+            let out = run_sync(&mut alg, ctx, &mut comm, Box::new(clk));
+            (out.clock.true_eval(5.0), out.duration)
+        });
+        let reference = evals[0].0;
+        let max_dur = evals.iter().map(|&(_, d)| d).fold(0.0f64, f64::max);
+        (evals.iter().map(|(v, _)| v - reference).collect(), max_dur)
+    }
+
+    #[test]
+    fn jk_skampi_syncs_accurately() {
+        let (errs, _) = jk_run(6, 1, || Jk::skampi(40, 10));
+        for (r, e) in errs.iter().enumerate() {
+            assert!(e.abs() < 5e-6, "rank {r} err {e:.3e}");
+        }
+    }
+
+    #[test]
+    fn jk_mean_rtt_syncs() {
+        let (errs, _) = jk_run(5, 2, || Jk::mean_rtt(40, 10));
+        for (r, e) in errs.iter().enumerate() {
+            assert!(e.abs() < 10e-6, "rank {r} err {e:.3e}");
+        }
+    }
+
+    #[test]
+    fn jk_duration_is_linear_in_p() {
+        // O(p): doubling the processes should roughly double the
+        // duration (contrast with HCA3's logarithmic growth).
+        let (_, d4) = jk_run(4, 3, || Jk::skampi(15, 5));
+        let (_, d8) = jk_run(8, 3, || Jk::skampi(15, 5));
+        assert!(d8 > 1.5 * d4, "d4={d4:.4} d8={d8:.4}");
+    }
+
+    #[test]
+    fn label() {
+        assert_eq!(Jk::skampi(1000, 20).label(), "jk/1000/SKaMPI-Offset/20");
+        assert_eq!(Jk::mean_rtt(100, 10).label(), "jk/100/Mean-RTT-Offset/10");
+    }
+}

@@ -1,0 +1,112 @@
+//! Offset-only synchronization — the SKaMPI/NBCBench-style baseline.
+//!
+//! The paper's premise (§II): "the clock models used in SKaMPI and
+//! NBCBench do not account for the clock drift, and thus, the precision
+//! of the logical, global clock quickly degrades over time". This
+//! algorithm reproduces that behavior: every client measures its offset
+//! to the reference *once* and applies a constant-offset model
+//! (slope = 0). Great immediately after synchronization, useless a few
+//! tens of seconds later — the motivation for HCA's linear drift models.
+
+use hcs_clock::{BoxClock, GlobalClockLM, LinearModel};
+use hcs_mpi::Comm;
+use hcs_sim::RankCtx;
+
+use crate::offset::OffsetSpec;
+use crate::sync::ClockSync;
+
+/// Constant-offset synchronization (no drift model), `O(p)` rounds like
+/// the original SKaMPI scheme.
+#[derive(Debug, Clone)]
+pub struct OffsetOnlySync {
+    /// Offset estimator building block.
+    pub offset: OffsetSpec,
+}
+
+impl Default for OffsetOnlySync {
+    fn default() -> Self {
+        Self { offset: OffsetSpec::Skampi { nexchanges: 100 } }
+    }
+}
+
+impl OffsetOnlySync {
+    /// With the given number of ping-pongs for the single measurement.
+    pub fn new(nexchanges: usize) -> Self {
+        Self { offset: OffsetSpec::Skampi { nexchanges } }
+    }
+}
+
+impl ClockSync for OffsetOnlySync {
+    fn sync_clocks(&mut self, ctx: &mut RankCtx, comm: &mut Comm, clk: BoxClock) -> BoxClock {
+        let mut my_clk: BoxClock = GlobalClockLM::dummy(clk).boxed();
+        let r = comm.rank();
+        let mut alg = self.offset.build();
+        if r == 0 {
+            for client in 1..comm.size() {
+                alg.measure_offset(ctx, comm, &mut my_clk, 0, client);
+            }
+        } else {
+            let o = alg
+                .measure_offset(ctx, comm, &mut my_clk, 0, r)
+                .expect("client obtains an offset");
+            my_clk = GlobalClockLM::new(my_clk, LinearModel::new(0.0, o.offset)).boxed();
+        }
+        my_clk
+    }
+
+    fn label(&self) -> String {
+        format!("offset_only/{}", self.offset.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hca3::Hca3;
+    use hcs_clock::{Clock, LocalClock, TimeSource};
+    use hcs_sim::machines::testbed;
+
+    fn errors(make: &(dyn Fn() -> Box<dyn ClockSync> + Sync), at: f64, seed: u64) -> f64 {
+        let cluster = testbed(4, 1).cluster(seed);
+        let evals = cluster.run(|ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut alg = make();
+            let g = alg.sync_clocks(ctx, &mut comm, Box::new(clk));
+            g.true_eval(at)
+        });
+        evals.iter().map(|v| (v - evals[0]).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn accurate_at_first_degrades_over_time() {
+        let mk: &(dyn Fn() -> Box<dyn ClockSync> + Sync) =
+            &|| Box::new(OffsetOnlySync::new(20)) as Box<dyn ClockSync>;
+        let e_now = errors(mk, 0.5, 1);
+        let e_later = errors(mk, 60.5, 1);
+        assert!(e_now < 2e-6, "right after sync: {e_now:.3e}");
+        // With ~0.5 ppm skews, 60 s of unmodeled drift is tens of us.
+        assert!(e_later > 10e-6, "after 60 s: {e_later:.3e}");
+        assert!(e_later > 10.0 * e_now);
+    }
+
+    #[test]
+    fn drift_models_fix_what_offsets_cannot() {
+        // The same horizon with HCA3's drift model stays microsecond-level.
+        let offset_only: &(dyn Fn() -> Box<dyn ClockSync> + Sync) =
+            &|| Box::new(OffsetOnlySync::new(20)) as Box<dyn ClockSync>;
+        let hca3: &(dyn Fn() -> Box<dyn ClockSync> + Sync) =
+            &|| Box::new(Hca3::skampi(40, 10)) as Box<dyn ClockSync>;
+        let base = errors(offset_only, 30.5, 2);
+        let with_model = errors(hca3, 30.5, 2);
+        assert!(
+            with_model < base / 3.0,
+            "hca3 {with_model:.3e} vs offset-only {base:.3e} at +30 s"
+        );
+    }
+
+    #[test]
+    fn label() {
+        assert_eq!(OffsetOnlySync::new(100).label(), "offset_only/SKaMPI-Offset/100");
+    }
+}

@@ -1,0 +1,51 @@
+//! The common interface of all clock synchronization algorithms.
+
+use hcs_clock::BoxClock;
+use hcs_mpi::Comm;
+use hcs_sim::RankCtx;
+
+/// A clock synchronization algorithm (the paper's `SYNC_CLOCKS`).
+///
+/// Called *collectively*: every member of `comm` invokes it with its own
+/// context and base clock; the implementations exchange messages among
+/// themselves. The returned clock of every non-reference member emulates
+/// the reference clock of communicator rank 0; rank 0 gets its input
+/// back (possibly dummy-wrapped).
+///
+/// The base clock may itself be a logical global clock — that is what
+/// makes algorithms composable into hierarchical schemes (§IV).
+pub trait ClockSync: Send {
+    /// Synchronizes the communicator and returns this rank's logical
+    /// global clock.
+    fn sync_clocks(&mut self, ctx: &mut RankCtx, comm: &mut Comm, clk: BoxClock) -> BoxClock;
+
+    /// A human-readable label in the paper's style, e.g.
+    /// `"hca3/recompute_intercept/1000/SKaMPI-Offset/100"`.
+    fn label(&self) -> String;
+}
+
+/// A thread-shareable constructor for a synchronization algorithm —
+/// experiment drivers build one instance per simulated rank from it.
+pub type SyncFactory = Box<dyn Fn() -> Box<dyn ClockSync> + Sync>;
+
+/// The result of a timed synchronization run.
+pub struct SyncOutcome {
+    /// The logical global clock of this rank.
+    pub clock: BoxClock,
+    /// Virtual wall-clock duration of the synchronization on this rank,
+    /// seconds. (The paper's "synchronization duration"; for figures use
+    /// the maximum over ranks.)
+    pub duration: f64,
+}
+
+/// Runs `sync` and measures its duration on this rank.
+pub fn run_sync(
+    sync: &mut dyn ClockSync,
+    ctx: &mut RankCtx,
+    comm: &mut Comm,
+    clk: BoxClock,
+) -> SyncOutcome {
+    let start = ctx.now();
+    let clock = sync.sync_clocks(ctx, comm, clk);
+    SyncOutcome { clock, duration: ctx.now() - start }
+}

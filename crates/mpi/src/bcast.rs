@@ -1,0 +1,130 @@
+//! Binomial-tree `MPI_Bcast`.
+
+use hcs_sim::{RankCtx, Tag};
+
+use crate::Comm;
+
+impl Comm {
+    /// Broadcasts `data` from `root` to every member over a binomial
+    /// tree; returns the received copy (the root gets its input back).
+    ///
+    /// Unlike MPI, receivers need not know the payload size in advance —
+    /// the engine delivers whole messages.
+    pub fn bcast(&mut self, ctx: &mut RankCtx, root: usize, data: &[u8]) -> Vec<u8> {
+        assert!(root < self.size(), "bcast root {root} out of range");
+        if self.size() <= 1 {
+            return data.to_vec();
+        }
+        let tag = self.next_coll_tag();
+        let comm = self.clone();
+        // Binomial tree: at most one rank per node is crossing the NIC
+        // at a time, so no contention term applies.
+        binomial_bcast(&comm, ctx, tag, root, data)
+    }
+
+    /// Broadcasts one `f64` from `root` (used by the Round-Time scheme
+    /// to distribute start timestamps).
+    pub fn bcast_f64(&mut self, ctx: &mut RankCtx, root: usize, x: f64) -> f64 {
+        let out = self.bcast(ctx, root, &x.to_le_bytes());
+        hcs_sim::msg::decode_f64(&out)
+    }
+}
+
+fn binomial_bcast(comm: &Comm, ctx: &mut RankCtx, tag: Tag, root: usize, data: &[u8]) -> Vec<u8> {
+    let p = comm.size();
+    let vr = (comm.rank() + p - root) % p; // virtual rank: root becomes 0
+    let unvirt = |v: usize| comm.global_rank((v + root) % p);
+
+    // Climb until the bit where we receive from our parent.
+    let buf: Vec<u8>;
+    let mut mask = 1usize;
+    if vr == 0 {
+        buf = data.to_vec();
+        while mask < p {
+            mask <<= 1;
+        }
+    } else {
+        loop {
+            if vr & mask != 0 {
+                buf = ctx.recv(unvirt(vr - mask), tag).into_vec();
+                break;
+            }
+            mask <<= 1;
+        }
+    }
+    // Forward to children at all lower bits.
+    mask >>= 1;
+    while mask > 0 {
+        if vr & mask == 0 && vr + mask < p {
+            ctx.send(unvirt(vr + mask), tag, &buf);
+        }
+        mask >>= 1;
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_sim::machines::testbed;
+
+    #[test]
+    fn bcast_delivers_from_any_root() {
+        let cluster = testbed(2, 3).cluster(1);
+        for root in [0usize, 1, 3, 5] {
+            let vals = cluster.run(|ctx| {
+                let mut comm = Comm::world(ctx);
+                let data = if comm.rank() == root { vec![7u8, 8, 9] } else { vec![] };
+                comm.bcast(ctx, root, &data)
+            });
+            for (r, v) in vals.iter().enumerate() {
+                assert_eq!(v, &[7u8, 8, 9], "root {root}, rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_f64_roundtrips() {
+        let cluster = testbed(1, 4).cluster(2);
+        let vals = cluster.run(|ctx| {
+            let mut comm = Comm::world(ctx);
+            comm.bcast_f64(ctx, 2, if comm.rank() == 2 { 1.25e-3 } else { f64::NAN })
+        });
+        assert!(vals.iter().all(|&v| v == 1.25e-3));
+    }
+
+    #[test]
+    fn bcast_message_count_is_p_minus_1() {
+        let cluster = testbed(2, 4).cluster(3);
+        let counts = cluster.run(|ctx| {
+            let mut comm = Comm::world(ctx);
+            comm.bcast(ctx, 0, &[1]);
+            ctx.counters().sent_msgs
+        });
+        let total: u64 = counts.iter().sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn bcast_non_power_of_two() {
+        let cluster = testbed(3, 2).cluster(4);
+        let vals = cluster.run(|ctx| {
+            let mut comm = Comm::world(ctx);
+            let msg = (0..=5u8).collect::<Vec<_>>();
+            let data = if comm.rank() == 4 { msg } else { vec![] };
+            comm.bcast(ctx, 4, &data)
+        });
+        for v in vals {
+            assert_eq!(v, vec![0, 1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn singleton_bcast_is_identity() {
+        let cluster = testbed(1, 1).cluster(5);
+        cluster.run(|ctx| {
+            let mut comm = Comm::world(ctx);
+            assert_eq!(comm.bcast(ctx, 0, &[42]), vec![42]);
+        });
+    }
+}

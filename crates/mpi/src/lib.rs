@@ -1,0 +1,269 @@
+#![warn(missing_docs)]
+
+//! # hcs-mpi — an MPI-like communication layer over `hcs-sim`
+//!
+//! Provides what the paper's algorithms need from MPI:
+//!
+//! - [`Comm`] — communicators with rank translation, collective-safe tag
+//!   management and `MPI_Comm_split`-style splitting (including
+//!   `MPI_COMM_TYPE_SHARED` node splits),
+//! - point-to-point `send` / `ssend` / `recv` (on top of the engine),
+//! - `MPI_Barrier` with the five algorithm variants of Open MPI's tuned
+//!   module that the paper studies ([`BarrierAlgorithm`]),
+//! - binomial `MPI_Bcast`, linear `MPI_Scatter` / `MPI_Gather`,
+//!   `allgather`,
+//! - `MPI_Allreduce` with three algorithms ([`AllreduceAlgorithm`]) over
+//!   byte payloads ([`ReduceOp`]).
+//!
+//! ## Collective-call discipline
+//!
+//! As in MPI, collectives (and `split`) must be called by *all* members
+//! of a communicator, in the same order. Tags are managed internally: a
+//! per-communicator context id plus a per-call sequence number keep
+//! concurrent communicators and back-to-back collectives from matching
+//! each other's messages.
+
+mod alltoall;
+mod barrier;
+mod bcast;
+mod gather;
+mod reduce;
+mod split;
+
+pub use alltoall::AlltoallAlgorithm;
+pub use barrier::BarrierAlgorithm;
+pub use reduce::{AllreduceAlgorithm, ReduceOp};
+
+use std::sync::Arc;
+
+use hcs_sim::{Rank, RankCtx, Tag};
+
+/// Bit position where the context id starts inside a tag.
+const CTX_SHIFT: u32 = 17;
+/// Marks collective (internally generated) tags.
+const COLL_BIT: Tag = 1 << 16;
+/// Maximum context id (14 bits; bit 31 is the engine's ACK bit).
+const CTX_MAX: u32 = (1 << 14) - 1;
+
+/// A group of ranks with a private tag space — the `MPI_Comm` analogue.
+///
+/// Each participating rank holds its own `Comm` value; the *communicator*
+/// is the collection of these values, which stay consistent as long as
+/// the collective-call discipline is respected.
+#[derive(Debug, Clone)]
+pub struct Comm {
+    /// Global engine ranks of the members, in communicator rank order.
+    ranks: Arc<Vec<Rank>>,
+    /// This rank's position in `ranks`.
+    my_pos: usize,
+    /// Context id: disambiguates tags of different communicators.
+    ctx_id: u32,
+    /// Per-collective sequence number (wraps at 2^16, which is safe
+    /// because collectives fully drain their messages).
+    seq: u32,
+    /// Number of `split` calls performed on this handle.
+    split_count: u32,
+    /// Members of this communicator placed on this rank's node
+    /// (including itself) — declared as NIC contention peers during
+    /// collectives.
+    node_peers: usize,
+}
+
+impl Comm {
+    /// The communicator containing every rank (the `MPI_COMM_WORLD`
+    /// analogue).
+    pub fn world(ctx: &RankCtx) -> Self {
+        let all: Vec<Rank> = (0..ctx.size()).collect();
+        let node_peers = ctx.topology().cores_per_node().min(ctx.size());
+        Self {
+            ranks: Arc::new(all),
+            my_pos: ctx.rank(),
+            ctx_id: 0,
+            seq: 0,
+            split_count: 0,
+            node_peers,
+        }
+    }
+
+    fn from_members(ctx: &RankCtx, members: Vec<Rank>, ctx_id: u32) -> Self {
+        let me = ctx.rank();
+        let my_pos = members
+            .iter()
+            .position(|&r| r == me)
+            .expect("constructing a Comm this rank is not a member of");
+        let my_node = ctx.topology().node_of(me);
+        let node_peers = members.iter().filter(|&&r| ctx.topology().node_of(r) == my_node).count();
+        Self { ranks: Arc::new(members), my_pos, ctx_id, seq: 0, split_count: 0, node_peers }
+    }
+
+    /// This rank's rank *within this communicator*.
+    pub fn rank(&self) -> usize {
+        self.my_pos
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Translates a communicator rank to the global engine rank.
+    pub fn global_rank(&self, comm_rank: usize) -> Rank {
+        self.ranks[comm_rank]
+    }
+
+    /// The members' global ranks, in communicator order.
+    pub fn members(&self) -> &[Rank] {
+        &self.ranks
+    }
+
+    /// Number of communicator members on this rank's node.
+    pub fn node_peers(&self) -> usize {
+        self.node_peers
+    }
+
+    fn user_tag(&self, tag: Tag) -> Tag {
+        debug_assert!(tag < COLL_BIT, "user tags must be < 2^16");
+        self.ctx_id << CTX_SHIFT | tag
+    }
+
+    /// Reserves a fresh internal tag for one collective operation.
+    /// All members call this in lockstep, so the values agree.
+    fn next_coll_tag(&mut self) -> Tag {
+        let t = self.ctx_id << CTX_SHIFT | COLL_BIT | (self.seq & 0xFFFF);
+        self.seq = self.seq.wrapping_add(1);
+        t
+    }
+
+    /// Eager send to a communicator rank (the `MPI_Send` analogue for
+    /// small messages).
+    pub fn send(&self, ctx: &mut RankCtx, dst: usize, tag: Tag, payload: &[u8]) {
+        ctx.send(self.ranks[dst], self.user_tag(tag), payload);
+    }
+
+    /// Synchronous send (`MPI_Ssend`): completes once the receiver has
+    /// matched the message.
+    pub fn ssend(&self, ctx: &mut RankCtx, dst: usize, tag: Tag, payload: &[u8]) {
+        ctx.ssend(self.ranks[dst], self.user_tag(tag), payload);
+    }
+
+    /// Blocking receive from a communicator rank.
+    pub fn recv(&self, ctx: &mut RankCtx, src: usize, tag: Tag) -> Box<[u8]> {
+        ctx.recv(self.ranks[src], self.user_tag(tag))
+    }
+
+    /// Sends an `f64` (timestamps are the dominant payload here).
+    pub fn send_f64(&self, ctx: &mut RankCtx, dst: usize, tag: Tag, x: f64) {
+        self.send(ctx, dst, tag, &x.to_le_bytes());
+    }
+
+    /// Synchronous-sends an `f64`.
+    pub fn ssend_f64(&self, ctx: &mut RankCtx, dst: usize, tag: Tag, x: f64) {
+        self.ssend(ctx, dst, tag, &x.to_le_bytes());
+    }
+
+    /// Receives an `f64`.
+    pub fn recv_f64(&self, ctx: &mut RankCtx, src: usize, tag: Tag) -> f64 {
+        hcs_sim::msg::decode_f64(&self.recv(ctx, src, tag))
+    }
+
+    /// Combined exchange (the `MPI_Sendrecv` analogue): posts the eager
+    /// send first, then receives — deadlock-free for symmetric pairwise
+    /// patterns even when both sides call it simultaneously.
+    pub fn sendrecv(
+        &self,
+        ctx: &mut RankCtx,
+        dst: usize,
+        send_tag: Tag,
+        payload: &[u8],
+        src: usize,
+        recv_tag: Tag,
+    ) -> Box<[u8]> {
+        self.send(ctx, dst, send_tag, payload);
+        self.recv(ctx, src, recv_tag)
+    }
+
+    /// Runs `body` with the NIC-contention peer count declared (used by
+    /// every collective implementation).
+    fn with_contention<T>(&self, ctx: &mut RankCtx, body: impl FnOnce(&mut RankCtx) -> T) -> T {
+        ctx.set_active_peers(self.node_peers);
+        let out = body(ctx);
+        ctx.set_active_peers(1);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_sim::machines::testbed;
+
+    #[test]
+    fn world_has_everyone() {
+        let c = testbed(2, 3).cluster(1);
+        c.run(|ctx| {
+            let comm = Comm::world(ctx);
+            assert_eq!(comm.size(), 6);
+            assert_eq!(comm.rank(), ctx.rank());
+            assert_eq!(comm.global_rank(4), 4);
+            assert_eq!(comm.node_peers(), 3);
+        });
+    }
+
+    #[test]
+    fn p2p_roundtrip_via_comm() {
+        let c = testbed(1, 2).cluster(2);
+        c.run(|ctx| {
+            let comm = Comm::world(ctx);
+            if comm.rank() == 0 {
+                comm.send_f64(ctx, 1, 5, 1.5);
+                assert_eq!(comm.recv_f64(ctx, 1, 6), 2.5);
+            } else {
+                let v = comm.recv_f64(ctx, 0, 5);
+                comm.send_f64(ctx, 0, 6, v + 1.0);
+            }
+        });
+    }
+
+    #[test]
+    fn sendrecv_exchanges_symmetrically() {
+        let c = testbed(2, 1).cluster(5);
+        let res = c.run(|ctx| {
+            let comm = Comm::world(ctx);
+            let peer = 1 - comm.rank();
+            let out = comm.sendrecv(
+                ctx,
+                peer,
+                9,
+                &[comm.rank() as u8; 4],
+                peer,
+                9,
+            );
+            out.to_vec()
+        });
+        assert_eq!(res[0], vec![1u8; 4]);
+        assert_eq!(res[1], vec![0u8; 4]);
+    }
+
+    #[test]
+    fn coll_tags_advance_in_lockstep() {
+        let c = testbed(1, 2).cluster(3);
+        c.run(|ctx| {
+            let mut comm = Comm::world(ctx);
+            let t1 = comm.next_coll_tag();
+            let t2 = comm.next_coll_tag();
+            assert_ne!(t1, t2);
+            assert!(t1 & COLL_BIT != 0);
+        });
+    }
+
+    #[test]
+    fn user_and_collective_tags_never_collide() {
+        let c = testbed(1, 2).cluster(4);
+        c.run(|ctx| {
+            let mut comm = Comm::world(ctx);
+            let coll = comm.next_coll_tag();
+            let user = comm.user_tag(0xFFFF);
+            assert_ne!(coll & COLL_BIT, user & COLL_BIT);
+        });
+    }
+}

@@ -1,0 +1,117 @@
+//! Numeric parameters of the simulated per-node oscillators.
+//!
+//! The parameters live here (in the substrate crate) because they are
+//! part of a machine profile; the `hcs-clock` crate interprets them to
+//! build actual clock objects. The defaults are calibrated against the
+//! paper's Figure 2: a few hundred µs of relative drift over 500 s
+//! (⇒ sub-ppm relative skew between nodes) with visible curvature at the
+//! 100 s scale (⇒ slow sinusoidal wander), while any 10 s window still
+//! fits a line with R² > 0.9.
+
+/// Oscillator and time-source parameters for one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockSpec {
+    /// Standard deviation of the per-node base frequency error, in parts
+    /// per million. Each node draws its skew from `N(0, skew_sd_ppm)`.
+    pub skew_sd_ppm: f64,
+    /// Amplitude of the slow sinusoidal frequency wander, ppm.
+    pub wander_amp_ppm: f64,
+    /// Mean period of the frequency wander, seconds. Each node draws its
+    /// own period uniformly in `[0.5, 1.5] × wander_period_s` and a random
+    /// phase, so nodes curve differently (as in the paper's Fig. 2a).
+    pub wander_period_s: f64,
+    /// Amplitude of a secondary, faster wander component, ppm (adds
+    /// small-scale waviness without breaking 10 s linearity).
+    pub wander2_amp_ppm: f64,
+    /// Period of the secondary wander component, seconds.
+    pub wander2_period_s: f64,
+    /// Standard deviation of the read-out noise per clock read, seconds.
+    pub read_noise_s: f64,
+    /// CPU cost of one clock read (charged to virtual time), seconds.
+    pub read_cost_s: f64,
+    /// Std. dev. of the boot-time offset of each node's monotonic
+    /// (`clock_gettime`-like) time base, seconds. These are *huge* in
+    /// practice (nodes boot at different times), which is exactly the
+    /// effect the paper's Fig. 10b shows.
+    pub raw_node_offset_sd_s: f64,
+    /// Std. dev. of additional per-core offsets of the monotonic time
+    /// base (TSC sync error between cores/sockets), seconds.
+    pub raw_core_offset_sd_s: f64,
+    /// Std. dev. of the per-node offset of the wall-clock
+    /// (`gettimeofday`-like) time base — NTP keeps these at ms scale.
+    pub wall_node_offset_sd_s: f64,
+    /// Reporting resolution of the wall-clock time base, seconds
+    /// (`gettimeofday` reports µs).
+    pub wall_resolution_s: f64,
+}
+
+impl ClockSpec {
+    /// A realistic commodity-cluster default (used by the machine
+    /// profiles, which then tweak individual fields).
+    pub fn commodity() -> Self {
+        Self {
+            skew_sd_ppm: 0.5,
+            wander_amp_ppm: 0.08,
+            wander_period_s: 250.0,
+            wander2_amp_ppm: 0.015,
+            wander2_period_s: 31.0,
+            read_noise_s: 15e-9,
+            read_cost_s: 25e-9,
+            raw_node_offset_sd_s: 20_000.0,
+            raw_core_offset_sd_s: 50e-6,
+            wall_node_offset_sd_s: 2e-3,
+            wall_resolution_s: 1e-6,
+        }
+    }
+
+    /// An idealized spec with zero noise/wander — handy in unit tests
+    /// where exact analytic behavior is asserted.
+    pub fn ideal() -> Self {
+        Self {
+            skew_sd_ppm: 0.0,
+            wander_amp_ppm: 0.0,
+            wander_period_s: 100.0,
+            wander2_amp_ppm: 0.0,
+            wander2_period_s: 10.0,
+            read_noise_s: 0.0,
+            read_cost_s: 0.0,
+            raw_node_offset_sd_s: 0.0,
+            raw_core_offset_sd_s: 0.0,
+            wall_node_offset_sd_s: 0.0,
+            wall_resolution_s: 0.0,
+        }
+    }
+
+    /// Like [`ClockSpec::ideal`] but with per-node skew, so clocks drift
+    /// linearly and deterministically — useful for regression tests.
+    pub fn linear(skew_sd_ppm: f64) -> Self {
+        Self { skew_sd_ppm, ..Self::ideal() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_noiseless() {
+        let s = ClockSpec::ideal();
+        assert_eq!(s.skew_sd_ppm, 0.0);
+        assert_eq!(s.read_noise_s, 0.0);
+        assert_eq!(s.read_cost_s, 0.0);
+    }
+
+    #[test]
+    fn linear_only_sets_skew() {
+        let s = ClockSpec::linear(2.0);
+        assert_eq!(s.skew_sd_ppm, 2.0);
+        assert_eq!(s.wander_amp_ppm, 0.0);
+    }
+
+    #[test]
+    fn commodity_is_sub_ppm() {
+        let s = ClockSpec::commodity();
+        assert!(s.skew_sd_ppm < 2.0);
+        assert!(s.wander_amp_ppm < s.skew_sd_ppm);
+    }
+}

@@ -1,0 +1,763 @@
+//! The virtual-time execution engine.
+//!
+//! [`Cluster::run`] spawns one OS thread per simulated rank and hands
+//! each a [`RankCtx`]. Virtual time is *per rank*: it only moves when the
+//! rank computes ([`RankCtx::compute`]), reads a clock (the clock layer
+//! charges read cost), or receives a message whose arrival lies in its
+//! future. Message arrival times are fixed at send time from the
+//! *sender's* deterministic RNG stream, so the simulated timeline does
+//! not depend on host scheduling — runs are bit-reproducible.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::rngs::StdRng;
+
+use crate::msg::{Envelope, ACK_BIT};
+use crate::net::NetworkModel;
+use crate::rngx::{self, label};
+use crate::topology::Topology;
+use crate::{ClockSpec, Rank, SimTime, Tag};
+
+/// Minimal spacing enforced between consecutive arrivals on the same
+/// (src → dst) channel, to model MPI's non-overtaking guarantee.
+const FIFO_EPS: f64 = 1e-12;
+
+/// Stack size for rank threads. The clock-sync code is iterative, so a
+/// small stack keeps 16k-rank (Titan-scale) runs affordable.
+const RANK_STACK_BYTES: usize = 256 * 1024;
+
+/// Tag of the poison message broadcast by a panicking rank so that
+/// peers blocked in receives fail fast instead of deadlocking.
+const POISON_TAG: Tag = u32::MAX;
+
+/// A simulated cluster: topology, network model, clock parameters and a
+/// master seed. Cheap to clone.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    topology: Arc<Topology>,
+    network: Arc<NetworkModel>,
+    clock: Arc<ClockSpec>,
+    noise: Option<crate::noise::NoiseSpec>,
+    seed: u64,
+}
+
+impl Cluster {
+    /// Builds a cluster from explicit parts.
+    pub fn from_parts(
+        topology: Topology,
+        network: NetworkModel,
+        clock: ClockSpec,
+        seed: u64,
+    ) -> Self {
+        Self {
+            topology: Arc::new(topology),
+            network: Arc::new(network),
+            clock: Arc::new(clock),
+            noise: None,
+            seed,
+        }
+    }
+
+    /// Enables OS-noise injection (see [`crate::noise::NoiseSpec`]).
+    pub fn with_noise(mut self, noise: crate::noise::NoiseSpec) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The network model.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
+    /// The oscillator parameters.
+    pub fn clock_spec(&self) -> &ClockSpec {
+        &self.clock
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Returns a copy with a different master seed (used for repeated
+    /// "mpiruns" in the experiments).
+    pub fn with_seed(&self, seed: u64) -> Self {
+        let mut c = self.clone();
+        c.seed = seed;
+        c
+    }
+
+    /// Runs `f` on every rank (one OS thread each) and returns the
+    /// per-rank results in rank order.
+    ///
+    /// `f` is called as `f(&mut ctx)`; it may freely block in
+    /// [`RankCtx::recv`], which is serviced by the matching sends of the
+    /// other rank threads.
+    ///
+    /// # Panics
+    /// Panics if any rank thread panics (the payload is propagated).
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        let size = self.topology.total_cores();
+        let mut txs = Vec::with_capacity(size);
+        let mut rxs = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded::<Envelope>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let senders = Arc::new(txs);
+        let fref = &f;
+
+        let (res_tx, res_rx) = std::sync::mpsc::channel::<(Rank, R)>();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
+            for (rank, mailbox) in rxs.into_iter().enumerate() {
+                let senders = Arc::clone(&senders);
+                let topology = Arc::clone(&self.topology);
+                let network = Arc::clone(&self.network);
+                let clock = Arc::clone(&self.clock);
+                let noise = self.noise;
+                let seed = self.seed;
+                let res_tx = res_tx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(RANK_STACK_BYTES)
+                    .spawn_scoped(scope, move || {
+                        let poisoners = Arc::clone(&senders);
+                        let mut ctx =
+                            RankCtx::new(rank, topology, network, clock, noise, seed, mailbox, senders);
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fref(&mut ctx)));
+                        match result {
+                            Ok(out) => {
+                                // Ignore the error: the collector may be
+                                // gone if another rank panicked.
+                                let _ = res_tx.send((rank, out));
+                            }
+                            Err(payload) => {
+                                // Unblock peers waiting for messages from
+                                // this rank (or anyone): poison every
+                                // mailbox so their receives fail fast
+                                // instead of deadlocking the scope join.
+                                for (dst, s) in poisoners.iter().enumerate() {
+                                    if dst != rank {
+                                        let _ = s.send(Envelope {
+                                            src: rank,
+                                            tag: POISON_TAG,
+                                            send_time: 0.0,
+                                            arrival: 0.0,
+                                            needs_ack: false,
+                                            payload: Box::new([]),
+                                        });
+                                    }
+                                }
+                                std::panic::resume_unwind(payload);
+                            }
+                        }
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(handle);
+            }
+            drop(res_tx);
+            let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
+            for h in handles {
+                if let Err(panic) = h.join() {
+                    panics.push(panic);
+                }
+            }
+            if !panics.is_empty() {
+                // Prefer the root-cause panic over the "peer panicked"
+                // consequence panics triggered by the poison broadcast.
+                let is_consequence = |p: &Box<dyn std::any::Any + Send>| {
+                    let msg = p
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| p.downcast_ref::<&str>().copied())
+                        .unwrap_or("");
+                    msg.contains("panicked while this rank was receiving")
+                };
+                let idx = panics.iter().position(|p| !is_consequence(p)).unwrap_or(0);
+                std::panic::resume_unwind(panics.swap_remove(idx));
+            }
+        });
+
+        let mut slots: Vec<Option<R>> = (0..size).map(|_| None).collect();
+        for (rank, r) in res_rx.iter() {
+            slots[rank] = Some(r);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(rank, s)| s.unwrap_or_else(|| panic!("rank {rank} produced no result")))
+            .collect()
+    }
+}
+
+/// Per-message / per-byte traffic counters, useful for asserting
+/// algorithmic complexity (e.g. HCA3's `O(log p)` rounds vs JK's `O(p)`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficCounters {
+    /// Messages posted by this rank.
+    pub sent_msgs: u64,
+    /// Payload bytes posted by this rank.
+    pub sent_bytes: u64,
+    /// Messages matched by receives on this rank.
+    pub recv_msgs: u64,
+    /// Subset of `sent_msgs` that crossed the interconnect (inter-node).
+    pub sent_inter_node: u64,
+}
+
+/// The per-rank execution context: virtual clock, mailbox and network
+/// access. Handed to the rank closure by [`Cluster::run`].
+pub struct RankCtx {
+    rank: Rank,
+    size: usize,
+    now: SimTime,
+    topology: Arc<Topology>,
+    network: Arc<NetworkModel>,
+    clock: Arc<ClockSpec>,
+    master_seed: u64,
+    net_rng: StdRng,
+    mailbox: Receiver<Envelope>,
+    senders: Arc<Vec<Sender<Envelope>>>,
+    /// Out-of-order buffer: messages pulled from the mailbox that did not
+    /// match the receive in progress, keyed by (src, tag).
+    pending: HashMap<(Rank, Tag), VecDeque<Envelope>>,
+    /// FIFO clamp: last arrival time scheduled to each destination.
+    last_arrival_to: HashMap<Rank, SimTime>,
+    counters: TrafficCounters,
+    /// OS-noise process state: spec, dedicated RNG, cumulative compute
+    /// time and the (cumulative-compute) instant of the next preemption.
+    noise: Option<crate::noise::NoiseSpec>,
+    noise_rng: StdRng,
+    cum_compute: f64,
+    next_noise_at: f64,
+    /// Monotonic per-rank counter for deriving fresh deterministic RNG
+    /// stream labels (e.g. one noise stream per clock instance).
+    label_counter: u64,
+    /// How many ranks of this node are communicating concurrently with
+    /// this one (declared by collective implementations); drives the
+    /// statistical NIC-contention term.
+    active_peers: usize,
+}
+
+impl RankCtx {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        rank: Rank,
+        topology: Arc<Topology>,
+        network: Arc<NetworkModel>,
+        clock: Arc<ClockSpec>,
+        noise: Option<crate::noise::NoiseSpec>,
+        master_seed: u64,
+        mailbox: Receiver<Envelope>,
+        senders: Arc<Vec<Sender<Envelope>>>,
+    ) -> Self {
+        let size = topology.total_cores();
+        let mut noise_rng = rngx::stream_rng(master_seed, label::rank_workload(rank) ^ 0x9E15E);
+        let next_noise_at = match noise {
+            Some(n) if n.rate_hz > 0.0 => rngx::exponential(&mut noise_rng, 1.0 / n.rate_hz),
+            _ => f64::INFINITY,
+        };
+        Self {
+            rank,
+            size,
+            now: 0.0,
+            topology,
+            network,
+            clock,
+            master_seed,
+            net_rng: rngx::stream_rng(master_seed, label::rank_net(rank)),
+            mailbox,
+            senders,
+            pending: HashMap::new(),
+            last_arrival_to: HashMap::new(),
+            counters: TrafficCounters::default(),
+            noise,
+            noise_rng,
+            cum_compute: 0.0,
+            next_noise_at,
+            label_counter: 0,
+            active_peers: 1,
+        }
+    }
+
+    /// Declares that `n` ranks of this node (including this one) are
+    /// communicating concurrently. Collective implementations set this
+    /// to the node-local participant count on entry and reset it to 1 on
+    /// exit; inter-node messages then pay a statistical NIC queueing
+    /// delay of `nic_gap_s · U(0, n-1)`.
+    pub fn set_active_peers(&mut self, n: usize) {
+        self.active_peers = n.max(1);
+    }
+
+    /// Currently declared concurrent communicator count (see
+    /// [`RankCtx::set_active_peers`]).
+    pub fn active_peers(&self) -> usize {
+        self.active_peers
+    }
+
+    /// Returns a fresh label, unique within this rank and deterministic
+    /// across runs (it depends only on program order). Combined with the
+    /// rank id it lets consumers derive independent RNG streams.
+    pub fn fresh_label(&mut self) -> u64 {
+        self.label_counter += 1;
+        self.label_counter
+    }
+
+    /// This rank's index.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Total number of ranks in the simulation.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Current virtual *true* time of this rank, in seconds.
+    ///
+    /// Algorithms under test must not consult this directly — they only
+    /// see (drifting) clocks built by `hcs-clock`. It is the oracle used
+    /// by tests and accuracy evaluation.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The network model.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
+    /// The oscillator parameters of this machine.
+    pub fn clock_spec(&self) -> &ClockSpec {
+        &self.clock
+    }
+
+    /// The master seed of this run (clock objects derive their parameter
+    /// and noise streams from it).
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Traffic counters of this rank.
+    pub fn counters(&self) -> TrafficCounters {
+        self.counters
+    }
+
+    /// Spends `dt` seconds of local computation.
+    ///
+    /// # Panics
+    /// Panics if `dt` is negative or not finite.
+    pub fn compute(&mut self, dt: f64) {
+        assert!(dt.is_finite() && dt >= 0.0, "compute(dt) needs finite dt >= 0, got {dt}");
+        self.now += dt;
+        if let Some(n) = self.noise {
+            // Poisson preemptions over cumulative compute time, each
+            // stealing an exponential slice of wall time.
+            self.cum_compute += dt;
+            while self.cum_compute >= self.next_noise_at {
+                self.now += rngx::exponential(&mut self.noise_rng, n.mean_preempt_s);
+                self.next_noise_at += rngx::exponential(&mut self.noise_rng, 1.0 / n.rate_hz);
+            }
+        }
+    }
+
+    /// Fast-forwards this rank to `t` (no-op if `t` is in the past).
+    /// Used by the clock layer to implement cheap busy-waiting.
+    pub fn jump_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Posts an eager (buffered) send of `payload` to `dst` under `tag`.
+    /// Returns immediately after charging the send overhead.
+    ///
+    /// # Panics
+    /// Panics on self-sends, out-of-range destinations and reserved tags.
+    pub fn send(&mut self, dst: Rank, tag: Tag, payload: &[u8]) {
+        self.post(dst, tag, payload, false);
+    }
+
+    /// Synchronous send (`MPI_Ssend` semantics): completes only once the
+    /// receiver has matched the message; modeled as a rendezvous with an
+    /// acknowledgement travelling back over the same network level.
+    pub fn ssend(&mut self, dst: Rank, tag: Tag, payload: &[u8]) {
+        self.post(dst, tag, payload, true);
+        // Wait for the ack; its arrival time carries the completion time.
+        let env = self.pull_match(dst, tag | ACK_BIT);
+        self.absorb_arrival(&env);
+    }
+
+    fn post(&mut self, dst: Rank, tag: Tag, payload: &[u8], needs_ack: bool) {
+        assert!(dst < self.size, "send to out-of-range rank {dst} (size {})", self.size);
+        assert_ne!(dst, self.rank, "self-sends are not modeled");
+        assert_eq!(tag & ACK_BIT, 0, "tag {tag:#x} uses the reserved ACK bit");
+        self.now += self.network.send_overhead_s;
+        let level = self.topology.level(self.rank, dst);
+        let mut lat =
+            self.network.sample_latency(&mut self.net_rng, level, self.rank, dst, payload.len());
+        lat += self.contention_delay(level);
+        let mut arrival = self.now + lat;
+        let last = self.last_arrival_to.entry(dst).or_insert(f64::NEG_INFINITY);
+        if arrival <= *last {
+            arrival = *last + FIFO_EPS;
+        }
+        *last = arrival;
+        self.counters.sent_msgs += 1;
+        self.counters.sent_bytes += payload.len() as u64;
+        if level == crate::topology::Level::InterNode {
+            self.counters.sent_inter_node += 1;
+        }
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            send_time: self.now,
+            arrival,
+            needs_ack,
+            payload: payload.into(),
+        };
+        // A send may race with the receiver having already returned from
+        // its closure; that's fine, the message is simply dropped.
+        let _ = self.senders[dst].send(env);
+    }
+
+    /// Blocking receive of a message from `src` with `tag`. Advances this
+    /// rank's virtual time to the message arrival (if in the future) plus
+    /// the receive overhead, then returns the payload.
+    pub fn recv(&mut self, src: Rank, tag: Tag) -> Box<[u8]> {
+        assert!(src < self.size, "recv from out-of-range rank {src}");
+        assert_ne!(src, self.rank, "self-receives are not modeled");
+        let env = self.pull_match(src, tag);
+        self.absorb_arrival(&env);
+        if env.needs_ack {
+            // Rendezvous: release the synchronous sender. The ack is a
+            // zero-byte message on the same level.
+            self.post_ack(env.src, env.tag | ACK_BIT);
+        }
+        env.payload
+    }
+
+    /// Receives and decodes an `f64` (convenience for timestamps).
+    pub fn recv_f64(&mut self, src: Rank, tag: Tag) -> f64 {
+        crate::msg::decode_f64(&self.recv(src, tag))
+    }
+
+    /// Sends an `f64` (convenience for timestamps).
+    pub fn send_f64(&mut self, dst: Rank, tag: Tag, x: f64) {
+        self.send(dst, tag, &crate::msg::encode_f64(x));
+    }
+
+    /// Synchronous-send an `f64`.
+    pub fn ssend_f64(&mut self, dst: Rank, tag: Tag, x: f64) {
+        self.ssend(dst, tag, &crate::msg::encode_f64(x));
+    }
+
+    /// Statistical NIC queueing delay for inter-node messages while
+    /// multiple node peers are communicating (LogGP-style gap model).
+    fn contention_delay(&mut self, level: crate::topology::Level) -> f64 {
+        use rand::Rng;
+        let gap = self.network.nic_gap_s;
+        if level != crate::topology::Level::InterNode || self.active_peers <= 1 || gap <= 0.0 {
+            return 0.0;
+        }
+        gap * self.net_rng.gen_range(0.0..(self.active_peers - 1) as f64)
+    }
+
+    fn post_ack(&mut self, dst: Rank, ack_tag: Tag) {
+        self.now += self.network.send_overhead_s;
+        let level = self.topology.level(self.rank, dst);
+        let mut lat = self.network.sample_latency(&mut self.net_rng, level, self.rank, dst, 0);
+        lat += self.contention_delay(level);
+        let mut arrival = self.now + lat;
+        let last = self.last_arrival_to.entry(dst).or_insert(f64::NEG_INFINITY);
+        if arrival <= *last {
+            arrival = *last + FIFO_EPS;
+        }
+        *last = arrival;
+        let env = Envelope {
+            src: self.rank,
+            tag: ack_tag,
+            send_time: self.now,
+            arrival,
+            needs_ack: false,
+            payload: Box::new([]),
+        };
+        let _ = self.senders[dst].send(env);
+    }
+
+    fn absorb_arrival(&mut self, env: &Envelope) {
+        if env.arrival > self.now {
+            self.now = env.arrival;
+        }
+        self.now += self.network.recv_overhead_s;
+        self.counters.recv_msgs += 1;
+    }
+
+    fn pull_match(&mut self, src: Rank, tag: Tag) -> Envelope {
+        if let Some(q) = self.pending.get_mut(&(src, tag)) {
+            if let Some(env) = q.pop_front() {
+                return env;
+            }
+        }
+        loop {
+            let env = self
+                .mailbox
+                .recv()
+                .unwrap_or_else(|_| panic!("rank {}: all peers gone while receiving (src {src}, tag {tag})", self.rank));
+            if env.tag == POISON_TAG {
+                panic!(
+                    "rank {}: peer rank {} panicked while this rank was receiving (src {src}, tag {tag})",
+                    self.rank, env.src
+                );
+            }
+            if env.src == src && env.tag == tag {
+                return env;
+            }
+            self.pending.entry((env.src, env.tag)).or_default().push_back(env);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{Jitter, LevelLatency};
+
+    fn test_network(jitter: bool) -> NetworkModel {
+        let j = if jitter { Jitter::smooth(0.2e-6, 0.5) } else { Jitter::smooth(0.0, 0.5) };
+        let lvl = |base: f64| LevelLatency { base_s: base, per_byte_s: 1e-10, jitter: j.clone() };
+        NetworkModel {
+            same_socket: lvl(0.3e-6),
+            same_node: lvl(0.6e-6),
+            inter_node: lvl(3.0e-6),
+            send_overhead_s: 0.05e-6,
+            recv_overhead_s: 0.05e-6,
+            asymmetry_frac: 0.0,
+            nic_gap_s: 0.0,
+        }
+    }
+
+    fn small_cluster(jitter: bool, seed: u64) -> Cluster {
+        Cluster::from_parts(Topology::new(2, 1, 2), test_network(jitter), ClockSpec::ideal(), seed)
+    }
+
+    #[test]
+    fn ping_pong_advances_virtual_time_deterministically() {
+        let c = small_cluster(false, 1);
+        let times = c.run(|ctx| {
+            match ctx.rank() {
+                0 => {
+                    ctx.send_f64(2, 7, 1.25);
+                    let x = ctx.recv_f64(2, 8);
+                    assert_eq!(x, 2.5);
+                }
+                2 => {
+                    let x = ctx.recv_f64(0, 7);
+                    assert_eq!(x, 1.25);
+                    ctx.send_f64(0, 8, 2.5);
+                }
+                _ => {}
+            }
+            ctx.now()
+        });
+        // Rank 0: send (0.05us) -> wait reply.
+        // one-way = send_ovh + base(3us) + 8 bytes*0.1ns + recv side ...
+        // rank2 recv at ~ 0.05 + 3.0008e-6? Deterministic; just assert shape.
+        assert!(times[0] > 6.0e-6 && times[0] < 7.5e-6, "rtt-ish {:.3e}", times[0]);
+        assert!(times[2] > 3.0e-6 && times[2] < 4.5e-6, "one-way-ish {:.3e}", times[2]);
+        assert_eq!(times[1], 0.0);
+        assert_eq!(times[3], 0.0);
+    }
+
+    #[test]
+    fn runs_are_bit_reproducible() {
+        let run = || {
+            small_cluster(true, 42).run(|ctx| {
+                let peer = ctx.rank() ^ 1;
+                // Make both directions busy.
+                for i in 0..50u32 {
+                    if ctx.rank() < peer {
+                        ctx.send_f64(peer, i, i as f64);
+                        let _ = ctx.recv_f64(peer, i);
+                    } else {
+                        let v = ctx.recv_f64(peer, i);
+                        ctx.send_f64(peer, i, v + 1.0);
+                    }
+                }
+                ctx.now()
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            small_cluster(true, seed).run(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 0, &[0u8; 8]);
+                    ctx.now()
+                } else if ctx.rank() == 1 {
+                    let _ = ctx.recv(0, 0);
+                    ctx.now()
+                } else {
+                    0.0
+                }
+            })
+        };
+        assert_ne!(run(1)[1], run(2)[1]);
+    }
+
+    #[test]
+    fn fifo_non_overtaking_per_channel() {
+        // With heavy jitter, later sends could overtake earlier ones
+        // without the clamp; assert receive order preserves send order.
+        let net = NetworkModel {
+            inter_node: LevelLatency {
+                base_s: 1e-6,
+                per_byte_s: 0.0,
+                jitter: Jitter { median_s: 5e-6, sigma: 1.5, spike_prob: 0.1, spike_mean_s: 1e-4 },
+            },
+            ..test_network(true)
+        };
+        let c = Cluster::from_parts(Topology::new(2, 1, 1), net, ClockSpec::ideal(), 7);
+        c.run(|ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..200u64 {
+                    ctx.send(1, 3, &i.to_le_bytes());
+                }
+            } else {
+                let mut last_arrival = f64::NEG_INFINITY;
+                for i in 0..200u64 {
+                    let p = ctx.recv(1 - 1, 3);
+                    let got = u64::from_le_bytes(p.as_ref().try_into().unwrap());
+                    assert_eq!(got, i, "message overtaking detected");
+                    assert!(ctx.now() >= last_arrival);
+                    last_arrival = ctx.now();
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn ssend_blocks_until_receiver_matches() {
+        let c = small_cluster(false, 3);
+        let times = c.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.ssend_f64(2, 1, 9.0);
+                ctx.now()
+            } else if ctx.rank() == 2 {
+                // Receiver is busy for 1 ms before posting the receive.
+                ctx.compute(1e-3);
+                let v = ctx.recv_f64(0, 1);
+                assert_eq!(v, 9.0);
+                ctx.now()
+            } else {
+                0.0
+            }
+        });
+        // Sender completion must be after the receiver's 1 ms busy phase.
+        assert!(times[0] > 1e-3, "ssend returned too early: {}", times[0]);
+        assert!(times[0] < 1.1e-3);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let c = small_cluster(false, 4);
+        c.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send_f64(1, 10, 1.0);
+                ctx.send_f64(1, 11, 2.0);
+                ctx.send_f64(1, 12, 3.0);
+            } else if ctx.rank() == 1 {
+                // Receive in reverse tag order.
+                assert_eq!(ctx.recv_f64(0, 12), 3.0);
+                assert_eq!(ctx.recv_f64(0, 11), 2.0);
+                assert_eq!(ctx.recv_f64(0, 10), 1.0);
+            }
+        });
+    }
+
+    #[test]
+    fn counters_count() {
+        let c = small_cluster(false, 5);
+        let counts = c.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, &[0u8; 16]);
+                ctx.send(1, 1, &[0u8; 4]);
+            } else if ctx.rank() == 1 {
+                let _ = ctx.recv(0, 0);
+                let _ = ctx.recv(0, 1);
+            }
+            ctx.counters()
+        });
+        assert_eq!(counts[0].sent_msgs, 2);
+        assert_eq!(counts[0].sent_bytes, 20);
+        assert_eq!(counts[1].recv_msgs, 2);
+    }
+
+    #[test]
+    fn jump_to_never_goes_backward() {
+        let c = small_cluster(false, 6);
+        c.run(|ctx| {
+            ctx.compute(5.0);
+            ctx.jump_to(1.0);
+            assert_eq!(ctx.now(), 5.0);
+            ctx.jump_to(6.0);
+            assert_eq!(ctx.now(), 6.0);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "self-sends")]
+    fn self_send_panics() {
+        let c = small_cluster(false, 8);
+        c.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(0, 0, &[]);
+            }
+        });
+    }
+
+    #[test]
+    fn intranode_is_faster_than_internode() {
+        let c = Cluster::from_parts(Topology::new(2, 1, 2), test_network(false), ClockSpec::ideal(), 9);
+        let times = c.run(|ctx| {
+            match ctx.rank() {
+                0 => {
+                    ctx.send(1, 0, &[0; 8]); // same node
+                    ctx.send(2, 0, &[0; 8]); // other node
+                    0.0
+                }
+                1 | 2 => {
+                    let _ = ctx.recv(0, 0);
+                    ctx.now()
+                }
+                _ => 0.0,
+            }
+        });
+        assert!(times[1] < times[2], "intranode {} vs internode {}", times[1], times[2]);
+    }
+}

@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! # hcs-sim — deterministic virtual-time cluster simulator
+//!
+//! This crate is the hardware substrate for the reproduction of
+//! *Hierarchical Clock Synchronization in MPI* (Hunold & Carpen-Amarie,
+//! IEEE CLUSTER 2018). The paper's evaluation ran on three physical
+//! clusters (Jupiter/InfiniBand, Hydra/OmniPath, Titan/Cray Gemini); here
+//! those machines are replaced by a *virtual-time message-passing
+//! simulation* that preserves the properties the algorithms under study
+//! actually observe: message latencies (with jitter and heavy tails),
+//! hierarchical topology (socket / node / network levels) and drifting
+//! per-node oscillators.
+//!
+//! ## Execution model
+//!
+//! Every simulated MPI rank runs on its own OS thread and carries its own
+//! *virtual true time* (`RankCtx::now`). Local computation advances that
+//! time explicitly ([`RankCtx::compute`]). A send stamps the message with
+//! an arrival time computed from the sender's current time plus a modeled
+//! latency sample; a receive blocks (on a real channel) until a matching
+//! message exists and then fast-forwards the receiver to
+//! `max(local_now, arrival)`.
+//!
+//! Because every blocking operation is *directed* (the receiver names the
+//! sender) and all randomness is drawn from per-rank deterministic
+//! streams, the simulated timeline is **bit-identical across runs and
+//! across OS scheduling decisions** — the simulation parallelizes over
+//! host cores for free while staying reproducible.
+//!
+//! ## What lives where
+//!
+//! - [`topology`] — cluster shape (nodes × sockets × cores) and the
+//!   communication level between two ranks,
+//! - [`net`] — per-level latency models with log-normal jitter and rare
+//!   congestion spikes,
+//! - [`clockspec`] — numeric parameters of the per-node oscillators
+//!   (interpreted by the `hcs-clock` crate),
+//! - [`machines`] — the three machine profiles of the paper's Table I,
+//! - [`engine`] — the rank threads, mailboxes and the [`engine::Cluster`]
+//!   entry point,
+//! - [`rngx`] — seed derivation and distribution sampling helpers.
+
+pub mod clockspec;
+pub mod engine;
+pub mod machines;
+pub mod msg;
+pub mod net;
+pub mod noise;
+pub mod rngx;
+pub mod topology;
+
+pub use clockspec::ClockSpec;
+pub use engine::{Cluster, RankCtx};
+pub use machines::MachineSpec;
+pub use net::{Jitter, LevelLatency, NetworkModel};
+pub use noise::NoiseSpec;
+pub use topology::{Level, Topology};
+
+/// Simulated time, in seconds since simulation start ("true time").
+pub type SimTime = f64;
+
+/// Message tag type used by the engine and the MPI layer above it.
+pub type Tag = u32;
+
+/// Rank index within a simulated cluster.
+pub type Rank = usize;

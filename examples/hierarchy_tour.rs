@@ -1,0 +1,67 @@
+//! A tour of the synchronization algorithms and the hierarchical HlHCA
+//! composition: runs JK, HCA, HCA2, HCA3, H2HCA and H3HCA on the same
+//! simulated machine and prints duration vs. accuracy (the trade-off of
+//! the paper's Figs. 3-5).
+//!
+//! ```text
+//! cargo run --release --example hierarchy_tour
+//! ```
+
+use hierarchical_clock_sync::prelude::*;
+
+fn measure(machine: &MachineSpec, seed: u64, make: &(dyn Fn() -> Box<dyn ClockSync> + Sync)) -> (String, f64, f64, f64) {
+    let cluster = machine.cluster(seed);
+    let out = cluster.run(|ctx| {
+        let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let mut comm = Comm::world(ctx);
+        let mut alg = make();
+        let outcome = run_sync(alg.as_mut(), ctx, &mut comm, Box::new(clk));
+        let mut global = outcome.clock;
+        let mut probe = SkampiOffset::new(10);
+        let report = check_clock_accuracy(ctx, &mut comm, global.as_mut(), &mut probe, 10.0, 1.0);
+        (alg.label(), outcome.duration, report)
+    });
+    let label = out[0].0.clone();
+    let duration = out.iter().map(|o| o.1).fold(0.0f64, f64::max);
+    let report = out[0].2.as_ref().expect("root reports");
+    (label, duration, report.max_abs_at_sync(), report.max_abs_after_wait())
+}
+
+fn main() {
+    let machine = machines::jupiter().with_shape(8, 2, 2);
+    println!(
+        "{} — {} ranks; duration vs. max clock offset (after sync / after 10 s)\n",
+        machine.name,
+        machine.topology.total_cores()
+    );
+    println!("{:<64} {:>10} {:>12} {:>12}", "algorithm", "dur [s]", "@0s [us]", "@10s [us]");
+
+    let algs: Vec<Box<dyn Fn() -> Box<dyn ClockSync> + Sync>> = vec![
+        // The SKaMPI/NBCBench-style baseline: constant offset, no drift
+        // model — watch its @10s column explode.
+        Box::new(|| Box::new(OffsetOnlySync::new(20))),
+        Box::new(|| Box::new(Jk::skampi(60, 10))),
+        Box::new(|| Box::new(Hca::skampi(60, 10))),
+        Box::new(|| Box::new(Hca2::skampi(60, 10))),
+        Box::new(|| Box::new(Hca3::skampi(60, 10))),
+        Box::new(|| {
+            Box::new(Hierarchical::h2(
+                Box::new(Hca3::skampi(60, 10)),
+                Box::new(ClockPropSync::verified()),
+            ))
+        }),
+        Box::new(|| {
+            Box::new(Hierarchical::h3(
+                Box::new(Hca3::skampi(60, 10)),
+                Box::new(ClockPropSync::verified()),
+                Box::new(ClockPropSync::verified()),
+            ))
+        }),
+    ];
+    for make in &algs {
+        let (label, dur, at0, at10) = measure(&machine, 3, make.as_ref());
+        println!("{:<64} {:>10.3} {:>12.3} {:>12.3}", label, dur, at0 * 1e6, at10 * 1e6);
+    }
+    println!("\nJK is accurate but O(p); HCA3 matches it at a fraction of the time;");
+    println!("H2HCA/H3HCA cut the tree height further by cloning models inside a node.");
+}

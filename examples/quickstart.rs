@@ -1,0 +1,49 @@
+//! Quickstart: synchronize clocks on a simulated cluster with HCA3 and
+//! check how accurate the logical global clock is.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hierarchical_clock_sync::prelude::*;
+
+fn main() {
+    // A Jupiter-like machine (InfiniBand QDR, dual-socket Opterons),
+    // scaled to 8 nodes x 4 cores = 32 ranks, with a fixed seed: the
+    // whole simulation is deterministic.
+    let machine = machines::jupiter().with_shape(8, 2, 2);
+    let cluster = machine.cluster(42);
+
+    println!("machine: {} ({})", machine.name, machine.hardware);
+    println!("ranks:   {}", machine.topology.total_cores());
+
+    let reports = cluster.run(|ctx| {
+        // Every rank sees an MPI_Wtime-like local clock that drifts.
+        let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let mut comm = Comm::world(ctx);
+
+        // HCA3: 100 fit points, SKaMPI-Offset with 10 ping-pongs each.
+        let mut sync = Hca3::skampi(100, 10);
+        let outcome = run_sync(&mut sync, ctx, &mut comm, Box::new(clk));
+        let mut global = outcome.clock;
+
+        // Algorithm 6: measure every rank's offset to the reference now
+        // and again 10 (virtual) seconds later.
+        let mut probe = SkampiOffset::new(10);
+        let report =
+            check_clock_accuracy(ctx, &mut comm, global.as_mut(), &mut probe, 10.0, 1.0);
+        (report, outcome.duration)
+    });
+
+    let (report, duration) = &reports[0];
+    let report = report.as_ref().expect("rank 0 holds the report");
+    println!("sync duration:            {:>8.3} s (virtual)", duration);
+    println!("max offset right after:   {:>8.3} us", report.max_abs_at_sync() * 1e6);
+    println!("max offset after 10 s:    {:>8.3} us", report.max_abs_after_wait() * 1e6);
+    println!();
+    println!("per-client offsets (us):");
+    println!("{:>6} {:>12} {:>12}", "rank", "after sync", "after 10 s");
+    for &(rank, off0, off1) in &report.entries {
+        println!("{rank:>6} {:>12.3} {:>12.3}", off0 * 1e6, off1 * 1e6);
+    }
+}

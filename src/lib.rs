@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # hierarchical-clock-sync — facade crate
+//!
+//! Re-exports the whole reproduction stack of *Hierarchical Clock
+//! Synchronization in MPI* (Hunold & Carpen-Amarie, IEEE CLUSTER 2018)
+//! under one roof. See the workspace `README.md` for the architecture
+//! and `DESIGN.md` for the per-experiment index.
+//!
+//! ```
+//! use hierarchical_clock_sync::prelude::*;
+//!
+//! // 4 nodes x 2 cores, Jupiter-like network, seeded.
+//! let cluster = machines::testbed(4, 2).cluster(42);
+//! let results = cluster.run(|ctx| {
+//!     let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+//!     let mut comm = Comm::world(ctx);
+//!     let mut sync = Hca3::skampi(30, 5);
+//!     let global = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+//!     global.true_eval(0.0)
+//! });
+//! assert_eq!(results.len(), 8);
+//! ```
+
+pub use hcs_bench as bench;
+pub use hcs_clock as clock;
+pub use hcs_core as core;
+pub use hcs_mpi as mpi;
+pub use hcs_sim as sim;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use hcs_bench::prelude::*;
+    pub use hcs_clock::{
+        busy_wait_until, fit_linear_model, BoxClock, Clock, GlobalClockLM, LinearModel, LocalClock,
+        Oscillator, TimeSource,
+    };
+    pub use hcs_core::prelude::*;
+    pub use hcs_mpi::{Comm, BarrierAlgorithm};
+    pub use hcs_sim::{machines, Cluster, ClockSpec, MachineSpec, RankCtx, Topology};
+}

@@ -1,0 +1,146 @@
+//! End-to-end case studies: the tuner, the guideline checker, the
+//! profiler and the post-mortem pipeline, wired through the whole stack.
+
+use hierarchical_clock_sync::bench::guidelines::{check_guideline, Guideline};
+use hierarchical_clock_sync::bench::postmortem::{interpolate, measure_epoch};
+use hierarchical_clock_sync::bench::profile::Profiler;
+use hierarchical_clock_sync::bench::tuner::{tune_allreduce, TuneScheme};
+use hierarchical_clock_sync::bench::workloads::{halo_proxy, HaloProxyConfig};
+use hierarchical_clock_sync::mpi::ReduceOp;
+use hierarchical_clock_sync::prelude::*;
+
+#[test]
+fn tuner_decisions_are_deterministic_and_seed_sensitive() {
+    let run = |seed: u64| {
+        machines::testbed(4, 2)
+            .cluster(seed)
+            .run(|ctx| {
+                let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+                let mut comm = Comm::world(ctx);
+                let mut sync = Hca3::skampi(25, 6);
+                let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+                tune_allreduce(
+                    ctx,
+                    &mut comm,
+                    g.as_mut(),
+                    TuneScheme::RoundTime { slice_s: 0.03, max_reps: 30 },
+                    &[8],
+                )
+            })
+            .remove(0)
+            .unwrap()
+    };
+    let a = run(1);
+    let b = run(1);
+    assert_eq!(a[0].candidates, b[0].candidates, "same seed, same table");
+    let c = run(2);
+    // Same winner is expected, but the raw latencies must differ.
+    assert_ne!(
+        a[0].candidates[0].latency_s, c[0].candidates[0].latency_s,
+        "different seeds should perturb the measurements"
+    );
+}
+
+#[test]
+fn guidelines_hold_on_every_machine_profile() {
+    for machine in [
+        machines::jupiter().with_shape(4, 1, 2),
+        machines::hydra().with_shape(4, 1, 2),
+        machines::titan().with_shape(4, 1, 2),
+    ] {
+        let res = machine.cluster(9).run(|ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut sync = Hca3::skampi(25, 6);
+            let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+            check_guideline(
+                ctx,
+                &mut comm,
+                g.as_mut(),
+                TuneScheme::RoundTime { slice_s: 0.03, max_reps: 30 },
+                Guideline::AllreduceVsReduceBcast,
+                64,
+            )
+        });
+        let v = res[0].expect("root verdict");
+        assert!(
+            v.holds(0.3),
+            "{}: allreduce {:.3e} vs reduce+bcast {:.3e}",
+            machine.name,
+            v.specialized_s,
+            v.emulation_s
+        );
+    }
+}
+
+#[test]
+fn profiler_and_tracer_agree_on_halo_proxy() {
+    // The profiler's total region time must match the tracer's summed
+    // event durations (same clock, same instrumentation points).
+    let res = machines::testbed(3, 1).cluster(11).run(|ctx| {
+        let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let mut comm = Comm::world(ctx);
+        let mut prof = Profiler::new();
+        prof.enter("halo", &mut clk, ctx);
+        let tracer = halo_proxy(
+            ctx,
+            &mut comm,
+            &mut clk,
+            HaloProxyConfig { iterations: 8, ..Default::default() },
+        );
+        prof.leave("halo", &mut clk, ctx);
+        let traced: f64 = tracer.events().iter().map(|e| e.duration()).sum();
+        let profiled = prof.region("halo").total_s;
+        (traced, profiled)
+    });
+    for &(traced, profiled) in &res {
+        assert!(traced <= profiled, "traced {traced} inside profiled {profiled}");
+        assert!(profiled > 0.0);
+    }
+}
+
+#[test]
+fn postmortem_interpolation_beats_raw_on_drifting_cluster() {
+    let res = machines::hydra().with_shape(4, 1, 1).cluster(13).run(|ctx| {
+        let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let oracle = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let comm = Comm::world(ctx);
+        let mut alg = SkampiOffset::new(15);
+        let begin = measure_epoch(ctx, &comm, &mut clk, &mut alg);
+        // 60 s of "application".
+        ctx.compute(60.0);
+        // Mid-trace probe instant in local clock terms (oracle view).
+        let mid_local = oracle.true_eval(30.0);
+        let end = measure_epoch(ctx, &comm, &mut clk, &mut alg);
+        (mid_local, interpolate(begin, end, mid_local))
+    });
+    let raw_spread = res.iter().map(|r| (r.0 - res[0].0).abs()).fold(0.0f64, f64::max);
+    let corrected_spread = res.iter().map(|r| (r.1 - res[0].1).abs()).fold(0.0f64, f64::max);
+    assert!(
+        corrected_spread < raw_spread / 100.0,
+        "interpolation {corrected_spread:.3e} should crush raw {raw_spread:.3e}"
+    );
+}
+
+#[test]
+fn profiled_allreduce_fraction_matches_amg_premise() {
+    // Communication-bound iteration: the allreduce share must dominate
+    // (the paper's AMG profile shows ~80%).
+    let res = machines::jupiter().with_shape(6, 2, 2).cluster(17).run(|ctx| {
+        let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let mut comm = Comm::world(ctx);
+        let mut prof = Profiler::new();
+        for _ in 0..15 {
+            prof.enter("compute", &mut clk, ctx);
+            ctx.compute(8e-6);
+            prof.leave("compute", &mut clk, ctx);
+            prof.enter("allreduce", &mut clk, ctx);
+            let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
+            prof.leave("allreduce", &mut clk, ctx);
+        }
+        prof.gather(ctx, &mut comm)
+    });
+    let report = res[0].as_ref().unwrap();
+    let frac = report.fraction("allreduce");
+    assert!(frac > 0.6, "allreduce fraction {frac:.2}");
+}

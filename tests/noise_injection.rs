@@ -1,0 +1,121 @@
+//! Failure/perturbation injection: OS noise and congestion spikes must
+//! degrade measurements the way the paper expects — and the Round-Time
+//! scheme must survive them.
+
+use hierarchical_clock_sync::bench::schemes::{run_round_time, RoundTimeConfig};
+use hierarchical_clock_sync::mpi::ReduceOp;
+use hierarchical_clock_sync::prelude::*;
+use hierarchical_clock_sync::sim::NoiseSpec;
+
+fn noisy_machine(noise: Option<NoiseSpec>) -> MachineSpec {
+    let mut m = machines::testbed(4, 2);
+    m.noise = noise;
+    m
+}
+
+#[test]
+fn round_time_still_collects_samples_under_heavy_noise() {
+    let machine = noisy_machine(Some(NoiseSpec::noisy()));
+    let res = machine.cluster(1).run(|ctx| {
+        let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let mut comm = Comm::world(ctx);
+        let mut sync = Hca3::skampi(30, 6);
+        let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+        let mut op = |ctx: &mut RankCtx, comm: &mut Comm| {
+            // An operation with a compute phase (preemptable).
+            ctx.compute(20e-6);
+            let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
+        };
+        let cfg = RoundTimeConfig { max_time_slice_s: 0.05, max_nrep: 60, ..Default::default() };
+        run_round_time(ctx, &mut comm, g.as_mut(), cfg, &mut op).len()
+    });
+    assert!(res.iter().all(|&n| n == res[0]), "{res:?}");
+    assert!(res[0] >= 20, "round-time should survive noise, got {} samples", res[0]);
+}
+
+#[test]
+fn noise_inflates_measured_latency() {
+    let measure = |noise: Option<NoiseSpec>| -> f64 {
+        noisy_machine(noise)
+            .cluster(2)
+            .run(|ctx| {
+                let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+                let mut comm = Comm::world(ctx);
+                let mut sync = Hca3::skampi(30, 6);
+                let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+                let mut op = |ctx: &mut RankCtx, comm: &mut Comm| {
+                    ctx.compute(50e-6);
+                    let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
+                };
+                let cfg =
+                    RoundTimeConfig { max_time_slice_s: 0.05, max_nrep: 40, ..Default::default() };
+                let samples = run_round_time(ctx, &mut comm, g.as_mut(), cfg, &mut op);
+                let mean =
+                    samples.iter().map(|s| s.latency()).sum::<f64>() / samples.len().max(1) as f64;
+                comm.allreduce_f64(ctx, mean, ReduceOp::F64Max)
+            })
+            .remove(0)
+    };
+    let quiet = measure(None);
+    let noisy = measure(Some(NoiseSpec { rate_hz: 2000.0, mean_preempt_s: 50e-6 }));
+    // 2 kHz x 50 us = 10% expected compute inflation plus straggler
+    // amplification through the collective.
+    assert!(noisy > quiet * 1.02, "quiet {quiet:.3e} vs noisy {noisy:.3e}");
+}
+
+#[test]
+fn clock_sync_accuracy_survives_noise() {
+    // Noise perturbs compute, not message timestamps, so HCA3 should
+    // still deliver microsecond-level clocks.
+    let machine = noisy_machine(Some(NoiseSpec::noisy()));
+    let evals = machine.cluster(3).run(|ctx| {
+        let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let mut comm = Comm::world(ctx);
+        let mut sync = Hca3::skampi(40, 8);
+        let g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+        g.true_eval(3.0)
+    });
+    for v in &evals {
+        assert!((v - evals[0]).abs() < 8e-6, "err {:.3e}", (v - evals[0]).abs());
+    }
+}
+
+#[test]
+fn congestion_spikes_hit_the_window_scheme_hardest() {
+    // Raise the spike probability dramatically; the window scheme's
+    // validity rate should collapse relative to a clean network while
+    // Round-Time keeps collecting (it only loses the hit rounds).
+    use hierarchical_clock_sync::bench::schemes::{run_window_scheme, WindowConfig};
+    let mut machine = machines::testbed(4, 2);
+    machine.network.inter_node.jitter.spike_prob = 0.02;
+    machine.network.inter_node.jitter.spike_mean_s = 200e-6;
+    let res = machine.cluster(4).run(|ctx| {
+        let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let mut comm = Comm::world(ctx);
+        let mut sync = Hca3::skampi(30, 6);
+        let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+        let mut op = |ctx: &mut RankCtx, comm: &mut Comm| {
+            let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
+        };
+        let w = run_window_scheme(
+            ctx,
+            &mut comm,
+            g.as_mut(),
+            WindowConfig { window_s: 60e-6, nreps: 50, first_window_slack_s: 1e-3 },
+            &mut op,
+        );
+        let rt = run_round_time(
+            ctx,
+            &mut comm,
+            g.as_mut(),
+            RoundTimeConfig { max_time_slice_s: 0.1, max_nrep: 50, ..Default::default() },
+            &mut op,
+        );
+        (w.valid.iter().filter(|&&v| v).count(), rt.len())
+    });
+    let (window_valid, rt_valid) = res[0];
+    assert!(
+        rt_valid > window_valid,
+        "round-time {rt_valid} should beat window {window_valid} under spikes"
+    );
+}

@@ -1,0 +1,50 @@
+//! Scale smoke tests. The default-run sizes are kept moderate; the
+//! `#[ignore]`d test exercises the paper's full Titan scale (16 384
+//! ranks = 16 384 OS threads) and is run explicitly:
+//!
+//! ```text
+//! cargo test --release --test scale_smoke -- --ignored
+//! ```
+
+use hierarchical_clock_sync::mpi::ReduceOp;
+use hierarchical_clock_sync::prelude::*;
+
+#[test]
+fn two_thousand_ranks_sync_and_reduce() {
+    // 128 nodes x 16 cores = 2048 ranks, H2HCA + one allreduce.
+    let machine = machines::titan().with_shape(128, 1, 16);
+    let evals = machine.cluster(1).run(|ctx| {
+        let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let mut comm = Comm::world(ctx);
+        let mut sync = Hierarchical::h2(
+            Box::new(Hca3::skampi(15, 4)),
+            Box::new(ClockPropSync::verified()),
+        );
+        let g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+        let s = comm.allreduce_f64(ctx, 1.0, ReduceOp::F64Sum);
+        assert_eq!(s, 2048.0);
+        g.true_eval(2.0)
+    });
+    assert_eq!(evals.len(), 2048);
+    let max_err = evals.iter().map(|v| (v - evals[0]).abs()).fold(0.0f64, f64::max);
+    assert!(max_err < 60e-6, "max err {max_err:.3e}");
+}
+
+#[test]
+#[ignore = "8k OS threads; run explicitly with --ignored in release mode (16k needs ~32 GB RAM)"]
+fn titan_large_scale_8192_ranks() {
+    let machine = machines::titan().with_shape(512, 1, 16);
+    let evals = machine.cluster(1).run(|ctx| {
+        let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let mut comm = Comm::world(ctx);
+        let mut sync = Hierarchical::h2(
+            Box::new(Hca3::skampi(10, 4)),
+            Box::new(ClockPropSync::verified()),
+        );
+        let g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+        g.true_eval(2.0)
+    });
+    assert_eq!(evals.len(), 8192);
+    let max_err = evals.iter().map(|v| (v - evals[0]).abs()).fold(0.0f64, f64::max);
+    assert!(max_err < 150e-6, "max err {max_err:.3e}");
+}

@@ -1,0 +1,127 @@
+//! Cross-crate behavior of the measurement schemes — the paper's §V
+//! claims, verified end to end.
+
+use hierarchical_clock_sync::bench::schemes::{
+    run_barrier_scheme, run_round_time, run_window_scheme, RoundTimeConfig, WindowConfig,
+};
+use hierarchical_clock_sync::bench::suites::{measure_allreduce, Suite, SuiteConfig};
+use hierarchical_clock_sync::prelude::*;
+use hierarchical_clock_sync::mpi::ReduceOp;
+
+fn with_global_clock<R: Send>(
+    machine: &MachineSpec,
+    seed: u64,
+    f: impl Fn(&mut RankCtx, &mut Comm, &mut BoxClock) -> R + Sync,
+) -> Vec<R> {
+    machine.cluster(seed).run(|ctx| {
+        let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let mut comm = Comm::world(ctx);
+        let mut sync = Hca3::skampi(30, 6);
+        let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+        f(ctx, &mut comm, &mut g)
+    })
+}
+
+#[test]
+fn round_time_latency_is_independent_of_barrier_imbalance() {
+    // The barrier-based scheme's reported latency moves with the barrier
+    // algorithm; Round-Time's does not (it never calls a barrier).
+    let machine = machines::jupiter().with_shape(8, 2, 2);
+    let report = |suite: Suite, barrier: BarrierAlgorithm| -> f64 {
+        let res = with_global_clock(&machine, 11, move |ctx, comm, g| {
+            let cfg = SuiteConfig { nreps: 80, barrier, time_slice_s: 0.1 };
+            measure_allreduce(ctx, comm, g.as_mut(), suite, 8, cfg)
+        });
+        res[0].unwrap().latency_s
+    };
+    let rt_tree = report(Suite::ReproMpi, BarrierAlgorithm::Tree);
+    let rt_ring = report(Suite::ReproMpi, BarrierAlgorithm::DoubleRing);
+    let osu_tree = report(Suite::Osu, BarrierAlgorithm::Tree);
+    let osu_ring = report(Suite::Osu, BarrierAlgorithm::DoubleRing);
+    let rt_shift = (rt_ring - rt_tree).abs() / rt_tree;
+    let osu_shift = (osu_ring - osu_tree).abs() / osu_tree;
+    assert!(rt_shift < 0.05, "Round-Time shifted by {:.1}%", rt_shift * 100.0);
+    assert!(osu_shift > 0.15, "OSU should shift, got {:.1}%", osu_shift * 100.0);
+}
+
+#[test]
+fn window_scheme_cascades_but_round_time_recovers() {
+    // Same operation, same global clock: a too-small window invalidates
+    // in cascades, while Round-Time only loses the overrunning round.
+    let machine = machines::jupiter().with_shape(4, 2, 2);
+    let res = with_global_clock(&machine, 13, |ctx, comm, g| {
+        let mut op = |ctx: &mut RankCtx, comm: &mut Comm| {
+            let _ = comm.allreduce(ctx, &[0u8; 64], ReduceOp::ByteMax);
+        };
+        let w = run_window_scheme(
+            ctx,
+            comm,
+            g.as_mut(),
+            WindowConfig { window_s: 4e-6, nreps: 30, first_window_slack_s: 1e-3 },
+            &mut op,
+        );
+        let rt = run_round_time(
+            ctx,
+            comm,
+            g.as_mut(),
+            RoundTimeConfig { max_time_slice_s: 0.05, max_nrep: 30, ..Default::default() },
+            &mut op,
+        );
+        (w.valid.iter().filter(|&&v| v).count(), rt.len())
+    });
+    let (window_valid, rt_valid) = res[0];
+    assert!(window_valid < 5, "window scheme validated {window_valid}/30");
+    assert!(rt_valid >= 25, "round-time validated {rt_valid}/30");
+}
+
+#[test]
+fn all_schemes_measure_the_same_operation_consistently() {
+    // On a quiet machine the three schemes must agree on the latency of
+    // a deterministic operation.
+    let machine = machines::quiet_testbed(4, 2);
+    let res = with_global_clock(&machine, 17, |ctx, comm, g| {
+        let mut op = |ctx: &mut RankCtx, comm: &mut Comm| {
+            let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
+        };
+        let b = run_barrier_scheme(ctx, comm, g.as_mut(), BarrierAlgorithm::Tree, 20, &mut op);
+        let rt = run_round_time(
+            ctx,
+            comm,
+            g.as_mut(),
+            RoundTimeConfig { max_time_slice_s: 0.05, max_nrep: 20, ..Default::default() },
+            &mut op,
+        );
+        let bl = b.iter().map(|s| s.latency()).sum::<f64>() / b.len() as f64;
+        let rl = rt.iter().map(|s| s.latency()).sum::<f64>() / rt.len() as f64;
+        (bl, rl)
+    });
+    // Per-rank local views differ (fast ranks wait inside the op). The
+    // barrier scheme's worst rank additionally absorbs the barrier exit
+    // imbalance — that inflation is exactly the paper's complaint — so
+    // the right invariants are: Round-Time <= barrier-based, and both
+    // bounded by a small multiple of the true operation cost.
+    let b_max = res.iter().map(|r| r.0).fold(0.0f64, f64::max);
+    let rt_max = res.iter().map(|r| r.1).fold(0.0f64, f64::max);
+    assert!(rt_max <= b_max * 1.05, "round-time {rt_max:.3e} vs barrier {b_max:.3e}");
+    assert!(b_max < 3.0 * rt_max, "barrier inflation too large: {b_max:.3e} vs {rt_max:.3e}");
+}
+
+#[test]
+fn round_time_sample_counts_agree_across_ranks() {
+    let machine = machines::titan().with_shape(6, 1, 4);
+    let res = with_global_clock(&machine, 19, |ctx, comm, g| {
+        let mut op = |ctx: &mut RankCtx, comm: &mut Comm| {
+            let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
+        };
+        run_round_time(
+            ctx,
+            comm,
+            g.as_mut(),
+            RoundTimeConfig { max_time_slice_s: 0.05, max_nrep: 100, ..Default::default() },
+            &mut op,
+        )
+        .len()
+    });
+    assert!(res.iter().all(|&n| n == res[0]), "{res:?}");
+    assert!(res[0] > 10);
+}
