@@ -1,14 +1,13 @@
-//! Criterion: ablations of the design choices DESIGN.md calls out —
+//! Ablations of the design choices DESIGN.md calls out —
 //! `recompute_intercept` on/off, fit-point count, fit-window spacing,
 //! and SKaMPI-Offset vs Mean-RTT-Offset inside JK (paper §III-C3).
 //!
-//! Criterion reports the host cost; each iteration also computes the
+//! The harness reports the host cost; each iteration also computes the
 //! resulting accuracy (true max offset via the simulation oracle) and
-//! returns it so the value cannot be optimized away — run with
-//! `--nocapture`-style verbose tools or see tests for the accuracy
-//! assertions themselves.
+//! returns it so the value cannot be optimized away — see the tests for
+//! the accuracy assertions themselves.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcs_bench::microbench::Runner;
 use hcs_clock::{Clock, LocalClock, TimeSource};
 use hcs_core::prelude::*;
 use hcs_mpi::Comm;
@@ -23,60 +22,49 @@ fn max_error(make: &(dyn Fn() -> Box<dyn ClockSync> + Sync)) -> f64 {
         let g = alg.sync_clocks(ctx, &mut comm, Box::new(clk));
         g.true_eval(5.0)
     });
-    evals.iter().map(|v| (v - evals[0]).abs()).fold(0.0, f64::max)
+    evals
+        .iter()
+        .map(|v| (v - evals[0]).abs())
+        .fold(0.0, f64::max)
 }
 
-fn bench_ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_recompute_intercept");
-    g.sample_size(10);
+fn main() {
+    let mut r = Runner::from_env();
+
     for flag in [false, true] {
-        g.bench_with_input(BenchmarkId::from_parameter(flag), &flag, |b, &flag| {
-            b.iter(|| {
-                max_error(&move || {
-                    let params =
-                        LearnParams { nfitpoints: 30, recompute_intercept: flag, spacing_s: 1e-3 };
-                    Box::new(Hca3::new(params, OffsetSpec::Skampi { nexchanges: 8 }))
-                        as Box<dyn ClockSync>
-                })
+        r.case("ablation_recompute_intercept", &flag.to_string(), || {
+            max_error(&move || {
+                let params = LearnParams {
+                    nfitpoints: 30,
+                    recompute_intercept: flag,
+                    spacing_s: 1e-3,
+                };
+                Box::new(Hca3::new(params, OffsetSpec::Skampi { nexchanges: 8 }))
+                    as Box<dyn ClockSync>
             })
         });
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("ablation_fitpoints");
-    g.sample_size(10);
     for nfit in [10usize, 30, 100, 300] {
-        g.bench_with_input(BenchmarkId::from_parameter(nfit), &nfit, |b, &nfit| {
-            b.iter(|| max_error(&move || Box::new(Hca3::skampi(nfit, 8)) as Box<dyn ClockSync>))
+        r.case("ablation_fitpoints", &nfit.to_string(), || {
+            max_error(&move || Box::new(Hca3::skampi(nfit, 8)) as Box<dyn ClockSync>)
         });
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("ablation_fit_window_spacing");
-    g.sample_size(10);
     for spacing in [0.0f64, 1e-3, 3e-3, 10e-3] {
-        g.bench_with_input(BenchmarkId::from_parameter(spacing), &spacing, |b, &spacing| {
-            b.iter(|| {
-                max_error(&move || {
-                    Box::new(Hca3::skampi(30, 8).with_spacing(spacing)) as Box<dyn ClockSync>
-                })
+        r.case("ablation_fit_window_spacing", &spacing.to_string(), || {
+            max_error(&move || {
+                Box::new(Hca3::skampi(30, 8).with_spacing(spacing)) as Box<dyn ClockSync>
             })
         });
     }
-    g.finish();
 
     // The paper's "another contribution": SKaMPI-Offset inside JK beats
     // the traditional Mean-RTT-Offset.
-    let mut g = c.benchmark_group("ablation_jk_offset_algorithm");
-    g.sample_size(10);
-    g.bench_function("skampi", |b| {
-        b.iter(|| max_error(&|| Box::new(Jk::skampi(30, 8)) as Box<dyn ClockSync>))
+    r.case("ablation_jk_offset_algorithm", "skampi", || {
+        max_error(&|| Box::new(Jk::skampi(30, 8)) as Box<dyn ClockSync>)
     });
-    g.bench_function("mean_rtt", |b| {
-        b.iter(|| max_error(&|| Box::new(Jk::mean_rtt(30, 8)) as Box<dyn ClockSync>))
+    r.case("ablation_jk_offset_algorithm", "mean_rtt", || {
+        max_error(&|| Box::new(Jk::mean_rtt(30, 8)) as Box<dyn ClockSync>)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

@@ -1,43 +1,40 @@
-//! Criterion: the MPI-layer collectives — every barrier variant, the
-//! allreduce algorithms across payload sizes, broadcast and the
-//! communicator splits (whose cost the paper deliberately charges to
-//! the hierarchical schemes).
+//! The MPI-layer collectives — every barrier variant, the allreduce
+//! algorithms across payload sizes, broadcast and the communicator
+//! splits (whose cost the paper deliberately charges to the
+//! hierarchical schemes).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hcs_bench::microbench::Runner;
 use hcs_mpi::{AllreduceAlgorithm, BarrierAlgorithm, Comm, ReduceOp};
 use hcs_sim::machines;
 
-fn bench_barriers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("barrier_32_ranks");
-    g.sample_size(10);
+fn main() {
+    let mut r = Runner::from_env();
+
     for alg in BarrierAlgorithm::ALL {
-        g.bench_function(alg.label(), |b| {
-            b.iter(|| {
-                machines::testbed(8, 4).cluster(1).run(|ctx| {
-                    let mut comm = Comm::world(ctx);
-                    for _ in 0..20 {
-                        comm.barrier(ctx, alg);
-                    }
-                    ctx.now()
-                })
+        r.case("barrier_32_ranks", alg.label(), || {
+            machines::testbed(8, 4).cluster(1).run(|ctx| {
+                let mut comm = Comm::world(ctx);
+                for _ in 0..20 {
+                    comm.barrier(ctx, alg);
+                }
+                ctx.now()
             })
         });
     }
-    g.finish();
-}
 
-fn bench_allreduce(c: &mut Criterion) {
-    let mut g = c.benchmark_group("allreduce_16_ranks");
-    g.sample_size(10);
     for (name, alg) in [
         ("recursive_doubling", AllreduceAlgorithm::RecursiveDoubling),
         ("reduce_bcast", AllreduceAlgorithm::ReduceBcast),
         ("ring", AllreduceAlgorithm::Ring),
     ] {
         for size in [8usize, 1024, 65536] {
-            g.throughput(Throughput::Bytes(size as u64));
-            g.bench_with_input(BenchmarkId::new(name, size), &size, |b, &size| {
-                b.iter(|| {
+            let case = format!("{name}_{size}B");
+            r.case_throughput(
+                "allreduce_16_ranks",
+                &case,
+                size as f64 * 5.0,
+                "bytes",
+                || {
                     machines::testbed(4, 4).cluster(2).run(move |ctx| {
                         let mut comm = Comm::world(ctx);
                         let payload = vec![0u8; size];
@@ -46,25 +43,17 @@ fn bench_allreduce(c: &mut Criterion) {
                         }
                         ctx.now()
                     })
-                })
-            });
+                },
+            );
         }
     }
-    g.finish();
-}
 
-fn bench_splits(c: &mut Criterion) {
-    c.bench_function("comm_split_node_plus_leaders_32_ranks", |b| {
-        b.iter(|| {
-            machines::testbed(8, 4).cluster(3).run(|ctx| {
-                let mut world = Comm::world(ctx);
-                let node = world.split_shared_node(ctx);
-                let leaders = world.split_node_leaders(ctx);
-                (node.size(), leaders.map(|l| l.size()))
-            })
+    r.case("comm_split", "node_plus_leaders_32_ranks", || {
+        machines::testbed(8, 4).cluster(3).run(|ctx| {
+            let mut world = Comm::world(ctx);
+            let node = world.split_shared_node(ctx);
+            let leaders = world.split_node_leaders(ctx);
+            (node.size(), leaders.map(|l| l.size()))
         })
     });
 }
-
-criterion_group!(benches, bench_barriers, bench_allreduce, bench_splits);
-criterion_main!(benches);

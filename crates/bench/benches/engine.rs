@@ -1,43 +1,78 @@
-//! Criterion: raw throughput of the virtual-time engine — message rate
-//! of ping-pong chains and fan-in patterns, and the cost of spawning a
-//! cluster. These numbers bound how large a simulated experiment can be.
+//! Raw throughput of the virtual-time engine — message rate of
+//! ping-pong chains and fan-in patterns, repeated-run rate through the
+//! persistent thread pool vs fresh-spawn, and cluster spawn cost. These
+//! numbers bound how large a simulated experiment can be.
+//!
+//! `cargo bench -p hcs-experiments --bench engine`. The tracked JSON
+//! baseline is produced by the `bench_engine` binary (see
+//! EXPERIMENTS.md), which shares these workloads.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hcs_bench::microbench::Runner;
 use hcs_sim::machines;
 
-fn bench_pingpong(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine_pingpong");
-    for msgs in [1_000usize, 10_000] {
-        g.throughput(Throughput::Elements(msgs as u64 * 2));
-        g.bench_with_input(BenchmarkId::from_parameter(msgs), &msgs, |b, &msgs| {
-            b.iter(|| {
-                machines::testbed(2, 1).cluster(1).run(move |ctx| {
-                    if ctx.rank() == 0 {
-                        for i in 0..msgs as u32 {
-                            ctx.send_f64(1, i & 0xFF, 1.0);
-                            let _ = ctx.recv_f64(1, i & 0xFF);
-                        }
-                    } else {
-                        for i in 0..msgs as u32 {
-                            let v = ctx.recv_f64(0, i & 0xFF);
-                            ctx.send_f64(0, i & 0xFF, v);
-                        }
-                    }
-                    ctx.now()
-                })
-            })
-        });
+/// One rank-0↔1 ping-pong run of `msgs` round trips at cluster size `p`.
+fn pingpong_run(p: usize, msgs: u32, seed: u64, pooled: bool) {
+    let cluster = machines::testbed(p.div_ceil(4).max(1), p.min(4)).cluster(seed);
+    let body = move |ctx: &mut hcs_sim::RankCtx| {
+        match ctx.rank() {
+            0 => {
+                for i in 0..msgs {
+                    ctx.send_f64(1, i & 0xFF, 1.0);
+                    let _ = ctx.recv_f64(1, i & 0xFF);
+                }
+            }
+            1 => {
+                for i in 0..msgs {
+                    let v = ctx.recv_f64(0, i & 0xFF);
+                    ctx.send_f64(0, i & 0xFF, v);
+                }
+            }
+            _ => {}
+        }
+        ctx.now()
+    };
+    if pooled {
+        cluster.run(body);
+    } else {
+        cluster.run_unpooled(body);
     }
-    g.finish();
 }
 
-fn bench_fanin(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine_fan_in");
-    g.sample_size(10);
+fn main() {
+    let mut r = Runner::from_env();
+
+    // Message throughput: 2-rank ping-pong chains (2 messages per trip).
+    for msgs in [1_000u32, 10_000] {
+        r.case_throughput(
+            "engine_pingpong",
+            &msgs.to_string(),
+            msgs as f64 * 2.0,
+            "msgs",
+            || pingpong_run(2, msgs, 1, true),
+        );
+    }
+
+    // Repeated-run rate at the ISSUE's tracked cluster sizes: the pool
+    // keeps rank threads parked between runs, so runs/sec is dominated
+    // by simulation work, not thread spawn/teardown.
+    for p in [32usize, 256, 2048] {
+        let case = format!("p{p}");
+        r.case_throughput("engine_runs_pooled", &case, 1.0, "runs", || {
+            pingpong_run(p, 100, 2, true)
+        });
+        r.case_throughput("engine_runs_fresh_spawn", &case, 1.0, "runs", || {
+            pingpong_run(p, 100, 2, false)
+        });
+    }
+
+    // Fan-in: all ranks send one small message to rank 0.
     for ranks in [16usize, 64, 256] {
-        g.throughput(Throughput::Elements(ranks as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
-            b.iter(|| {
+        r.case_throughput(
+            "engine_fan_in",
+            &ranks.to_string(),
+            ranks as f64,
+            "msgs",
+            || {
                 machines::testbed(ranks / 4, 4).cluster(2).run(|ctx| {
                     if ctx.rank() == 0 {
                         for src in 1..ctx.size() {
@@ -46,23 +81,17 @@ fn bench_fanin(c: &mut Criterion) {
                     } else {
                         ctx.send(0, 0, &[0u8; 8]);
                     }
-                })
-            })
-        });
+                });
+            },
+        );
     }
-    g.finish();
-}
 
-fn bench_spawn(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine_spawn_teardown");
-    g.sample_size(10);
+    // Bare run cost (no communication): pool checkout + latch overhead.
     for ranks in [64usize, 512] {
-        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
-            b.iter(|| machines::testbed(ranks / 8, 8).cluster(3).run(|ctx| ctx.rank()))
+        r.case("engine_spawn_teardown", &ranks.to_string(), || {
+            machines::testbed(ranks / 8, 8)
+                .cluster(3)
+                .run(|ctx| ctx.rank())
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_pingpong, bench_fanin, bench_spawn);
-criterion_main!(benches);

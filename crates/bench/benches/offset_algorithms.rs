@@ -1,9 +1,9 @@
-//! Criterion: the two clock-offset building blocks (SKaMPI-Offset vs
+//! The two clock-offset building blocks (SKaMPI-Offset vs
 //! Mean-RTT-Offset) and the effect of the ping-pong count — the
 //! paper's §III-C3 ablation (SKaMPI-Offset inside JK boosted precision;
 //! fewer ping-pongs cut cost).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcs_bench::microbench::Runner;
 use hcs_clock::{LocalClock, Oscillator};
 use hcs_core::prelude::*;
 use hcs_mpi::Comm;
@@ -26,22 +26,20 @@ fn measure_pair(make: &(dyn Fn() -> Box<dyn OffsetAlgorithm> + Sync), reps: usiz
     out[1]
 }
 
-fn bench_offsets(c: &mut Criterion) {
-    let mut g = c.benchmark_group("offset_algorithms");
+fn main() {
+    let mut r = Runner::from_env();
     for pp in [5usize, 10, 20, 50] {
-        g.bench_with_input(BenchmarkId::new("skampi", pp), &pp, |b, &pp| {
-            b.iter(|| {
-                measure_pair(&move || Box::new(SkampiOffset::new(pp)) as Box<dyn OffsetAlgorithm>, 20)
-            })
+        r.case("offset_algorithms_skampi", &pp.to_string(), || {
+            measure_pair(
+                &move || Box::new(SkampiOffset::new(pp)) as Box<dyn OffsetAlgorithm>,
+                20,
+            )
         });
-        g.bench_with_input(BenchmarkId::new("mean_rtt", pp), &pp, |b, &pp| {
-            b.iter(|| {
-                measure_pair(&move || Box::new(MeanRttOffset::new(pp)) as Box<dyn OffsetAlgorithm>, 20)
-            })
+        r.case("offset_algorithms_mean_rtt", &pp.to_string(), || {
+            measure_pair(
+                &move || Box::new(MeanRttOffset::new(pp)) as Box<dyn OffsetAlgorithm>,
+                20,
+            )
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_offsets);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion: the three measurement schemes (barrier / window /
-//! Round-Time) and the ablation of the Round-Time slack factor `B`.
+//! The three measurement schemes (barrier / window / Round-Time) and
+//! the ablation of the Round-Time slack factor `B`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcs_bench::microbench::Runner;
 use hcs_bench::schemes::{
     run_barrier_scheme, run_round_time, run_window_scheme, RoundTimeConfig, WindowConfig,
 };
@@ -22,11 +22,13 @@ fn with_global<R: Send>(
     })
 }
 
-fn bench_schemes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("measurement_schemes_16_ranks_30_reps");
-    g.sample_size(10);
-    g.bench_function("barrier_tree", |b| {
-        b.iter(|| {
+fn main() {
+    let mut r = Runner::from_env();
+
+    r.case(
+        "measurement_schemes_16_ranks_30_reps",
+        "barrier_tree",
+        || {
             with_global(|ctx, comm, clk| {
                 let mut op = |ctx: &mut hcs_sim::RankCtx, comm: &mut Comm| {
                     let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
@@ -34,57 +36,53 @@ fn bench_schemes(c: &mut Criterion) {
                 run_barrier_scheme(ctx, comm, clk.as_mut(), BarrierAlgorithm::Tree, 30, &mut op)
                     .len()
             })
+        },
+    );
+    r.case("measurement_schemes_16_ranks_30_reps", "window", || {
+        with_global(|ctx, comm, clk| {
+            let mut op = |ctx: &mut hcs_sim::RankCtx, comm: &mut Comm| {
+                let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
+            };
+            let cfg = WindowConfig {
+                window_s: 300e-6,
+                nreps: 30,
+                first_window_slack_s: 1e-3,
+            };
+            run_window_scheme(ctx, comm, clk.as_mut(), cfg, &mut op)
+                .samples
+                .len()
         })
     });
-    g.bench_function("window", |b| {
-        b.iter(|| {
-            with_global(|ctx, comm, clk| {
-                let mut op = |ctx: &mut hcs_sim::RankCtx, comm: &mut Comm| {
-                    let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
-                };
-                let cfg = WindowConfig { window_s: 300e-6, nreps: 30, first_window_slack_s: 1e-3 };
-                run_window_scheme(ctx, comm, clk.as_mut(), cfg, &mut op).samples.len()
-            })
+    r.case("measurement_schemes_16_ranks_30_reps", "round_time", || {
+        with_global(|ctx, comm, clk| {
+            let mut op = |ctx: &mut hcs_sim::RankCtx, comm: &mut Comm| {
+                let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
+            };
+            let cfg = RoundTimeConfig {
+                max_time_slice_s: 1.0,
+                max_nrep: 30,
+                ..Default::default()
+            };
+            run_round_time(ctx, comm, clk.as_mut(), cfg, &mut op).len()
         })
     });
-    g.bench_function("round_time", |b| {
-        b.iter(|| {
-            with_global(|ctx, comm, clk| {
-                let mut op = |ctx: &mut hcs_sim::RankCtx, comm: &mut Comm| {
-                    let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
-                };
-                let cfg =
-                    RoundTimeConfig { max_time_slice_s: 1.0, max_nrep: 30, ..Default::default() };
-                run_round_time(ctx, comm, clk.as_mut(), cfg, &mut op).len()
-            })
-        })
-    });
-    g.finish();
 
     // Ablation: the slack factor B trades wasted wait time against the
     // probability of invalid (late) rounds.
-    let mut g = c.benchmark_group("round_time_slack_ablation");
-    g.sample_size(10);
     for slack in [1.0f64, 2.0, 4.0, 8.0] {
-        g.bench_with_input(BenchmarkId::from_parameter(slack), &slack, |b, &slack| {
-            b.iter(|| {
-                with_global(|ctx, comm, clk| {
-                    let mut op = |ctx: &mut hcs_sim::RankCtx, comm: &mut Comm| {
-                        let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
-                    };
-                    let cfg = RoundTimeConfig {
-                        max_time_slice_s: 1.0,
-                        max_nrep: 30,
-                        slack_b: slack,
-                        ..Default::default()
-                    };
-                    run_round_time(ctx, comm, clk.as_mut(), cfg, &mut op).len()
-                })
+        r.case("round_time_slack_ablation", &slack.to_string(), || {
+            with_global(|ctx, comm, clk| {
+                let mut op = |ctx: &mut hcs_sim::RankCtx, comm: &mut Comm| {
+                    let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
+                };
+                let cfg = RoundTimeConfig {
+                    max_time_slice_s: 1.0,
+                    max_nrep: 30,
+                    slack_b: slack,
+                    ..Default::default()
+                };
+                run_round_time(ctx, comm, clk.as_mut(), cfg, &mut op).len()
             })
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_schemes);
-criterion_main!(benches);

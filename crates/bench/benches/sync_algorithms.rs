@@ -1,12 +1,12 @@
-//! Criterion: host-side cost of the clock synchronization algorithms
-//! (JK vs HCA vs HCA2 vs HCA3 vs H2HCA) and their scaling in p.
+//! Host-side cost of the clock synchronization algorithms (JK vs HCA vs
+//! HCA2 vs HCA3 vs H2HCA) and their scaling in p.
 //!
 //! Complements the figure binaries: figures report *virtual* (simulated)
 //! durations; these benches track how expensive the simulation itself is
 //! — the number of simulated messages is the dominant factor, so the
 //! O(p) vs O(log p) split is visible here too.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcs_bench::microbench::Runner;
 use hcs_clock::{LocalClock, TimeSource};
 use hcs_core::prelude::*;
 use hcs_core::SyncFactory;
@@ -25,14 +25,26 @@ fn run_alg(nodes: usize, cores: usize, make: &(dyn Fn() -> Box<dyn ClockSync> + 
     out.into_iter().fold(0.0, f64::max)
 }
 
-fn bench_algorithms(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sync_algorithms_16_ranks");
-    g.sample_size(10);
+fn main() {
+    let mut r = Runner::from_env();
+
     let algs: Vec<(&str, SyncFactory)> = vec![
-        ("jk", Box::new(|| Box::new(Jk::skampi(20, 5)) as Box<dyn ClockSync>)),
-        ("hca", Box::new(|| Box::new(Hca::skampi(20, 5)) as Box<dyn ClockSync>)),
-        ("hca2", Box::new(|| Box::new(Hca2::skampi(20, 5)) as Box<dyn ClockSync>)),
-        ("hca3", Box::new(|| Box::new(Hca3::skampi(20, 5)) as Box<dyn ClockSync>)),
+        (
+            "jk",
+            Box::new(|| Box::new(Jk::skampi(20, 5)) as Box<dyn ClockSync>),
+        ),
+        (
+            "hca",
+            Box::new(|| Box::new(Hca::skampi(20, 5)) as Box<dyn ClockSync>),
+        ),
+        (
+            "hca2",
+            Box::new(|| Box::new(Hca2::skampi(20, 5)) as Box<dyn ClockSync>),
+        ),
+        (
+            "hca3",
+            Box::new(|| Box::new(Hca3::skampi(20, 5)) as Box<dyn ClockSync>),
+        ),
         (
             "h2hca",
             Box::new(|| {
@@ -44,19 +56,16 @@ fn bench_algorithms(c: &mut Criterion) {
         ),
     ];
     for (name, make) in &algs {
-        g.bench_function(*name, |b| b.iter(|| run_alg(4, 4, make.as_ref())));
-    }
-    g.finish();
-
-    let mut g = c.benchmark_group("hca3_scaling");
-    g.sample_size(10);
-    for nodes in [4usize, 8, 16, 32] {
-        g.bench_with_input(BenchmarkId::from_parameter(nodes * 4), &nodes, |b, &nodes| {
-            b.iter(|| run_alg(nodes, 4, &|| Box::new(Hca3::skampi(15, 5)) as Box<dyn ClockSync>))
+        r.case("sync_algorithms_16_ranks", name, || {
+            run_alg(4, 4, make.as_ref())
         });
     }
-    g.finish();
-}
 
-criterion_group!(benches, bench_algorithms);
-criterion_main!(benches);
+    for nodes in [4usize, 8, 16, 32] {
+        r.case("hca3_scaling", &(nodes * 4).to_string(), || {
+            run_alg(nodes, 4, &|| {
+                Box::new(Hca3::skampi(15, 5)) as Box<dyn ClockSync>
+            })
+        });
+    }
+}

@@ -12,9 +12,8 @@ use hcs_bench::profile::Profiler;
 use hcs_clock::{LocalClock, TimeSource};
 use hcs_experiments::Args;
 use hcs_mpi::{Comm, ReduceOp};
-use hcs_sim::rngx::{self, label};
 use hcs_sim::machines;
-use rand::Rng;
+use hcs_sim::rngx::{self, label};
 
 fn main() {
     let args = Args::parse(&["nodes", "ppn", "iters", "compute-us", "seed"]);
@@ -42,7 +41,7 @@ fn main() {
         let payload = [0u8; 8];
         for _ in 0..iters {
             prof.enter("compute", &mut clk, ctx);
-            let noise = 1.0 + 0.3 * (rng.gen::<f64>() * 2.0 - 1.0);
+            let noise = 1.0 + 0.3 * (rng.next_f64() * 2.0 - 1.0);
             ctx.compute(compute_us * 1e-6 * noise);
             prof.leave("compute", &mut clk, ctx);
 
@@ -54,9 +53,16 @@ fn main() {
     });
 
     let report = reports[0].as_ref().expect("root gathers");
-    println!("{:<22} {:>10} {:>14} {:>10}", "region", "calls", "total [ms]", "% of run");
+    println!(
+        "{:<22} {:>10} {:>14} {:>10}",
+        "region", "calls", "total [ms]", "% of run"
+    );
     for (name, calls, total, frac) in report.rows() {
-        println!("{name:<22} {calls:>10} {:>14.3} {:>9.1}%", total * 1e3, frac * 100.0);
+        println!(
+            "{name:<22} {calls:>10} {:>14.3} {:>9.1}%",
+            total * 1e3,
+            frac * 100.0
+        );
     }
     let frac = report.fraction("MPI_Allreduce(8B)");
     println!(

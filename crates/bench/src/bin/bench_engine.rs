@@ -1,0 +1,105 @@
+//! Tracked perf baseline of the virtual-time engine.
+//!
+//! Runs the engine throughput workloads (message rate, repeated-run
+//! rate through the persistent thread pool vs fresh-spawn, fan-in) and
+//! writes the results to `BENCH_engine.json` so the perf trajectory of
+//! the simulator is recorded in-repo, PR over PR.
+//!
+//! ```text
+//! cargo run --release -p hcs-experiments --bin bench_engine [--out BENCH_engine.json]
+//! ```
+//!
+//! Iteration counts auto-calibrate to a wall-clock budget; set
+//! `HCS_BENCH_TARGET_MS` to trade precision against runtime.
+
+use hcs_bench::microbench::Runner;
+use hcs_experiments::Args;
+use hcs_sim::{machines, ClusterPool, RankCtx};
+
+/// One ping-pong run of `msgs` round trips between ranks 0 and 1 on a
+/// `p`-rank cluster (the ISSUE's tracked repeated-run workload).
+fn pingpong_run(p: usize, msgs: u32, seed: u64, pooled: bool) {
+    let cluster = machines::testbed(p.div_ceil(4).max(1), p.min(4)).cluster(seed);
+    let body = move |ctx: &mut RankCtx| {
+        match ctx.rank() {
+            0 => {
+                for i in 0..msgs {
+                    ctx.send_f64(1, i & 0xFF, 1.0);
+                    let _ = ctx.recv_f64(1, i & 0xFF);
+                }
+            }
+            1 => {
+                for i in 0..msgs {
+                    let v = ctx.recv_f64(0, i & 0xFF);
+                    ctx.send_f64(0, i & 0xFF, v);
+                }
+            }
+            _ => {}
+        }
+        ctx.now()
+    };
+    if pooled {
+        cluster.run(body);
+    } else {
+        cluster.run_unpooled(body);
+    }
+}
+
+fn main() {
+    let args = Args::parse(&["out"]);
+    let out_path = args.get_str("out", "BENCH_engine.json");
+
+    let mut r = Runner::from_env();
+
+    // Message throughput (2 messages per round trip).
+    for msgs in [1_000u32, 10_000] {
+        r.case_throughput(
+            "engine_pingpong",
+            &msgs.to_string(),
+            msgs as f64 * 2.0,
+            "msgs",
+            || pingpong_run(2, msgs, 1, true),
+        );
+    }
+
+    // Repeated-run rate: pooled vs fresh-spawn at the tracked sizes.
+    for p in [32usize, 256, 2048] {
+        let case = format!("p{p}");
+        r.case_throughput("engine_runs_pooled", &case, 1.0, "runs", || {
+            pingpong_run(p, 100, 2, true)
+        });
+        r.case_throughput("engine_runs_fresh_spawn", &case, 1.0, "runs", || {
+            pingpong_run(p, 100, 2, false)
+        });
+    }
+
+    // Fan-in message rate.
+    for ranks in [16usize, 64, 256] {
+        r.case_throughput(
+            "engine_fan_in",
+            &ranks.to_string(),
+            ranks as f64,
+            "msgs",
+            || {
+                machines::testbed(ranks / 4, 4).cluster(2).run(|ctx| {
+                    if ctx.rank() == 0 {
+                        for src in 1..ctx.size() {
+                            let _ = ctx.recv(src, 0);
+                        }
+                    } else {
+                        ctx.send(0, 0, &[0u8; 8]);
+                    }
+                });
+            },
+        );
+    }
+
+    println!(
+        "\npool: {} threads spawned over the whole session, {} parked",
+        ClusterPool::global().threads_spawned(),
+        ClusterPool::global().idle_workers()
+    );
+
+    std::fs::write(&out_path, r.to_json("engine")).expect("write bench baseline");
+    println!("wrote {out_path}");
+}

@@ -38,7 +38,10 @@ fn run_case(
         } else {
             Box::new(base)
         };
-        let cfg = AmgProxyConfig { iterations: 12, ..Default::default() };
+        let cfg = AmgProxyConfig {
+            iterations: 12,
+            ..Default::default()
+        };
         let tracer = amg_proxy(ctx, &mut comm, trace_clk.as_mut(), cfg);
         tracer.gather(ctx, &mut comm)
     });
@@ -68,8 +71,18 @@ fn main() {
     );
 
     let cases = [
-        ("clock_gettime", TimeSource::RawMonotonic, true, "global clock"),
-        ("clock_gettime", TimeSource::RawMonotonic, false, "local clock"),
+        (
+            "clock_gettime",
+            TimeSource::RawMonotonic,
+            true,
+            "global clock",
+        ),
+        (
+            "clock_gettime",
+            TimeSource::RawMonotonic,
+            false,
+            "local clock",
+        ),
         ("gettimeofday", TimeSource::WallCoarse, true, "global clock"),
         ("gettimeofday", TimeSource::WallCoarse, false, "local clock"),
     ];

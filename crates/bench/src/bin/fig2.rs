@@ -23,8 +23,14 @@ fn main() {
     let span = args.get_f64("span", 500.0);
     let step = args.get_f64("step", 2.0);
     let seed = args.get_u64("seed", 1);
-    assert!(ranks >= 2, "--ranks must be >= 2 (one reference + at least one client)");
-    assert!(span / step >= 2.0, "--span must cover at least two --step intervals");
+    assert!(
+        ranks >= 2,
+        "--ranks must be >= 2 (one reference + at least one client)"
+    );
+    assert!(
+        span / step >= 2.0,
+        "--span must cover at least two --step intervals"
+    );
 
     // One rank per node, like the paper (pinned to the first core).
     let machine = machines::hydra().with_shape(ranks, 1, 1);
@@ -61,10 +67,14 @@ fn main() {
         points
     });
 
-    println!("Fig. 2a: clock drift over {span:.0} s, {} ranks vs rank 0, Hydra", ranks - 1);
+    println!(
+        "Fig. 2a: clock drift over {span:.0} s, {} ranks vs rank 0, Hydra",
+        ranks - 1
+    );
     println!("(offsets in us; one row per sampled instant, one column per rank)\n");
-    let header: Vec<String> =
-        std::iter::once("time_s".to_string()).chain((1..ranks).map(|r| format!("rank{r}"))).collect();
+    let header: Vec<String> = std::iter::once("time_s".to_string())
+        .chain((1..ranks).map(|r| format!("rank{r}")))
+        .collect();
     println!("{}", header.join("\t"));
     for i in (0..nsamples).step_by((nsamples / 25).max(1)) {
         let mut row = vec![format!("{:7.1}", series[1][i].0)];
@@ -98,8 +108,13 @@ fn main() {
     }
     // The operational consequence (what actually breaks tracing tools):
     // a linear model fitted on the first 10 s extrapolates poorly.
-    println!("\nextrapolation error of the 10 s model (the reason clocks must be re-synchronized):");
-    println!("{:<6} {:>16} {:>16} {:>16}", "rank", "@60s [us]", "@200s [us]", "@500s [us]");
+    println!(
+        "\nextrapolation error of the 10 s model (the reason clocks must be re-synchronized):"
+    );
+    println!(
+        "{:<6} {:>16} {:>16} {:>16}",
+        "rank", "@60s [us]", "@200s [us]", "@500s [us]"
+    );
     for (r, pts) in series.iter().enumerate().take(ranks.min(4)).skip(1) {
         let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
         let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
@@ -125,7 +140,8 @@ fn main() {
         let mut w = CsvWriter::create(&path, &["rank", "time_s", "offset_us"]).unwrap();
         for (r, pts) in series.iter().enumerate().skip(1) {
             for &(t, off) in pts {
-                w.row(&[r.to_string(), format!("{t}"), format!("{}", off * 1e6)]).unwrap();
+                w.row(&[r.to_string(), format!("{t}"), format!("{}", off * 1e6)])
+                    .unwrap();
             }
         }
         w.finish().unwrap();

@@ -30,7 +30,14 @@ struct Row {
 
 fn main() {
     let args = Args::parse(&[
-        "nodes", "ppn", "runs", "fitpoints", "pingpongs", "wait", "seed", "csv",
+        "nodes",
+        "ppn",
+        "runs",
+        "fitpoints",
+        "pingpongs",
+        "wait",
+        "seed",
+        "csv",
     ]);
     let nodes = args.get_usize("nodes", 16);
     let ppn = args.get_usize("ppn", 8);
@@ -51,12 +58,14 @@ fn main() {
         (format!("hca/{nfit}/skampi_offset/{pp}"), {
             Box::new(move || Box::new(Hca::skampi(nfit, pp)) as Box<dyn ClockSync>) as SyncFactory
         }),
-        (format!("hca2/recompute_intercept/{nfit}/skampi_offset/{pp}"), {
-            Box::new(move || Box::new(Hca2::skampi(nfit, pp)) as Box<dyn ClockSync>)
-        }),
-        (format!("hca3/recompute_intercept/{nfit}/skampi_offset/{pp}"), {
-            Box::new(move || Box::new(Hca3::skampi(nfit, pp)) as Box<dyn ClockSync>)
-        }),
+        (
+            format!("hca2/recompute_intercept/{nfit}/skampi_offset/{pp}"),
+            { Box::new(move || Box::new(Hca2::skampi(nfit, pp)) as Box<dyn ClockSync>) },
+        ),
+        (
+            format!("hca3/recompute_intercept/{nfit}/skampi_offset/{pp}"),
+            { Box::new(move || Box::new(Hca3::skampi(nfit, pp)) as Box<dyn ClockSync>) },
+        ),
         // JK: the paper found 20 ping-pongs sufficient (and SKaMPI-Offset
         // inside JK superior to Mean-RTT-Offset). JK needs denser fits:
         // its slope error is multiplied by the full O(p) run time before
@@ -111,14 +120,23 @@ fn main() {
     }
 
     println!("\nper-algorithm means (the horizontal bars of Fig. 3):");
-    println!("{:<55} {:>10} {:>14} {:>14}", "algorithm", "dur [s]", "max@0s [us]", "max@10s [us]");
+    println!(
+        "{:<55} {:>10} {:>14} {:>14}",
+        "algorithm", "dur [s]", "max@0s [us]", "max@10s [us]"
+    );
     for (label, _) in &makers {
         let sel: Vec<&Row> = rows.iter().filter(|r| &r.label == label).collect();
         let n = sel.len() as f64;
         let d = sel.iter().map(|r| r.duration).sum::<f64>() / n;
         let a0 = sel.iter().map(|r| r.max_at0).sum::<f64>() / n;
         let a1 = sel.iter().map(|r| r.max_at10).sum::<f64>() / n;
-        println!("{:<55} {:>10.3} {:>14.3} {:>14.3}", label, d, a0 * 1e6, a1 * 1e6);
+        println!(
+            "{:<55} {:>10.3} {:>14.3} {:>14.3}",
+            label,
+            d,
+            a0 * 1e6,
+            a1 * 1e6
+        );
     }
     let jk_d = mean_dur(&rows, "jk/");
     let hca3_d = mean_dur(&rows, "hca3/");
@@ -130,9 +148,11 @@ fn main() {
     let csv = args.get_str("csv", "");
     if !csv.is_empty() {
         let path: std::path::PathBuf = csv.into();
-        let mut w =
-            CsvWriter::create(&path, &["algorithm", "duration_s", "max_at0_us", "max_at10_us"])
-                .unwrap();
+        let mut w = CsvWriter::create(
+            &path,
+            &["algorithm", "duration_s", "max_at0_us", "max_at10_us"],
+        )
+        .unwrap();
         for r in &rows {
             w.row(&[
                 r.label.clone(),
@@ -148,6 +168,9 @@ fn main() {
 }
 
 fn mean_dur(rows: &[Row], prefix: &str) -> f64 {
-    let sel: Vec<&Row> = rows.iter().filter(|r| r.label.starts_with(prefix)).collect();
+    let sel: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.label.starts_with(prefix))
+        .collect();
     sel.iter().map(|r| r.duration).sum::<f64>() / sel.len() as f64
 }

@@ -11,13 +11,23 @@
 //!     [--pingpongs 10] [--wait 10] [--seed 1] [--csv out/fig4.csv]
 //! ```
 
-use hcs_experiments::hier_experiment::{fig4_configs, print_hier_rows, run_hier_experiment, write_hier_csv};
+use hcs_experiments::hier_experiment::{
+    fig4_configs, print_hier_rows, run_hier_experiment, write_hier_csv,
+};
 use hcs_experiments::Args;
 use hcs_sim::machines;
 
 fn main() {
     let args = Args::parse(&[
-        "nodes", "ppn", "runs", "fithi", "fitlo", "pingpongs", "wait", "seed", "csv",
+        "nodes",
+        "ppn",
+        "runs",
+        "fithi",
+        "fitlo",
+        "pingpongs",
+        "wait",
+        "seed",
+        "csv",
     ]);
     let nodes = args.get_usize("nodes", 16);
     let ppn = args.get_usize("ppn", 8);

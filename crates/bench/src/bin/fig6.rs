@@ -13,16 +13,31 @@
 //!     [--csv out/fig6.csv]
 //! ```
 
-use hcs_experiments::hier_experiment::{fig4_configs, print_hier_rows, run_hier_experiment, write_hier_csv};
+use hcs_experiments::hier_experiment::{
+    fig4_configs, print_hier_rows, run_hier_experiment, write_hier_csv,
+};
 use hcs_experiments::Args;
 use hcs_sim::machines;
 
 fn main() {
     let args = Args::parse(&[
-        "nodes", "runs", "fithi", "fitlo", "pingpongs", "wait", "sample", "seed", "full", "csv",
+        "nodes",
+        "runs",
+        "fithi",
+        "fitlo",
+        "pingpongs",
+        "wait",
+        "sample",
+        "seed",
+        "full",
+        "csv",
     ]);
     let full = args.has_flag("full");
-    let nodes = if full { 1024 } else { args.get_usize("nodes", 128) };
+    let nodes = if full {
+        1024
+    } else {
+        args.get_usize("nodes", 128)
+    };
     let runs = args.get_usize("runs", 3);
     let fit_hi = args.get_usize("fithi", 100);
     let fit_lo = args.get_usize("fitlo", 50);

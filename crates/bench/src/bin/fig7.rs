@@ -60,7 +60,10 @@ fn main() {
 
     for &msize in &msizes {
         println!("msize = {msize} Bytes");
-        println!("{:<16} {:>12} {:>12} {:>14}", "barrier", "IMB [us]", "OSU [us]", "ReproMPI [us]");
+        println!(
+            "{:<16} {:>12} {:>12} {:>14}",
+            "barrier", "IMB [us]", "OSU [us]", "ReproMPI [us]"
+        );
         for &barrier in &barriers {
             let mut cells = Vec::new();
             for &suite in &suites {
@@ -70,7 +73,11 @@ fn main() {
                     let mut comm = Comm::world(ctx);
                     let mut sync = Hca3::skampi(60, 10);
                     let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
-                    let cfg = SuiteConfig { nreps: reps, barrier, time_slice_s: 0.2 };
+                    let cfg = SuiteConfig {
+                        nreps: reps,
+                        barrier,
+                        time_slice_s: 0.2,
+                    };
                     measure_allreduce(ctx, &mut comm, g.as_mut(), suite, msize, cfg)
                 });
                 let r = results[0].expect("root reports");

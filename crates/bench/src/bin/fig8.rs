@@ -76,8 +76,12 @@ fn main() {
             let xs = res[0].clone().expect("root reports");
             if let Some(w) = csv.as_mut() {
                 for &x in &xs {
-                    w.row(&[alg.label().to_string(), run.to_string(), format!("{}", x * 1e6)])
-                        .unwrap();
+                    w.row(&[
+                        alg.label().to_string(),
+                        run.to_string(),
+                        format!("{}", x * 1e6),
+                    ])
+                    .unwrap();
                 }
             }
             all.extend(xs);

@@ -36,8 +36,20 @@ fn main() {
     );
 
     let schemes = [
-        ("barrier/bruck", TuneScheme::Barrier { barrier: BarrierAlgorithm::Bruck, reps }),
-        ("round-time", TuneScheme::RoundTime { slice_s: 0.1, max_reps: reps }),
+        (
+            "barrier/bruck",
+            TuneScheme::Barrier {
+                barrier: BarrierAlgorithm::Bruck,
+                reps,
+            },
+        ),
+        (
+            "round-time",
+            TuneScheme::RoundTime {
+                slice_s: 0.1,
+                max_reps: reps,
+            },
+        ),
     ];
 
     for (scheme_name, scheme) in schemes {

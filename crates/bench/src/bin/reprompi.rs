@@ -73,8 +73,11 @@ fn main() {
     let machine_name = args.get_str("machine", "jupiter");
     let nodes = args.get_usize("nodes", 8);
     let ppn = args.get_usize("ppn", 4);
-    let ops: Vec<String> =
-        args.get_str("ops", "allreduce").split(',').map(|s| s.to_string()).collect();
+    let ops: Vec<String> = args
+        .get_str("ops", "allreduce")
+        .split(',')
+        .map(|s| s.to_string())
+        .collect();
     let msizes: Vec<usize> = args
         .get_str("msizes", "8,64,512")
         .split(',')
@@ -87,13 +90,29 @@ fn main() {
     let seed = args.get_u64("seed", 1);
 
     let mut machine = machine_by_name(&machine_name);
-    let sockets = if machine.topology.sockets_per_node() > 1 && ppn >= 2 { 2 } else { 1 };
+    let sockets = if machine.topology.sockets_per_node() > 1 && ppn >= 2 {
+        2
+    } else {
+        1
+    };
     machine = machine.with_shape(nodes, sockets, ppn / sockets);
     let cluster = machine.cluster(seed);
 
-    println!("# reprompi (simulated) — machine {}, {} x {} = {} ranks", machine.name, nodes, ppn, machine.topology.total_cores());
-    println!("# sync {} | scheme {} | reps {} | slice {} s | seed {}", sync_name, scheme, reps, slice, seed);
-    println!("{:<12} {:>8} {:>10} {:>12} {:>12} {:>12} {:>12}", "op", "msize", "nrep", "median[us]", "mean[us]", "min[us]", "max[us]");
+    println!(
+        "# reprompi (simulated) — machine {}, {} x {} = {} ranks",
+        machine.name,
+        nodes,
+        ppn,
+        machine.topology.total_cores()
+    );
+    println!(
+        "# sync {} | scheme {} | reps {} | slice {} s | seed {}",
+        sync_name, scheme, reps, slice, seed
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "op", "msize", "nrep", "median[us]", "mean[us]", "min[us]", "max[us]"
+    );
 
     for op_name in &ops {
         for &msize in &msizes {
@@ -118,9 +137,7 @@ fn main() {
                         let reps = run_round_time(ctx, &mut comm, g.as_mut(), cfg, op.as_mut());
                         // Global latency per repetition.
                         reps.iter()
-                            .map(|s| {
-                                comm.allreduce_f64(ctx, s.end, ReduceOp::F64Max) - s.start
-                            })
+                            .map(|s| comm.allreduce_f64(ctx, s.end, ReduceOp::F64Max) - s.start)
                             .collect()
                     }
                     "barrier" => run_barrier_scheme(
@@ -140,7 +157,10 @@ fn main() {
             });
             let samples = results[0].clone().expect("root collects");
             if samples.is_empty() {
-                println!("{:<12} {:>8} {:>10} (no valid repetitions)", op_name, msize, 0);
+                println!(
+                    "{:<12} {:>8} {:>10} (no valid repetitions)",
+                    op_name, msize, 0
+                );
                 continue;
             }
             let s = Summary::of(&samples);

@@ -9,9 +9,15 @@ use hcs_sim::topology::Level;
 
 fn main() {
     println!("TABLE I: Parallel machines used in our experiments (as modeled)\n");
-    println!("{:<8} {:<55} {:<18} {:<10}", "Name", "Hardware", "MPI Libraries", "Compiler");
+    println!(
+        "{:<8} {:<55} {:<18} {:<10}",
+        "Name", "Hardware", "MPI Libraries", "Compiler"
+    );
     for m in machines::all() {
-        println!("{:<8} {:<55} {:<18} {:<10}", m.name, m.hardware, m.mpi_library, m.compiler);
+        println!(
+            "{:<8} {:<55} {:<18} {:<10}",
+            m.name, m.hardware, m.mpi_library, m.compiler
+        );
     }
     println!("\nModel parameters derived for each machine:");
     println!(

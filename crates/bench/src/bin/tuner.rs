@@ -53,10 +53,22 @@ fn main() {
     );
 
     let schemes = [
-        TuneScheme::Barrier { barrier: BarrierAlgorithm::Bruck, reps },
-        TuneScheme::Barrier { barrier: BarrierAlgorithm::DoubleRing, reps },
-        TuneScheme::Barrier { barrier: BarrierAlgorithm::Tree, reps },
-        TuneScheme::RoundTime { slice_s: 0.2, max_reps: reps },
+        TuneScheme::Barrier {
+            barrier: BarrierAlgorithm::Bruck,
+            reps,
+        },
+        TuneScheme::Barrier {
+            barrier: BarrierAlgorithm::DoubleRing,
+            reps,
+        },
+        TuneScheme::Barrier {
+            barrier: BarrierAlgorithm::Tree,
+            reps,
+        },
+        TuneScheme::RoundTime {
+            slice_s: 0.2,
+            max_reps: reps,
+        },
     ];
 
     // header
@@ -66,8 +78,10 @@ fn main() {
     }
     println!();
 
-    let all: Vec<Vec<TuningResult>> =
-        schemes.iter().map(|&s| run_scheme(&machine, seed, s, &msizes)).collect();
+    let all: Vec<Vec<TuningResult>> = schemes
+        .iter()
+        .map(|&s| run_scheme(&machine, seed, s, &msizes))
+        .collect();
 
     for (i, &msize) in msizes.iter().enumerate() {
         print!("{:<10}", msize);

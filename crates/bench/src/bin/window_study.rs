@@ -68,14 +68,20 @@ fn main() {
                     globals.push(max_end - s.start);
                 }
             }
-            (comm.rank() == 0).then(|| (globals, spent))
+            (comm.rank() == 0).then_some((globals, spent))
         });
         let (globals, spent) = res[0].clone().expect("root");
         let valid = globals.len();
-        let reported =
-            if valid > 0 { globals.iter().sum::<f64>() / valid as f64 * 1e6 } else { f64::NAN };
-        let per_sample =
-            if valid > 0 { spent * 1e6 / valid as f64 } else { f64::INFINITY };
+        let reported = if valid > 0 {
+            globals.iter().sum::<f64>() / valid as f64 * 1e6
+        } else {
+            f64::NAN
+        };
+        let per_sample = if valid > 0 {
+            spent * 1e6 / valid as f64
+        } else {
+            f64::INFINITY
+        };
         println!(
             "{:>13.1}x {:>9}/{:<3} {:>13.2} {:>16.2} {:>16.2}",
             mult,
@@ -97,14 +103,18 @@ fn main() {
             let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
         };
         let t0 = ctx.now();
-        let cfg = RoundTimeConfig { max_time_slice_s: 1.0, max_nrep: reps, ..Default::default() };
+        let cfg = RoundTimeConfig {
+            max_time_slice_s: 1.0,
+            max_nrep: reps,
+            ..Default::default()
+        };
         let samples = run_round_time(ctx, &mut comm, g.as_mut(), cfg, &mut op);
         let spent = ctx.now() - t0;
         let mut globals = Vec::new();
         for s in &samples {
             globals.push(comm.allreduce_f64(ctx, s.end, ReduceOp::F64Max) - s.start);
         }
-        (comm.rank() == 0).then(|| (globals, spent))
+        (comm.rank() == 0).then_some((globals, spent))
     });
     let (globals, spent) = res[0].clone().expect("root");
     println!(

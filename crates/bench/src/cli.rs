@@ -42,7 +42,11 @@ impl Args {
                 _ => flags.push(key),
             }
         }
-        Self { values, flags, allowed: allowed.to_vec() }
+        Self {
+            values,
+            flags,
+            allowed: allowed.to_vec(),
+        }
     }
 
     /// A `usize` value with default.
@@ -50,7 +54,10 @@ impl Args {
         self.check(key);
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
@@ -59,7 +66,10 @@ impl Args {
         self.check(key);
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
@@ -68,14 +78,20 @@ impl Args {
         self.check(key);
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
     /// A string value with default.
     pub fn get_str(&self, key: &str, default: &str) -> String {
         self.check(key);
-        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Whether a boolean flag was passed.
@@ -85,7 +101,10 @@ impl Args {
     }
 
     fn check(&self, key: &str) {
-        debug_assert!(self.allowed.contains(&key), "binary queried undeclared flag --{key}");
+        debug_assert!(
+            self.allowed.contains(&key),
+            "binary queried undeclared flag --{key}"
+        );
     }
 }
 
@@ -99,7 +118,10 @@ mod tests {
 
     #[test]
     fn parses_values_and_flags() {
-        let a = args(&["--nodes", "16", "--full", "--seed", "7"], &["nodes", "full", "seed"]);
+        let a = args(
+            &["--nodes", "16", "--full", "--seed", "7"],
+            &["nodes", "full", "seed"],
+        );
         assert_eq!(a.get_usize("nodes", 4), 16);
         assert_eq!(a.get_u64("seed", 1), 7);
         assert!(a.has_flag("full"));

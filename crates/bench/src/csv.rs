@@ -21,7 +21,9 @@ impl CsvWriter {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        let mut w = Self { out: BufWriter::new(File::create(path)?) };
+        let mut w = Self {
+            out: BufWriter::new(File::create(path)?),
+        };
         w.row(header)?;
         Ok(w)
     }
@@ -64,7 +66,10 @@ mod tests {
         w.row(&["3", "with\"quote"]).unwrap();
         w.finish().unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(content, "a,b\n1,plain\n2,\"with,comma\"\n3,\"with\"\"quote\"\n");
+        assert_eq!(
+            content,
+            "a,b\n1,plain\n2,\"with,comma\"\n3,\"with\"\"quote\"\n"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

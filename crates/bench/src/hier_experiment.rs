@@ -24,11 +24,7 @@ pub struct HierRow {
 /// fit points, and H2HCA (HCA3 top + ClockPropSync bottom) with the
 /// same two configurations. `fit_hi`/`fit_lo` scale the paper's
 /// 1000/500 to the run budget.
-pub fn fig4_configs(
-    fit_hi: usize,
-    fit_lo: usize,
-    pingpongs: usize,
-) -> Vec<(String, SyncFactory)> {
+pub fn fig4_configs(fit_hi: usize, fit_lo: usize, pingpongs: usize) -> Vec<(String, SyncFactory)> {
     let mk_flat = |nfit: usize, pp: usize| -> SyncFactory {
         Box::new(move || Box::new(Hca3::skampi(nfit, pp)) as Box<dyn ClockSync>)
     };
@@ -41,10 +37,22 @@ pub fn fig4_configs(
         })
     };
     vec![
-        (format!("hca3/recompute_intercept/{fit_hi}/SKaMPI-Offset/{pingpongs}"), mk_flat(fit_hi, pingpongs)),
-        (format!("hca3/recompute_intercept/{fit_lo}/SKaMPI-Offset/{pingpongs}"), mk_flat(fit_lo, pingpongs)),
-        (format!("Top/hca3/{fit_hi}/SKaMPI-Offset/{pingpongs}/Bottom/ClockPropagation"), mk_h2(fit_hi, pingpongs)),
-        (format!("Top/hca3/{fit_lo}/SKaMPI-Offset/{pingpongs}/Bottom/ClockPropagation"), mk_h2(fit_lo, pingpongs)),
+        (
+            format!("hca3/recompute_intercept/{fit_hi}/SKaMPI-Offset/{pingpongs}"),
+            mk_flat(fit_hi, pingpongs),
+        ),
+        (
+            format!("hca3/recompute_intercept/{fit_lo}/SKaMPI-Offset/{pingpongs}"),
+            mk_flat(fit_lo, pingpongs),
+        ),
+        (
+            format!("Top/hca3/{fit_hi}/SKaMPI-Offset/{pingpongs}/Bottom/ClockPropagation"),
+            mk_h2(fit_hi, pingpongs),
+        ),
+        (
+            format!("Top/hca3/{fit_lo}/SKaMPI-Offset/{pingpongs}/Bottom/ClockPropagation"),
+            mk_h2(fit_lo, pingpongs),
+        ),
     ]
 }
 
@@ -125,7 +133,16 @@ pub fn write_hier_csv(rows: &[HierRow], path: &str) {
         return;
     }
     let path: std::path::PathBuf = path.into();
-    let mut w = crate::CsvWriter::create(&path, &["configuration", "duration_s", "max_at0_us", "max_at_wait_us"]).unwrap();
+    let mut w = crate::CsvWriter::create(
+        &path,
+        &[
+            "configuration",
+            "duration_s",
+            "max_at0_us",
+            "max_at_wait_us",
+        ],
+    )
+    .unwrap();
     for r in rows {
         w.row(&[
             r.label.clone(),

@@ -3,9 +3,10 @@
 //! # hcs-experiments — shared experiment plumbing
 //!
 //! The actual experiments live in `src/bin/` (one binary per paper
-//! figure/table, see `DESIGN.md`) and `benches/` (criterion micro
-//! benches). This library hosts the bits they share: CLI flag parsing,
-//! CSV emission and small formatting helpers.
+//! figure/table, see `DESIGN.md`) and `benches/` (micro benches on the
+//! in-tree `hcs_bench::microbench` harness). This library hosts the
+//! bits they share: CLI flag parsing, CSV emission and small formatting
+//! helpers.
 
 pub mod cli;
 pub mod csv;

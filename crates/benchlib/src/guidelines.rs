@@ -193,7 +193,10 @@ mod tests {
     fn guidelines_hold_for_sane_implementations() {
         // Our collectives are reasonable, so the guidelines should hold
         // (with tolerance) under the Round-Time scheme.
-        let out = verdicts(TuneScheme::RoundTime { slice_s: 0.05, max_reps: 40 });
+        let out = verdicts(TuneScheme::RoundTime {
+            slice_s: 0.05,
+            max_reps: 40,
+        });
         assert_eq!(out.len(), 3);
         for v in &out {
             assert!(
@@ -210,8 +213,14 @@ mod tests {
 
     #[test]
     fn allreduce_beats_reduce_bcast_clearly() {
-        let out = verdicts(TuneScheme::Barrier { barrier: BarrierAlgorithm::Tree, reps: 40 });
-        let v = out.iter().find(|v| v.guideline == Guideline::AllreduceVsReduceBcast).unwrap();
+        let out = verdicts(TuneScheme::Barrier {
+            barrier: BarrierAlgorithm::Tree,
+            reps: 40,
+        });
+        let v = out
+            .iter()
+            .find(|v| v.guideline == Guideline::AllreduceVsReduceBcast)
+            .unwrap();
         assert!(v.speedup() > 1.0, "speedup {:.2}", v.speedup());
     }
 

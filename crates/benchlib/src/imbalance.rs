@@ -75,6 +75,9 @@ mod tests {
         // The qualitative core of Fig. 8.
         let tree = Summary::of(&imbalances(BarrierAlgorithm::Tree, 2)).median;
         let ring = Summary::of(&imbalances(BarrierAlgorithm::DoubleRing, 2)).median;
-        assert!(ring > 3.0 * tree, "tree {tree:.3e} vs double ring {ring:.3e}");
+        assert!(
+            ring > 3.0 * tree,
+            "tree {tree:.3e} vs double ring {ring:.3e}"
+        );
     }
 }

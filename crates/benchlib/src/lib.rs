@@ -18,6 +18,7 @@
 
 pub mod guidelines;
 pub mod imbalance;
+pub mod microbench;
 pub mod postmortem;
 pub mod profile;
 pub mod schemes;
@@ -38,7 +39,9 @@ pub use schemes::{
 pub use stats::{Histogram, Summary};
 pub use suites::{measure_allreduce, Suite, SuiteConfig, SuiteResult};
 pub use trace::{TraceEvent, Tracer};
-pub use tuner::{measure_candidate, tune_allreduce, tune_alltoall, CandidateResult, TuneScheme, TuningResult};
+pub use tuner::{
+    measure_candidate, tune_allreduce, tune_alltoall, CandidateResult, TuneScheme, TuningResult,
+};
 pub use workloads::{amg_proxy, halo_proxy, AmgProxyConfig, HaloProxyConfig};
 
 /// One-stop imports.
@@ -55,8 +58,7 @@ pub mod prelude {
     pub use crate::suites::{measure_allreduce, Suite, SuiteConfig, SuiteResult};
     pub use crate::trace::{TraceEvent, Tracer};
     pub use crate::tuner::{
-        measure_candidate, tune_allreduce, tune_alltoall, CandidateResult, TuneScheme,
-        TuningResult,
+        measure_candidate, tune_allreduce, tune_alltoall, CandidateResult, TuneScheme, TuningResult,
     };
     pub use crate::workloads::{amg_proxy, halo_proxy, AmgProxyConfig, HaloProxyConfig};
 }

@@ -1,0 +1,195 @@
+//! A minimal self-contained micro-benchmark harness.
+//!
+//! Replaces criterion for the workspace's `benches/` targets so the
+//! repository builds with no external dependencies (offline
+//! environments). The harness is deliberately simple: warm up once,
+//! pick an iteration count that fills a target wall-clock budget, time
+//! the batch, report mean per iteration plus an optional throughput
+//! rate, and optionally serialize everything as JSON for tracked
+//! baselines (`BENCH_engine.json`).
+//!
+//! Environment knobs:
+//!
+//! - `HCS_BENCH_TARGET_MS` — wall-clock budget per case (default 300).
+//! - `HCS_BENCH_MAX_ITERS` — iteration cap per case (default 1000).
+
+use std::time::Instant;
+
+/// Result of one benchmark case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Benchmark group (e.g. `engine_pingpong`).
+    pub group: String,
+    /// Case id within the group (e.g. `p32`).
+    pub case: String,
+    /// Timed iterations.
+    pub iters: u64,
+    /// Mean wall-clock seconds per iteration.
+    pub mean_s: f64,
+    /// Optional throughput: (units per iteration, unit label).
+    pub units_per_iter: Option<(f64, &'static str)>,
+}
+
+impl CaseResult {
+    /// Throughput in units/second, if the case declared units.
+    pub fn rate(&self) -> Option<f64> {
+        self.units_per_iter.map(|(n, _)| n / self.mean_s)
+    }
+}
+
+/// Collects and times benchmark cases; prints a table and can emit JSON.
+pub struct Runner {
+    target_s: f64,
+    max_iters: u64,
+    results: Vec<CaseResult>,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Runner {
+    /// A runner configured from the environment (see module docs).
+    pub fn from_env() -> Self {
+        let target_ms = std::env::var("HCS_BENCH_TARGET_MS")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(300.0);
+        let max_iters = std::env::var("HCS_BENCH_MAX_ITERS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(1000);
+        Self {
+            target_s: target_ms * 1e-3,
+            max_iters,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, printing one progress line, and records the result.
+    /// Returns the mean seconds per iteration.
+    pub fn case<R>(&mut self, group: &str, case: &str, f: impl FnMut() -> R) -> f64 {
+        self.case_with_units(group, case, None, f)
+    }
+
+    /// Like [`Runner::case`], with a throughput declaration: each
+    /// iteration processes `units` of `unit` (e.g. 2000 of `"msgs"`).
+    pub fn case_throughput<R>(
+        &mut self,
+        group: &str,
+        case: &str,
+        units: f64,
+        unit: &'static str,
+        f: impl FnMut() -> R,
+    ) -> f64 {
+        self.case_with_units(group, case, Some((units, unit)), f)
+    }
+
+    fn case_with_units<R>(
+        &mut self,
+        group: &str,
+        case: &str,
+        units_per_iter: Option<(f64, &'static str)>,
+        mut f: impl FnMut() -> R,
+    ) -> f64 {
+        // Warm-up iteration doubles as the calibration probe.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let probe = t0.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((self.target_s / probe) as u64).clamp(1, self.max_iters);
+
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let mean_s = t0.elapsed().as_secs_f64() / iters as f64;
+
+        let result = CaseResult {
+            group: group.to_string(),
+            case: case.to_string(),
+            iters,
+            mean_s,
+            units_per_iter,
+        };
+        match result.rate() {
+            Some(rate) => println!(
+                "{group}/{case}: {:>12.3} us/iter  {:>14.0} {}/s  ({iters} iters)",
+                mean_s * 1e6,
+                rate,
+                units_per_iter.unwrap().1,
+            ),
+            None => println!(
+                "{group}/{case}: {:>12.3} us/iter  ({iters} iters)",
+                mean_s * 1e6
+            ),
+        }
+        self.results.push(result);
+        mean_s
+    }
+
+    /// All recorded results, in execution order.
+    pub fn results(&self) -> &[CaseResult] {
+        &self.results
+    }
+
+    /// Serializes all results as a JSON document (stable key order).
+    pub fn to_json(&self, bench_name: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": \"{bench_name}\",\n"));
+        out.push_str("  \"cases\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"group\": \"{}\", ", r.group));
+            out.push_str(&format!("\"case\": \"{}\", ", r.case));
+            out.push_str(&format!("\"iters\": {}, ", r.iters));
+            out.push_str(&format!("\"mean_s\": {:e}", r.mean_s));
+            if let (Some((n, unit)), Some(rate)) = (r.units_per_iter, r.rate()) {
+                out.push_str(&format!(
+                    ", \"units_per_iter\": {n}, \"unit\": \"{unit}\", \"rate_per_s\": {rate:.1}"
+                ));
+            }
+            out.push_str(if i + 1 < self.results.len() {
+                "},\n"
+            } else {
+                "}\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_records_sane_numbers() {
+        std::env::set_var("HCS_BENCH_TARGET_MS", "1");
+        let mut r = Runner::from_env();
+        let mean = r.case_throughput("g", "c", 10.0, "ops", || {
+            std::hint::black_box((0..100u64).sum::<u64>())
+        });
+        assert!(mean > 0.0);
+        let res = &r.results()[0];
+        assert_eq!(res.group, "g");
+        assert!(res.iters >= 1);
+        assert!(res.rate().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        std::env::set_var("HCS_BENCH_TARGET_MS", "1");
+        let mut r = Runner::from_env();
+        r.case("g", "a", || 1);
+        r.case_throughput("g", "b", 5.0, "msgs", || 2);
+        let json = r.to_json("engine");
+        assert!(json.contains("\"bench\": \"engine\""));
+        assert!(json.contains("\"group\": \"g\""));
+        assert!(json.contains("\"rate_per_s\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -58,7 +58,10 @@ pub fn measure_epoch(
         let ClockOffset { timestamp, offset } = offset_alg
             .measure_offset(ctx, comm, clk, 0, me)
             .expect("client obtains an offset");
-        SyncEpoch { local: timestamp, offset }
+        SyncEpoch {
+            local: timestamp,
+            offset,
+        }
     }
 }
 
@@ -89,8 +92,8 @@ pub fn correct_events(events: &[TraceEvent], begin: SyncEpoch, end: SyncEpoch) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hcs_core::SkampiOffset;
     use hcs_clock::{LocalClock, Oscillator};
+    use hcs_core::SkampiOffset;
     use hcs_sim::machines::testbed;
 
     #[test]
@@ -100,28 +103,53 @@ mod tests {
         // reference frame exactly at any point in between.
         let skew = 10e-6;
         let offset0 = -1e-3; // ref - local at local=0
-        let begin = SyncEpoch { local: 100.0, offset: offset0 - skew * 100.0 };
-        let end = SyncEpoch { local: 200.0, offset: offset0 - skew * 200.0 };
+        let begin = SyncEpoch {
+            local: 100.0,
+            offset: offset0 - skew * 100.0,
+        };
+        let end = SyncEpoch {
+            local: 200.0,
+            offset: offset0 - skew * 200.0,
+        };
         for t in [100.0, 137.5, 200.0, 150.0] {
             let corrected = interpolate(begin, end, t);
             let want = t + offset0 - skew * t;
-            assert!((corrected - want).abs() < 1e-9, "t={t}: {corrected} vs {want}");
+            assert!(
+                (corrected - want).abs() < 1e-9,
+                "t={t}: {corrected} vs {want}"
+            );
         }
     }
 
     #[test]
     fn interpolation_extrapolates_linearly_outside_the_window() {
-        let begin = SyncEpoch { local: 0.0, offset: 0.0 };
-        let end = SyncEpoch { local: 10.0, offset: 1e-3 };
+        let begin = SyncEpoch {
+            local: 0.0,
+            offset: 0.0,
+        };
+        let end = SyncEpoch {
+            local: 10.0,
+            offset: 1e-3,
+        };
         // 1e-4 s/s drift, extrapolated to t=20.
         assert!((interpolate(begin, end, 20.0) - 20.002).abs() < 1e-9);
     }
 
     #[test]
     fn correct_events_preserves_durations_up_to_drift() {
-        let begin = SyncEpoch { local: 0.0, offset: 0.0 };
-        let end = SyncEpoch { local: 100.0, offset: 1e-3 };
-        let evs = vec![TraceEvent { iter: 0, enter: 50.0, exit: 50.5 }];
+        let begin = SyncEpoch {
+            local: 0.0,
+            offset: 0.0,
+        };
+        let end = SyncEpoch {
+            local: 100.0,
+            offset: 1e-3,
+        };
+        let evs = vec![TraceEvent {
+            iter: 0,
+            enter: 50.0,
+            exit: 50.5,
+        }];
         let fixed = correct_events(&evs, begin, end);
         // Duration scales by (1 + 1e-5).
         assert!((fixed[0].duration() - 0.5 * (1.0 + 1e-5)).abs() < 1e-9);
@@ -142,13 +170,20 @@ mod tests {
         });
         assert_eq!(epochs[0].offset, 0.0);
         // Client gained 5 us/s for 2 s => ref - client ~ -10 us.
-        assert!((epochs[1].offset + 10e-6).abs() < 2e-6, "offset {:.3e}", epochs[1].offset);
+        assert!(
+            (epochs[1].offset + 10e-6).abs() < 2e-6,
+            "offset {:.3e}",
+            epochs[1].offset
+        );
     }
 
     #[test]
     #[should_panic(expected = "distinct")]
     fn coinciding_epochs_panic() {
-        let e = SyncEpoch { local: 1.0, offset: 0.0 };
+        let e = SyncEpoch {
+            local: 1.0,
+            offset: 0.0,
+        };
         let _ = interpolate(e, e, 1.0);
     }
 }

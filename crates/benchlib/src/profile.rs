@@ -54,7 +54,10 @@ impl Profiler {
     pub fn leave(&mut self, name: &str, clk: &mut dyn Clock, ctx: &mut RankCtx) {
         let now = clk.get_time(ctx);
         let (open, begin) = self.stack.pop().expect("leave without matching enter");
-        assert_eq!(open, name, "region nesting violated: left {name}, open {open}");
+        assert_eq!(
+            open, name,
+            "region nesting violated: left {name}, open {open}"
+        );
         let entry = self.stats.entry(open).or_default();
         entry.calls += 1;
         entry.total_s += now - begin;
@@ -127,7 +130,10 @@ impl Profiler {
             }
             total_span += f64::from_le_bytes(raw[raw.len() - 8..].try_into().unwrap());
         }
-        Some(ProfileReport { regions: merged, total_span_s: total_span })
+        Some(ProfileReport {
+            regions: merged,
+            total_span_s: total_span,
+        })
     }
 }
 
@@ -146,7 +152,9 @@ impl ProfileReport {
         if self.total_span_s <= 0.0 {
             return 0.0;
         }
-        self.regions.get(name).map_or(0.0, |s| s.total_s / self.total_span_s)
+        self.regions
+            .get(name)
+            .map_or(0.0, |s| s.total_s / self.total_span_s)
     }
 
     /// Rows `(name, calls, total_s, fraction)` sorted by time, largest
@@ -218,7 +226,10 @@ mod tests {
         });
         let r = reports[0].as_ref().unwrap();
         assert_eq!(r.regions["mpi_allreduce"].calls, 4, "one call per rank");
-        assert!(r.fraction("mpi_allreduce") > 0.5, "only region should dominate");
+        assert!(
+            r.fraction("mpi_allreduce") > 0.5,
+            "only region should dominate"
+        );
     }
 
     #[test]

@@ -137,7 +137,12 @@ pub struct RoundTimeConfig {
 
 impl Default for RoundTimeConfig {
     fn default() -> Self {
-        Self { max_time_slice_s: 1.0, max_nrep: 1000, slack_b: 3.0, bcast_latency_s: 50e-6 }
+        Self {
+            max_time_slice_s: 1.0,
+            max_nrep: 1000,
+            slack_b: 3.0,
+            bcast_latency_s: 50e-6,
+        }
     }
 }
 
@@ -186,7 +191,10 @@ pub fn run_round_time(
         let out_of_time = f64::from_le_bytes(combined[8..16].try_into().unwrap()) != 0.0;
 
         if !invalid {
-            out.push(RepSample { start: t0.max(start_time), end: t1 });
+            out.push(RepSample {
+                start: t0.max(start_time),
+                end: t1,
+            });
             nrep += 1;
         }
         if out_of_time || nrep == cfg.max_nrep {
@@ -214,7 +222,11 @@ pub fn estimate_bcast_latency(
     let mut total = 0.0;
     for _ in 0..nreps {
         comm.barrier(ctx, BarrierAlgorithm::Tree);
-        let sent = if comm.rank() == 0 { g_clk.get_time(ctx) } else { 0.0 };
+        let sent = if comm.rank() == 0 {
+            g_clk.get_time(ctx)
+        } else {
+            0.0
+        };
         let t_send = comm.bcast_f64(ctx, 0, sent);
         let lat = (g_clk.get_time(ctx) - t_send).max(0.0);
         total += comm.allreduce_f64(ctx, lat, ReduceOp::F64Max);
@@ -264,7 +276,14 @@ mod tests {
             let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
             let mut comm = Comm::world(ctx);
             let mut op = allreduce_op(8);
-            run_barrier_scheme(ctx, &mut comm, &mut clk, BarrierAlgorithm::Tree, 10, &mut op)
+            run_barrier_scheme(
+                ctx,
+                &mut comm,
+                &mut clk,
+                BarrierAlgorithm::Tree,
+                10,
+                &mut op,
+            )
         });
         for samples in res {
             assert_eq!(samples.len(), 10);
@@ -283,7 +302,11 @@ mod tests {
             let mut comm = Comm::world(ctx);
             let mut sync = Hca3::skampi(20, 5);
             let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
-            let cfg = RoundTimeConfig { max_time_slice_s: 0.02, max_nrep: 50, ..Default::default() };
+            let cfg = RoundTimeConfig {
+                max_time_slice_s: 0.02,
+                max_nrep: 50,
+                ..Default::default()
+            };
             let mut op = allreduce_op(8);
             run_round_time(ctx, &mut comm, g.as_mut(), cfg, &mut op).len()
         });
@@ -324,8 +347,11 @@ mod tests {
             let mut comm = Comm::world(ctx);
             let mut sync = Hca3::skampi(20, 5);
             let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
-            let cfg =
-                RoundTimeConfig { max_time_slice_s: 10.0, max_nrep: 7, ..Default::default() };
+            let cfg = RoundTimeConfig {
+                max_time_slice_s: 10.0,
+                max_nrep: 7,
+                ..Default::default()
+            };
             let mut op = allreduce_op(8);
             run_round_time(ctx, &mut comm, g.as_mut(), cfg, &mut op).len()
         });
@@ -341,7 +367,11 @@ mod tests {
             let mut sync = Hca3::skampi(20, 5);
             let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
             // Generous window: everything should validate.
-            let cfg = WindowConfig { window_s: 500e-6, nreps: 20, first_window_slack_s: 1e-3 };
+            let cfg = WindowConfig {
+                window_s: 500e-6,
+                nreps: 20,
+                first_window_slack_s: 1e-3,
+            };
             let mut op = allreduce_op(8);
             run_window_scheme(ctx, &mut comm, g.as_mut(), cfg, &mut op)
         });
@@ -363,12 +393,19 @@ mod tests {
             let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
             // Window much smaller than the op latency: once a rank
             // overruns, subsequent windows invalidate.
-            let cfg = WindowConfig { window_s: 3e-6, nreps: 20, first_window_slack_s: 1e-3 };
+            let cfg = WindowConfig {
+                window_s: 3e-6,
+                nreps: 20,
+                first_window_slack_s: 1e-3,
+            };
             let mut op = allreduce_op(64);
             run_window_scheme(ctx, &mut comm, g.as_mut(), cfg, &mut op)
         });
         let valid = res[0].valid.iter().filter(|&&v| v).count();
-        assert!(valid <= 3, "tiny windows should mostly invalidate, got {valid} valid");
+        assert!(
+            valid <= 3,
+            "tiny windows should mostly invalidate, got {valid} valid"
+        );
     }
 
     #[test]

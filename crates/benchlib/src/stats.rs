@@ -38,7 +38,14 @@ impl Summary {
         } else {
             (xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64).sqrt()
         };
-        Self { n, mean, median, min, max, sd }
+        Self {
+            n,
+            mean,
+            median,
+            min,
+            max,
+            sd,
+        }
     }
 
     /// Percentile in `[0, 100]` by nearest-rank.
@@ -71,7 +78,12 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(hi > lo, "histogram needs hi > lo");
         assert!(bins > 0, "histogram needs at least one bin");
-        Self { lo, hi, counts: vec![0; bins], outliers: (0, 0) }
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            outliers: (0, 0),
+        }
     }
 
     /// Adds one sample.

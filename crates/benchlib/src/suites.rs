@@ -16,9 +16,7 @@ use hcs_clock::Clock;
 use hcs_mpi::{BarrierAlgorithm, Comm, ReduceOp};
 use hcs_sim::RankCtx;
 
-use crate::schemes::{
-    estimate_bcast_latency, run_barrier_scheme, run_round_time, RoundTimeConfig,
-};
+use crate::schemes::{estimate_bcast_latency, run_barrier_scheme, run_round_time, RoundTimeConfig};
 use crate::stats::Summary;
 
 /// Which benchmark suite's methodology to emulate.
@@ -62,7 +60,11 @@ pub struct SuiteConfig {
 
 impl Default for SuiteConfig {
     fn default() -> Self {
-        Self { nreps: 200, barrier: BarrierAlgorithm::Bruck, time_slice_s: 0.5 }
+        Self {
+            nreps: 200,
+            barrier: BarrierAlgorithm::Bruck,
+            time_slice_s: 0.5,
+        }
     }
 }
 
@@ -94,8 +96,7 @@ pub fn measure_allreduce(
     };
     match suite {
         Suite::Osu | Suite::Imb => {
-            let samples =
-                run_barrier_scheme(ctx, comm, g_clk, cfg.barrier, cfg.nreps, &mut op);
+            let samples = run_barrier_scheme(ctx, comm, g_clk, cfg.barrier, cfg.nreps, &mut op);
             let local_mean =
                 samples.iter().map(|s| s.latency()).sum::<f64>() / samples.len() as f64;
             let agg = match suite {
@@ -104,7 +105,10 @@ pub fn measure_allreduce(
                 }
                 _ => comm.allreduce_f64(ctx, local_mean, ReduceOp::F64Max),
             };
-            (comm.rank() == 0).then_some(SuiteResult { latency_s: agg, nreps: samples.len() })
+            (comm.rank() == 0).then_some(SuiteResult {
+                latency_s: agg,
+                nreps: samples.len(),
+            })
         }
         Suite::Skampi => {
             // Pilot estimate sizes the window (SKaMPI's auto-sizing);
@@ -150,7 +154,11 @@ pub fn measure_allreduce(
                 globals.push(max_end - s.start);
             }
             (comm.rank() == 0).then(|| SuiteResult {
-                latency_s: if globals.is_empty() { f64::NAN } else { Summary::of(&globals).median },
+                latency_s: if globals.is_empty() {
+                    f64::NAN
+                } else {
+                    Summary::of(&globals).median
+                },
                 nreps: globals.len(),
             })
         }
@@ -171,7 +179,11 @@ mod tests {
             let mut comm = Comm::world(ctx);
             let mut sync = Hca3::skampi(20, 5);
             let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
-            let cfg = SuiteConfig { nreps: 50, barrier, time_slice_s: 0.05 };
+            let cfg = SuiteConfig {
+                nreps: 50,
+                barrier,
+                time_slice_s: 0.05,
+            };
             measure_allreduce(ctx, &mut comm, g.as_mut(), suite, 8, cfg)
         });
         results[0].expect("root reports")
@@ -180,7 +192,11 @@ mod tests {
     #[test]
     fn skampi_window_suite_reports_and_validates() {
         let r = run_suite(Suite::Skampi, BarrierAlgorithm::Tree, 9);
-        assert!(r.latency_s > 3e-6 && r.latency_s < 300e-6, "{:.3e}", r.latency_s);
+        assert!(
+            r.latency_s > 3e-6 && r.latency_s < 300e-6,
+            "{:.3e}",
+            r.latency_s
+        );
         // Auto-sized windows should validate the bulk of the repetitions.
         assert!(r.nreps >= 35, "only {} valid windows", r.nreps);
     }
@@ -216,7 +232,10 @@ mod tests {
         let results = cluster.run(|ctx| {
             let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
             let mut comm = Comm::world(ctx);
-            let cfg = SuiteConfig { nreps: 5, ..Default::default() };
+            let cfg = SuiteConfig {
+                nreps: 5,
+                ..Default::default()
+            };
             measure_allreduce(ctx, &mut comm, &mut clk, Suite::Osu, 8, cfg)
         });
         assert!(results[0].is_some());

@@ -82,8 +82,10 @@ impl Tracer {
 /// with `start` normalized to the earliest start among ranks (this is
 /// what Fig. 10 plots).
 pub fn gantt_rows(per_rank: &[Vec<TraceEvent>], iter: u32) -> Vec<(usize, f64, f64)> {
-    let starts: Vec<Option<&TraceEvent>> =
-        per_rank.iter().map(|evs| evs.iter().find(|e| e.iter == iter)).collect();
+    let starts: Vec<Option<&TraceEvent>> = per_rank
+        .iter()
+        .map(|evs| evs.iter().find(|e| e.iter == iter))
+        .collect();
     let min_start = starts
         .iter()
         .flatten()
@@ -126,8 +128,16 @@ mod tests {
     #[test]
     fn gantt_rows_normalize_to_earliest() {
         let per_rank = vec![
-            vec![TraceEvent { iter: 3, enter: 10.0, exit: 10.5 }],
-            vec![TraceEvent { iter: 3, enter: 9.0, exit: 9.25 }],
+            vec![TraceEvent {
+                iter: 3,
+                enter: 10.0,
+                exit: 10.5,
+            }],
+            vec![TraceEvent {
+                iter: 3,
+                enter: 9.0,
+                exit: 9.25,
+            }],
             vec![], // a rank without this iteration
         ];
         let rows = gantt_rows(&per_rank, 3);

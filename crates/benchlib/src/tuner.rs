@@ -137,11 +137,17 @@ pub fn tune_allreduce(
                 let _ = comm.allreduce_alg(ctx, &payload, ReduceOp::ByteMax, alg);
             };
             if let Some(lat) = measure_candidate(ctx, comm, g_clk, scheme, &mut op) {
-                results.push(CandidateResult { name: name.to_string(), latency_s: lat });
+                results.push(CandidateResult {
+                    name: name.to_string(),
+                    latency_s: lat,
+                });
             }
         }
         if comm.rank() == 0 {
-            out.push(TuningResult { msize, candidates: results });
+            out.push(TuningResult {
+                msize,
+                candidates: results,
+            });
         }
     }
     (comm.rank() == 0).then_some(out)
@@ -155,8 +161,10 @@ pub fn tune_alltoall(
     scheme: TuneScheme,
     msizes: &[usize],
 ) -> Option<Vec<TuningResult>> {
-    let candidates =
-        [("bruck", AlltoallAlgorithm::Bruck), ("pairwise", AlltoallAlgorithm::Pairwise)];
+    let candidates = [
+        ("bruck", AlltoallAlgorithm::Bruck),
+        ("pairwise", AlltoallAlgorithm::Pairwise),
+    ];
     let mut out = Vec::with_capacity(msizes.len());
     for &msize in msizes {
         let mut results = Vec::new();
@@ -167,11 +175,17 @@ pub fn tune_alltoall(
                 let _ = comm.alltoall(ctx, &blocks, alg);
             };
             if let Some(lat) = measure_candidate(ctx, comm, g_clk, scheme, &mut op) {
-                results.push(CandidateResult { name: name.to_string(), latency_s: lat });
+                results.push(CandidateResult {
+                    name: name.to_string(),
+                    latency_s: lat,
+                });
             }
         }
         if comm.rank() == 0 {
-            out.push(TuningResult { msize, candidates: results });
+            out.push(TuningResult {
+                msize,
+                candidates: results,
+            });
         }
     }
     (comm.rank() == 0).then_some(out)
@@ -199,19 +213,31 @@ mod tests {
     #[test]
     fn tuner_reports_all_candidates() {
         let results = tuned(
-            TuneScheme::Barrier { barrier: BarrierAlgorithm::Tree, reps: 30 },
+            TuneScheme::Barrier {
+                barrier: BarrierAlgorithm::Tree,
+                reps: 30,
+            },
             &[8, 4096],
         );
         assert_eq!(results.len(), 2);
         for r in &results {
             assert_eq!(r.candidates.len(), 3);
-            assert!(r.candidates.iter().all(|c| c.latency_s.is_finite() && c.latency_s > 0.0));
+            assert!(r
+                .candidates
+                .iter()
+                .all(|c| c.latency_s.is_finite() && c.latency_s > 0.0));
         }
     }
 
     #[test]
     fn round_time_tuner_works_too() {
-        let results = tuned(TuneScheme::RoundTime { slice_s: 0.05, max_reps: 40 }, &[8]);
+        let results = tuned(
+            TuneScheme::RoundTime {
+                slice_s: 0.05,
+                max_reps: 40,
+            },
+            &[8],
+        );
         assert_eq!(results.len(), 1);
         let w = results[0].winner();
         assert!(w.latency_s > 1e-6 && w.latency_s < 1e-3);
@@ -221,9 +247,19 @@ mod tests {
     fn small_messages_prefer_log_round_algorithms() {
         // At 8 B, recursive doubling (log rounds) must beat the ring
         // (2(p-1) rounds) under any reasonable scheme.
-        let results = tuned(TuneScheme::RoundTime { slice_s: 0.05, max_reps: 60 }, &[8]);
+        let results = tuned(
+            TuneScheme::RoundTime {
+                slice_s: 0.05,
+                max_reps: 60,
+            },
+            &[8],
+        );
         let table = &results[0].candidates;
-        let rd = table.iter().find(|c| c.name == "rec. doubling").unwrap().latency_s;
+        let rd = table
+            .iter()
+            .find(|c| c.name == "rec. doubling")
+            .unwrap()
+            .latency_s;
         let ring = table.iter().find(|c| c.name == "ring").unwrap().latency_s;
         assert!(rd < ring, "rec. doubling {rd:.3e} vs ring {ring:.3e}");
     }
@@ -240,7 +276,10 @@ mod tests {
                 ctx,
                 &mut comm,
                 g.as_mut(),
-                TuneScheme::RoundTime { slice_s: 0.05, max_reps: 30 },
+                TuneScheme::RoundTime {
+                    slice_s: 0.05,
+                    max_reps: 30,
+                },
                 &[16],
             )
         });
@@ -251,9 +290,20 @@ mod tests {
     #[test]
     fn scheme_labels() {
         assert_eq!(
-            TuneScheme::Barrier { barrier: BarrierAlgorithm::Bruck, reps: 1 }.label(),
+            TuneScheme::Barrier {
+                barrier: BarrierAlgorithm::Bruck,
+                reps: 1
+            }
+            .label(),
             "barrier/bruck"
         );
-        assert_eq!(TuneScheme::RoundTime { slice_s: 1.0, max_reps: 1 }.label(), "round-time");
+        assert_eq!(
+            TuneScheme::RoundTime {
+                slice_s: 1.0,
+                max_reps: 1
+            }
+            .label(),
+            "round-time"
+        );
     }
 }

@@ -13,7 +13,6 @@ use hcs_clock::Clock;
 use hcs_mpi::{Comm, ReduceOp};
 use hcs_sim::rngx::{self, label};
 use hcs_sim::RankCtx;
-use rand::Rng;
 
 use crate::trace::Tracer;
 
@@ -34,7 +33,13 @@ pub struct AmgProxyConfig {
 
 impl Default for AmgProxyConfig {
     fn default() -> Self {
-        Self { iterations: 20, msize: 8, compute_mean_s: 150e-6, imbalance: 0.25, noise: 0.1 }
+        Self {
+            iterations: 20,
+            msize: 8,
+            compute_mean_s: 150e-6,
+            imbalance: 0.25,
+            noise: 0.1,
+        }
     }
 }
 
@@ -58,7 +63,7 @@ pub fn amg_proxy(
     let my_base = cfg.compute_mean_s * (1.0 + cfg.imbalance * spread);
     let payload = vec![0u8; cfg.msize];
     for iter in 0..cfg.iterations {
-        let noise = 1.0 + cfg.noise * (rng.gen::<f64>() * 2.0 - 1.0);
+        let noise = 1.0 + cfg.noise * (rng.next_f64() * 2.0 - 1.0);
         ctx.compute((my_base * noise).max(0.0));
         let enter = trace_clk.get_time(ctx);
         let _ = comm.allreduce(ctx, &payload, ReduceOp::ByteMax);
@@ -83,7 +88,12 @@ pub struct HaloProxyConfig {
 
 impl Default for HaloProxyConfig {
     fn default() -> Self {
-        Self { iterations: 20, halo_bytes: 1024, compute_mean_s: 120e-6, allreduce_every: 4 }
+        Self {
+            iterations: 20,
+            halo_bytes: 1024,
+            compute_mean_s: 120e-6,
+            allreduce_every: 4,
+        }
     }
 }
 
@@ -108,7 +118,7 @@ pub fn halo_proxy(
     const TAG_L: u32 = 0x300;
     const TAG_R: u32 = 0x301;
     for iter in 0..cfg.iterations {
-        let noise = 1.0 + 0.15 * (rng.gen::<f64>() * 2.0 - 1.0);
+        let noise = 1.0 + 0.15 * (rng.next_f64() * 2.0 - 1.0);
         ctx.compute(cfg.compute_mean_s * noise);
         let enter = trace_clk.get_time(ctx);
         if p > 1 {
@@ -140,7 +150,10 @@ mod tests {
         let res = cluster.run(|ctx| {
             let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
             let mut comm = Comm::world(ctx);
-            let cfg = AmgProxyConfig { iterations: 10, ..Default::default() };
+            let cfg = AmgProxyConfig {
+                iterations: 10,
+                ..Default::default()
+            };
             amg_proxy(ctx, &mut comm, &mut clk, cfg).events().len()
         });
         assert!(res.iter().all(|&n| n == 10));
@@ -167,7 +180,12 @@ mod tests {
         });
         // Rank 0 (fastest compute) waits longest inside the allreduce;
         // the last rank (slowest) waits least.
-        assert!(res[0] > res[3], "fast rank {:.3e} vs slow rank {:.3e}", res[0], res[3]);
+        assert!(
+            res[0] > res[3],
+            "fast rank {:.3e} vs slow rank {:.3e}",
+            res[0],
+            res[3]
+        );
     }
 
     #[test]
@@ -176,7 +194,10 @@ mod tests {
         let res = cluster.run(|ctx| {
             let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
             let mut comm = Comm::world(ctx);
-            let cfg = HaloProxyConfig { iterations: 12, ..Default::default() };
+            let cfg = HaloProxyConfig {
+                iterations: 12,
+                ..Default::default()
+            };
             let tr = halo_proxy(ctx, &mut comm, &mut clk, cfg);
             (tr.events().len(), ctx.counters().sent_msgs)
         });

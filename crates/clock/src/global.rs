@@ -93,9 +93,9 @@ impl GlobalClockLM {
     pub fn effective_model(&self) -> LinearModel {
         let mut models = Vec::new();
         self.collect_models(&mut models);
-        models
-            .into_iter()
-            .fold(LinearModel::IDENTITY, |acc, m| LinearModel::compose(&m, &acc))
+        models.into_iter().fold(LinearModel::IDENTITY, |acc, m| {
+            LinearModel::compose(&m, &acc)
+        })
     }
 }
 
@@ -146,7 +146,11 @@ pub fn flatten_clock(clock: &dyn Clock) -> Vec<u8> {
 pub fn unflatten_clock(base: BoxClock, bytes: &[u8]) -> BoxClock {
     assert!(bytes.len() >= 4, "flattened clock too short");
     let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
-    assert_eq!(bytes.len(), 4 + 16 * n, "flattened clock has wrong length for {n} models");
+    assert_eq!(
+        bytes.len(),
+        4 + 16 * n,
+        "flattened clock has wrong length for {n} models"
+    );
     let mut clock = base;
     for i in 0..n {
         let off = 4 + 16 * i;

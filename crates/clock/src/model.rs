@@ -29,7 +29,10 @@ pub struct LinearModel {
 
 impl LinearModel {
     /// The identity model: client *is* the reference.
-    pub const IDENTITY: LinearModel = LinearModel { slope: 0.0, intercept: 0.0 };
+    pub const IDENTITY: LinearModel = LinearModel {
+        slope: 0.0,
+        intercept: 0.0,
+    };
 
     /// Creates a model from slope and intercept.
     pub fn new(slope: f64, intercept: f64) -> Self {
@@ -105,13 +108,19 @@ pub fn fit_linear_model(xs: &[f64], ys: &[f64]) -> LinearFit {
     assert_eq!(xs.len(), ys.len(), "fit needs equally many x and y");
     let n = xs.len();
     if n == 0 {
-        return LinearFit { model: LinearModel::IDENTITY, r_squared: 1.0 };
+        return LinearFit {
+            model: LinearModel::IDENTITY,
+            r_squared: 1.0,
+        };
     }
     let nf = n as f64;
     let mx = xs.iter().sum::<f64>() / nf;
     let my = ys.iter().sum::<f64>() / nf;
     if n == 1 {
-        return LinearFit { model: LinearModel::new(0.0, my), r_squared: 1.0 };
+        return LinearFit {
+            model: LinearModel::new(0.0, my),
+            r_squared: 1.0,
+        };
     }
     let mut sxy = 0.0;
     let mut sxx = 0.0;
@@ -125,12 +134,22 @@ pub fn fit_linear_model(xs: &[f64], ys: &[f64]) -> LinearFit {
     }
     if sxx == 0.0 {
         // All timestamps identical: fall back to a constant offset.
-        return LinearFit { model: LinearModel::new(0.0, my), r_squared: 1.0 };
+        return LinearFit {
+            model: LinearModel::new(0.0, my),
+            r_squared: 1.0,
+        };
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    LinearFit { model: LinearModel::new(slope, intercept), r_squared }
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    LinearFit {
+        model: LinearModel::new(slope, intercept),
+        r_squared,
+    }
 }
 
 #[cfg(test)]
@@ -162,7 +181,10 @@ mod tests {
         for x in [0.0, 12.0, 9999.5] {
             let direct = outer.apply(inner.apply(x));
             let via = merged.apply(x);
-            assert!((direct - via).abs() < 1e-12 * (1.0 + direct.abs()), "{direct} vs {via}");
+            assert!(
+                (direct - via).abs() < 1e-12 * (1.0 + direct.abs()),
+                "{direct} vs {via}"
+            );
         }
     }
 
@@ -201,7 +223,11 @@ mod tests {
         let xs: Vec<f64> = (0..100).map(|i| 5.0e4 + i as f64 * 0.01).collect();
         let ys: Vec<f64> = xs.iter().map(|x| -2e-7 * x + 40.0).collect();
         let fit = fit_linear_model(&xs, &ys);
-        assert!((fit.model.slope + 2e-7).abs() < 1e-12, "slope {}", fit.model.slope);
+        assert!(
+            (fit.model.slope + 2e-7).abs() < 1e-12,
+            "slope {}",
+            fit.model.slope
+        );
         let mid = 5.0e4 + 0.5;
         assert!((fit.model.offset_at(mid) - (-2e-7 * mid + 40.0)).abs() < 1e-9);
     }
@@ -221,8 +247,10 @@ mod tests {
     fn fit_r2_reflects_noise() {
         let xs: Vec<f64> = (0..200).map(|i| i as f64).collect();
         // Deterministic pseudo-noise strong enough to hurt R^2.
-        let ys: Vec<f64> =
-            xs.iter().map(|&x| 1e-6 * x + 1e-4 * ((x * 12.9898).sin() * 43758.5453).fract()).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 1e-6 * x + 1e-4 * ((x * 12.9898).sin() * 43758.5453).fract())
+            .collect();
         let fit = fit_linear_model(&xs, &ys);
         assert!(fit.r_squared < 0.9, "r2 {}", fit.r_squared);
     }

@@ -16,7 +16,6 @@
 
 use hcs_sim::rngx::{self, label};
 use hcs_sim::{ClockSpec, SimTime};
-use rand::Rng;
 
 use std::f64::consts::TAU;
 
@@ -42,12 +41,23 @@ pub struct Oscillator {
 impl Oscillator {
     /// A perfect oscillator (zero error).
     pub fn perfect() -> Self {
-        Self { skew: 0.0, a1: 0.0, p1: 1.0, phi1: 0.0, a2: 0.0, p2: 1.0, phi2: 0.0 }
+        Self {
+            skew: 0.0,
+            a1: 0.0,
+            p1: 1.0,
+            phi1: 0.0,
+            a2: 0.0,
+            p2: 1.0,
+            phi2: 0.0,
+        }
     }
 
     /// An oscillator with constant skew only (fraction, not ppm).
     pub fn with_skew(skew: f64) -> Self {
-        Self { skew, ..Self::perfect() }
+        Self {
+            skew,
+            ..Self::perfect()
+        }
     }
 
     /// Derives the oscillator of `node` from the machine's [`ClockSpec`]
@@ -58,13 +68,21 @@ impl Oscillator {
         let mut rng = rngx::stream_rng(master_seed, label::node_oscillator(node));
         let ppm = 1e-6;
         let skew = rngx::normal_with(&mut rng, 0.0, spec.skew_sd_ppm * ppm);
-        let a1 = spec.wander_amp_ppm * ppm * rng.gen_range(0.6..1.4);
-        let p1 = spec.wander_period_s * rng.gen_range(0.5..1.5);
-        let phi1 = rng.gen_range(0.0..TAU);
-        let a2 = spec.wander2_amp_ppm * ppm * rng.gen_range(0.6..1.4);
-        let p2 = spec.wander2_period_s * rng.gen_range(0.5..1.5);
-        let phi2 = rng.gen_range(0.0..TAU);
-        Self { skew, a1, p1, phi1, a2, p2, phi2 }
+        let a1 = spec.wander_amp_ppm * ppm * rng.range(0.6, 1.4);
+        let p1 = spec.wander_period_s * rng.range(0.5, 1.5);
+        let phi1 = rng.range(0.0, TAU);
+        let a2 = spec.wander2_amp_ppm * ppm * rng.range(0.6, 1.4);
+        let p2 = spec.wander2_period_s * rng.range(0.5, 1.5);
+        let phi2 = rng.range(0.0, TAU);
+        Self {
+            skew,
+            a1,
+            p1,
+            phi1,
+            a2,
+            p2,
+            phi2,
+        }
     }
 
     /// Instantaneous frequency error at true time `t`.
@@ -179,7 +197,10 @@ mod tests {
         let a = Oscillator::for_node(&spec, 11, 0);
         let b = Oscillator::for_node(&spec, 11, 1);
         let xs: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
-        let ys: Vec<f64> = xs.iter().map(|&t| a.displacement(t) - b.displacement(t)).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&t| a.displacement(t) - b.displacement(t))
+            .collect();
         let n = xs.len() as f64;
         let mx = xs.iter().sum::<f64>() / n;
         let my = ys.iter().sum::<f64>() / n;

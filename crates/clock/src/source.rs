@@ -7,9 +7,8 @@
 //! microsecond resolution, millisecond-scale NTP-disciplined offsets,
 //! shared by all cores of a node).
 
-use hcs_sim::rngx::{self, label};
+use hcs_sim::rngx::{self, label, Pcg64};
 use hcs_sim::{RankCtx, SimTime};
-use rand::rngs::StdRng;
 
 use crate::global::Clock;
 use crate::model::LinearModel;
@@ -43,7 +42,7 @@ pub struct LocalClock {
     resolution: f64,
     read_noise_sd: f64,
     read_cost: f64,
-    noise_rng: StdRng,
+    noise_rng: Pcg64,
     /// Monotonicity guard: readings never decrease.
     last_reading: f64,
 }
@@ -206,7 +205,10 @@ mod tests {
             for _ in 0..100 {
                 let r = clk.get_time(ctx);
                 let rem = (r / res).fract().abs();
-                assert!(!(1e-6..=1.0 - 1e-6).contains(&rem), "reading {r} not on {res} grid");
+                assert!(
+                    !(1e-6..=1.0 - 1e-6).contains(&rem),
+                    "reading {r} not on {res} grid"
+                );
                 ctx.compute(1.37e-6);
             }
         });

@@ -42,9 +42,8 @@ impl AccuracyReport {
 /// Which clients a check with `sample_frac` will visit (deterministic in
 /// the master seed; every rank computes the same list locally).
 fn sampled_clients(master_seed: u64, p: usize, sample_frac: f64) -> Vec<usize> {
-    use rand::Rng;
     let mut rng = rngx::stream_rng(master_seed, 0x6A11);
-    let sampled: Vec<usize> = (1..p).filter(|_| rng.gen::<f64>() < sample_frac).collect();
+    let sampled: Vec<usize> = (1..p).filter(|_| rng.next_f64() < sample_frac).collect();
     if sampled.is_empty() && p > 1 {
         vec![p - 1]
     } else {
@@ -73,7 +72,10 @@ pub fn check_clock_accuracy(
     let me = comm.rank();
     let p = comm.size();
     if p <= 1 {
-        return (me == 0).then(|| AccuracyReport { entries: Vec::new(), wait_time });
+        return (me == 0).then(|| AccuracyReport {
+            entries: Vec::new(),
+            wait_time,
+        });
     }
     let sampled = sampled_clients(ctx.master_seed(), p, sample_frac);
 
@@ -186,7 +188,10 @@ mod tests {
         let (_, off0, off1) = r.entries[0];
         // Client gains 5 us per second; after 1 s the ref-client offset
         // shrinks by ~5 us (or grows in magnitude, depending on sign).
-        assert!((off1 - off0).abs() > 3e-6, "off0 {off0:.3e} off1 {off1:.3e}");
+        assert!(
+            (off1 - off0).abs() > 3e-6,
+            "off0 {off0:.3e} off1 {off1:.3e}"
+        );
     }
 
     #[test]
@@ -194,7 +199,11 @@ mod tests {
         let all = sampled_clients(7, 100, 1.0);
         assert_eq!(all.len(), 99);
         let some = sampled_clients(7, 100, 0.1);
-        assert!(!some.is_empty() && some.len() < 40, "sampled {}", some.len());
+        assert!(
+            !some.is_empty() && some.len() < 40,
+            "sampled {}",
+            some.len()
+        );
         // Deterministic.
         assert_eq!(some, sampled_clients(7, 100, 0.1));
     }

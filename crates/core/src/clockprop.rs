@@ -26,7 +26,9 @@ pub struct ClockPropSync {
 impl ClockPropSync {
     /// With the shared-time-source validity check enabled.
     pub fn verified() -> Self {
-        Self { verify_shared_source: true }
+        Self {
+            verify_shared_source: true,
+        }
     }
 }
 
@@ -99,7 +101,8 @@ mod tests {
             let base = LocalClock::new(ctx, TimeSource::WallCoarse);
             let mut comm = Comm::world(ctx);
             let clk: BoxClock = if comm.rank() == 0 {
-                let inner = GlobalClockLM::new(Box::new(base), LinearModel::new(1e-6, 0.25)).boxed();
+                let inner =
+                    GlobalClockLM::new(Box::new(base), LinearModel::new(1e-6, 0.25)).boxed();
                 GlobalClockLM::new(inner, LinearModel::new(-3e-6, 4.0)).boxed()
             } else {
                 Box::new(base)

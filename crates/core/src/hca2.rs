@@ -32,7 +32,10 @@ pub struct Hca2 {
 
 impl Default for Hca2 {
     fn default() -> Self {
-        Self { params: LearnParams::default(), offset: OffsetSpec::Skampi { nexchanges: 10 } }
+        Self {
+            params: LearnParams::default(),
+            offset: OffsetSpec::Skampi { nexchanges: 10 },
+        }
     }
 }
 
@@ -45,8 +48,14 @@ impl Hca2 {
     /// `hca2/recompute intercept/<nfitpoints>/SKaMPI-Offset/<pingpongs>`.
     pub fn skampi(nfitpoints: usize, pingpongs: usize) -> Self {
         Self {
-            params: LearnParams { nfitpoints, recompute_intercept: true, ..LearnParams::default() },
-            offset: OffsetSpec::Skampi { nexchanges: pingpongs },
+            params: LearnParams {
+                nfitpoints,
+                recompute_intercept: true,
+                ..LearnParams::default()
+            },
+            offset: OffsetSpec::Skampi {
+                nexchanges: pingpongs,
+            },
         }
     }
 
@@ -110,8 +119,10 @@ fn tree_sync(
         let lm = learn_clock_model(ctx, comm, offset_alg.as_mut(), params, p_ref, r, clk)
             .expect("client obtains a model");
         // lm maps my readings into p_ref's frame.
-        let composed: Vec<(usize, LinearModel)> =
-            table.iter().map(|&(g, m)| (g, LinearModel::compose(&lm, &m))).collect();
+        let composed: Vec<(usize, LinearModel)> = table
+            .iter()
+            .map(|&(g, m)| (g, LinearModel::compose(&lm, &m)))
+            .collect();
         ctx.send(comm.global_rank(p_ref), TAG_TABLE, &pack_table(&composed));
     } else {
         if r + max_power < nprocs {
@@ -131,8 +142,10 @@ fn tree_sync(
                 let p_ref = r - next_power;
                 let lm = learn_clock_model(ctx, comm, offset_alg.as_mut(), params, p_ref, r, clk)
                     .expect("client obtains a model");
-                let composed: Vec<(usize, LinearModel)> =
-                    table.iter().map(|&(g, m)| (g, LinearModel::compose(&lm, &m))).collect();
+                let composed: Vec<(usize, LinearModel)> = table
+                    .iter()
+                    .map(|&(g, m)| (g, LinearModel::compose(&lm, &m)))
+                    .collect();
                 ctx.send(comm.global_rank(p_ref), TAG_TABLE, &pack_table(&composed));
                 break;
             } else if r.is_multiple_of(running_power) {
@@ -149,7 +162,12 @@ fn tree_sync(
     // Root scatters each rank's model (paper Fig. 1a bottom).
     let chunks: Option<Vec<Vec<u8>>> = if r == 0 {
         let mut per_rank = vec![LinearModel::IDENTITY; nprocs];
-        assert_eq!(table.len(), nprocs, "root collected {} of {nprocs} models", table.len());
+        assert_eq!(
+            table.len(),
+            nprocs,
+            "root collected {} of {nprocs} models",
+            table.len()
+        );
         for (g, m) in table {
             per_rank[g] = m;
         }
@@ -172,8 +190,16 @@ impl ClockSync for Hca2 {
     }
 
     fn label(&self) -> String {
-        let ri = if self.params.recompute_intercept { "recompute_intercept/" } else { "" };
-        format!("hca2/{ri}{}/{}", self.params.nfitpoints, self.offset.label())
+        let ri = if self.params.recompute_intercept {
+            "recompute_intercept/"
+        } else {
+            ""
+        };
+        format!(
+            "hca2/{ri}{}/{}",
+            self.params.nfitpoints,
+            self.offset.label()
+        )
     }
 }
 
@@ -190,7 +216,10 @@ pub struct Hca {
 
 impl Default for Hca {
     fn default() -> Self {
-        Self { params: LearnParams::default(), offset: OffsetSpec::Skampi { nexchanges: 10 } }
+        Self {
+            params: LearnParams::default(),
+            offset: OffsetSpec::Skampi { nexchanges: 10 },
+        }
     }
 }
 
@@ -198,8 +227,14 @@ impl Hca {
     /// `hca/<nfitpoints>/SKaMPI-Offset/<pingpongs>`.
     pub fn skampi(nfitpoints: usize, pingpongs: usize) -> Self {
         Self {
-            params: LearnParams { nfitpoints, recompute_intercept: false, ..LearnParams::default() },
-            offset: OffsetSpec::Skampi { nexchanges: pingpongs },
+            params: LearnParams {
+                nfitpoints,
+                recompute_intercept: false,
+                ..LearnParams::default()
+            },
+            offset: OffsetSpec::Skampi {
+                nexchanges: pingpongs,
+            },
         }
     }
 
@@ -252,7 +287,11 @@ mod tests {
     where
         F: Fn() -> Box<dyn ClockSync> + Sync,
     {
-        let machine = if quiet { quiet_testbed(nodes, cores) } else { testbed(nodes, cores) };
+        let machine = if quiet {
+            quiet_testbed(nodes, cores)
+        } else {
+            testbed(nodes, cores)
+        };
         let cluster = machine.cluster(seed);
         let evals = cluster.run(|ctx| {
             let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
@@ -292,7 +331,8 @@ mod tests {
     #[test]
     fn hca2_non_power_of_two() {
         for p in [3usize, 5, 6] {
-            let errs = run_and_measure(|| Box::new(Hca2::skampi(30, 8)), p, 1, 20 + p as u64, false);
+            let errs =
+                run_and_measure(|| Box::new(Hca2::skampi(30, 8)), p, 1, 20 + p as u64, false);
             assert_eq!(errs.len(), p);
             for (r, e) in errs.iter().enumerate() {
                 assert!(e.abs() < 8e-6, "p={p} rank {r} err {e:.3e}");
@@ -302,13 +342,19 @@ mod tests {
 
     #[test]
     fn table_pack_roundtrip() {
-        let t = vec![(3usize, LinearModel::new(1e-6, -2.0)), (7, LinearModel::new(-5e-7, 0.25))];
+        let t = vec![
+            (3usize, LinearModel::new(1e-6, -2.0)),
+            (7, LinearModel::new(-5e-7, 0.25)),
+        ];
         assert_eq!(unpack_table(&pack_table(&t)), t);
     }
 
     #[test]
     fn labels() {
-        assert_eq!(Hca2::skampi(1000, 100).label(), "hca2/recompute_intercept/1000/SKaMPI-Offset/100");
+        assert_eq!(
+            Hca2::skampi(1000, 100).label(),
+            "hca2/recompute_intercept/1000/SKaMPI-Offset/100"
+        );
         assert_eq!(Hca::skampi(1000, 100).label(), "hca/1000/SKaMPI-Offset/100");
     }
 }

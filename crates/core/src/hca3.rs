@@ -29,7 +29,10 @@ pub struct Hca3 {
 
 impl Default for Hca3 {
     fn default() -> Self {
-        Self { params: LearnParams::default(), offset: OffsetSpec::Skampi { nexchanges: 10 } }
+        Self {
+            params: LearnParams::default(),
+            offset: OffsetSpec::Skampi { nexchanges: 10 },
+        }
     }
 }
 
@@ -43,8 +46,14 @@ impl Hca3 {
     /// `hca3/recompute intercept/<nfitpoints>/SKaMPI-Offset/<pingpongs>`.
     pub fn skampi(nfitpoints: usize, pingpongs: usize) -> Self {
         Self {
-            params: LearnParams { nfitpoints, recompute_intercept: true, ..LearnParams::default() },
-            offset: OffsetSpec::Skampi { nexchanges: pingpongs },
+            params: LearnParams {
+                nfitpoints,
+                recompute_intercept: true,
+                ..LearnParams::default()
+            },
+            offset: OffsetSpec::Skampi {
+                nexchanges: pingpongs,
+            },
         }
     }
 
@@ -143,8 +152,16 @@ impl ClockSync for Hca3 {
     }
 
     fn label(&self) -> String {
-        let ri = if self.params.recompute_intercept { "recompute_intercept/" } else { "" };
-        format!("hca3/{ri}{}/{}", self.params.nfitpoints, self.offset.label())
+        let ri = if self.params.recompute_intercept {
+            "recompute_intercept/"
+        } else {
+            ""
+        };
+        format!(
+            "hca3/{ri}{}/{}",
+            self.params.nfitpoints,
+            self.offset.label()
+        )
     }
 }
 
@@ -158,7 +175,11 @@ mod tests {
     /// Runs HCA3 and returns the true global-clock error of each rank
     /// relative to rank 0, evaluated at the same true instant.
     fn hca3_errors(nodes: usize, cores: usize, seed: u64, quiet: bool) -> Vec<f64> {
-        let machine = if quiet { quiet_testbed(nodes, cores) } else { testbed(nodes, cores) };
+        let machine = if quiet {
+            quiet_testbed(nodes, cores)
+        } else {
+            testbed(nodes, cores)
+        };
         let cluster = machine.cluster(seed);
         let evals = cluster.run(|ctx| {
             let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
@@ -230,13 +251,19 @@ mod tests {
             let mut alg = Hca3::default();
             let g = alg.sync_clocks(ctx, &mut comm, Box::new(clk));
             // Dummy wrap: identical readings to the base clock.
-            assert_eq!(g.true_eval(1.0), LocalClock::new(ctx, TimeSource::MpiWtime).true_eval(1.0));
+            assert_eq!(
+                g.true_eval(1.0),
+                LocalClock::new(ctx, TimeSource::MpiWtime).true_eval(1.0)
+            );
         });
     }
 
     #[test]
     fn label_matches_paper_style() {
         let alg = Hca3::skampi(1000, 100);
-        assert_eq!(alg.label(), "hca3/recompute_intercept/1000/SKaMPI-Offset/100");
+        assert_eq!(
+            alg.label(),
+            "hca3/recompute_intercept/1000/SKaMPI-Offset/100"
+        );
     }
 }

@@ -117,8 +117,10 @@ impl ClockSync for Hierarchical {
         // Build all level communicators first (collective calls —
         // everyone participates), then run the per-level algorithms.
         let scopes: Vec<LevelScope> = self.levels.iter().map(|l| l.scope).collect();
-        let mut level_comms: Vec<Option<Comm>> =
-            scopes.iter().map(|&s| self.build_level(ctx, comm, s)).collect();
+        let mut level_comms: Vec<Option<Comm>> = scopes
+            .iter()
+            .map(|&s| self.build_level(ctx, comm, s))
+            .collect();
 
         let mut clk = clk;
         for (plan, level_comm) in self.levels.iter_mut().zip(level_comms.iter_mut()) {
@@ -160,8 +162,10 @@ mod tests {
         let evals = cluster.run(|ctx| {
             let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
             let mut comm = Comm::world(ctx);
-            let mut alg =
-                Hierarchical::h2(Box::new(Hca3::skampi(40, 10)), Box::new(ClockPropSync::verified()));
+            let mut alg = Hierarchical::h2(
+                Box::new(Hca3::skampi(40, 10)),
+                Box::new(ClockPropSync::verified()),
+            );
             let out = run_sync(&mut alg, ctx, &mut comm, Box::new(clk));
             (out.clock.true_eval(5.0), out.duration)
         });
@@ -232,7 +236,10 @@ mod tests {
 
     #[test]
     fn label_mentions_levels() {
-        let alg = Hierarchical::h2(Box::new(Hca3::skampi(1000, 100)), Box::new(ClockPropSync::default()));
+        let alg = Hierarchical::h2(
+            Box::new(Hca3::skampi(1000, 100)),
+            Box::new(ClockPropSync::default()),
+        );
         assert_eq!(
             alg.label(),
             "Top/hca3/recompute_intercept/1000/SKaMPI-Offset/100/Bottom/ClockPropagation"

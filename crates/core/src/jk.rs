@@ -28,7 +28,10 @@ pub struct Jk {
 impl Default for Jk {
     fn default() -> Self {
         Self {
-            params: LearnParams { recompute_intercept: false, ..LearnParams::default() },
+            params: LearnParams {
+                recompute_intercept: false,
+                ..LearnParams::default()
+            },
             offset: OffsetSpec::MeanRtt { nexchanges: 10 },
         }
     }
@@ -44,16 +47,28 @@ impl Jk {
     /// `jk/<nfitpoints>/SKaMPI-Offset/<pingpongs>`.
     pub fn skampi(nfitpoints: usize, pingpongs: usize) -> Self {
         Self {
-            params: LearnParams { nfitpoints, recompute_intercept: false, ..LearnParams::default() },
-            offset: OffsetSpec::Skampi { nexchanges: pingpongs },
+            params: LearnParams {
+                nfitpoints,
+                recompute_intercept: false,
+                ..LearnParams::default()
+            },
+            offset: OffsetSpec::Skampi {
+                nexchanges: pingpongs,
+            },
         }
     }
 
     /// The traditional configuration with Mean-RTT-Offset.
     pub fn mean_rtt(nfitpoints: usize, pingpongs: usize) -> Self {
         Self {
-            params: LearnParams { nfitpoints, recompute_intercept: false, ..LearnParams::default() },
-            offset: OffsetSpec::MeanRtt { nexchanges: pingpongs },
+            params: LearnParams {
+                nfitpoints,
+                recompute_intercept: false,
+                ..LearnParams::default()
+            },
+            offset: OffsetSpec::MeanRtt {
+                nexchanges: pingpongs,
+            },
         }
     }
 
@@ -71,11 +86,27 @@ impl ClockSync for Jk {
         let mut offset_alg = self.offset.build();
         if r == 0 {
             for client in 1..comm.size() {
-                learn_clock_model(ctx, comm, offset_alg.as_mut(), self.params, 0, client, &mut my_clk);
+                learn_clock_model(
+                    ctx,
+                    comm,
+                    offset_alg.as_mut(),
+                    self.params,
+                    0,
+                    client,
+                    &mut my_clk,
+                );
             }
         } else {
-            let lm = learn_clock_model(ctx, comm, offset_alg.as_mut(), self.params, 0, r, &mut my_clk)
-                .expect("client obtains a model");
+            let lm = learn_clock_model(
+                ctx,
+                comm,
+                offset_alg.as_mut(),
+                self.params,
+                0,
+                r,
+                &mut my_clk,
+            )
+            .expect("client obtains a model");
             my_clk = GlobalClockLM::new(my_clk, lm).boxed();
         }
         my_clk

@@ -29,14 +29,21 @@ pub struct LearnParams {
 
 impl Default for LearnParams {
     fn default() -> Self {
-        Self { nfitpoints: 100, recompute_intercept: true, spacing_s: 3e-3 }
+        Self {
+            nfitpoints: 100,
+            recompute_intercept: true,
+            spacing_s: 3e-3,
+        }
     }
 }
 
 impl LearnParams {
     /// `nfitpoints` with intercept recomputation on.
     pub fn with_fitpoints(nfitpoints: usize) -> Self {
-        Self { nfitpoints, ..Self::default() }
+        Self {
+            nfitpoints,
+            ..Self::default()
+        }
     }
 
     /// The fit window (time span) these parameters produce, assuming
@@ -119,7 +126,11 @@ mod tests {
         let res = cluster.run(move |ctx| {
             let comm = Comm::world(ctx);
             let mut alg = SkampiOffset::new(10);
-            let params = LearnParams { nfitpoints: 60, recompute_intercept: recompute, spacing_s: 0.0 };
+            let params = LearnParams {
+                nfitpoints: 60,
+                recompute_intercept: recompute,
+                spacing_s: 0.0,
+            };
             if comm.rank() == 0 {
                 let mut clk = GlobalClockLM::new(
                     Box::new(LocalClock::from_oscillator(Oscillator::with_skew(skew), 0)),
@@ -144,14 +155,22 @@ mod tests {
         // Offset near the measurement window (~a few ms of client time).
         let x = 0.005;
         let want = 250e-6 + skew * x;
-        assert!((lm.offset_at(x) - want).abs() < 2e-6, "offset {:.3e}", lm.offset_at(x));
+        assert!(
+            (lm.offset_at(x) - want).abs() < 2e-6,
+            "offset {:.3e}",
+            lm.offset_at(x)
+        );
     }
 
     #[test]
     fn recompute_intercept_reanchors() {
         let (lm, _) = learn_planted(true);
         let x = 0.005;
-        assert!((lm.offset_at(x) - 250e-6).abs() < 3e-6, "offset {:.3e}", lm.offset_at(x));
+        assert!(
+            (lm.offset_at(x) - 250e-6).abs() < 3e-6,
+            "offset {:.3e}",
+            lm.offset_at(x)
+        );
     }
 
     #[test]
@@ -161,7 +180,15 @@ mod tests {
             let comm = Comm::world(ctx);
             let mut alg = SkampiOffset::new(3);
             let mut clk = LocalClock::from_oscillator(Oscillator::perfect(), 0);
-            learn_clock_model(ctx, &comm, &mut alg, LearnParams::with_fitpoints(5), 0, 1, &mut clk)
+            learn_clock_model(
+                ctx,
+                &comm,
+                &mut alg,
+                LearnParams::with_fitpoints(5),
+                0,
+                1,
+                &mut clk,
+            )
         });
         assert!(res[0].is_none());
         assert!(res[1].is_some());

@@ -44,11 +44,11 @@ pub use hca3::Hca3;
 pub use hierarchical::{Hierarchical, LevelPlan};
 pub use jk::Jk;
 pub use learn::{learn_clock_model, LearnParams};
-pub use offset_only::OffsetOnlySync;
-pub use resync::ResyncSession;
 pub use offset::{
     ClockOffset, MeanRttOffset, OffsetAlgorithm, OffsetParams, OffsetSpec, SkampiOffset,
 };
+pub use offset_only::OffsetOnlySync;
+pub use resync::ResyncSession;
 pub use sync::{run_sync, ClockSync, SyncFactory, SyncOutcome};
 
 /// One-stop imports for downstream crates.
@@ -60,10 +60,10 @@ pub mod prelude {
     pub use crate::hierarchical::{Hierarchical, LevelPlan};
     pub use crate::jk::Jk;
     pub use crate::learn::{learn_clock_model, LearnParams};
-    pub use crate::offset_only::OffsetOnlySync;
-    pub use crate::resync::ResyncSession;
     pub use crate::offset::{
         ClockOffset, MeanRttOffset, OffsetAlgorithm, OffsetParams, OffsetSpec, SkampiOffset,
     };
+    pub use crate::offset_only::OffsetOnlySync;
+    pub use crate::resync::ResyncSession;
     pub use crate::sync::{run_sync, ClockSync, SyncFactory, SyncOutcome};
 }

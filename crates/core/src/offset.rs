@@ -85,7 +85,9 @@ impl SkampiOffset {
     /// With the given number of ping-pongs per fit point.
     pub fn new(nexchanges: usize) -> Self {
         assert!(nexchanges >= 1, "SKaMPI-Offset needs at least one exchange");
-        Self { params: OffsetParams { nexchanges } }
+        Self {
+            params: OffsetParams { nexchanges },
+        }
     }
 }
 
@@ -128,7 +130,10 @@ impl OffsetAlgorithm for SkampiOffset {
                 td_max = td_max.min(t_last - s_slast);
             }
             let diff = (td_min + td_max) / 2.0;
-            Some(ClockOffset { timestamp: clk.get_time(ctx), offset: diff })
+            Some(ClockOffset {
+                timestamp: clk.get_time(ctx),
+                offset: diff,
+            })
         } else {
             panic!("measure_offset called by rank {me}, neither ref {p_ref} nor client {client}");
         }
@@ -157,8 +162,15 @@ pub struct MeanRttOffset {
 impl MeanRttOffset {
     /// With the given exchanges per fit point and 10 RTT ping-pongs.
     pub fn new(nexchanges: usize) -> Self {
-        assert!(nexchanges >= 1, "Mean-RTT-Offset needs at least one exchange");
-        Self { params: OffsetParams { nexchanges }, rtt_pingpongs: 10, rtt_cache: HashMap::new() }
+        assert!(
+            nexchanges >= 1,
+            "Mean-RTT-Offset needs at least one exchange"
+        );
+        Self {
+            params: OffsetParams { nexchanges },
+            rtt_pingpongs: 10,
+            rtt_cache: HashMap::new(),
+        }
     }
 
     fn measure_rtt(
@@ -251,7 +263,10 @@ impl OffsetAlgorithm for MeanRttOffset {
                 .iter()
                 .position(|&v| v == median)
                 .expect("median value present in samples");
-            Some(ClockOffset { timestamp: local_time[med_idx], offset: time_var[med_idx] })
+            Some(ClockOffset {
+                timestamp: local_time[med_idx],
+                offset: time_var[med_idx],
+            })
         }
     }
 }
@@ -353,7 +368,11 @@ mod tests {
             alg.measure_offset(ctx, &comm, &mut clk, 0, 1)
         });
         let off = results[1].unwrap();
-        assert!(off.timestamp > 5.0, "timestamp {} must reflect client clock", off.timestamp);
+        assert!(
+            off.timestamp > 5.0,
+            "timestamp {} must reflect client clock",
+            off.timestamp
+        );
     }
 
     #[test]
@@ -379,10 +398,22 @@ mod tests {
 
     #[test]
     fn offset_spec_builds_and_labels() {
-        assert_eq!(OffsetSpec::Skampi { nexchanges: 100 }.label(), "SKaMPI-Offset/100");
-        assert_eq!(OffsetSpec::MeanRtt { nexchanges: 20 }.label(), "Mean-RTT-Offset/20");
-        assert_eq!(OffsetSpec::Skampi { nexchanges: 5 }.build().name(), "SKaMPI-Offset");
-        assert_eq!(OffsetSpec::MeanRtt { nexchanges: 5 }.build().name(), "Mean-RTT-Offset");
+        assert_eq!(
+            OffsetSpec::Skampi { nexchanges: 100 }.label(),
+            "SKaMPI-Offset/100"
+        );
+        assert_eq!(
+            OffsetSpec::MeanRtt { nexchanges: 20 }.label(),
+            "Mean-RTT-Offset/20"
+        );
+        assert_eq!(
+            OffsetSpec::Skampi { nexchanges: 5 }.build().name(),
+            "SKaMPI-Offset"
+        );
+        assert_eq!(
+            OffsetSpec::MeanRtt { nexchanges: 5 }.build().name(),
+            "Mean-RTT-Offset"
+        );
     }
 
     #[test]

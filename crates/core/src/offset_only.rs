@@ -25,14 +25,18 @@ pub struct OffsetOnlySync {
 
 impl Default for OffsetOnlySync {
     fn default() -> Self {
-        Self { offset: OffsetSpec::Skampi { nexchanges: 100 } }
+        Self {
+            offset: OffsetSpec::Skampi { nexchanges: 100 },
+        }
     }
 }
 
 impl OffsetOnlySync {
     /// With the given number of ping-pongs for the single measurement.
     pub fn new(nexchanges: usize) -> Self {
-        Self { offset: OffsetSpec::Skampi { nexchanges } }
+        Self {
+            offset: OffsetSpec::Skampi { nexchanges },
+        }
     }
 }
 
@@ -75,7 +79,10 @@ mod tests {
             let g = alg.sync_clocks(ctx, &mut comm, Box::new(clk));
             g.true_eval(at)
         });
-        evals.iter().map(|v| (v - evals[0]).abs()).fold(0.0, f64::max)
+        evals
+            .iter()
+            .map(|v| (v - evals[0]).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -107,6 +114,9 @@ mod tests {
 
     #[test]
     fn label() {
-        assert_eq!(OffsetOnlySync::new(100).label(), "offset_only/SKaMPI-Offset/100");
+        assert_eq!(
+            OffsetOnlySync::new(100).label(),
+            "offset_only/SKaMPI-Offset/100"
+        );
     }
 }

@@ -37,7 +37,12 @@ impl ResyncSession {
         assert!(interval_s > 0.0, "resync interval must be positive");
         let mut clock = alg.sync_clocks(ctx, comm, base);
         let last_sync_reading = clock.get_time(ctx);
-        Self { clock, interval_s, last_sync_reading, resyncs: 0 }
+        Self {
+            clock,
+            interval_s,
+            last_sync_reading,
+            resyncs: 0,
+        }
     }
 
     /// The current global clock.
@@ -74,10 +79,7 @@ impl ResyncSession {
         let due = comm.bcast_f64(ctx, 0, due) != 0.0;
         if due {
             // Temporarily replace with a dummy so we can move the clock.
-            let old = std::mem::replace(
-                &mut self.clock,
-                Box::new(NullClock) as BoxClock,
-            );
+            let old = std::mem::replace(&mut self.clock, Box::new(NullClock) as BoxClock);
             self.clock = alg.sync_clocks(ctx, comm, old);
             self.last_sync_reading = self.clock.get_time(ctx);
             self.resyncs += 1;
@@ -143,7 +145,10 @@ mod tests {
             }
             (session.clock().true_eval(horizon + 1.0), session.resyncs())
         });
-        evals.iter().map(|(v, _)| (v - evals[0].0).abs()).fold(0.0, f64::max)
+        evals
+            .iter()
+            .map(|(v, _)| (v - evals[0].0).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -163,8 +168,7 @@ mod tests {
             let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
             let mut comm = Comm::world(ctx);
             let mut alg = Hca3::skampi(20, 5);
-            let mut session =
-                ResyncSession::start(ctx, &mut comm, &mut alg, Box::new(clk), 5.0);
+            let mut session = ResyncSession::start(ctx, &mut comm, &mut alg, Box::new(clk), 5.0);
             for _ in 0..10 {
                 ctx.compute(2.0);
                 session.maybe_resync(ctx, &mut comm, &mut alg);
@@ -172,7 +176,11 @@ mod tests {
             session.resyncs()
         });
         assert!(counts.iter().all(|&c| c == counts[0]));
-        assert!(counts[0] >= 2, "expected several resyncs, got {}", counts[0]);
+        assert!(
+            counts[0] >= 2,
+            "expected several resyncs, got {}",
+            counts[0]
+        );
     }
 
     #[test]
@@ -182,8 +190,7 @@ mod tests {
             let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
             let mut comm = Comm::world(ctx);
             let mut alg = Hca3::skampi(20, 5);
-            let mut session =
-                ResyncSession::start(ctx, &mut comm, &mut alg, Box::new(clk), 1e6);
+            let mut session = ResyncSession::start(ctx, &mut comm, &mut alg, Box::new(clk), 1e6);
             for _ in 0..3 {
                 ctx.compute(0.5);
                 assert!(!session.maybe_resync(ctx, &mut comm, &mut alg));

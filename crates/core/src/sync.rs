@@ -47,5 +47,8 @@ pub fn run_sync(
 ) -> SyncOutcome {
     let start = ctx.now();
     let clock = sync.sync_clocks(ctx, comm, clk);
-    SyncOutcome { clock, duration: ctx.now() - start }
+    SyncOutcome {
+        clock,
+        duration: ctx.now() - start,
+    }
 }

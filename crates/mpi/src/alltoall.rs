@@ -104,7 +104,9 @@ fn bruck(
 
     // Phase 3: inverse rotation — after the rounds, slot i holds the
     // block *from* rank (r - i) % p.
-    (0..p).map(|s| std::mem::take(&mut slots[(r + p - s) % p])).collect()
+    (0..p)
+        .map(|s| std::mem::take(&mut slots[(r + p - s) % p]))
+        .collect()
 }
 
 fn pairwise(comm: &Comm, ctx: &mut RankCtx, tag: Tag, blocks: &[Vec<u8>]) -> Vec<Vec<u8>> {

@@ -267,7 +267,10 @@ mod tests {
         };
         let ring = spread(BarrierAlgorithm::DoubleRing);
         let tree = spread(BarrierAlgorithm::Tree);
-        assert!(ring > 3.0 * tree, "double-ring spread {ring:.2e} vs tree {tree:.2e}");
+        assert!(
+            ring > 3.0 * tree,
+            "double-ring spread {ring:.2e} vs tree {tree:.2e}"
+        );
     }
 
     #[test]

@@ -74,7 +74,11 @@ mod tests {
         for root in [0usize, 1, 3, 5] {
             let vals = cluster.run(|ctx| {
                 let mut comm = Comm::world(ctx);
-                let data = if comm.rank() == root { vec![7u8, 8, 9] } else { vec![] };
+                let data = if comm.rank() == root {
+                    vec![7u8, 8, 9]
+                } else {
+                    vec![]
+                };
                 comm.bcast(ctx, root, &data)
             });
             for (r, v) in vals.iter().enumerate() {

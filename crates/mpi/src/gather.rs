@@ -55,7 +55,11 @@ impl Comm {
             let ctx = &mut *ctx;
             if comm.rank() == root {
                 let chunks = chunks.expect("scatter root must supply chunks");
-                assert_eq!(chunks.len(), comm.size(), "scatter needs one chunk per member");
+                assert_eq!(
+                    chunks.len(),
+                    comm.size(),
+                    "scatter needs one chunk per member"
+                );
                 for (r, chunk) in chunks.iter().enumerate() {
                     if r != root {
                         ctx.send(comm.global_rank(r), tag, chunk);
@@ -93,8 +97,8 @@ fn unpack(buf: &[u8], n: usize) -> Vec<Vec<u8>> {
     let mut out = Vec::with_capacity(n);
     let mut off = 0usize;
     for _ in 0..n {
-        let len = u32::from_le_bytes(buf[off..off + 4].try_into().expect("truncated allgather"))
-            as usize;
+        let len =
+            u32::from_le_bytes(buf[off..off + 4].try_into().expect("truncated allgather")) as usize;
         off += 4;
         out.push(buf[off..off + len].to_vec());
         off += len;
@@ -126,7 +130,11 @@ mod tests {
         let res = cluster.run(|ctx| {
             let mut comm = Comm::world(ctx);
             let chunks: Option<Vec<Vec<u8>>> = if comm.rank() == 0 {
-                Some((0..comm.size()).map(|r| vec![r as u8, r as u8 + 1]).collect())
+                Some(
+                    (0..comm.size())
+                        .map(|r| vec![r as u8, r as u8 + 1])
+                        .collect(),
+                )
             } else {
                 None
             };
@@ -168,7 +176,11 @@ mod tests {
         let cluster = testbed(1, 2).cluster(5);
         cluster.run(|ctx| {
             let mut comm = Comm::world(ctx);
-            let chunks = if comm.rank() == 0 { Some(vec![vec![1u8]]) } else { None };
+            let chunks = if comm.rank() == 0 {
+                Some(vec![vec![1u8]])
+            } else {
+                None
+            };
             comm.scatter(ctx, 0, chunks.as_deref());
         });
     }

@@ -36,6 +36,7 @@ pub use reduce::{AllreduceAlgorithm, ReduceOp};
 
 use std::sync::Arc;
 
+use hcs_sim::msg::Payload;
 use hcs_sim::{Rank, RankCtx, Tag};
 
 /// Bit position where the context id starts inside a tag.
@@ -92,8 +93,18 @@ impl Comm {
             .position(|&r| r == me)
             .expect("constructing a Comm this rank is not a member of");
         let my_node = ctx.topology().node_of(me);
-        let node_peers = members.iter().filter(|&&r| ctx.topology().node_of(r) == my_node).count();
-        Self { ranks: Arc::new(members), my_pos, ctx_id, seq: 0, split_count: 0, node_peers }
+        let node_peers = members
+            .iter()
+            .filter(|&&r| ctx.topology().node_of(r) == my_node)
+            .count();
+        Self {
+            ranks: Arc::new(members),
+            my_pos,
+            ctx_id,
+            seq: 0,
+            split_count: 0,
+            node_peers,
+        }
     }
 
     /// This rank's rank *within this communicator*.
@@ -147,7 +158,7 @@ impl Comm {
     }
 
     /// Blocking receive from a communicator rank.
-    pub fn recv(&self, ctx: &mut RankCtx, src: usize, tag: Tag) -> Box<[u8]> {
+    pub fn recv(&self, ctx: &mut RankCtx, src: usize, tag: Tag) -> Payload {
         ctx.recv(self.ranks[src], self.user_tag(tag))
     }
 
@@ -177,7 +188,7 @@ impl Comm {
         payload: &[u8],
         src: usize,
         recv_tag: Tag,
-    ) -> Box<[u8]> {
+    ) -> Payload {
         self.send(ctx, dst, send_tag, payload);
         self.recv(ctx, src, recv_tag)
     }
@@ -230,14 +241,7 @@ mod tests {
         let res = c.run(|ctx| {
             let comm = Comm::world(ctx);
             let peer = 1 - comm.rank();
-            let out = comm.sendrecv(
-                ctx,
-                peer,
-                9,
-                &[comm.rank() as u8; 4],
-                peer,
-                9,
-            );
+            let out = comm.sendrecv(ctx, peer, 9, &[comm.rank() as u8; 4], peer, 9);
             out.to_vec()
         });
         assert_eq!(res[0], vec![1u8; 4]);

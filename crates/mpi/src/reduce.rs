@@ -49,7 +49,11 @@ impl ReduceOp {
                 }
             }
             _ => {
-                assert_eq!(acc.len() % 8, 0, "f64 reduce needs 8-byte-multiple payloads");
+                assert_eq!(
+                    acc.len() % 8,
+                    0,
+                    "f64 reduce needs 8-byte-multiple payloads"
+                );
                 for i in (0..acc.len()).step_by(8) {
                     let x = f64::from_le_bytes(acc[i..i + 8].try_into().unwrap());
                     let y = f64::from_le_bytes(other[i..i + 8].try_into().unwrap());
@@ -108,7 +112,11 @@ impl Comm {
         op: ReduceOp,
         alg: AllreduceAlgorithm,
     ) -> Vec<u8> {
-        assert_eq!(data.len() % op.alignment(), 0, "payload not aligned for {op:?}");
+        assert_eq!(
+            data.len() % op.alignment(),
+            0,
+            "payload not aligned for {op:?}"
+        );
         if self.size() <= 1 {
             return data.to_vec();
         }
@@ -135,13 +143,17 @@ impl Comm {
         op: ReduceOp,
     ) -> Option<Vec<u8>> {
         assert!(root < self.size(), "reduce root {root} out of range");
-        assert_eq!(data.len() % op.alignment(), 0, "payload not aligned for {op:?}");
+        assert_eq!(
+            data.len() % op.alignment(),
+            0,
+            "payload not aligned for {op:?}"
+        );
         if self.size() <= 1 {
             return Some(data.to_vec());
         }
         let tag = self.next_coll_tag();
         let comm = self.clone();
-        
+
         self.with_contention(ctx, |ctx| {
             // Virtual ranks place the root at 0 for the binomial fan-in.
             let p = comm.size();
@@ -168,7 +180,11 @@ impl Comm {
     /// reduction of ranks `0..=r`, via the classic log-round
     /// shift-and-fold schedule.
     pub fn scan(&mut self, ctx: &mut RankCtx, data: &[u8], op: ReduceOp) -> Vec<u8> {
-        assert_eq!(data.len() % op.alignment(), 0, "payload not aligned for {op:?}");
+        assert_eq!(
+            data.len() % op.alignment(),
+            0,
+            "payload not aligned for {op:?}"
+        );
         if self.size() <= 1 {
             return data.to_vec();
         }
@@ -233,7 +249,13 @@ fn recursive_doubling(
     data
 }
 
-fn reduce_bcast(comm: &Comm, ctx: &mut RankCtx, tag: Tag, mut data: Vec<u8>, op: ReduceOp) -> Vec<u8> {
+fn reduce_bcast(
+    comm: &Comm,
+    ctx: &mut RankCtx,
+    tag: Tag,
+    mut data: Vec<u8>,
+    op: ReduceOp,
+) -> Vec<u8> {
     let (r, p) = (comm.rank(), comm.size());
     // Binomial fan-in reduction to rank 0.
     let mut mask = 1usize;
@@ -330,7 +352,10 @@ mod tests {
             let a = f64::from_le_bytes(out[0..8].try_into().unwrap());
             let b = f64::from_le_bytes(out[8..16].try_into().unwrap());
             let c = f64::from_le_bytes(out[16..24].try_into().unwrap());
-            assert!((a - expect_first).abs() < 1e-9, "{alg:?} rank {r}: {a} vs {expect_first}");
+            assert!(
+                (a - expect_first).abs() < 1e-9,
+                "{alg:?} rank {r}: {a} vs {expect_first}"
+            );
             assert!((b - p as f64).abs() < 1e-9);
             assert!((c + expect_first).abs() < 1e-9);
         }
@@ -373,7 +398,11 @@ mod tests {
             let r = comm.rank() as f64;
             let mn = comm.allreduce_f64(ctx, r, ReduceOp::F64Min);
             let mx = comm.allreduce_f64(ctx, r, ReduceOp::F64Max);
-            let or = comm.allreduce_f64(ctx, if comm.rank() == 2 { 1.0 } else { 0.0 }, ReduceOp::F64LOr);
+            let or = comm.allreduce_f64(
+                ctx,
+                if comm.rank() == 2 { 1.0 } else { 0.0 },
+                ReduceOp::F64LOr,
+            );
             let or0 = comm.allreduce_f64(ctx, 0.0, ReduceOp::F64LOr);
             (mn, mx, or, or0)
         });
@@ -465,7 +494,10 @@ mod tests {
         cluster.run(|ctx| {
             let mut comm = Comm::world(ctx);
             let x = 4.25f64.to_le_bytes();
-            assert_eq!(comm.reduce(ctx, 0, &x, ReduceOp::F64Sum).unwrap(), x.to_vec());
+            assert_eq!(
+                comm.reduce(ctx, 0, &x, ReduceOp::F64Sum).unwrap(),
+                x.to_vec()
+            );
             assert_eq!(comm.scan(ctx, &x, ReduceOp::F64Sum), x.to_vec());
         });
     }

@@ -47,7 +47,10 @@ impl Comm {
             }
         }
         members.sort_unstable();
-        let globals: Vec<usize> = members.iter().map(|&(_, old)| self.global_rank(old)).collect();
+        let globals: Vec<usize> = members
+            .iter()
+            .map(|&(_, old)| self.global_rank(old))
+            .collect();
         Some(Comm::from_members(ctx, globals, child_ctx))
     }
 

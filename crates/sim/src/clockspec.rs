@@ -85,7 +85,10 @@ impl ClockSpec {
     /// Like [`ClockSpec::ideal`] but with per-node skew, so clocks drift
     /// linearly and deterministically — useful for regression tests.
     pub fn linear(skew_sd_ppm: f64) -> Self {
-        Self { skew_sd_ppm, ..Self::ideal() }
+        Self {
+            skew_sd_ppm,
+            ..Self::ideal()
+        }
     }
 }
 

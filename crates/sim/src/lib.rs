@@ -47,6 +47,7 @@ pub mod machines;
 pub mod msg;
 pub mod net;
 pub mod noise;
+pub mod pool;
 pub mod rngx;
 pub mod topology;
 
@@ -55,6 +56,7 @@ pub use engine::{Cluster, RankCtx};
 pub use machines::MachineSpec;
 pub use net::{Jitter, LevelLatency, NetworkModel};
 pub use noise::NoiseSpec;
+pub use pool::ClusterPool;
 pub use topology::{Level, Topology};
 
 /// Simulated time, in seconds since simulation start ("true time").

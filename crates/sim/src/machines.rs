@@ -50,8 +50,12 @@ impl MachineSpec {
 
     /// Builds a [`Cluster`] with the given seed.
     pub fn cluster(&self, seed: u64) -> Cluster {
-        let c =
-            Cluster::from_parts(self.topology.clone(), self.network.clone(), self.clock.clone(), seed);
+        let c = Cluster::from_parts(
+            self.topology.clone(),
+            self.network.clone(),
+            self.clock.clone(),
+            seed,
+        );
         match self.noise {
             Some(n) => c.with_noise(n),
             None => c,
@@ -63,7 +67,12 @@ fn intranode_levels(socket_base: f64, node_base: f64) -> (LevelLatency, LevelLat
     let mk = |base: f64| LevelLatency {
         base_s: base,
         per_byte_s: 1.0 / 8e9, // ~8 GB/s shared-memory copies
-        jitter: Jitter { median_s: base * 0.06, sigma: 0.45, spike_prob: 2e-5, spike_mean_s: 8e-6 },
+        jitter: Jitter {
+            median_s: base * 0.06,
+            sigma: 0.45,
+            spike_prob: 2e-5,
+            spike_mean_s: 8e-6,
+        },
     };
     (mk(socket_base), mk(node_base))
 }
@@ -82,9 +91,14 @@ pub fn jupiter() -> MachineSpec {
             same_socket,
             same_node,
             inter_node: LevelLatency {
-                base_s: 3.3e-6, // paper: ping-pong latency 3-4 us
+                base_s: 3.3e-6,          // paper: ping-pong latency 3-4 us
                 per_byte_s: 1.0 / 3.2e9, // QDR ~32 Gbit/s
-                jitter: Jitter { median_s: 0.22e-6, sigma: 0.55, spike_prob: 3e-4, spike_mean_s: 40e-6 },
+                jitter: Jitter {
+                    median_s: 0.22e-6,
+                    sigma: 0.55,
+                    spike_prob: 3e-4,
+                    spike_mean_s: 40e-6,
+                },
             },
             send_overhead_s: 0.10e-6,
             recv_overhead_s: 0.10e-6,
@@ -118,9 +132,14 @@ pub fn hydra() -> MachineSpec {
             same_socket,
             same_node,
             inter_node: LevelLatency {
-                base_s: 1.9e-6, // "the newer OmniPath network has a smaller latency"
+                base_s: 1.9e-6,           // "the newer OmniPath network has a smaller latency"
                 per_byte_s: 1.0 / 12.5e9, // 100 Gbit/s
-                jitter: Jitter { median_s: 0.10e-6, sigma: 0.50, spike_prob: 2e-4, spike_mean_s: 25e-6 },
+                jitter: Jitter {
+                    median_s: 0.10e-6,
+                    sigma: 0.50,
+                    spike_prob: 2e-4,
+                    spike_mean_s: 25e-6,
+                },
             },
             send_overhead_s: 0.08e-6,
             recv_overhead_s: 0.08e-6,
@@ -159,7 +178,12 @@ pub fn titan() -> MachineSpec {
                 per_byte_s: 1.0 / 4.0e9,
                 // Torus network with shared links: more jitter, fatter
                 // congestion tail — the source of Fig. 6's variance.
-                jitter: Jitter { median_s: 0.5e-6, sigma: 0.8, spike_prob: 1.2e-3, spike_mean_s: 80e-6 },
+                jitter: Jitter {
+                    median_s: 0.5e-6,
+                    sigma: 0.8,
+                    spike_prob: 1.2e-3,
+                    spike_mean_s: 80e-6,
+                },
             },
             send_overhead_s: 0.12e-6,
             recv_overhead_s: 0.12e-6,
@@ -196,7 +220,12 @@ pub fn ethernet() -> MachineSpec {
             inter_node: LevelLatency {
                 base_s: 28e-6, // kernel TCP stack round
                 per_byte_s: 1.0 / 1.1e9,
-                jitter: Jitter { median_s: 6e-6, sigma: 0.9, spike_prob: 2e-3, spike_mean_s: 300e-6 },
+                jitter: Jitter {
+                    median_s: 6e-6,
+                    sigma: 0.9,
+                    spike_prob: 2e-3,
+                    spike_mean_s: 300e-6,
+                },
             },
             send_overhead_s: 1.5e-6,
             recv_overhead_s: 1.5e-6,
@@ -227,7 +256,11 @@ pub fn testbed(nodes: usize, cores_per_node: usize) -> MachineSpec {
 pub fn quiet_testbed(nodes: usize, cores_per_node: usize) -> MachineSpec {
     let mut m = testbed(nodes, cores_per_node);
     m.name = "QuietTestbed";
-    for lvl in [&mut m.network.same_socket, &mut m.network.same_node, &mut m.network.inter_node] {
+    for lvl in [
+        &mut m.network.same_socket,
+        &mut m.network.same_node,
+        &mut m.network.inter_node,
+    ] {
         lvl.jitter = Jitter::smooth(0.0, 0.5);
     }
     m.network.asymmetry_frac = 0.0;
@@ -281,11 +314,13 @@ mod tests {
         assert_eq!(c.seed(), 11);
     }
 
-
     #[test]
     fn ethernet_is_much_slower_than_the_paper_machines() {
         let e = ethernet();
-        assert!(e.network.level(Level::InterNode).base_s > 5.0 * jupiter().network.level(Level::InterNode).base_s);
+        assert!(
+            e.network.level(Level::InterNode).base_s
+                > 5.0 * jupiter().network.level(Level::InterNode).base_s
+        );
         assert!(e.noise.is_some(), "commodity cluster ships with OS noise");
     }
 

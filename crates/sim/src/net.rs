@@ -9,9 +9,7 @@
 //! window-based scheme of the paper suffers from and the Round-Time
 //! scheme is designed to tolerate.
 
-use rand::Rng;
-
-use crate::rngx;
+use crate::rngx::{self, Pcg64};
 use crate::topology::Level;
 
 /// Jitter model: log-normal body plus a rare exponential spike.
@@ -30,11 +28,16 @@ pub struct Jitter {
 impl Jitter {
     /// Jitter with only the log-normal body (no spikes).
     pub fn smooth(median_s: f64, sigma: f64) -> Self {
-        Self { median_s, sigma, spike_prob: 0.0, spike_mean_s: 0.0 }
+        Self {
+            median_s,
+            sigma,
+            spike_prob: 0.0,
+            spike_mean_s: 0.0,
+        }
     }
 
     /// Draws a non-negative jitter sample.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+    pub fn sample(&self, rng: &mut Pcg64) -> f64 {
         let mut j = if self.median_s > 0.0 {
             rngx::lognormal(rng, self.median_s, self.sigma)
         } else {
@@ -42,7 +45,7 @@ impl Jitter {
             let _ = rngx::normal(rng);
             0.0
         };
-        if self.spike_prob > 0.0 && rng.gen::<f64>() < self.spike_prob {
+        if self.spike_prob > 0.0 && rng.next_f64() < self.spike_prob {
             j += rngx::exponential(rng, self.spike_mean_s);
         }
         j
@@ -118,7 +121,11 @@ impl NetworkModel {
         if self.asymmetry_frac == 0.0 || src == dst {
             return 0.0;
         }
-        let (lo, hi, sign) = if src < dst { (src, dst, 1.0) } else { (dst, src, -1.0) };
+        let (lo, hi, sign) = if src < dst {
+            (src, dst, 1.0)
+        } else {
+            (dst, src, -1.0)
+        };
         let mut s = (lo as u64) << 32 | hi as u64;
         let h = rngx::splitmix64(&mut s);
         // Map to [-1, 1).
@@ -128,9 +135,9 @@ impl NetworkModel {
 
     /// Samples the one-way latency of a `bytes`-sized message from `src`
     /// to `dst` at the given level, using the sender's RNG stream.
-    pub fn sample_latency<R: Rng + ?Sized>(
+    pub fn sample_latency(
         &self,
-        rng: &mut R,
+        rng: &mut Pcg64,
         level: Level,
         src: usize,
         dst: usize,
@@ -181,7 +188,12 @@ mod tests {
 
     #[test]
     fn jitter_is_nonnegative_and_spiky() {
-        let j = Jitter { median_s: 1e-7, sigma: 0.5, spike_prob: 0.05, spike_mean_s: 1e-5 };
+        let j = Jitter {
+            median_s: 1e-7,
+            sigma: 0.5,
+            spike_prob: 0.05,
+            spike_mean_s: 1e-5,
+        };
         let mut rng = stream_rng(1, 1);
         let samples: Vec<f64> = (0..20_000).map(|_| j.sample(&mut rng)).collect();
         assert!(samples.iter().all(|&x| x >= 0.0));

@@ -25,12 +25,18 @@ pub struct NoiseSpec {
 impl NoiseSpec {
     /// A typical commodity-Linux profile: ~100 Hz of small ticks.
     pub fn commodity_linux() -> Self {
-        Self { rate_hz: 100.0, mean_preempt_s: 5e-6 }
+        Self {
+            rate_hz: 100.0,
+            mean_preempt_s: 5e-6,
+        }
     }
 
     /// A noisy node (co-located daemons, unpinned IRQs).
     pub fn noisy() -> Self {
-        Self { rate_hz: 500.0, mean_preempt_s: 20e-6 }
+        Self {
+            rate_hz: 500.0,
+            mean_preempt_s: 20e-6,
+        }
     }
 
     /// Expected slowdown factor of pure compute phases.
@@ -46,13 +52,19 @@ mod tests {
 
     #[test]
     fn expected_slowdown_is_rate_times_duration() {
-        let n = NoiseSpec { rate_hz: 1000.0, mean_preempt_s: 100e-6 };
+        let n = NoiseSpec {
+            rate_hz: 1000.0,
+            mean_preempt_s: 100e-6,
+        };
         assert!((n.expected_slowdown() - 1.1).abs() < 1e-12);
     }
 
     #[test]
     fn noise_extends_compute_time_by_the_expected_factor() {
-        let spec = NoiseSpec { rate_hz: 2000.0, mean_preempt_s: 50e-6 };
+        let spec = NoiseSpec {
+            rate_hz: 2000.0,
+            mean_preempt_s: 50e-6,
+        };
         let mut machine = testbed(1, 2);
         machine.noise = Some(spec);
         let cluster = machine.cluster(3);

@@ -1,0 +1,246 @@
+//! Persistent rank-thread pool.
+//!
+//! The experiment drivers run `nmpiruns × |configs| × |shapes|` cluster
+//! simulations back to back; with one OS thread per simulated rank, a
+//! 10-run × 512-rank sweep used to spawn (and tear down) 5120 threads.
+//! [`ClusterPool`] keeps rank threads alive and parked between
+//! [`Cluster::run`](crate::Cluster::run) invocations, so the sweep
+//! spawns 512 threads once and reuses them for every subsequent run.
+//!
+//! Correctness notes:
+//!
+//! - **Leasing, not sharing.** A run checks out exactly `p` workers for
+//!   exclusive use and returns them when the run completes. Concurrent
+//!   runs (e.g. parallel `cargo test` threads) therefore never queue
+//!   jobs behind each other's *blocking* rank bodies, which would
+//!   deadlock.
+//! - **Determinism.** Virtual time never depends on which OS thread
+//!   executes a rank (arrival times are fixed at send time from
+//!   deterministic per-rank RNG streams), so pooled and fresh-spawn
+//!   runs are bit-identical — `tests/pool_determinism.rs` asserts this.
+//! - **Panic safety.** Rank bodies run under `catch_unwind`; a panic is
+//!   recorded and re-thrown on the *caller's* thread, and the worker
+//!   survives to serve later runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Stack size for rank threads. The clock-sync code is iterative, so a
+/// small stack keeps 16k-rank (Titan-scale) runs affordable.
+pub(crate) const RANK_STACK_BYTES: usize = 256 * 1024;
+
+/// A unit of work shipped to a parked worker. Jobs are lifetime-erased
+/// by the engine (see safety comment in `engine.rs`); they must never
+/// unwind past the worker loop.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Worker {
+    tx: Sender<Job>,
+}
+
+/// A pool of parked rank threads, leased in blocks of `p` per run.
+pub struct ClusterPool {
+    idle: Mutex<Vec<Worker>>,
+    spawned: AtomicUsize,
+}
+
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl ClusterPool {
+    /// The process-wide pool used by [`crate::Cluster::run`].
+    pub fn global() -> &'static ClusterPool {
+        static POOL: OnceLock<ClusterPool> = OnceLock::new();
+        POOL.get_or_init(|| ClusterPool {
+            idle: Mutex::new(Vec::new()),
+            spawned: AtomicUsize::new(0),
+        })
+    }
+
+    /// Total OS threads this pool has ever spawned. A repeated-runs
+    /// workload at fixed `p` should plateau at `p` (plus whatever other
+    /// concurrent runs lease) — the perf tests assert on this.
+    pub fn threads_spawned(&self) -> usize {
+        self.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Number of currently parked (leasable) workers.
+    pub fn idle_workers(&self) -> usize {
+        lock_ignore_poison(&self.idle).len()
+    }
+
+    fn spawn_worker(&self) -> Worker {
+        let (tx, rx) = channel::<Job>();
+        let id = self.spawned.fetch_add(1, Ordering::Relaxed);
+        std::thread::Builder::new()
+            .name(format!("sim-worker-{id}"))
+            .stack_size(RANK_STACK_BYTES)
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    // Jobs catch their own panics; this is a backstop so
+                    // a worker can never die and strand its lease.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                }
+            })
+            .expect("failed to spawn pool worker thread");
+        Worker { tx }
+    }
+
+    fn checkout(&self, n: usize) -> Vec<Worker> {
+        let mut workers = {
+            let mut idle = lock_ignore_poison(&self.idle);
+            let take = n.min(idle.len());
+            let at = idle.len() - take;
+            idle.split_off(at)
+        };
+        while workers.len() < n {
+            workers.push(self.spawn_worker());
+        }
+        workers
+    }
+
+    fn checkin(&self, workers: Vec<Worker>) {
+        lock_ignore_poison(&self.idle).extend(workers);
+    }
+
+    /// Runs `n` lifetime-erased jobs on leased workers and blocks until
+    /// every job has signalled completion through `latch`.
+    ///
+    /// Every job MUST call [`Latch::count_down`] exactly once, on all
+    /// paths — the engine guarantees this by counting down outside its
+    /// `catch_unwind`.
+    pub(crate) fn run_jobs(&self, jobs: Vec<Job>, latch: &Latch) {
+        let workers = self.checkout(jobs.len());
+        for (worker, job) in workers.iter().zip(jobs) {
+            worker
+                .tx
+                .send(job)
+                .expect("pool worker died (job queue closed)");
+        }
+        latch.wait();
+        self.checkin(workers);
+    }
+}
+
+/// A countdown latch: the caller waits until `n` jobs have finished.
+pub(crate) struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn count_down(&self) {
+        let mut left = lock_ignore_poison(&self.remaining);
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    pub(crate) fn wait(&self) {
+        let mut left = lock_ignore_poison(&self.remaining);
+        while *left > 0 {
+            left = match self.done.wait(left) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn jobs_run_and_latch_releases() {
+        let pool = ClusterPool::global();
+        let hits = Arc::new(AtomicU64::new(0));
+        let latch = Arc::new(Latch::new(8));
+        let jobs: Vec<Job> = (0..8)
+            .map(|_| {
+                let hits = Arc::clone(&hits);
+                let latch = Arc::clone(&latch);
+                Box::new(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    latch.count_down();
+                }) as Job
+            })
+            .collect();
+        pool.run_jobs(jobs, &latch);
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn workers_are_reused_across_dispatches() {
+        let pool = ClusterPool::global();
+        // Warm up a private plateau: after the first dispatch of width 4
+        // completes, a second one must not need new threads beyond what
+        // other concurrently running tests lease away.
+        for _ in 0..3 {
+            let latch = Arc::new(Latch::new(4));
+            let jobs: Vec<Job> = (0..4)
+                .map(|_| {
+                    let latch = Arc::clone(&latch);
+                    Box::new(move || latch.count_down()) as Job
+                })
+                .collect();
+            pool.run_jobs(jobs, &latch);
+        }
+        let before = pool.threads_spawned();
+        let latch = Arc::new(Latch::new(4));
+        let jobs: Vec<Job> = (0..4)
+            .map(|_| {
+                let latch = Arc::clone(&latch);
+                Box::new(move || latch.count_down()) as Job
+            })
+            .collect();
+        pool.run_jobs(jobs, &latch);
+        // Other tests may grow the pool concurrently, but this dispatch
+        // itself found its 4 workers parked.
+        assert!(pool.threads_spawned() >= 4);
+        assert!(pool.threads_spawned() - before <= 4);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_worker() {
+        let pool = ClusterPool::global();
+        let latch = Arc::new(Latch::new(1));
+        let l2 = Arc::clone(&latch);
+        // The job counts down BEFORE panicking, mirroring how the engine
+        // sequences its own jobs (count_down outside catch_unwind would
+        // be after the panic is caught).
+        let job: Job = Box::new(move || {
+            l2.count_down();
+            panic!("deliberate");
+        });
+        pool.run_jobs(vec![job], &latch);
+        // The worker must still serve jobs.
+        let latch = Arc::new(Latch::new(1));
+        let l2 = Arc::clone(&latch);
+        let ok = Arc::new(AtomicU64::new(0));
+        let ok2 = Arc::clone(&ok);
+        pool.run_jobs(
+            vec![Box::new(move || {
+                ok2.store(7, Ordering::Relaxed);
+                l2.count_down();
+            }) as Job],
+            &latch,
+        );
+        assert_eq!(ok.load(Ordering::Relaxed), 7);
+    }
+}

@@ -34,9 +34,19 @@ impl Topology {
     /// Panics if any dimension is zero.
     pub fn new(nodes: usize, sockets_per_node: usize, cores_per_socket: usize) -> Self {
         assert!(nodes > 0, "topology needs at least one node");
-        assert!(sockets_per_node > 0, "topology needs at least one socket per node");
-        assert!(cores_per_socket > 0, "topology needs at least one core per socket");
-        Self { nodes, sockets_per_node, cores_per_socket }
+        assert!(
+            sockets_per_node > 0,
+            "topology needs at least one socket per node"
+        );
+        assert!(
+            cores_per_socket > 0,
+            "topology needs at least one core per socket"
+        );
+        Self {
+            nodes,
+            sockets_per_node,
+            cores_per_socket,
+        }
     }
 
     /// Single-socket convenience constructor (`nodes × 1 × cores`).

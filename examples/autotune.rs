@@ -31,7 +31,10 @@ fn main() {
             Box::new(ClockPropSync::verified()),
         );
         let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
-        let scheme = TuneScheme::RoundTime { slice_s: 0.2, max_reps: 100 };
+        let scheme = TuneScheme::RoundTime {
+            slice_s: 0.2,
+            max_reps: 100,
+        };
         let ar = tune_allreduce(ctx, &mut comm, g.as_mut(), scheme, &msizes);
         let a2a = tune_alltoall(ctx, &mut comm, g.as_mut(), scheme, &msizes[..3]);
         (ar, a2a)
@@ -39,20 +42,44 @@ fn main() {
 
     let (allreduce, alltoall) = &res[0];
     println!("MPI_Allreduce:");
-    println!("{:>8} {:>16} {:>12}   all candidates", "msize", "winner", "lat [us]");
+    println!(
+        "{:>8} {:>16} {:>12}   all candidates",
+        "msize", "winner", "lat [us]"
+    );
     for r in allreduce.as_ref().unwrap() {
         let w = r.winner();
-        let all: Vec<String> =
-            r.candidates.iter().map(|c| format!("{}={:.1}", c.name, c.latency_s * 1e6)).collect();
-        println!("{:>8} {:>16} {:>12.2}   {}", r.msize, w.name, w.latency_s * 1e6, all.join("  "));
+        let all: Vec<String> = r
+            .candidates
+            .iter()
+            .map(|c| format!("{}={:.1}", c.name, c.latency_s * 1e6))
+            .collect();
+        println!(
+            "{:>8} {:>16} {:>12.2}   {}",
+            r.msize,
+            w.name,
+            w.latency_s * 1e6,
+            all.join("  ")
+        );
     }
     println!("\nMPI_Alltoall:");
-    println!("{:>8} {:>16} {:>12}   all candidates", "msize", "winner", "lat [us]");
+    println!(
+        "{:>8} {:>16} {:>12}   all candidates",
+        "msize", "winner", "lat [us]"
+    );
     for r in alltoall.as_ref().unwrap() {
         let w = r.winner();
-        let all: Vec<String> =
-            r.candidates.iter().map(|c| format!("{}={:.1}", c.name, c.latency_s * 1e6)).collect();
-        println!("{:>8} {:>16} {:>12.2}   {}", r.msize, w.name, w.latency_s * 1e6, all.join("  "));
+        let all: Vec<String> = r
+            .candidates
+            .iter()
+            .map(|c| format!("{}={:.1}", c.name, c.latency_s * 1e6))
+            .collect();
+        println!(
+            "{:>8} {:>16} {:>12.2}   {}",
+            r.msize,
+            w.name,
+            w.latency_s * 1e6,
+            all.join("  ")
+        );
     }
     println!("\nExpected: log-round algorithms win the small sizes; bandwidth-friendly");
     println!("algorithms (ring / pairwise) take over as payloads grow.");

@@ -10,12 +10,15 @@
 //! cargo run --release --example benchmark_allreduce
 //! ```
 
-use hierarchical_clock_sync::prelude::*;
 use hierarchical_clock_sync::bench::suites::{measure_allreduce, Suite, SuiteConfig};
+use hierarchical_clock_sync::prelude::*;
 
 fn main() {
     let machine = machines::jupiter().with_shape(8, 2, 2);
-    println!("{} — MPI_Allreduce(8 B), 32 ranks, 100 reps per cell\n", machine.name);
+    println!(
+        "{} — MPI_Allreduce(8 B), 32 ranks, 100 reps per cell\n",
+        machine.name
+    );
     println!(
         "{:<14} {:>14} {:>14} {:>14}",
         "barrier", "OSU [us]", "IMB [us]", "ReproMPI [us]"
@@ -37,7 +40,11 @@ fn main() {
                 // barrier-based suites to have one either.
                 let mut sync = Hca3::skampi(60, 10);
                 let mut global = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
-                let cfg = SuiteConfig { nreps: 100, barrier, time_slice_s: 0.1 };
+                let cfg = SuiteConfig {
+                    nreps: 100,
+                    barrier,
+                    time_slice_s: 0.1,
+                };
                 measure_allreduce(ctx, &mut comm, global.as_mut(), suite, 8, cfg)
             });
             row.push(results[0].expect("root reports").latency_s * 1e6);

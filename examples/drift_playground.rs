@@ -44,8 +44,14 @@ fn main() {
     let ac = LinearModel::compose(&ab, &bc);
     let reading_c = 1000.0;
     println!("\nmodel algebra:");
-    println!("  c-reading {reading_c} -> a-frame via compose: {:.9}", ac.apply(reading_c));
-    println!("  same via two hops:                           {:.9}", ab.apply(bc.apply(reading_c)));
+    println!(
+        "  c-reading {reading_c} -> a-frame via compose: {:.9}",
+        ac.apply(reading_c)
+    );
+    println!(
+        "  same via two hops:                           {:.9}",
+        ab.apply(bc.apply(reading_c))
+    );
 
     // 4. Fitting recovers a planted drift from noisy observations.
     let truth = LinearModel::new(1.5e-6, -2e-4);
@@ -57,7 +63,8 @@ fn main() {
         .collect();
     let fit = fit_linear_model(&xs, &ys);
     println!("\nregression on noisy fit points (40 ns noise, 10 s window):");
-    println!("  planted slope {:.3} ppm, fitted {:.3} ppm (R2 = {:.4})",
+    println!(
+        "  planted slope {:.3} ppm, fitted {:.3} ppm (R2 = {:.4})",
         truth.slope * 1e6,
         fit.model.slope * 1e6,
         fit.r_squared
@@ -73,7 +80,10 @@ fn main() {
         (wtime, raw, wall)
     });
     println!("\ntime-source readings at the same true instant (t = 1 s):");
-    println!("{:>6} {:>22} {:>22} {:>18}", "rank", "MPI_Wtime", "clock_gettime", "gettimeofday");
+    println!(
+        "{:>6} {:>22} {:>22} {:>18}",
+        "rank", "MPI_Wtime", "clock_gettime", "gettimeofday"
+    );
     for (r, (wt, raw, wall)) in rows.iter().enumerate() {
         println!("{r:>6} {wt:>22.6} {raw:>22.6} {wall:>18.6}");
     }

@@ -9,7 +9,11 @@
 
 use hierarchical_clock_sync::prelude::*;
 
-fn measure(machine: &MachineSpec, seed: u64, make: &(dyn Fn() -> Box<dyn ClockSync> + Sync)) -> (String, f64, f64, f64) {
+fn measure(
+    machine: &MachineSpec,
+    seed: u64,
+    make: &(dyn Fn() -> Box<dyn ClockSync> + Sync),
+) -> (String, f64, f64, f64) {
     let cluster = machine.cluster(seed);
     let out = cluster.run(|ctx| {
         let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
@@ -24,7 +28,12 @@ fn measure(machine: &MachineSpec, seed: u64, make: &(dyn Fn() -> Box<dyn ClockSy
     let label = out[0].0.clone();
     let duration = out.iter().map(|o| o.1).fold(0.0f64, f64::max);
     let report = out[0].2.as_ref().expect("root reports");
-    (label, duration, report.max_abs_at_sync(), report.max_abs_after_wait())
+    (
+        label,
+        duration,
+        report.max_abs_at_sync(),
+        report.max_abs_after_wait(),
+    )
 }
 
 fn main() {
@@ -34,7 +43,10 @@ fn main() {
         machine.name,
         machine.topology.total_cores()
     );
-    println!("{:<64} {:>10} {:>12} {:>12}", "algorithm", "dur [s]", "@0s [us]", "@10s [us]");
+    println!(
+        "{:<64} {:>10} {:>12} {:>12}",
+        "algorithm", "dur [s]", "@0s [us]", "@10s [us]"
+    );
 
     let algs: Vec<Box<dyn Fn() -> Box<dyn ClockSync> + Sync>> = vec![
         // The SKaMPI/NBCBench-style baseline: constant offset, no drift
@@ -60,7 +72,13 @@ fn main() {
     ];
     for make in &algs {
         let (label, dur, at0, at10) = measure(&machine, 3, make.as_ref());
-        println!("{:<64} {:>10.3} {:>12.3} {:>12.3}", label, dur, at0 * 1e6, at10 * 1e6);
+        println!(
+            "{:<64} {:>10.3} {:>12.3} {:>12.3}",
+            label,
+            dur,
+            at0 * 1e6,
+            at10 * 1e6
+        );
     }
     println!("\nJK is accurate but O(p); HCA3 matches it at a fraction of the time;");
     println!("H2HCA/H3HCA cut the tree height further by cloning models inside a node.");

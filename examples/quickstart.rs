@@ -30,16 +30,21 @@ fn main() {
         // Algorithm 6: measure every rank's offset to the reference now
         // and again 10 (virtual) seconds later.
         let mut probe = SkampiOffset::new(10);
-        let report =
-            check_clock_accuracy(ctx, &mut comm, global.as_mut(), &mut probe, 10.0, 1.0);
+        let report = check_clock_accuracy(ctx, &mut comm, global.as_mut(), &mut probe, 10.0, 1.0);
         (report, outcome.duration)
     });
 
     let (report, duration) = &reports[0];
     let report = report.as_ref().expect("rank 0 holds the report");
     println!("sync duration:            {:>8.3} s (virtual)", duration);
-    println!("max offset right after:   {:>8.3} us", report.max_abs_at_sync() * 1e6);
-    println!("max offset after 10 s:    {:>8.3} us", report.max_abs_after_wait() * 1e6);
+    println!(
+        "max offset right after:   {:>8.3} us",
+        report.max_abs_at_sync() * 1e6
+    );
+    println!(
+        "max offset after 10 s:    {:>8.3} us",
+        report.max_abs_after_wait() * 1e6
+    );
     println!();
     println!("per-client offsets (us):");
     println!("{:>6} {:>12} {:>12}", "rank", "after sync", "after 10 s");

@@ -18,12 +18,17 @@ const ITER_TO_SHOW: u32 = 10;
 
 fn render(title: &str, rows: &[(usize, f64, f64)]) {
     println!("--- {title} (iteration {ITER_TO_SHOW}) ---");
-    let max_end =
-        rows.iter().map(|&(_, s, d)| s + d).fold(f64::NEG_INFINITY, f64::max).max(1e-9);
+    let max_end = rows
+        .iter()
+        .map(|&(_, s, d)| s + d)
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(1e-9);
     const WIDTH: usize = 56;
     for &(rank, start, dur) in rows {
         let s = ((start / max_end) * WIDTH as f64).round() as usize;
-        let e = (((start + dur) / max_end) * WIDTH as f64).round().max(s as f64 + 1.0) as usize;
+        let e = (((start + dur) / max_end) * WIDTH as f64)
+            .round()
+            .max(s as f64 + 1.0) as usize;
         let mut bar = String::new();
         bar.push_str(&" ".repeat(s.min(WIDTH)));
         bar.push_str(&"#".repeat((e - s).min(WIDTH - s.min(WIDTH))));
@@ -39,11 +44,15 @@ fn render(title: &str, rows: &[(usize, f64, f64)]) {
 fn main() {
     let machine = machines::jupiter().with_shape(4, 2, 2);
     let cluster = machine.cluster(11);
-    println!("AMG2013 proxy on {}, 16 ranks, 8 B MPI_Allreduce per iteration\n", machine.name);
+    println!(
+        "AMG2013 proxy on {}, 16 ranks, 8 B MPI_Allreduce per iteration\n",
+        machine.name
+    );
 
-    for (title, use_global) in
-        [("local clock (clock_gettime)", false), ("HCA3 global clock", true)]
-    {
+    for (title, use_global) in [
+        ("local clock (clock_gettime)", false),
+        ("HCA3 global clock", true),
+    ] {
         let traces = cluster.run(|ctx| {
             let mut comm = Comm::world(ctx);
             let base = LocalClock::new(ctx, TimeSource::RawMonotonic);
@@ -53,7 +62,10 @@ fn main() {
             } else {
                 Box::new(base)
             };
-            let cfg = AmgProxyConfig { iterations: 12, ..Default::default() };
+            let cfg = AmgProxyConfig {
+                iterations: 12,
+                ..Default::default()
+            };
             let tracer = amg_proxy(ctx, &mut comm, trace_clk.as_mut(), cfg);
             tracer.gather(ctx, &mut comm)
         });

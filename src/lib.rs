@@ -36,6 +36,6 @@ pub mod prelude {
         Oscillator, TimeSource,
     };
     pub use hcs_core::prelude::*;
-    pub use hcs_mpi::{Comm, BarrierAlgorithm};
-    pub use hcs_sim::{machines, Cluster, ClockSpec, MachineSpec, RankCtx, Topology};
+    pub use hcs_mpi::{BarrierAlgorithm, Comm};
+    pub use hcs_sim::{machines, ClockSpec, Cluster, MachineSpec, RankCtx, Topology};
 }

@@ -1,0 +1,77 @@
+//! The small-message hot path must not allocate.
+//!
+//! A counting global allocator wraps `System`; after a warm-up phase
+//! (mailbox ring buffers reach their high-water capacity, the pool
+//! spawns its workers) the steady-state ping-pong loop — send with
+//! inline payload, latency sampling, FIFO clamp, mailbox push/pop,
+//! receive — must perform exactly zero heap allocations.
+//!
+//! This file intentionally contains a single test: the counter is
+//! process-global, and a sibling test allocating concurrently would
+//! produce false positives.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use hierarchical_clock_sync::prelude::*;
+
+struct CountingAlloc;
+
+static TRACKING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_small_messages_do_not_allocate() {
+    let cluster = machines::testbed(2, 1).cluster(1);
+    cluster.run(|ctx| {
+        let peer = 1 - ctx.rank();
+        let trip = |ctx: &mut RankCtx, i: u32| {
+            if ctx.rank() == 0 {
+                ctx.send_f64(peer, i & 0x7, i as f64);
+                let _ = ctx.recv_f64(peer, i & 0x7);
+            } else {
+                let v = ctx.recv_f64(peer, i & 0x7);
+                ctx.send_f64(peer, i & 0x7, v + 1.0);
+            }
+        };
+        // Warm-up: grow mailbox rings to their high-water capacity.
+        for i in 0..512u32 {
+            trip(ctx, i);
+        }
+        // Only rank threads are runnable here (the caller is parked in
+        // the latch), so every counted allocation comes from this loop.
+        TRACKING.store(true, Ordering::SeqCst);
+        for i in 0..2048u32 {
+            trip(ctx, i);
+        }
+        TRACKING.store(false, Ordering::SeqCst);
+    });
+    let n = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        n, 0,
+        "steady-state small-message path performed {n} heap allocations"
+    );
+}

@@ -23,7 +23,10 @@ fn tuner_decisions_are_deterministic_and_seed_sensitive() {
                     ctx,
                     &mut comm,
                     g.as_mut(),
-                    TuneScheme::RoundTime { slice_s: 0.03, max_reps: 30 },
+                    TuneScheme::RoundTime {
+                        slice_s: 0.03,
+                        max_reps: 30,
+                    },
                     &[8],
                 )
             })
@@ -57,7 +60,10 @@ fn guidelines_hold_on_every_machine_profile() {
                 ctx,
                 &mut comm,
                 g.as_mut(),
-                TuneScheme::RoundTime { slice_s: 0.03, max_reps: 30 },
+                TuneScheme::RoundTime {
+                    slice_s: 0.03,
+                    max_reps: 30,
+                },
                 Guideline::AllreduceVsReduceBcast,
                 64,
             )
@@ -86,7 +92,10 @@ fn profiler_and_tracer_agree_on_halo_proxy() {
             ctx,
             &mut comm,
             &mut clk,
-            HaloProxyConfig { iterations: 8, ..Default::default() },
+            HaloProxyConfig {
+                iterations: 8,
+                ..Default::default()
+            },
         );
         prof.leave("halo", &mut clk, ctx);
         let traced: f64 = tracer.events().iter().map(|e| e.duration()).sum();
@@ -94,28 +103,40 @@ fn profiler_and_tracer_agree_on_halo_proxy() {
         (traced, profiled)
     });
     for &(traced, profiled) in &res {
-        assert!(traced <= profiled, "traced {traced} inside profiled {profiled}");
+        assert!(
+            traced <= profiled,
+            "traced {traced} inside profiled {profiled}"
+        );
         assert!(profiled > 0.0);
     }
 }
 
 #[test]
 fn postmortem_interpolation_beats_raw_on_drifting_cluster() {
-    let res = machines::hydra().with_shape(4, 1, 1).cluster(13).run(|ctx| {
-        let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
-        let oracle = LocalClock::new(ctx, TimeSource::MpiWtime);
-        let comm = Comm::world(ctx);
-        let mut alg = SkampiOffset::new(15);
-        let begin = measure_epoch(ctx, &comm, &mut clk, &mut alg);
-        // 60 s of "application".
-        ctx.compute(60.0);
-        // Mid-trace probe instant in local clock terms (oracle view).
-        let mid_local = oracle.true_eval(30.0);
-        let end = measure_epoch(ctx, &comm, &mut clk, &mut alg);
-        (mid_local, interpolate(begin, end, mid_local))
-    });
-    let raw_spread = res.iter().map(|r| (r.0 - res[0].0).abs()).fold(0.0f64, f64::max);
-    let corrected_spread = res.iter().map(|r| (r.1 - res[0].1).abs()).fold(0.0f64, f64::max);
+    let res = machines::hydra()
+        .with_shape(4, 1, 1)
+        .cluster(13)
+        .run(|ctx| {
+            let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let oracle = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let comm = Comm::world(ctx);
+            let mut alg = SkampiOffset::new(15);
+            let begin = measure_epoch(ctx, &comm, &mut clk, &mut alg);
+            // 60 s of "application".
+            ctx.compute(60.0);
+            // Mid-trace probe instant in local clock terms (oracle view).
+            let mid_local = oracle.true_eval(30.0);
+            let end = measure_epoch(ctx, &comm, &mut clk, &mut alg);
+            (mid_local, interpolate(begin, end, mid_local))
+        });
+    let raw_spread = res
+        .iter()
+        .map(|r| (r.0 - res[0].0).abs())
+        .fold(0.0f64, f64::max);
+    let corrected_spread = res
+        .iter()
+        .map(|r| (r.1 - res[0].1).abs())
+        .fold(0.0f64, f64::max);
     assert!(
         corrected_spread < raw_spread / 100.0,
         "interpolation {corrected_spread:.3e} should crush raw {raw_spread:.3e}"
@@ -126,20 +147,23 @@ fn postmortem_interpolation_beats_raw_on_drifting_cluster() {
 fn profiled_allreduce_fraction_matches_amg_premise() {
     // Communication-bound iteration: the allreduce share must dominate
     // (the paper's AMG profile shows ~80%).
-    let res = machines::jupiter().with_shape(6, 2, 2).cluster(17).run(|ctx| {
-        let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
-        let mut comm = Comm::world(ctx);
-        let mut prof = Profiler::new();
-        for _ in 0..15 {
-            prof.enter("compute", &mut clk, ctx);
-            ctx.compute(8e-6);
-            prof.leave("compute", &mut clk, ctx);
-            prof.enter("allreduce", &mut clk, ctx);
-            let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
-            prof.leave("allreduce", &mut clk, ctx);
-        }
-        prof.gather(ctx, &mut comm)
-    });
+    let res = machines::jupiter()
+        .with_shape(6, 2, 2)
+        .cluster(17)
+        .run(|ctx| {
+            let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut prof = Profiler::new();
+            for _ in 0..15 {
+                prof.enter("compute", &mut clk, ctx);
+                ctx.compute(8e-6);
+                prof.leave("compute", &mut clk, ctx);
+                prof.enter("allreduce", &mut clk, ctx);
+                let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
+                prof.leave("allreduce", &mut clk, ctx);
+            }
+            prof.gather(ctx, &mut comm)
+        });
     let report = res[0].as_ref().unwrap();
     let frac = report.fraction("allreduce");
     assert!(frac > 0.6, "allreduce fraction {frac:.2}");

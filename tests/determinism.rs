@@ -16,7 +16,11 @@ fn full_pipeline(seed: u64) -> (Vec<f64>, f64, usize) {
             Box::new(ClockPropSync::verified()),
         );
         let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
-        let cfg = SuiteConfig { nreps: 30, barrier: BarrierAlgorithm::Bruck, time_slice_s: 0.05 };
+        let cfg = SuiteConfig {
+            nreps: 30,
+            barrier: BarrierAlgorithm::Bruck,
+            time_slice_s: 0.05,
+        };
         let res = measure_allreduce(ctx, &mut comm, g.as_mut(), Suite::ReproMpi, 8, cfg);
         (g.true_eval(1.0), res)
     });

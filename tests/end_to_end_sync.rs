@@ -17,20 +17,42 @@ fn accuracy_of(
         let mut comm = Comm::world(ctx);
         let mut alg = make();
         let outcome = run_sync(alg.as_mut(), ctx, &mut comm, Box::new(clk));
-        (outcome.duration, outcome.clock.true_eval(3.0), outcome.clock.true_eval(13.0))
+        (
+            outcome.duration,
+            outcome.clock.true_eval(3.0),
+            outcome.clock.true_eval(13.0),
+        )
     });
     let dur = out.iter().map(|o| o.0).fold(0.0f64, f64::max);
-    let e0 = out.iter().map(|o| (o.1 - out[0].1).abs()).fold(0.0, f64::max);
-    let e10 = out.iter().map(|o| (o.2 - out[0].2).abs()).fold(0.0, f64::max);
+    let e0 = out
+        .iter()
+        .map(|o| (o.1 - out[0].1).abs())
+        .fold(0.0, f64::max);
+    let e10 = out
+        .iter()
+        .map(|o| (o.2 - out[0].2).abs())
+        .fold(0.0, f64::max);
     (e0, e10, dur)
 }
 
 fn all_algorithms() -> Vec<(&'static str, SyncFactory)> {
     vec![
-        ("jk", Box::new(|| Box::new(Jk::skampi(60, 10)) as Box<dyn ClockSync>)),
-        ("hca", Box::new(|| Box::new(Hca::skampi(60, 10)) as Box<dyn ClockSync>)),
-        ("hca2", Box::new(|| Box::new(Hca2::skampi(60, 10)) as Box<dyn ClockSync>)),
-        ("hca3", Box::new(|| Box::new(Hca3::skampi(60, 10)) as Box<dyn ClockSync>)),
+        (
+            "jk",
+            Box::new(|| Box::new(Jk::skampi(60, 10)) as Box<dyn ClockSync>),
+        ),
+        (
+            "hca",
+            Box::new(|| Box::new(Hca::skampi(60, 10)) as Box<dyn ClockSync>),
+        ),
+        (
+            "hca2",
+            Box::new(|| Box::new(Hca2::skampi(60, 10)) as Box<dyn ClockSync>),
+        ),
+        (
+            "hca3",
+            Box::new(|| Box::new(Hca3::skampi(60, 10)) as Box<dyn ClockSync>),
+        ),
         (
             "h2hca",
             Box::new(|| {
@@ -86,9 +108,12 @@ fn unsynchronized_clocks_are_much_worse() {
         let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
         clk.true_eval(3.0)
     });
-    let spread =
-        evals.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)) - evals.iter().fold(f64::INFINITY, |a, &b| a.min(b));
-    assert!(spread > 1.0, "unsynchronized spread {spread:.3} s should be huge");
+    let spread = evals.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+        - evals.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    assert!(
+        spread > 1.0,
+        "unsynchronized spread {spread:.3} s should be huge"
+    );
 }
 
 #[test]
@@ -121,7 +146,10 @@ fn jk_duration_grows_linearly_hca3_logarithmically() {
     let (_, _, h_small) = accuracy_of(&small, 3, hca3);
     let (_, _, h_large) = accuracy_of(&large, 3, hca3);
     // 4x the ranks: JK ~4x, HCA3 ~log(32)/log(8) = 5/3.
-    assert!(jk_large > 3.0 * jk_small, "jk {jk_small:.3} -> {jk_large:.3}");
+    assert!(
+        jk_large > 3.0 * jk_small,
+        "jk {jk_small:.3} -> {jk_large:.3}"
+    );
     assert!(h_large < 2.5 * h_small, "hca3 {h_small:.3} -> {h_large:.3}");
 }
 

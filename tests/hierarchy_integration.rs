@@ -93,7 +93,10 @@ fn mixed_algorithms_per_level_compose() {
             let g = alg.sync_clocks(ctx, &mut comm, Box::new(clk));
             g.true_eval(2.0)
         });
-        let err = evals.iter().map(|v| (v - evals[0]).abs()).fold(0.0f64, f64::max);
+        let err = evals
+            .iter()
+            .map(|v| (v - evals[0]).abs())
+            .fold(0.0f64, f64::max);
         assert!(err < 10e-6, "{name}: err {err:.3e}");
     }
 }

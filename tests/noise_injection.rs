@@ -26,11 +26,19 @@ fn round_time_still_collects_samples_under_heavy_noise() {
             ctx.compute(20e-6);
             let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
         };
-        let cfg = RoundTimeConfig { max_time_slice_s: 0.05, max_nrep: 60, ..Default::default() };
+        let cfg = RoundTimeConfig {
+            max_time_slice_s: 0.05,
+            max_nrep: 60,
+            ..Default::default()
+        };
         run_round_time(ctx, &mut comm, g.as_mut(), cfg, &mut op).len()
     });
     assert!(res.iter().all(|&n| n == res[0]), "{res:?}");
-    assert!(res[0] >= 20, "round-time should survive noise, got {} samples", res[0]);
+    assert!(
+        res[0] >= 20,
+        "round-time should survive noise, got {} samples",
+        res[0]
+    );
 }
 
 #[test]
@@ -47,8 +55,11 @@ fn noise_inflates_measured_latency() {
                     ctx.compute(50e-6);
                     let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
                 };
-                let cfg =
-                    RoundTimeConfig { max_time_slice_s: 0.05, max_nrep: 40, ..Default::default() };
+                let cfg = RoundTimeConfig {
+                    max_time_slice_s: 0.05,
+                    max_nrep: 40,
+                    ..Default::default()
+                };
                 let samples = run_round_time(ctx, &mut comm, g.as_mut(), cfg, &mut op);
                 let mean =
                     samples.iter().map(|s| s.latency()).sum::<f64>() / samples.len().max(1) as f64;
@@ -57,10 +68,16 @@ fn noise_inflates_measured_latency() {
             .remove(0)
     };
     let quiet = measure(None);
-    let noisy = measure(Some(NoiseSpec { rate_hz: 2000.0, mean_preempt_s: 50e-6 }));
+    let noisy = measure(Some(NoiseSpec {
+        rate_hz: 2000.0,
+        mean_preempt_s: 50e-6,
+    }));
     // 2 kHz x 50 us = 10% expected compute inflation plus straggler
     // amplification through the collective.
-    assert!(noisy > quiet * 1.02, "quiet {quiet:.3e} vs noisy {noisy:.3e}");
+    assert!(
+        noisy > quiet * 1.02,
+        "quiet {quiet:.3e} vs noisy {noisy:.3e}"
+    );
 }
 
 #[test]
@@ -76,7 +93,11 @@ fn clock_sync_accuracy_survives_noise() {
         g.true_eval(3.0)
     });
     for v in &evals {
-        assert!((v - evals[0]).abs() < 8e-6, "err {:.3e}", (v - evals[0]).abs());
+        assert!(
+            (v - evals[0]).abs() < 8e-6,
+            "err {:.3e}",
+            (v - evals[0]).abs()
+        );
     }
 }
 
@@ -101,14 +122,22 @@ fn congestion_spikes_hit_the_window_scheme_hardest() {
             ctx,
             &mut comm,
             g.as_mut(),
-            WindowConfig { window_s: 60e-6, nreps: 50, first_window_slack_s: 1e-3 },
+            WindowConfig {
+                window_s: 60e-6,
+                nreps: 50,
+                first_window_slack_s: 1e-3,
+            },
             &mut op,
         );
         let rt = run_round_time(
             ctx,
             &mut comm,
             g.as_mut(),
-            RoundTimeConfig { max_time_slice_s: 0.1, max_nrep: 50, ..Default::default() },
+            RoundTimeConfig {
+                max_time_slice_s: 0.1,
+                max_nrep: 50,
+                ..Default::default()
+            },
             &mut op,
         );
         (w.valid.iter().filter(|&&v| v).count(), rt.len())

@@ -1,0 +1,97 @@
+//! The persistent rank-thread pool must be invisible to the simulation:
+//! pooled runs are bit-identical to fresh-spawn runs, workers are
+//! reused across runs, and a panicking rank still poisons its peers and
+//! surfaces the root-cause panic through the pooled path.
+
+use std::sync::Mutex;
+
+use hierarchical_clock_sync::mpi::ReduceOp;
+use hierarchical_clock_sync::prelude::*;
+use hierarchical_clock_sync::sim::ClusterPool;
+
+/// Tests in this file read/grow the process-wide pool; serialize them so
+/// plateau assertions are not disturbed by sibling tests' checkouts.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    POOL_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A communication-heavy workload touching collectives, point-to-point
+/// traffic, jittered latencies and drifting clocks.
+fn workload(ctx: &mut RankCtx) -> (u64, u64) {
+    let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+    let mut comm = Comm::world(ctx);
+    let mut acc = 0.0f64;
+    for i in 0..10u32 {
+        acc += comm.allreduce_f64(ctx, ctx.rank() as f64 + i as f64, ReduceOp::F64Sum);
+        comm.barrier(ctx, BarrierAlgorithm::Tree);
+    }
+    let reading = clk.get_time(ctx);
+    (acc.to_bits(), (ctx.now() + reading).to_bits())
+}
+
+#[test]
+fn pooled_rerun_is_bit_identical_to_fresh_spawn() {
+    let _g = lock();
+    let cluster = machines::testbed(4, 2).cluster(20_240_806);
+    let fresh = cluster.run_unpooled(workload);
+    let pooled_first = cluster.run(workload);
+    // Re-run through now-warm pool workers: same bits again.
+    let pooled_again = cluster.run(workload);
+    assert_eq!(
+        fresh, pooled_first,
+        "pooled run differs from fresh-spawn run"
+    );
+    assert_eq!(
+        pooled_first, pooled_again,
+        "pooled re-run is not reproducible"
+    );
+}
+
+#[test]
+fn pool_reuses_rank_threads_across_runs() {
+    let _g = lock();
+    let cluster = machines::testbed(2, 4).cluster(5);
+    cluster.run(|ctx| ctx.rank()); // warm the pool to >= 8 workers
+    let before = ClusterPool::global().threads_spawned();
+    for seed in 0..10u64 {
+        cluster.with_seed(seed).run(|ctx| ctx.now());
+    }
+    let after = ClusterPool::global().threads_spawned();
+    assert_eq!(
+        after, before,
+        "repeated same-size runs must not spawn new threads"
+    );
+}
+
+#[test]
+fn panicking_rank_poisons_peers_through_the_pool() {
+    let _g = lock();
+    let cluster = machines::testbed(2, 2).cluster(6);
+    let caught = std::panic::catch_unwind(|| {
+        cluster.run(|ctx| {
+            if ctx.rank() == 1 {
+                ctx.compute(1e-6);
+                panic!("deliberate failure at rank 1");
+            }
+            // Everyone else blocks on a message rank 1 will never send;
+            // the poison broadcast must wake them instead of deadlocking.
+            let _ = ctx.recv(1, 99);
+        })
+    });
+    let payload = caught.expect_err("run must propagate the panic");
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("");
+    assert!(
+        msg.contains("deliberate failure at rank 1"),
+        "expected the root-cause panic, got {msg:?}"
+    );
+
+    // The pool must still be fully serviceable after the poisoned run.
+    let ok = cluster.run(|ctx| ctx.rank());
+    assert_eq!(ok, vec![0, 1, 2, 3]);
+}

@@ -1,77 +1,114 @@
-//! Property-based tests over the core invariants (proptest).
+//! Randomized property tests over the core invariants.
+//!
+//! Each test draws its cases from a seeded in-tree [`Pcg64`] stream, so
+//! the suite is fully deterministic, needs no external crates (the
+//! workspace must build offline) and still sweeps a broad parameter
+//! space per run.
 
-use hierarchical_clock_sync::prelude::*;
 use hierarchical_clock_sync::mpi::ReduceOp;
-use hierarchical_clock_sync::sim::rngx;
-use proptest::prelude::*;
+use hierarchical_clock_sync::prelude::*;
+use hierarchical_clock_sync::sim::rngx::{self, Pcg64};
 
-fn small_model() -> impl Strategy<Value = LinearModel> {
-    (-100e-6..100e-6f64, -1e-3..1e-3f64).prop_map(|(s, i)| LinearModel::new(s, i))
+fn case_rng(label: u64) -> Pcg64 {
+    // Fixed master seed: failures reproduce exactly.
+    rngx::stream_rng(0xC0FFEE, label)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn small_model(rng: &mut Pcg64) -> LinearModel {
+    LinearModel::new(rng.range(-100e-6, 100e-6), rng.range(-1e-3, 1e-3))
+}
 
-    #[test]
-    fn model_compose_is_associative(a in small_model(), b in small_model(), c in small_model(), x in -1e4..1e4f64) {
+#[test]
+fn model_compose_is_associative() {
+    let mut rng = case_rng(1);
+    for _ in 0..64 {
+        let (a, b, c) = (
+            small_model(&mut rng),
+            small_model(&mut rng),
+            small_model(&mut rng),
+        );
+        let x = rng.range(-1e4, 1e4);
         let left = LinearModel::compose(&LinearModel::compose(&a, &b), &c);
         let right = LinearModel::compose(&a, &LinearModel::compose(&b, &c));
         let scale = 1.0 + x.abs();
-        prop_assert!((left.apply(x) - right.apply(x)).abs() < 1e-9 * scale);
+        assert!((left.apply(x) - right.apply(x)).abs() < 1e-9 * scale);
     }
+}
 
-    #[test]
-    fn model_invert_roundtrips(m in small_model(), x in -1e4..1e4f64) {
+#[test]
+fn model_invert_roundtrips() {
+    let mut rng = case_rng(2);
+    for _ in 0..64 {
+        let m = small_model(&mut rng);
+        let x = rng.range(-1e4, 1e4);
         let g = m.apply(x);
-        prop_assert!((m.invert(g) - x).abs() < 1e-6 * (1.0 + x.abs()));
+        assert!((m.invert(g) - x).abs() < 1e-6 * (1.0 + x.abs()));
     }
+}
 
-    #[test]
-    fn fit_recovers_arbitrary_lines(
-        slope in -1e-3..1e-3f64,
-        intercept in -1.0..1.0f64,
-        x0 in 0.0..1e4f64,
-        n in 2usize..60,
-    ) {
+#[test]
+fn fit_recovers_arbitrary_lines() {
+    let mut rng = case_rng(3);
+    for _ in 0..64 {
+        let slope = rng.range(-1e-3, 1e-3);
+        let intercept = rng.range(-1.0, 1.0);
+        let x0 = rng.range(0.0, 1e4);
+        let n = 2 + (rng.next_u64() % 58) as usize;
         let xs: Vec<f64> = (0..n).map(|i| x0 + i as f64 * 0.25).collect();
         let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
         let fit = fit_linear_model(&xs, &ys).model;
-        prop_assert!((fit.slope - slope).abs() < 1e-9 + slope.abs() * 1e-6, "slope {} vs {}", fit.slope, slope);
+        assert!(
+            (fit.slope - slope).abs() < 1e-9 + slope.abs() * 1e-6,
+            "slope {} vs {}",
+            fit.slope,
+            slope
+        );
         let mid = x0 + n as f64 * 0.125;
-        prop_assert!((fit.offset_at(mid) - (slope * mid + intercept)).abs() < 1e-6);
+        assert!((fit.offset_at(mid) - (slope * mid + intercept)).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn rng_streams_never_collide(master in any::<u64>(), a in 0usize..100_000, b in 0usize..100_000) {
-        prop_assume!(a != b);
-        prop_assert_ne!(
+#[test]
+fn rng_streams_never_collide() {
+    let mut rng = case_rng(4);
+    for _ in 0..256 {
+        let master = rng.next_u64();
+        let a = (rng.next_u64() % 100_000) as usize;
+        let b = (rng.next_u64() % 100_000) as usize;
+        if a == b {
+            continue;
+        }
+        assert_ne!(
             rngx::derive_seed(master, rngx::label::rank_net(a)),
             rngx::derive_seed(master, rngx::label::rank_net(b))
         );
     }
+}
 
-    #[test]
-    fn oscillator_displacement_is_continuous(skew in -1e-5..1e-5f64, t in 0.0..1e3f64) {
-        let spec = ClockSpec::commodity();
-        let o = Oscillator::for_node(&spec, 42, 3);
+#[test]
+fn oscillator_displacement_is_continuous() {
+    let mut rng = case_rng(5);
+    let spec = ClockSpec::commodity();
+    let o = Oscillator::for_node(&spec, 42, 3);
+    for _ in 0..64 {
+        let skew = rng.range(-1e-5, 1e-5);
+        let t = rng.range(0.0, 1e3);
         let d1 = o.displacement(t);
         let d2 = o.displacement(t + 1e-6);
         // Rate is bounded by skew + wander amplitudes (well below 1e-4).
-        prop_assert!((d2 - d1).abs() < 1e-6 * 1e-4 + skew.abs() * 1e-6 + 1e-12);
+        assert!((d2 - d1).abs() < 1e-6 * 1e-4 + skew.abs() * 1e-6 + 1e-12);
     }
 }
 
-proptest! {
-    // Cluster-spawning cases are more expensive; keep the case count low.
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn collectives_compute_correct_values(
-        nodes in 1usize..5,
-        cores in 1usize..4,
-        payload in proptest::collection::vec(any::<u8>(), 1..64),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn collectives_compute_correct_values() {
+    let mut rng = case_rng(6);
+    for _ in 0..12 {
+        let nodes = 1 + (rng.next_u64() % 4) as usize;
+        let cores = 1 + (rng.next_u64() % 3) as usize;
+        let len = 1 + (rng.next_u64() % 63) as usize;
+        let payload: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let seed = rng.next_u64() % 1000;
         let cluster = machines::testbed(nodes, cores).cluster(seed);
         let p = nodes * cores;
         let pl = payload.clone();
@@ -89,21 +126,24 @@ proptest! {
             .map(|&b| (0..p).map(|r| b ^ r as u8).max().unwrap())
             .collect();
         for (max, got) in results {
-            prop_assert_eq!(&max, &expect);
-            prop_assert_eq!(&got, &expect);
+            assert_eq!(&max, &expect);
+            assert_eq!(&got, &expect);
         }
     }
+}
 
-    #[test]
-    fn barriers_always_synchronize(
-        nodes in 1usize..5,
-        cores in 1usize..4,
-        late_rank_sel in 0usize..16,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn barriers_always_synchronize() {
+    let mut rng = case_rng(7);
+    for _ in 0..6 {
+        let nodes = 1 + (rng.next_u64() % 4) as usize;
+        let cores = 1 + (rng.next_u64() % 3) as usize;
         let p = nodes * cores;
-        prop_assume!(p > 1);
-        let late_rank = late_rank_sel % p;
+        if p <= 1 {
+            continue;
+        }
+        let late_rank = (rng.next_u64() as usize) % p;
+        let seed = rng.next_u64() % 1000;
         let cluster = machines::testbed(nodes, cores).cluster(seed);
         for alg in BarrierAlgorithm::ALL {
             let times = cluster.run(move |ctx| {
@@ -115,16 +155,24 @@ proptest! {
                 ctx.now()
             });
             for (r, &t) in times.iter().enumerate() {
-                prop_assert!(t >= 1e-3, "{alg:?}: rank {r} exited at {t} before late entry");
+                assert!(
+                    t >= 1e-3,
+                    "{alg:?}: rank {r} exited at {t} before late entry"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn flatten_roundtrips_arbitrary_chains(
-        models in proptest::collection::vec((-50e-6..50e-6f64, -1e-2..1e-2f64), 0..6),
-        t in 0.0..100.0f64,
-    ) {
+#[test]
+fn flatten_roundtrips_arbitrary_chains() {
+    let mut rng = case_rng(8);
+    for _ in 0..12 {
+        let depth = (rng.next_u64() % 6) as usize;
+        let models: Vec<(f64, f64)> = (0..depth)
+            .map(|_| (rng.range(-50e-6, 50e-6), rng.range(-1e-2, 1e-2)))
+            .collect();
+        let t = rng.range(0.0, 100.0);
         let build = |base: BoxClock| -> BoxClock {
             let mut c = base;
             for &(s, i) in &models {
@@ -137,45 +185,53 @@ proptest! {
         let chain = build(base1);
         let bytes = hierarchical_clock_sync::clock::flatten_clock(chain.as_ref());
         let rebuilt = hierarchical_clock_sync::clock::unflatten_clock(base2, &bytes);
-        prop_assert!((rebuilt.true_eval(t) - chain.true_eval(t)).abs() < 1e-9 * (1.0 + t));
+        assert!((rebuilt.true_eval(t) - chain.true_eval(t)).abs() < 1e-9 * (1.0 + t));
     }
+}
 
-    #[test]
-    fn alltoall_algorithms_agree_and_are_correct(
-        nodes in 1usize..4,
-        cores in 1usize..4,
-        block_len in 1usize..16,
-        seed in 0u64..500,
-    ) {
-        use hierarchical_clock_sync::mpi::AlltoallAlgorithm;
+#[test]
+fn alltoall_algorithms_agree_and_are_correct() {
+    use hierarchical_clock_sync::mpi::AlltoallAlgorithm;
+    let mut rng = case_rng(9);
+    for _ in 0..12 {
+        let nodes = 1 + (rng.next_u64() % 3) as usize;
+        let cores = 1 + (rng.next_u64() % 3) as usize;
+        let block_len = 1 + (rng.next_u64() % 15) as usize;
+        let seed = rng.next_u64() % 500;
         let cluster = machines::testbed(nodes, cores).cluster(seed);
         let p = nodes * cores;
         let results = cluster.run(move |ctx| {
             let mut comm = Comm::world(ctx);
             let blocks: Vec<Vec<u8>> = (0..p)
-                .map(|d| (0..block_len).map(|i| (comm.rank() * 31 + d * 7 + i) as u8).collect())
+                .map(|d| {
+                    (0..block_len)
+                        .map(|i| (comm.rank() * 31 + d * 7 + i) as u8)
+                        .collect()
+                })
                 .collect();
             let a = comm.alltoall(ctx, &blocks, AlltoallAlgorithm::Bruck);
             let b = comm.alltoall(ctx, &blocks, AlltoallAlgorithm::Pairwise);
             (a, b)
         });
         for (me, (bruck, pairwise)) in results.iter().enumerate() {
-            prop_assert_eq!(bruck, pairwise, "rank {}", me);
+            assert_eq!(bruck, pairwise, "rank {}", me);
             for (s, block) in bruck.iter().enumerate() {
-                let want: Vec<u8> =
-                    (0..block_len).map(|i| (s * 31 + me * 7 + i) as u8).collect();
-                prop_assert_eq!(block, &want, "rank {} block from {}", me, s);
+                let want: Vec<u8> = (0..block_len)
+                    .map(|i| (s * 31 + me * 7 + i) as u8)
+                    .collect();
+                assert_eq!(block, &want, "rank {} block from {}", me, s);
             }
         }
     }
+}
 
-    #[test]
-    fn scan_matches_sequential_prefix(
-        p in 2usize..10,
-        values in proptest::collection::vec(-100.0f64..100.0, 10),
-        seed in 0u64..500,
-    ) {
-        use hierarchical_clock_sync::mpi::ReduceOp;
+#[test]
+fn scan_matches_sequential_prefix() {
+    let mut rng = case_rng(10);
+    for _ in 0..12 {
+        let p = 2 + (rng.next_u64() % 8) as usize;
+        let values: Vec<f64> = (0..10).map(|_| rng.range(-100.0, 100.0)).collect();
+        let seed = rng.next_u64() % 500;
         let cluster = machines::testbed(p, 1).cluster(seed);
         let vals = values.clone();
         let results = cluster.run(move |ctx| {
@@ -187,20 +243,26 @@ proptest! {
         let mut acc = 0.0;
         for (r, &got) in results.iter().enumerate() {
             acc += values[r % values.len()];
-            prop_assert!((got - acc).abs() < 1e-9 * (1.0 + acc.abs()), "rank {}: {} vs {}", r, got, acc);
+            assert!(
+                (got - acc).abs() < 1e-9 * (1.0 + acc.abs()),
+                "rank {}: {} vs {}",
+                r,
+                got,
+                acc
+            );
         }
     }
+}
 
-    #[test]
-    fn reduce_equals_allreduce_at_root(
-        nodes in 1usize..4,
-        cores in 1usize..3,
-        root_sel in 0usize..16,
-        seed in 0u64..500,
-    ) {
-        use hierarchical_clock_sync::mpi::ReduceOp;
+#[test]
+fn reduce_equals_allreduce_at_root() {
+    let mut rng = case_rng(11);
+    for _ in 0..12 {
+        let nodes = 1 + (rng.next_u64() % 3) as usize;
+        let cores = 1 + (rng.next_u64() % 2) as usize;
         let p = nodes * cores;
-        let root = root_sel % p;
+        let root = (rng.next_u64() as usize) % p;
+        let seed = rng.next_u64() % 500;
         let cluster = machines::testbed(nodes, cores).cluster(seed);
         let results = cluster.run(move |ctx| {
             let mut comm = Comm::world(ctx);
@@ -211,40 +273,44 @@ proptest! {
         });
         for (r, (reduced, all)) in results.iter().enumerate() {
             if r == root {
-                prop_assert_eq!(reduced.as_ref().unwrap(), all, "root {}", root);
+                assert_eq!(reduced.as_ref().unwrap(), all, "root {}", root);
             } else {
-                prop_assert!(reduced.is_none());
+                assert!(reduced.is_none());
             }
         }
     }
+}
 
-    #[test]
-    fn busy_wait_terminates_and_never_undershoots(
-        skew_ppm in -300.0f64..300.0,
-        wait_s in 1e-4f64..2.0,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn busy_wait_terminates_and_never_undershoots() {
+    let mut rng = case_rng(12);
+    for _ in 0..12 {
+        let skew = rng.range(-300.0, 300.0) * 1e-6;
+        let wait_s = rng.range(1e-4, 2.0);
+        let seed = rng.next_u64() % 500;
         let cluster = machines::testbed(1, 1).cluster(seed);
-        let skew = skew_ppm * 1e-6;
-        let (reached, target) = cluster.run(move |ctx| {
-            let mut clk: BoxClock =
-                Box::new(LocalClock::from_oscillator(Oscillator::with_skew(skew), 0));
-            let start = clk.get_time(ctx);
-            let target = start + wait_s;
-            (busy_wait_until(clk.as_mut(), ctx, target), target)
-        })
-        .remove(0);
-        prop_assert!(reached >= target);
+        let (reached, target) = cluster
+            .run(move |ctx| {
+                let mut clk: BoxClock =
+                    Box::new(LocalClock::from_oscillator(Oscillator::with_skew(skew), 0));
+                let start = clk.get_time(ctx);
+                let target = start + wait_s;
+                (busy_wait_until(clk.as_mut(), ctx, target), target)
+            })
+            .remove(0);
+        assert!(reached >= target);
         // Overshoot bounded by the polling quantum (generously).
-        prop_assert!(reached - target < 1e-4, "overshoot {}", reached - target);
+        assert!(reached - target < 1e-4, "overshoot {}", reached - target);
     }
+}
 
-    #[test]
-    fn virtual_time_is_monotonic_per_rank(
-        nodes in 2usize..4,
-        cores in 1usize..3,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn virtual_time_is_monotonic_per_rank() {
+    let mut rng = case_rng(13);
+    for _ in 0..8 {
+        let nodes = 2 + (rng.next_u64() % 2) as usize;
+        let cores = 1 + (rng.next_u64() % 2) as usize;
+        let seed = rng.next_u64() % 500;
         let cluster = machines::testbed(nodes, cores).cluster(seed);
         cluster.run(|ctx| {
             let mut comm = Comm::world(ctx);

@@ -26,7 +26,10 @@ fn two_thousand_ranks_sync_and_reduce() {
         g.true_eval(2.0)
     });
     assert_eq!(evals.len(), 2048);
-    let max_err = evals.iter().map(|v| (v - evals[0]).abs()).fold(0.0f64, f64::max);
+    let max_err = evals
+        .iter()
+        .map(|v| (v - evals[0]).abs())
+        .fold(0.0f64, f64::max);
     assert!(max_err < 60e-6, "max err {max_err:.3e}");
 }
 
@@ -45,6 +48,9 @@ fn titan_large_scale_8192_ranks() {
         g.true_eval(2.0)
     });
     assert_eq!(evals.len(), 8192);
-    let max_err = evals.iter().map(|v| (v - evals[0]).abs()).fold(0.0f64, f64::max);
+    let max_err = evals
+        .iter()
+        .map(|v| (v - evals[0]).abs())
+        .fold(0.0f64, f64::max);
     assert!(max_err < 150e-6, "max err {max_err:.3e}");
 }

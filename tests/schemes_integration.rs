@@ -5,8 +5,8 @@ use hierarchical_clock_sync::bench::schemes::{
     run_barrier_scheme, run_round_time, run_window_scheme, RoundTimeConfig, WindowConfig,
 };
 use hierarchical_clock_sync::bench::suites::{measure_allreduce, Suite, SuiteConfig};
-use hierarchical_clock_sync::prelude::*;
 use hierarchical_clock_sync::mpi::ReduceOp;
+use hierarchical_clock_sync::prelude::*;
 
 fn with_global_clock<R: Send>(
     machine: &MachineSpec,
@@ -29,7 +29,11 @@ fn round_time_latency_is_independent_of_barrier_imbalance() {
     let machine = machines::jupiter().with_shape(8, 2, 2);
     let report = |suite: Suite, barrier: BarrierAlgorithm| -> f64 {
         let res = with_global_clock(&machine, 11, move |ctx, comm, g| {
-            let cfg = SuiteConfig { nreps: 80, barrier, time_slice_s: 0.1 };
+            let cfg = SuiteConfig {
+                nreps: 80,
+                barrier,
+                time_slice_s: 0.1,
+            };
             measure_allreduce(ctx, comm, g.as_mut(), suite, 8, cfg)
         });
         res[0].unwrap().latency_s
@@ -40,8 +44,16 @@ fn round_time_latency_is_independent_of_barrier_imbalance() {
     let osu_ring = report(Suite::Osu, BarrierAlgorithm::DoubleRing);
     let rt_shift = (rt_ring - rt_tree).abs() / rt_tree;
     let osu_shift = (osu_ring - osu_tree).abs() / osu_tree;
-    assert!(rt_shift < 0.05, "Round-Time shifted by {:.1}%", rt_shift * 100.0);
-    assert!(osu_shift > 0.15, "OSU should shift, got {:.1}%", osu_shift * 100.0);
+    assert!(
+        rt_shift < 0.05,
+        "Round-Time shifted by {:.1}%",
+        rt_shift * 100.0
+    );
+    assert!(
+        osu_shift > 0.15,
+        "OSU should shift, got {:.1}%",
+        osu_shift * 100.0
+    );
 }
 
 #[test]
@@ -57,20 +69,31 @@ fn window_scheme_cascades_but_round_time_recovers() {
             ctx,
             comm,
             g.as_mut(),
-            WindowConfig { window_s: 4e-6, nreps: 30, first_window_slack_s: 1e-3 },
+            WindowConfig {
+                window_s: 4e-6,
+                nreps: 30,
+                first_window_slack_s: 1e-3,
+            },
             &mut op,
         );
         let rt = run_round_time(
             ctx,
             comm,
             g.as_mut(),
-            RoundTimeConfig { max_time_slice_s: 0.05, max_nrep: 30, ..Default::default() },
+            RoundTimeConfig {
+                max_time_slice_s: 0.05,
+                max_nrep: 30,
+                ..Default::default()
+            },
             &mut op,
         );
         (w.valid.iter().filter(|&&v| v).count(), rt.len())
     });
     let (window_valid, rt_valid) = res[0];
-    assert!(window_valid < 5, "window scheme validated {window_valid}/30");
+    assert!(
+        window_valid < 5,
+        "window scheme validated {window_valid}/30"
+    );
     assert!(rt_valid >= 25, "round-time validated {rt_valid}/30");
 }
 
@@ -88,7 +111,11 @@ fn all_schemes_measure_the_same_operation_consistently() {
             ctx,
             comm,
             g.as_mut(),
-            RoundTimeConfig { max_time_slice_s: 0.05, max_nrep: 20, ..Default::default() },
+            RoundTimeConfig {
+                max_time_slice_s: 0.05,
+                max_nrep: 20,
+                ..Default::default()
+            },
             &mut op,
         );
         let bl = b.iter().map(|s| s.latency()).sum::<f64>() / b.len() as f64;
@@ -102,8 +129,14 @@ fn all_schemes_measure_the_same_operation_consistently() {
     // bounded by a small multiple of the true operation cost.
     let b_max = res.iter().map(|r| r.0).fold(0.0f64, f64::max);
     let rt_max = res.iter().map(|r| r.1).fold(0.0f64, f64::max);
-    assert!(rt_max <= b_max * 1.05, "round-time {rt_max:.3e} vs barrier {b_max:.3e}");
-    assert!(b_max < 3.0 * rt_max, "barrier inflation too large: {b_max:.3e} vs {rt_max:.3e}");
+    assert!(
+        rt_max <= b_max * 1.05,
+        "round-time {rt_max:.3e} vs barrier {b_max:.3e}"
+    );
+    assert!(
+        b_max < 3.0 * rt_max,
+        "barrier inflation too large: {b_max:.3e} vs {rt_max:.3e}"
+    );
 }
 
 #[test]
@@ -117,7 +150,11 @@ fn round_time_sample_counts_agree_across_ranks() {
             ctx,
             comm,
             g.as_mut(),
-            RoundTimeConfig { max_time_slice_s: 0.05, max_nrep: 100, ..Default::default() },
+            RoundTimeConfig {
+                max_time_slice_s: 0.05,
+                max_nrep: 100,
+                ..Default::default()
+            },
             &mut op,
         )
         .len()
