@@ -145,7 +145,7 @@ pub fn flatten_clock(clock: &dyn Clock) -> Vec<u8> {
 /// Panics if `bytes` is malformed.
 pub fn unflatten_clock(base: BoxClock, bytes: &[u8]) -> BoxClock {
     assert!(bytes.len() >= 4, "flattened clock too short");
-    let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+    let n = u32::from_le_bytes(bytes[0..4].try_into().expect("4-byte count header")) as usize;
     assert_eq!(
         bytes.len(),
         4 + 16 * n,
@@ -154,8 +154,12 @@ pub fn unflatten_clock(base: BoxClock, bytes: &[u8]) -> BoxClock {
     let mut clock = base;
     for i in 0..n {
         let off = 4 + 16 * i;
-        let slope = f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
-        let intercept = f64::from_le_bytes(bytes[off + 8..off + 16].try_into().unwrap());
+        let slope = f64::from_le_bytes(bytes[off..off + 8].try_into().expect("8-byte model slope"));
+        let intercept = f64::from_le_bytes(
+            bytes[off + 8..off + 16]
+                .try_into()
+                .expect("8-byte model intercept"),
+        );
         clock = GlobalClockLM::new(clock, LinearModel::new(slope, intercept)).boxed();
     }
     clock

@@ -81,9 +81,10 @@ fn unpack_table(buf: &[u8]) -> Vec<(usize, LinearModel)> {
     assert_eq!(buf.len() % 24, 0, "malformed model table");
     buf.chunks_exact(24)
         .map(|c| {
-            let rank = u64::from_le_bytes(c[0..8].try_into().unwrap()) as usize;
-            let slope = f64::from_le_bytes(c[8..16].try_into().unwrap());
-            let intercept = f64::from_le_bytes(c[16..24].try_into().unwrap());
+            let rank =
+                u64::from_le_bytes(c[0..8].try_into().expect("24-byte table record")) as usize;
+            let slope = f64::from_le_bytes(c[8..16].try_into().expect("24-byte table record"));
+            let intercept = f64::from_le_bytes(c[16..24].try_into().expect("24-byte table record"));
             (rank, LinearModel::new(slope, intercept))
         })
         .collect()

@@ -14,7 +14,7 @@
 //!   mean RTT once per pair (cached), then takes the median of
 //!   `local − ref − RTT/2` samples.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hcs_clock::Clock;
 use hcs_mpi::Comm;
@@ -156,7 +156,11 @@ pub struct MeanRttOffset {
     pub params: OffsetParams,
     /// Ping-pongs used for the one-time RTT estimate.
     pub rtt_pingpongs: usize,
-    rtt_cache: HashMap<(usize, usize), f64>,
+    /// Per-pair RTT cache. A `BTreeMap` (not `HashMap`): its iteration
+    /// order is the key order, so any output derived from walking the
+    /// cache is deterministic across processes — the randomly seeded
+    /// default hasher would break bit-identical replay.
+    rtt_cache: BTreeMap<(usize, usize), f64>,
 }
 
 impl MeanRttOffset {
@@ -169,7 +173,7 @@ impl MeanRttOffset {
         Self {
             params: OffsetParams { nexchanges },
             rtt_pingpongs: 10,
-            rtt_cache: HashMap::new(),
+            rtt_cache: BTreeMap::new(),
         }
     }
 

@@ -55,8 +55,9 @@ impl ReduceOp {
                     "f64 reduce needs 8-byte-multiple payloads"
                 );
                 for i in (0..acc.len()).step_by(8) {
-                    let x = f64::from_le_bytes(acc[i..i + 8].try_into().unwrap());
-                    let y = f64::from_le_bytes(other[i..i + 8].try_into().unwrap());
+                    let x = f64::from_le_bytes(acc[i..i + 8].try_into().expect("8-byte f64 lane"));
+                    let y =
+                        f64::from_le_bytes(other[i..i + 8].try_into().expect("8-byte f64 lane"));
                     let z = match self {
                         ReduceOp::F64Sum => x + y,
                         ReduceOp::F64Min => x.min(y),

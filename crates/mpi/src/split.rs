@@ -40,8 +40,8 @@ impl Comm {
         let mut members: Vec<(u64, usize)> = Vec::new();
         for (old_rank, rec) in all.iter().enumerate() {
             let present = rec[0] != 0;
-            let c = u64::from_le_bytes(rec[1..9].try_into().unwrap());
-            let k = u64::from_le_bytes(rec[9..17].try_into().unwrap());
+            let c = u64::from_le_bytes(rec[1..9].try_into().expect("17-byte split record"));
+            let k = u64::from_le_bytes(rec[9..17].try_into().expect("17-byte split record"));
             if present && c == my_color {
                 members.push((k, old_rank));
             }

@@ -30,6 +30,7 @@ use crate::net::NetworkModel;
 use crate::pool::{ClusterPool, Job, Latch, RANK_STACK_BYTES};
 use crate::rngx::{self, label, Pcg64};
 use crate::topology::Topology;
+use crate::waitgraph::WaitGraph;
 use crate::{ClockSpec, Rank, SimTime, Tag};
 
 /// Minimal spacing enforced between consecutive arrivals on the same
@@ -68,10 +69,13 @@ struct Mailbox {
 struct RunNet {
     boxes: Vec<Mailbox>,
     alive: AtomicUsize,
+    /// Wait-for-graph deadlock detector; `None` when opted out via
+    /// [`Cluster::with_deadlock_detection`].
+    waits: Option<WaitGraph>,
 }
 
 impl RunNet {
-    fn new(size: usize) -> Self {
+    fn new(size: usize, detect_deadlocks: bool) -> Self {
         Self {
             boxes: (0..size)
                 .map(|_| Mailbox {
@@ -80,6 +84,51 @@ impl RunNet {
                 })
                 .collect(),
             alive: AtomicUsize::new(size),
+            waits: detect_deadlocks.then(|| WaitGraph::new(size)),
+        }
+    }
+
+    /// Registers the wait edge of one logical receive (no-op when
+    /// detection is off).
+    #[inline]
+    fn begin_wait(&self, me: Rank, src: Rank, tag: Tag) {
+        if let Some(wg) = &self.waits {
+            wg.begin_wait(me, src, tag);
+        }
+    }
+
+    /// Clears the wait edge once the receive matched.
+    #[inline]
+    fn end_wait(&self, me: Rank) {
+        if let Some(wg) = &self.waits {
+            wg.end_wait(me);
+        }
+    }
+
+    /// Runs cycle detection from `me`'s wait edge; called each time a
+    /// rank is about to park on its mailbox condvar. A candidate cycle
+    /// is confirmed by probing every member under its mailbox lock —
+    /// the edge must still be registered and the mailbox empty. Edges
+    /// are cleared under that same lock when an envelope is popped, so
+    /// a passing probe means the member is genuinely parked; the
+    /// double verification walk inside [`WaitGraph::confirm`] then
+    /// proves all probed edges coexisted (see `waitgraph` module
+    /// docs). The caller must hold no mailbox lock.
+    fn detect_deadlock(&self, me: Rank) {
+        let Some(wg) = &self.waits else { return };
+        let Some(anchor) = wg.find_candidate(me) else {
+            return;
+        };
+        let confirmed = wg.confirm(anchor, |e| {
+            let q = lock_ignore_poison(&self.boxes[e.waiter].q);
+            let still_blocked = wg.waiting_on(e.waiter) == Some((e.src, e.tag));
+            still_blocked && q.is_empty()
+        });
+        if let Some(cycle) = confirmed {
+            panic!(
+                "deadlock detected: {} (diagnosed by rank {me}; benches can opt out via Cluster::with_deadlock_detection(false))",
+                WaitGraph::describe(&cycle)
+            );
         }
     }
 
@@ -100,10 +149,29 @@ impl RunNet {
         let mut q = lock_ignore_poison(&mb.q);
         loop {
             if let Some(env) = q.pop_front() {
+                // Clear the wait edge while still holding the mailbox
+                // lock: confirmation probes take this same lock, so a
+                // probe can never observe "edge registered + queue
+                // empty" while the just-popped (possibly matching)
+                // envelope is in this rank's hand. The caller
+                // re-registers if the envelope does not match.
+                self.end_wait(me);
                 return Some(env);
             }
             if self.alive.load(Ordering::Acquire) <= 1 {
                 return None;
+            }
+            if self.waits.is_some() {
+                // About to park: check whether this wait closes a
+                // cycle. Detection probes other mailboxes, so release
+                // our own lock first (probes take one lock at a time —
+                // no ordering deadlock) and re-check the queue after.
+                drop(q);
+                self.detect_deadlock(me);
+                q = lock_ignore_poison(&mb.q);
+                if !q.is_empty() {
+                    continue;
+                }
             }
             q = match mb.cv.wait(q) {
                 Ok(g) => g,
@@ -206,6 +274,7 @@ pub struct Cluster {
     clock: Arc<ClockSpec>,
     noise: Option<crate::noise::NoiseSpec>,
     seed: u64,
+    detect_deadlocks: bool,
 }
 
 impl Cluster {
@@ -222,6 +291,7 @@ impl Cluster {
             clock: Arc::new(clock),
             noise: None,
             seed,
+            detect_deadlocks: true,
         }
     }
 
@@ -229,6 +299,23 @@ impl Cluster {
     pub fn with_noise(mut self, noise: crate::noise::NoiseSpec) -> Self {
         self.noise = Some(noise);
         self
+    }
+
+    /// Enables or disables the wait-for-graph deadlock detector
+    /// (default: enabled). When on, a cyclic set of blocking receives
+    /// panics with the full rank/tag cycle diagnosis instead of hanging
+    /// the run forever; detection is purely host-side and does not
+    /// perturb the simulated timeline. Benches that want the absolute
+    /// minimum per-receive overhead can opt out — a deadlocked run then
+    /// hangs, exactly as before.
+    pub fn with_deadlock_detection(mut self, on: bool) -> Self {
+        self.detect_deadlocks = on;
+        self
+    }
+
+    /// Whether the wait-for-graph deadlock detector is enabled.
+    pub fn deadlock_detection(&self) -> bool {
+        self.detect_deadlocks
     }
 
     /// The cluster topology.
@@ -297,7 +384,7 @@ impl Cluster {
         F: Fn(&mut RankCtx) -> R + Sync,
     {
         let size = self.topology.total_cores();
-        let net = Arc::new(RunNet::new(size));
+        let net = Arc::new(RunNet::new(size, self.detect_deadlocks));
         let results: Vec<Mutex<Option<R>>> = (0..size).map(|_| Mutex::new(None)).collect();
         let panics: Mutex<Vec<Box<dyn std::any::Any + Send>>> = Mutex::new(Vec::new());
 
@@ -717,6 +804,12 @@ impl RankCtx {
                 .remove(pos)
                 .expect("position() returned a valid index");
         }
+        // Publish the wait edge. It is cleared (under the mailbox lock)
+        // every time an envelope is popped and re-registered if that
+        // envelope did not match, so "edge registered" always implies
+        // this rank holds no envelope in hand — the invariant the
+        // deadlock detector's probes rely on.
+        self.net.begin_wait(self.rank, src, tag);
         loop {
             let env = self.net.recv(self.rank).unwrap_or_else(|| {
                 panic!(
@@ -731,9 +824,18 @@ impl RankCtx {
                 );
             }
             if env.src == src && env.tag == tag {
+                // The wait edge was already cleared under the mailbox
+                // lock when this envelope was popped (see
+                // `RunNet::recv`).
                 return env;
             }
             self.pending.push_back(env);
+            // The pop cleared the edge; this receive is still logically
+            // blocked on the same (src, tag), so re-register before
+            // going back to the mailbox. The generation bump this
+            // causes is what lets the detector prove that a confirmed
+            // cycle's edges all coexisted.
+            self.net.begin_wait(self.rank, src, tag);
         }
     }
 }
@@ -1015,6 +1117,49 @@ mod tests {
             times[1],
             times[2]
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock detected")]
+    fn mutual_recv_deadlock_panics_instead_of_hanging() {
+        let c = small_cluster(false, 10);
+        c.run(|ctx| {
+            // Ranks 0 and 1 both receive first: a 2-cycle.
+            if ctx.rank() == 0 {
+                let _ = ctx.recv(1, 1);
+            } else if ctx.rank() == 1 {
+                let _ = ctx.recv(0, 2);
+            }
+        });
+    }
+
+    #[test]
+    fn detection_does_not_perturb_timeline_or_determinism() {
+        let workload = |ctx: &mut RankCtx| {
+            let peer = ctx.rank() ^ 1;
+            for i in 0..30u32 {
+                if ctx.rank() < peer {
+                    ctx.send_f64(peer, i, i as f64);
+                    let _ = ctx.recv_f64(peer, i);
+                } else {
+                    let v = ctx.recv_f64(peer, i);
+                    ctx.send_f64(peer, i, v + 0.5);
+                }
+            }
+            ctx.now()
+        };
+        let on = small_cluster(true, 21).run(workload);
+        let off = small_cluster(true, 21)
+            .with_deadlock_detection(false)
+            .run(workload);
+        assert_eq!(on, off, "detector must be invisible to the simulation");
+    }
+
+    #[test]
+    fn deadlock_detection_flag_roundtrips() {
+        let c = small_cluster(false, 11);
+        assert!(c.deadlock_detection(), "default is on");
+        assert!(!c.with_deadlock_detection(false).deadlock_detection());
     }
 
     #[test]

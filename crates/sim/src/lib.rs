@@ -50,6 +50,7 @@ pub mod noise;
 pub mod pool;
 pub mod rngx;
 pub mod topology;
+pub mod waitgraph;
 
 pub use clockspec::ClockSpec;
 pub use engine::{Cluster, RankCtx};

@@ -1,0 +1,331 @@
+//! Wait-for-graph deadlock detection for blocking receives.
+//!
+//! Every blocking receive is *directed*: the receiver names the sender
+//! and tag it waits for. That makes the instantaneous wait-for relation
+//! a partial function `rank → (awaited src, tag)` — each rank waits on
+//! at most one peer — so a deadlock is exactly a cycle in a functional
+//! graph, and cycle detection is O(chain length) with no allocation
+//! (Floyd's tortoise/hare).
+//!
+//! ## Protocol
+//!
+//! - [`WaitGraph::begin_wait`] / [`WaitGraph::end_wait`] bracket the
+//!   *parked* portions of one logical receive (`RankCtx::pull_match`):
+//!   the engine clears the edge — under the waiter's mailbox lock — at
+//!   the moment it pops any envelope, and re-registers it if the
+//!   envelope did not match. Probes take that same lock, so a probe
+//!   that sees a registered edge and an empty mailbox is never looking
+//!   at a rank that has a just-popped envelope in hand.
+//! - Each time a rank is about to park on its mailbox condvar, it runs
+//!   [`WaitGraph::find_candidate`]. A candidate cycle is **not** proof:
+//!   edges are registered before messages in flight are drained, so two
+//!   ranks mid-ping-pong transiently form a 2-cycle.
+//! - The engine therefore confirms via [`WaitGraph::confirm`], probing
+//!   every member under its mailbox lock: the edge must still be
+//!   registered *and* the mailbox must be empty.
+//!
+//! ## Why one probe pass is not enough (the ABA edge)
+//!
+//! Edges are compared by value `(src, tag)`, and a ping-pong loop
+//! re-registers *byte-identical* edges every iteration: the reference
+//! consumes ping `i`, sends the reply, and only then begins waiting for
+//! ping `i+1` — so the send that satisfies its peer's wait happens
+//! *before* its next wait begins. Non-simultaneous probes can therefore
+//! stitch edges from different iterations into a "cycle" that never
+//! coexisted. To rule this out, every `begin_wait` bumps a per-rank
+//! monotone generation counter, and confirmation runs the verification
+//! walk **twice**: each walk checks every edge (registered + mailbox
+//! empty, under the lock) and sums the generations it saw. Equal sums of
+//! monotone counters mean each generation was unchanged, i.e. each edge
+//! was continuously registered over an interval spanning both of its
+//! probes — and all those intervals contain the instant between the two
+//! walks. A matching message present at that instant would either still
+//! be in the queue at the second probe (refuted by the emptiness check)
+//! or have been consumed (refuted by the generation or `IDLE` check). So
+//! a double-confirmed cycle is a set of simultaneously blocked ranks
+//! with no satisfying message anywhere: a genuine deadlock.
+//!
+//! The slots are packed `(src, tag)` atomics: registration and the
+//! common no-cycle probe are a handful of atomic ops, keeping the
+//! blocking-receive path allocation-free (see `tests/alloc_free.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{Rank, Tag};
+
+/// Sentinel: rank is not blocked in a receive.
+const IDLE: u64 = u64::MAX;
+
+#[inline]
+fn pack(src: Rank, tag: Tag) -> u64 {
+    ((src as u64) << 32) | tag as u64
+}
+
+#[inline]
+fn unpack(v: u64) -> (Rank, Tag) {
+    ((v >> 32) as Rank, v as u32)
+}
+
+/// One wait-for edge: `waiter` is blocked until `src` sends `tag`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitEdge {
+    /// The blocked rank.
+    pub waiter: Rank,
+    /// The rank it awaits a message from.
+    pub src: Rank,
+    /// The awaited tag.
+    pub tag: Tag,
+}
+
+/// The per-run wait-for graph: one slot per rank.
+#[derive(Debug)]
+pub struct WaitGraph {
+    slots: Vec<AtomicU64>,
+    /// Per-rank registration generation, bumped on every `begin_wait`.
+    /// Lets [`WaitGraph::confirm`] distinguish an edge that stayed
+    /// registered from a byte-identical edge re-registered by a later
+    /// receive iteration (the ABA case of ping-pong loops).
+    gens: Vec<AtomicU64>,
+}
+
+impl WaitGraph {
+    /// A graph for `size` ranks, all idle.
+    pub fn new(size: usize) -> Self {
+        Self {
+            slots: (0..size).map(|_| AtomicU64::new(IDLE)).collect(),
+            gens: (0..size).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Registers that `me` starts blocking until `src` sends `tag`.
+    #[inline]
+    pub fn begin_wait(&self, me: Rank, src: Rank, tag: Tag) {
+        debug_assert_ne!(src, me, "self-waits are not modeled");
+        self.gens[me].fetch_add(1, Ordering::AcqRel);
+        self.slots[me].store(pack(src, tag), Ordering::Release);
+    }
+
+    /// Clears `me`'s wait edge (its receive matched).
+    #[inline]
+    pub fn end_wait(&self, me: Rank) {
+        self.slots[me].store(IDLE, Ordering::Release);
+    }
+
+    /// What `r` is currently blocked on, if anything.
+    #[inline]
+    pub fn waiting_on(&self, r: Rank) -> Option<(Rank, Tag)> {
+        match self.slots[r].load(Ordering::Acquire) {
+            IDLE => None,
+            v => Some(unpack(v)),
+        }
+    }
+
+    /// Floyd cycle search over the wait-for chain starting at `me`.
+    /// Returns a rank that lies *on* a candidate cycle (`me` itself may
+    /// only lead into it), or `None` if the chain terminates. Performs
+    /// no allocation; bounded by the rank count even if slots mutate
+    /// concurrently.
+    pub fn find_candidate(&self, me: Rank) -> Option<Rank> {
+        let next = |r: Rank| self.waiting_on(r).map(|(s, _)| s);
+        let mut slow = me;
+        let mut fast = me;
+        for _ in 0..=self.slots.len() {
+            fast = next(fast)?;
+            fast = next(fast)?;
+            slow = next(slow)?;
+            if slow == fast {
+                return Some(slow);
+            }
+        }
+        None
+    }
+
+    /// Walks the candidate cycle through `anchor`, re-reading each edge
+    /// and verifying it with `edge_holds` (the engine probes: edge still
+    /// registered *and* the waiter's mailbox empty, under its lock). The
+    /// walk runs **twice**; generations must match between the walks
+    /// (see the module docs for why a single pass is unsound for
+    /// value-identical re-registered edges). If the verified edges close
+    /// back on `anchor` within the rank count both times, the confirmed
+    /// cycle is returned in wait order; any refuted or vanished edge, or
+    /// a generation change between the walks, aborts with `None`.
+    ///
+    /// A spurious abort is harmless: in a genuine deadlock nothing
+    /// mutates, so the walk verifies deterministically when the last
+    /// cycle member re-runs detection before parking.
+    ///
+    /// Only called on a candidate, and a double-confirmed deadlock's
+    /// edges can never change again — so the returned `Vec` is the first
+    /// allocation on this path and precedes an engine panic.
+    pub fn confirm(
+        &self,
+        anchor: Rank,
+        mut edge_holds: impl FnMut(WaitEdge) -> bool,
+    ) -> Option<Vec<WaitEdge>> {
+        // Two allocation-free verification walks. Generations are
+        // monotone, so equal sums mean every edge's generation was
+        // unchanged — each edge was continuously registered across an
+        // interval containing the instant between the walks, i.e. the
+        // whole cycle coexisted.
+        let first = self.verify_walk(anchor, &mut edge_holds)?;
+        let second = self.verify_walk(anchor, &mut edge_holds)?;
+        if first != second {
+            return None;
+        }
+        // Collect pass: the edges are frozen now (a genuine deadlock
+        // cannot make progress), so re-reading is safe.
+        let mut cycle = Vec::new();
+        let mut w = anchor;
+        loop {
+            let (src, tag) = self.waiting_on(w)?;
+            cycle.push(WaitEdge {
+                waiter: w,
+                src,
+                tag,
+            });
+            w = src;
+            if w == anchor {
+                return Some(cycle);
+            }
+        }
+    }
+
+    /// One allocation-free verification walk from `anchor`: every edge
+    /// must satisfy `edge_holds` and the chain must close back on
+    /// `anchor` within the rank count. Returns the cycle length and the
+    /// sum of the per-edge generations observed.
+    fn verify_walk(
+        &self,
+        anchor: Rank,
+        edge_holds: &mut impl FnMut(WaitEdge) -> bool,
+    ) -> Option<(usize, u64)> {
+        let mut r = anchor;
+        let mut gen_sum = 0u64;
+        for step in 0..self.slots.len() {
+            let gen = self.gens[r].load(Ordering::Acquire);
+            let (src, tag) = self.waiting_on(r)?;
+            if !edge_holds(WaitEdge {
+                waiter: r,
+                src,
+                tag,
+            }) {
+                return None;
+            }
+            gen_sum = gen_sum.wrapping_add(gen);
+            r = src;
+            if r == anchor {
+                return Some((step + 1, gen_sum));
+            }
+        }
+        None
+    }
+
+    /// Renders a confirmed cycle as a diagnosis, e.g.
+    /// `rank 0 waiting on (src 1, tag 11) -> rank 1 waiting on (src 2,
+    /// tag 12) -> rank 2 waiting on (src 0, tag 13) -> rank 0`.
+    pub fn describe(cycle: &[WaitEdge]) -> String {
+        let mut s = String::new();
+        for e in cycle {
+            s.push_str(&format!(
+                "rank {} waiting on (src {}, tag {}) -> ",
+                e.waiter, e.src, e.tag
+            ));
+        }
+        if let Some(first) = cycle.first() {
+            s.push_str(&format!("rank {}", first.waiter));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_graph_has_no_candidate() {
+        let g = WaitGraph::new(4);
+        assert_eq!(g.find_candidate(0), None);
+        g.begin_wait(0, 1, 7);
+        assert_eq!(g.find_candidate(0), None, "chain ends at idle rank 1");
+        g.end_wait(0);
+        assert_eq!(g.waiting_on(0), None);
+    }
+
+    #[test]
+    fn three_cycle_is_found_and_confirmed() {
+        let g = WaitGraph::new(3);
+        g.begin_wait(0, 1, 11);
+        g.begin_wait(1, 2, 12);
+        g.begin_wait(2, 0, 13);
+        let anchor = g.find_candidate(0).expect("cycle exists");
+        let cycle = g.confirm(anchor, |_| true).expect("all edges hold");
+        assert_eq!(cycle.len(), 3);
+        let desc = WaitGraph::describe(&cycle);
+        for needle in [
+            "rank 0 waiting on (src 1, tag 11)",
+            "rank 1 waiting on (src 2, tag 12)",
+            "rank 2 waiting on (src 0, tag 13)",
+        ] {
+            assert!(desc.contains(needle), "{desc}");
+        }
+    }
+
+    #[test]
+    fn refuted_edge_aborts_confirmation() {
+        let g = WaitGraph::new(2);
+        g.begin_wait(0, 1, 5);
+        g.begin_wait(1, 0, 6);
+        let anchor = g.find_candidate(0).expect("2-cycle candidate");
+        assert_eq!(g.confirm(anchor, |e| e.waiter != 1), None);
+    }
+
+    #[test]
+    fn tail_into_cycle_is_detected_from_outside() {
+        // 0 -> 1 -> 2 -> 1: rank 0 is not on the cycle but blocked
+        // behind it.
+        let g = WaitGraph::new(3);
+        g.begin_wait(0, 1, 1);
+        g.begin_wait(1, 2, 2);
+        g.begin_wait(2, 1, 3);
+        let anchor = g.find_candidate(0).expect("cycle reachable from 0");
+        let cycle = g.confirm(anchor, |_| true).expect("cycle confirmed");
+        assert_eq!(cycle.len(), 2);
+        let ranks: Vec<Rank> = cycle.iter().map(|e| e.waiter).collect();
+        assert!(ranks.contains(&1) && ranks.contains(&2) && !ranks.contains(&0));
+    }
+
+    #[test]
+    fn identical_reregistered_edge_is_not_confirmed() {
+        // ABA: between the two verification walks rank 1 completes its
+        // receive and re-registers a byte-identical edge (as ping-pong
+        // loops do every iteration). The cycle never coexisted, so
+        // confirmation must abort even though every single probe sees a
+        // registered edge with the expected value.
+        let g = WaitGraph::new(2);
+        g.begin_wait(0, 1, 5);
+        g.begin_wait(1, 0, 5);
+        let anchor = g.find_candidate(0).expect("2-cycle candidate");
+        let mut probes = 0;
+        let refuted = g.confirm(anchor, |e| {
+            probes += 1;
+            if probes == 2 {
+                // First walk just probed both edges; simulate rank 1's
+                // receive completing and re-blocking on the same pair.
+                g.end_wait(e.waiter);
+                g.begin_wait(e.waiter, e.src, e.tag);
+            }
+            true
+        });
+        assert_eq!(refuted, None, "re-registered edge must refute the cycle");
+        // A stable cycle still confirms.
+        assert!(g.confirm(anchor, |_| true).is_some());
+    }
+
+    #[test]
+    fn pack_roundtrips_extremes() {
+        let g = WaitGraph::new(2);
+        g.begin_wait(0, 1, u32::MAX - 1);
+        assert_eq!(g.waiting_on(0), Some((1, u32::MAX - 1)));
+    }
+}

@@ -1,0 +1,219 @@
+#![warn(missing_docs)]
+
+//! # xtask — in-tree static analysis for the hcs workspace
+//!
+//! `cargo run -p xtask -- check` parses every workspace `.rs` source
+//! (no rustc, no external parser — a small comment/string-stripping
+//! scanner) and enforces the repo invariants the paper reproduction
+//! depends on:
+//!
+//! - **determinism** — `crates/{sim,core,clock,mpi}` library code may
+//!   not read wall clocks (`Instant`, `SystemTime`), use randomly
+//!   seeded hashers (`HashMap`, `HashSet`, `RandomState`) or ambient
+//!   randomness: simulated runs must be bit-identical given a seed;
+//! - **unsafe hygiene** — every `unsafe` carries a `// SAFETY:` comment;
+//! - **tag registry** — all `const TAG_*` values across
+//!   `crates/{core,mpi,benchlib}` are mutually distinct and below the
+//!   dynamic collective-tag range reserved by `Comm::next_coll_tag`;
+//! - **dependency freeze** — every `Cargo.toml` dependency is another
+//!   workspace member (the workspace builds offline, std-only);
+//! - **style** (warning level) — no bare `unwrap()` in library code of
+//!   `crates/{sim,core,clock,mpi}`.
+//!
+//! The passes are exposed as a library so `tests/xtask_lints.rs` can
+//! run them over fixture snippets and over the real workspace.
+
+pub mod deps;
+pub mod lints;
+pub mod scanner;
+pub mod tags;
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Severity of a finding: errors fail `xtask check`, warnings only do
+/// so under `--deny-warnings`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Hard invariant violation.
+    Error,
+    /// Style/robustness advisory.
+    Warning,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Level::Error => write!(f, "error"),
+            Level::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable lint identifier (e.g. `determinism/default-hasher`).
+    pub lint: &'static str,
+    /// Severity.
+    pub level: Level,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} [{}] {}",
+            self.path, self.line, self.level, self.lint, self.msg
+        )
+    }
+}
+
+/// Runs every lint over in-memory `(path, source)` pairs: the per-file
+/// passes plus the cross-file tag registry (using the `COLL_BIT` found
+/// in the sources, or the engine default `1 << 16`). Manifest paths
+/// (`Cargo.toml`) go through the dependency-freeze pass. This is the
+/// entry point used by fixture tests.
+pub fn lint_sources(files: &[(&str, &str)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut tag_defs = Vec::new();
+    let mut coll_bit = None;
+    let mut manifests = Vec::new();
+    for &(path, source) in files {
+        if path.ends_with("Cargo.toml") {
+            manifests.push((path.to_string(), source.to_string()));
+            continue;
+        }
+        let scan = scanner::scan(source);
+        findings.extend(lints::lint_file(path, &scan));
+        if in_tag_registry(path) {
+            tag_defs.extend(tags::extract_tags(path, &scan));
+        }
+        if coll_bit.is_none() {
+            coll_bit = tags::extract_coll_bit(&scan);
+        }
+    }
+    findings.extend(tags::check_tags(&tag_defs, coll_bit.unwrap_or(1 << 16)));
+    findings.extend(deps::check_deps(&manifests));
+    sort_findings(&mut findings);
+    findings
+}
+
+/// Runs the full check over the workspace rooted at `root`.
+pub fn check_workspace(root: &Path) -> Vec<Finding> {
+    let mut rs_files = Vec::new();
+    collect_rs_files(root, &mut rs_files);
+    rs_files.sort();
+
+    let mut findings = Vec::new();
+    let mut tag_defs = Vec::new();
+    let mut coll_bit = None;
+    for path in &rs_files {
+        let rel = rel_path(root, path);
+        let source = match fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                findings.push(Finding {
+                    path: rel,
+                    line: 1,
+                    lint: "io/unreadable",
+                    level: Level::Error,
+                    msg: format!("cannot read source: {e}"),
+                });
+                continue;
+            }
+        };
+        let scan = scanner::scan(&source);
+        findings.extend(lints::lint_file(&rel, &scan));
+        if in_tag_registry(&rel) {
+            tag_defs.extend(tags::extract_tags(&rel, &scan));
+        }
+        if rel == "crates/mpi/src/lib.rs" {
+            coll_bit = tags::extract_coll_bit(&scan);
+        }
+    }
+    findings.extend(tags::check_tags(&tag_defs, coll_bit.unwrap_or(1 << 16)));
+
+    let mut manifests = Vec::new();
+    for path in manifest_paths(root) {
+        if let Ok(text) = fs::read_to_string(&path) {
+            manifests.push((rel_path(root, &path), text));
+        }
+    }
+    findings.extend(deps::check_deps(&manifests));
+    sort_findings(&mut findings);
+    findings
+}
+
+/// Is this file part of the static tag registry?
+fn in_tag_registry(rel: &str) -> bool {
+    tags::TAG_CRATES
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
+}
+
+fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Directories never scanned: build artifacts, VCS metadata, generated
+/// experiment outputs.
+const SKIP_DIRS: &[&str] = &["target", ".git", "results"];
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Root manifest plus every `crates/*/Cargo.toml`.
+fn manifest_paths(root: &Path) -> Vec<PathBuf> {
+    let mut out = vec![root.join("Cargo.toml")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let m = entry.path().join("Cargo.toml");
+            if m.is_file() {
+                out.push(m);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// The workspace root, derived from this crate's manifest directory
+/// (`crates/xtask` → two levels up).
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask has a workspace root two levels up")
+        .to_path_buf()
+}

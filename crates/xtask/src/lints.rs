@@ -1,0 +1,236 @@
+//! Per-file lints over scanned sources.
+//!
+//! Which lints apply to a file is decided from its workspace-relative
+//! path (see [`FileClass`]); the passes themselves only look at the
+//! comment/string-stripped code lines, so forbidden names in docs or
+//! error messages never fire.
+
+use crate::scanner::{has_word, FileScan};
+use crate::{Finding, Level};
+
+/// Crates whose *library* code must stay deterministic: no wall-clock
+/// reads, no randomized hashers, no ambient randomness. The simulated
+/// timeline and every derived artifact must be a pure function of the
+/// master seed.
+pub const DETERMINISM_CRATES: &[&str] = &["sim", "core", "clock", "mpi"];
+
+/// Crates whose library code is linted for bare `unwrap()` (warning
+/// level): failures there should carry rank/tag context via `expect` or
+/// be plumbed as `Result`s.
+pub const UNWRAP_CRATES: &[&str] = &["sim", "core", "clock", "mpi"];
+
+/// What kind of file a path denotes, workspace-relative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileClass {
+    /// Workspace crate directory name (`sim` for `crates/sim/...`),
+    /// `None` for the root package and top-level `tests/`.
+    pub crate_name: Option<String>,
+    /// Inside a `src/` directory (library/binary code, not tests or
+    /// benches).
+    pub in_src: bool,
+}
+
+impl FileClass {
+    /// Classifies a workspace-relative path (with `/` separators).
+    pub fn of(path: &str) -> Self {
+        let crate_name = path
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .map(str::to_string);
+        FileClass {
+            crate_name,
+            in_src: path.contains("/src/") || path.starts_with("src/"),
+        }
+    }
+
+    fn in_crate_src(&self, set: &[&str]) -> bool {
+        self.in_src && self.crate_name.as_deref().is_some_and(|c| set.contains(&c))
+    }
+}
+
+/// Runs every per-file lint applicable to `path` over `scan`.
+pub fn lint_file(path: &str, scan: &FileScan) -> Vec<Finding> {
+    let class = FileClass::of(path);
+    let mut out = Vec::new();
+    if class.in_crate_src(DETERMINISM_CRATES) {
+        determinism(path, scan, &mut out);
+    }
+    unsafe_hygiene(path, scan, &mut out);
+    if class.in_crate_src(UNWRAP_CRATES) {
+        unwrap_warning(path, scan, &mut out);
+    }
+    out
+}
+
+/// Forbidden-name table for the determinism lints: (lint id, word,
+/// explanation).
+const DETERMINISM_WORDS: &[(&str, &str, &str)] = &[
+    (
+        "determinism/wall-clock",
+        "Instant",
+        "wall-clock reads make simulated timelines host-dependent; use virtual time (RankCtx::now)",
+    ),
+    (
+        "determinism/wall-clock",
+        "SystemTime",
+        "wall-clock reads make simulated timelines host-dependent; use virtual time (RankCtx::now)",
+    ),
+    (
+        "determinism/default-hasher",
+        "HashMap",
+        "the default hasher is randomly seeded, so iteration order varies per process; use BTreeMap or a sorted Vec",
+    ),
+    (
+        "determinism/default-hasher",
+        "HashSet",
+        "the default hasher is randomly seeded, so iteration order varies per process; use BTreeSet or a sorted Vec",
+    ),
+    (
+        "determinism/default-hasher",
+        "RandomState",
+        "randomly seeded hasher state breaks bit-identical replay",
+    ),
+    (
+        "determinism/ambient-randomness",
+        "thread_rng",
+        "ambient RNGs are not derived from the master seed; use rngx::stream_rng",
+    ),
+    (
+        "determinism/ambient-randomness",
+        "from_entropy",
+        "entropy-seeded RNGs are not replayable; use rngx::stream_rng",
+    ),
+    (
+        "determinism/ambient-randomness",
+        "getrandom",
+        "OS randomness is not replayable; use rngx::stream_rng",
+    ),
+    (
+        "determinism/ambient-randomness",
+        "OsRng",
+        "OS randomness is not replayable; use rngx::stream_rng",
+    ),
+];
+
+fn determinism(path: &str, scan: &FileScan, out: &mut Vec<Finding>) {
+    for (ln, line) in scan.code.iter().enumerate() {
+        if scan.is_test[ln] {
+            continue;
+        }
+        for &(lint, word, why) in DETERMINISM_WORDS {
+            if has_word(line, word) {
+                out.push(Finding {
+                    path: path.to_string(),
+                    line: ln + 1,
+                    lint,
+                    level: Level::Error,
+                    msg: format!("`{word}` in deterministic crate: {why}"),
+                });
+            }
+        }
+    }
+}
+
+/// Every `unsafe` token must be justified by a `// SAFETY:` comment on
+/// the same line or in the contiguous comment/attribute block above it.
+fn unsafe_hygiene(path: &str, scan: &FileScan, out: &mut Vec<Finding>) {
+    for (ln, line) in scan.code.iter().enumerate() {
+        if !has_word(line, "unsafe") {
+            continue;
+        }
+        if has_safety_comment(scan, ln) {
+            continue;
+        }
+        out.push(Finding {
+            path: path.to_string(),
+            line: ln + 1,
+            lint: "unsafe/safety-comment",
+            level: Level::Error,
+            msg: "`unsafe` without a `// SAFETY:` comment explaining why the invariants hold"
+                .to_string(),
+        });
+    }
+}
+
+fn has_safety_comment(scan: &FileScan, ln: usize) -> bool {
+    if scan.raw[ln].contains("SAFETY:") {
+        return true;
+    }
+    // Walk up through the contiguous run of comment / attribute lines.
+    let mut i = ln;
+    while i > 0 {
+        i -= 1;
+        let t = scan.raw[i].trim_start();
+        if t.starts_with("//") {
+            if t.contains("SAFETY:") {
+                return true;
+            }
+        } else if !t.starts_with("#[") {
+            break;
+        }
+    }
+    false
+}
+
+fn unwrap_warning(path: &str, scan: &FileScan, out: &mut Vec<Finding>) {
+    for (ln, line) in scan.code.iter().enumerate() {
+        if scan.is_test[ln] || !line.contains(".unwrap()") {
+            continue;
+        }
+        out.push(Finding {
+            path: path.to_string(),
+            line: ln + 1,
+            lint: "style/unwrap",
+            level: Level::Warning,
+            msg: "bare `unwrap()` in library code: use `expect(..)` with rank/tag context or return a Result".to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn lints_of(path: &str, src: &str) -> Vec<(String, usize)> {
+        lint_file(path, &scan(src))
+            .into_iter()
+            .map(|f| (f.lint.to_string(), f.line))
+            .collect()
+    }
+
+    #[test]
+    fn instant_fires_only_in_deterministic_crates() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        let hits = lints_of("crates/sim/src/x.rs", src);
+        assert!(hits.iter().any(|(l, _)| l == "determinism/wall-clock"));
+        // benchlib measures real host time on purpose.
+        assert!(lints_of("crates/benchlib/src/microbench.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hashmap_in_comment_or_test_is_fine() {
+        let src = "// a HashMap would be wrong here\nfn f() {}\n#[cfg(test)]\nmod tests { use std::collections::HashMap; }\n";
+        assert!(lints_of("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_is_required_and_sufficient() {
+        let bad = "fn f() { unsafe { core::hint::unreachable_unchecked() } }\n";
+        assert!(lints_of("crates/sim/src/x.rs", bad)
+            .iter()
+            .any(|(l, _)| l == "unsafe/safety-comment"));
+        let good = "// SAFETY: caller upholds the contract.\n#[allow(unused)]\nunsafe fn g() {}\n";
+        assert!(lints_of("crates/sim/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn unwrap_is_warning_level_and_skips_tests() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t(x: Option<u8>) { x.unwrap(); } }\n";
+        let findings = lint_file("crates/mpi/src/x.rs", &scan(src));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, "style/unwrap");
+        assert_eq!(findings[0].level, Level::Warning);
+        assert_eq!(findings[0].line, 1);
+    }
+}

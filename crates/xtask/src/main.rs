@@ -1,0 +1,47 @@
+//! `cargo run -p xtask -- check [--deny-warnings]`
+//!
+//! Exit code 0 when the workspace satisfies every repo invariant,
+//! 1 when any error-level finding exists (or any warning under
+//! `--deny-warnings`), 2 on usage errors.
+
+use std::process::ExitCode;
+
+use xtask::{check_workspace, workspace_root, Level};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut deny_warnings = false;
+    let mut command = None;
+    for a in &args {
+        match a.as_str() {
+            "check" => command = Some("check"),
+            "--deny-warnings" => deny_warnings = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: cargo run -p xtask -- check [--deny-warnings]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if command != Some("check") {
+        eprintln!("usage: cargo run -p xtask -- check [--deny-warnings]");
+        return ExitCode::from(2);
+    }
+
+    let root = workspace_root();
+    let findings = check_workspace(&root);
+    let errors = findings.iter().filter(|f| f.level == Level::Error).count();
+    let warnings = findings.len() - errors;
+    for f in &findings {
+        println!("{f}");
+    }
+    println!(
+        "xtask check: {errors} error(s), {warnings} warning(s) across workspace at {}",
+        root.display()
+    );
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,342 @@
+//! Minimal Rust source scanner.
+//!
+//! The lint passes match on *tokens that compile*, so the scanner
+//! produces a copy of the source in which comments and string / char
+//! literal contents are blanked out (newlines preserved, so line
+//! numbers survive). It also classifies which lines live inside
+//! `#[cfg(test)]`-gated modules, because several lints only apply to
+//! library code.
+//!
+//! This is deliberately not a full lexer: it handles line comments,
+//! nested block comments, string / raw-string / byte-string literals,
+//! char and byte literals, and distinguishes lifetimes (`'a`) from char
+//! literals (`'a'`). That is enough to avoid false positives from
+//! forbidden identifiers appearing in docs or error messages.
+
+/// One scanned source file.
+pub struct FileScan {
+    /// Original source lines.
+    pub raw: Vec<String>,
+    /// Source lines with comments and literal contents blanked.
+    pub code: Vec<String>,
+    /// `true` for lines inside a `#[cfg(test)]` region.
+    pub is_test: Vec<bool>,
+}
+
+/// Scans `source` into raw/code line pairs plus test-region flags.
+pub fn scan(source: &str) -> FileScan {
+    let stripped = strip(source);
+    let raw: Vec<String> = source.lines().map(str::to_string).collect();
+    let mut code: Vec<String> = stripped.lines().map(str::to_string).collect();
+    // `lines()` drops a trailing empty segment; keep the vectors aligned.
+    while code.len() < raw.len() {
+        code.push(String::new());
+    }
+    let is_test = test_lines(&code);
+    FileScan { raw, code, is_test }
+}
+
+/// `true` if `b` can continue a Rust identifier.
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whole-word containment: `word` occurs in `line` not surrounded by
+/// identifier characters (so `Instant` does not match `Instantaneous`).
+pub fn has_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let p = start + pos;
+        let before_ok = p == 0 || !is_ident_byte(bytes[p - 1]);
+        let after = p + word.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = p + word.len();
+    }
+    false
+}
+
+/// Replaces comments and literal contents with spaces, preserving
+/// newlines and all code characters.
+fn strip(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < n {
+        let c = chars[i];
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1usize;
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(blank(chars[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // String / raw-string / byte-string prefixes. Only treat `r`/`b`
+        // as a prefix when they are not the tail of a longer identifier.
+        if (c == '"' || c == 'r' || c == 'b')
+            && (i == 0 || !is_ident_char(chars[i - 1]))
+            && try_consume_string(&chars, &mut i, &mut out)
+        {
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if is_char_literal(&chars, i) {
+                consume_char_literal(&chars, &mut i, &mut out);
+            } else {
+                out.push('\'');
+                i += 1;
+            }
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// At `chars[*i]` starting with `"`, `r`, or `b`: if a string literal
+/// begins here, consume it (blanked) and return `true`.
+fn try_consume_string(chars: &[char], i: &mut usize, out: &mut String) -> bool {
+    let n = chars.len();
+    let start = *i;
+    let mut j = start;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    let raw = j < n && chars[j] == 'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while j < n && chars[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    // `b'x'` byte literals are handled here too (prefix `b`, quote `'`).
+    if !raw && j < n && chars[j] == '\'' && j == start + 1 {
+        // Emit the prefix as blank and consume the char literal.
+        out.push(' ');
+        *i = j;
+        consume_char_literal(chars, i, out);
+        return true;
+    }
+    if j >= n || chars[j] != '"' {
+        return false; // raw identifier (`r#fn`) or plain `r`/`b` ident
+    }
+    // Blank everything from start through the literal body.
+    for _ in start..=j {
+        out.push(' ');
+    }
+    let mut k = j + 1;
+    if raw {
+        // Scan for `"` followed by `hashes` hashes.
+        while k < n {
+            if chars[k] == '"' {
+                let mut h = 0usize;
+                while h < hashes && k + 1 + h < n && chars[k + 1 + h] == '#' {
+                    h += 1;
+                }
+                if h == hashes {
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    k += 1 + hashes;
+                    break;
+                }
+            }
+            out.push(if chars[k] == '\n' { '\n' } else { ' ' });
+            k += 1;
+        }
+    } else {
+        while k < n {
+            if chars[k] == '\\' {
+                out.push(' ');
+                if k + 1 < n {
+                    out.push(if chars[k + 1] == '\n' { '\n' } else { ' ' });
+                }
+                k += 2;
+            } else if chars[k] == '"' {
+                out.push(' ');
+                k += 1;
+                break;
+            } else {
+                out.push(if chars[k] == '\n' { '\n' } else { ' ' });
+                k += 1;
+            }
+        }
+    }
+    *i = k;
+    true
+}
+
+/// Is the `'` at `chars[i]` the start of a char literal (vs a lifetime)?
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    let n = chars.len();
+    if i + 1 >= n {
+        return false;
+    }
+    if chars[i + 1] == '\\' {
+        return true; // '\n', '\'', '\u{..}'
+    }
+    // One non-quote char followed by a closing quote: 'a', '€'.
+    i + 2 < n && chars[i + 1] != '\'' && chars[i + 2] == '\''
+}
+
+/// Consumes a char/byte literal starting at the opening `'`, blanked.
+fn consume_char_literal(chars: &[char], i: &mut usize, out: &mut String) {
+    let n = chars.len();
+    out.push(' ');
+    *i += 1;
+    while *i < n {
+        if chars[*i] == '\\' {
+            out.push(' ');
+            if *i + 1 < n {
+                out.push(' ');
+            }
+            *i += 2;
+        } else if chars[*i] == '\'' {
+            out.push(' ');
+            *i += 1;
+            return;
+        } else {
+            out.push(if chars[*i] == '\n' { '\n' } else { ' ' });
+            *i += 1;
+        }
+    }
+}
+
+/// Marks lines inside `#[cfg(test)] { .. }` regions. An attribute arms a
+/// flag that attaches to the next opened brace; brace depth then scopes
+/// the region. `#[test]` functions are treated the same way.
+fn test_lines(code: &[String]) -> Vec<bool> {
+    let mut is_test = vec![false; code.len()];
+    let mut pending = false;
+    let mut stack: Vec<bool> = Vec::new();
+    for (ln, line) in code.iter().enumerate() {
+        let mut line_test = stack.iter().any(|&t| t);
+        let bytes = line.as_bytes();
+        let mut p = 0usize;
+        while p < bytes.len() {
+            if line[p..].starts_with("cfg(test)") || line[p..].starts_with("#[test]") {
+                pending = true;
+            }
+            match bytes[p] {
+                b'{' => {
+                    stack.push(pending);
+                    pending = false;
+                    if *stack.last().expect("just pushed") {
+                        line_test = true;
+                    }
+                }
+                b'}' => {
+                    stack.pop();
+                }
+                _ => {}
+            }
+            p += 1;
+        }
+        is_test[ln] = line_test;
+    }
+    is_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = r#"
+// HashMap in a comment
+let x = "HashMap in a string";
+/* block HashMap */ let y = 1;
+let s = 'h'; // char
+"#;
+        let scan = scan(src);
+        for line in &scan.code {
+            assert!(!line.contains("HashMap"), "leaked into code: {line}");
+        }
+        assert!(scan.code[2].contains("let x ="));
+        assert!(scan.code[3].contains("let y = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let r = r#\"Instant::now()\"#; }";
+        let scan = scan(src);
+        assert!(!scan.code[0].contains("Instant"));
+        assert!(scan.code[0].contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* nested */ still comment */ let z = 2;";
+        let scan = scan(src);
+        assert!(!scan.code[0].contains("nested"));
+        assert!(scan.code[0].contains("let z = 2;"));
+    }
+
+    #[test]
+    fn byte_and_escaped_char_literals() {
+        let src = "let a = b'x'; let b = '\\''; let c = b\"bytes\";";
+        let scan = scan(src);
+        assert!(!scan.code[0].contains('x'));
+        assert!(!scan.code[0].contains("bytes"));
+        assert!(scan.code[0].contains("let a ="));
+        assert!(scan.code[0].contains("let c ="));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_flagged() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let scan = scan(src);
+        assert!(!scan.is_test[0]);
+        assert!(scan.is_test[3]);
+        assert!(!scan.is_test[5]);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(has_word("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_word("Instantaneous frequency", "Instant"));
+        assert!(has_word("Instant::now()", "Instant"));
+    }
+}

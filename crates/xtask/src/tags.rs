@@ -1,0 +1,173 @@
+//! Message-tag registry lint.
+//!
+//! Point-to-point user tags are compile-time `const TAG_*` values
+//! scattered across `crates/core`, `crates/mpi` and `crates/benchlib`;
+//! collectives draw tags dynamically from `Comm::next_coll_tag`, which
+//! reserves every value with `COLL_BIT` (bit 16) set. Two distinct
+//! constants with the same value, or a constant inside the collective
+//! range, would silently cross-match messages — the registry makes both
+//! a hard lint failure.
+
+use crate::scanner::FileScan;
+use crate::{Finding, Level};
+
+/// A `const TAG_*` definition extracted from source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagDef {
+    /// Constant name (e.g. `TAG_PING`).
+    pub name: String,
+    /// Evaluated value.
+    pub value: u64,
+    /// Workspace-relative path of the definition.
+    pub path: String,
+    /// 1-based line of the definition.
+    pub line: usize,
+}
+
+/// Crates participating in the static user-tag registry.
+pub const TAG_CRATES: &[&str] = &["core", "mpi", "benchlib"];
+
+/// Extracts every `const TAG_*: Tag|u32 = <int expr>;` from a file.
+pub fn extract_tags(path: &str, scan: &FileScan) -> Vec<TagDef> {
+    let mut out = Vec::new();
+    for (ln, line) in scan.code.iter().enumerate() {
+        let Some((name, value)) = parse_tag_const(line, "TAG_") else {
+            continue;
+        };
+        out.push(TagDef {
+            name,
+            value,
+            path: path.to_string(),
+            line: ln + 1,
+        });
+    }
+    out
+}
+
+/// Extracts the collective-tag marker bit (`const COLL_BIT: Tag = ...`).
+pub fn extract_coll_bit(scan: &FileScan) -> Option<u64> {
+    scan.code
+        .iter()
+        .find_map(|line| parse_tag_const(line, "COLL_BIT").map(|(_, v)| v))
+}
+
+/// Parses `const <prefix>NAME: Tag = <expr>;` on one code line, where
+/// `<expr>` is an integer expression of literals, `<<` and `|`.
+fn parse_tag_const(line: &str, prefix: &str) -> Option<(String, u64)> {
+    let t = line.trim_start();
+    let t = t.strip_prefix("pub ").unwrap_or(t);
+    let rest = t.strip_prefix("const ")?;
+    if !rest.starts_with(prefix) {
+        return None;
+    }
+    let colon = rest.find(':')?;
+    let name = rest[..colon].trim().to_string();
+    let rest = &rest[colon + 1..];
+    let ty = rest.split('=').next()?.trim();
+    if ty != "Tag" && ty != "u32" {
+        return None;
+    }
+    let eq = rest.find('=')?;
+    let expr = rest[eq + 1..].split(';').next()?.trim();
+    Some((name, eval_int_expr(expr)?))
+}
+
+/// Evaluates `a | b | ...` where each operand is `x` or `x << y` and
+/// `x`, `y` are integer literals (decimal / hex / binary, underscores).
+fn eval_int_expr(expr: &str) -> Option<u64> {
+    let mut acc = 0u64;
+    for part in expr.split('|') {
+        let mut shift_parts = part.split("<<");
+        let base = parse_int(shift_parts.next()?.trim())?;
+        let val = match shift_parts.next() {
+            Some(sh) => base.checked_shl(parse_int(sh.trim())? as u32)?,
+            None => base,
+        };
+        if shift_parts.next().is_some() {
+            return None; // a << b << c: not supported
+        }
+        acc |= val;
+    }
+    Some(acc)
+}
+
+fn parse_int(s: &str) -> Option<u64> {
+    let s = s.replace('_', "");
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else if let Some(bin) = s.strip_prefix("0b") {
+        u64::from_str_radix(bin, 2).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Checks the assembled registry: duplicate values and collisions with
+/// the dynamic collective-tag range (`value & COLL_BIT != 0`, i.e. any
+/// value ≥ `coll_bit` once the context-id field above it is included).
+pub fn check_tags(defs: &[TagDef], coll_bit: u64) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut sorted: Vec<&TagDef> = defs.iter().collect();
+    sorted.sort_by(|a, b| (a.value, &a.path, a.line).cmp(&(b.value, &b.path, b.line)));
+    for pair in sorted.windows(2) {
+        if pair[0].value == pair[1].value {
+            out.push(Finding {
+                path: pair[1].path.clone(),
+                line: pair[1].line,
+                lint: "tags/duplicate",
+                level: Level::Error,
+                msg: format!(
+                    "{} = {:#x} duplicates {} ({}:{}): messages on a shared communicator would cross-match",
+                    pair[1].name, pair[1].value, pair[0].name, pair[0].path, pair[0].line
+                ),
+            });
+        }
+    }
+    for def in defs {
+        if def.value >= coll_bit {
+            out.push(Finding {
+                path: def.path.clone(),
+                line: def.line,
+                lint: "tags/collective-range",
+                level: Level::Error,
+                msg: format!(
+                    "{} = {:#x} is not below COLL_BIT ({coll_bit:#x}): it would collide with dynamic collective tags from next_coll_tag (or the context-id/ACK fields above them)",
+                    def.name, def.value
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    #[test]
+    fn extracts_and_evaluates() {
+        let src = "const TAG_A: Tag = 0x0101;\npub const TAG_B: u32 = 1 << 8 | 3;\nconst NOT_A_TAG: usize = 5;\nconst TAG_STR: &str = \"x\";\n";
+        let tags = extract_tags("f.rs", &scan(src));
+        assert_eq!(tags.len(), 2);
+        assert_eq!(tags[0].value, 0x101);
+        assert_eq!(tags[1].value, 0x103);
+    }
+
+    #[test]
+    fn duplicate_and_range_violations() {
+        let src_a = "const TAG_X: Tag = 0x200;\n";
+        let src_b = "const TAG_Y: Tag = 0x200;\nconst TAG_BIG: Tag = 0x1_0000;\n";
+        let mut defs = extract_tags("a.rs", &scan(src_a));
+        defs.extend(extract_tags("b.rs", &scan(src_b)));
+        let findings = check_tags(&defs, 1 << 16);
+        assert!(findings.iter().any(|f| f.lint == "tags/duplicate"));
+        assert!(findings.iter().any(|f| f.lint == "tags/collective-range"));
+    }
+
+    #[test]
+    fn coll_bit_is_read_from_source() {
+        let src = "const COLL_BIT: Tag = 1 << 16;\n";
+        assert_eq!(extract_coll_bit(&scan(src)), Some(1 << 16));
+    }
+}

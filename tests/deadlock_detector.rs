@@ -1,0 +1,100 @@
+//! The wait-for-graph deadlock detector: a genuine receive cycle must
+//! fail fast with the full cycle named in the panic, and the detector
+//! must never fire on deadlock-free workloads (it is enabled by default
+//! on every cluster, so all other integration tests double as
+//! no-false-positive checks — the pipeline test here is the densest
+//! communication pattern exercised explicitly under detection).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use hcs_mpi::ReduceOp;
+use hierarchical_clock_sync::prelude::*;
+
+/// Extracts the payload of a propagated rank panic.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("rank panics carry a string payload")
+}
+
+#[test]
+fn three_rank_receive_cycle_is_diagnosed() {
+    let cluster = machines::testbed(3, 1).cluster(11);
+    assert!(cluster.deadlock_detection(), "detection is on by default");
+    let payload = catch_unwind(AssertUnwindSafe(|| {
+        cluster.run(|ctx| {
+            // 0 waits on 1, 1 waits on 2, 2 waits on 0: a genuine cycle
+            // that would hang forever without the detector.
+            let _ = match ctx.rank() {
+                0 => ctx.recv(1, 11),
+                1 => ctx.recv(2, 12),
+                _ => ctx.recv(0, 13),
+            };
+        });
+    }))
+    .expect_err("a receive cycle must panic, not hang");
+    let msg = panic_message(payload);
+    assert!(msg.contains("deadlock detected"), "{msg}");
+    // The diagnosis names every edge of the cycle with rank, source and
+    // tag.
+    for needle in [
+        "rank 0 waiting on (src 1, tag 11)",
+        "rank 1 waiting on (src 2, tag 12)",
+        "rank 2 waiting on (src 0, tag 13)",
+    ] {
+        assert!(msg.contains(needle), "missing {needle:?} in: {msg}");
+    }
+}
+
+#[test]
+fn two_rank_mutual_receive_is_diagnosed() {
+    let cluster = machines::testbed(2, 1).cluster(12);
+    let payload = catch_unwind(AssertUnwindSafe(|| {
+        cluster.run(|ctx| {
+            let peer = 1 - ctx.rank();
+            // Both ranks receive first: the classic head-to-head
+            // deadlock.
+            let _ = ctx.recv(peer, 42);
+        });
+    }))
+    .expect_err("mutual receive must panic, not hang");
+    let msg = panic_message(payload);
+    assert!(msg.contains("deadlock detected"), "{msg}");
+    assert!(
+        msg.contains("rank 0 waiting on (src 1, tag 42)")
+            && msg.contains("rank 1 waiting on (src 0, tag 42)"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn full_sync_and_round_time_pipeline_has_no_false_positives() {
+    // The densest communication pattern in the repo: HCA3 tree
+    // synchronization (ping-pong offset measurements over shared tags)
+    // followed by Round-Time collective measurement (bcast + allreduce
+    // per round), with deadlock detection at its default (on). Any
+    // spurious cycle confirmation would panic the run.
+    let cluster = machines::testbed(3, 2).cluster(21);
+    assert!(cluster.deadlock_detection());
+    let res = cluster.run(|ctx| {
+        let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let mut comm = Comm::world(ctx);
+        let mut sync = Hca3::skampi(20, 5);
+        let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+        let cfg = RoundTimeConfig {
+            max_time_slice_s: 0.02,
+            max_nrep: 50,
+            ..Default::default()
+        };
+        let mut op = |ctx: &mut RankCtx, comm: &mut Comm| {
+            comm.allreduce_f64(ctx, 1.0, ReduceOp::F64Sum);
+        };
+        run_round_time(ctx, &mut comm, g.as_mut(), cfg, &mut op).len()
+    });
+    assert!(
+        res.iter().all(|&n| n == res[0] && n > 0),
+        "pipeline completed with agreed sample counts: {res:?}"
+    );
+}

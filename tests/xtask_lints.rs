@@ -1,0 +1,118 @@
+//! The `xtask check` static-analysis passes: seeded fixture violations
+//! must each be caught, and the real workspace must pass clean (the
+//! same invariant CI enforces via `cargo run -p xtask -- check`).
+
+use xtask::{lint_sources, Level};
+
+fn lint_ids(findings: &[xtask::Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.lint).collect()
+}
+
+#[test]
+fn wall_clock_read_in_sim_is_an_error() {
+    let findings = lint_sources(&[(
+        "crates/sim/src/engine.rs",
+        "use std::time::Instant;\nfn now() -> Instant { Instant::now() }\n",
+    )]);
+    assert!(
+        lint_ids(&findings).contains(&"determinism/wall-clock"),
+        "{findings:?}"
+    );
+    assert!(findings.iter().all(|f| f.level == Level::Error));
+    // The first finding points at the offending line.
+    assert_eq!(findings[0].line, 1, "{findings:?}");
+}
+
+#[test]
+fn default_hasher_in_deterministic_crate_is_an_error() {
+    let findings = lint_sources(&[(
+        "crates/core/src/offset.rs",
+        "use std::collections::HashMap;\npub struct S { m: HashMap<u32, f64> }\n",
+    )]);
+    let ids = lint_ids(&findings);
+    assert!(ids.contains(&"determinism/default-hasher"), "{findings:?}");
+    // Same source outside the deterministic crates is fine (benchlib
+    // may hash freely as long as no simulated output depends on it).
+    let ok = lint_sources(&[(
+        "crates/benchlib/src/stats.rs",
+        "use std::collections::HashMap;\npub struct S { m: HashMap<u32, f64> }\n",
+    )]);
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn safety_less_unsafe_is_an_error_anywhere() {
+    let findings = lint_sources(&[(
+        "crates/benchlib/src/trace.rs",
+        "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+    )]);
+    assert_eq!(lint_ids(&findings), vec!["unsafe/safety-comment"]);
+    // A SAFETY comment in the contiguous block above satisfies it.
+    let ok = lint_sources(&[(
+        "crates/benchlib/src/trace.rs",
+        "// SAFETY: caller guarantees `p` is valid for reads.\npub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+    )]);
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn duplicate_tag_pair_is_an_error() {
+    let findings = lint_sources(&[
+        ("crates/core/src/a.rs", "const TAG_PING: Tag = 0x0101;\n"),
+        ("crates/mpi/src/b.rs", "pub const TAG_ECHO: u32 = 0x0101;\n"),
+    ]);
+    assert!(
+        lint_ids(&findings).contains(&"tags/duplicate"),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn tag_in_collective_range_is_an_error() {
+    // 1 << 16 is COLL_BIT: static tags must stay below the dynamic
+    // collective-tag range handed out by `Comm::next_coll_tag`.
+    let findings = lint_sources(&[(
+        "crates/core/src/a.rs",
+        "const TAG_BAD: Tag = 1 << 16 | 7;\n",
+    )]);
+    assert!(
+        lint_ids(&findings).contains(&"tags/collective-range"),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn external_dependency_is_an_error() {
+    let findings = lint_sources(&[(
+        "crates/sim/Cargo.toml",
+        "[package]\nname = \"hcs-sim\"\n\n[dependencies]\nrand = \"0.8\"\n",
+    )]);
+    assert!(lint_ids(&findings).contains(&"deps/freeze"), "{findings:?}");
+}
+
+#[test]
+fn bare_unwrap_in_library_code_is_a_warning() {
+    let findings = lint_sources(&[(
+        "crates/clock/src/global.rs",
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    )]);
+    assert_eq!(lint_ids(&findings), vec!["style/unwrap"]);
+    assert!(findings.iter().all(|f| f.level == Level::Warning));
+}
+
+#[test]
+fn real_workspace_passes_clean() {
+    // The self-check CI runs: no errors and no warnings anywhere in the
+    // tree. If this fails, `cargo run -p xtask -- check` prints the
+    // same findings with file:line locations.
+    let findings = xtask::check_workspace(&xtask::workspace_root());
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
