@@ -11,7 +11,7 @@ use hcs_bench::microbench::Runner;
 use hcs_clock::{Clock, LocalClock, TimeSource};
 use hcs_core::prelude::*;
 use hcs_mpi::Comm;
-use hcs_sim::machines;
+use hcs_sim::{machines, secs, SimTime};
 
 fn max_error(make: &(dyn Fn() -> Box<dyn ClockSync> + Sync)) -> f64 {
     let cluster = machines::testbed(4, 2).cluster(11);
@@ -20,11 +20,11 @@ fn max_error(make: &(dyn Fn() -> Box<dyn ClockSync> + Sync)) -> f64 {
         let mut comm = Comm::world(ctx);
         let mut alg = make();
         let g = alg.sync_clocks(ctx, &mut comm, Box::new(clk));
-        g.true_eval(5.0)
+        g.true_eval(SimTime::from_secs(5.0))
     });
     evals
         .iter()
-        .map(|v| (v - evals[0]).abs())
+        .map(|&v| (v - evals[0]).abs().seconds())
         .fold(0.0, f64::max)
 }
 
@@ -37,7 +37,7 @@ fn main() {
                 let params = LearnParams {
                     nfitpoints: 30,
                     recompute_intercept: flag,
-                    spacing_s: 1e-3,
+                    spacing_s: secs(1e-3),
                 };
                 Box::new(Hca3::new(params, OffsetSpec::Skampi { nexchanges: 8 }))
                     as Box<dyn ClockSync>
@@ -54,7 +54,7 @@ fn main() {
     for spacing in [0.0f64, 1e-3, 3e-3, 10e-3] {
         r.case("ablation_fit_window_spacing", &spacing.to_string(), || {
             max_error(&move || {
-                Box::new(Hca3::skampi(30, 8).with_spacing(spacing)) as Box<dyn ClockSync>
+                Box::new(Hca3::skampi(30, 8).with_spacing(secs(spacing))) as Box<dyn ClockSync>
             })
         });
     }

@@ -18,7 +18,7 @@ fn measure_pair(make: &(dyn Fn() -> Box<dyn OffsetAlgorithm> + Sync), reps: usiz
         let mut last = 0.0;
         for _ in 0..reps {
             if let Some(o) = alg.measure_offset(ctx, &comm, &mut clk, 0, 1) {
-                last = o.offset;
+                last = o.offset.seconds();
             }
         }
         last

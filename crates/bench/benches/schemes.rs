@@ -44,9 +44,9 @@ fn main() {
                 let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
             };
             let cfg = WindowConfig {
-                window_s: 300e-6,
+                window_s: hcs_sim::secs(300e-6),
                 nreps: 30,
-                first_window_slack_s: 1e-3,
+                first_window_slack_s: hcs_sim::secs(1e-3),
             };
             run_window_scheme(ctx, comm, clk.as_mut(), cfg, &mut op)
                 .samples
@@ -59,7 +59,7 @@ fn main() {
                 let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
             };
             let cfg = RoundTimeConfig {
-                max_time_slice_s: 1.0,
+                max_time_slice_s: hcs_sim::secs(1.0),
                 max_nrep: 30,
                 ..Default::default()
             };
@@ -76,7 +76,7 @@ fn main() {
                     let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
                 };
                 let cfg = RoundTimeConfig {
-                    max_time_slice_s: 1.0,
+                    max_time_slice_s: hcs_sim::secs(1.0),
                     max_nrep: 30,
                     slack_b: slack,
                     ..Default::default()

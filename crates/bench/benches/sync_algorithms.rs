@@ -22,7 +22,7 @@ fn run_alg(nodes: usize, cores: usize, make: &(dyn Fn() -> Box<dyn ClockSync> + 
         let outcome = run_sync(alg.as_mut(), ctx, &mut comm, Box::new(clk));
         outcome.duration
     });
-    out.into_iter().fold(0.0, f64::max)
+    out.into_iter().map(|d| d.seconds()).fold(0.0, f64::max)
 }
 
 fn main() {

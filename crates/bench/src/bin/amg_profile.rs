@@ -42,7 +42,7 @@ fn main() {
         for _ in 0..iters {
             prof.enter("compute", &mut clk, ctx);
             let noise = 1.0 + 0.3 * (rng.next_f64() * 2.0 - 1.0);
-            ctx.compute(compute_us * 1e-6 * noise);
+            ctx.compute(hcs_sim::secs(compute_us * 1e-6 * noise));
             prof.leave("compute", &mut clk, ctx);
 
             prof.enter("MPI_Allreduce(8B)", &mut clk, ctx);

@@ -11,11 +11,11 @@
 //!     [--ranks 10] [--span 500] [--seed 1] [--csv out/fig2.csv]
 //! ```
 
-use hcs_clock::{fit_linear_model, LocalClock, TimeSource};
+use hcs_clock::{fit_linear_model, LinearFit, LocalClock, LocalTime, Span, TimeSource};
 use hcs_core::prelude::*;
 use hcs_experiments::{Args, CsvWriter};
 use hcs_mpi::Comm;
-use hcs_sim::machines;
+use hcs_sim::{machines, secs, SimTime};
 
 fn main() {
     let args = Args::parse(&["ranks", "span", "seed", "csv", "step"]);
@@ -46,7 +46,7 @@ fn main() {
         let mut points: Vec<(f64, f64)> = Vec::new();
         // Anchor: subtract the initial offset so every series starts at 0
         // (the paper plots drift relative to the start).
-        let mut first: Option<f64> = None;
+        let mut first: Option<Span> = None;
         for i in 0..nsamples {
             let target = i as f64 * step;
             if ctx.rank() == 0 {
@@ -54,14 +54,14 @@ fn main() {
                 for c in 1..comm.size() {
                     probe.measure_offset(ctx, &comm, &mut clk, 0, c);
                 }
-                ctx.jump_to(target + step * 0.5);
+                ctx.jump_to(SimTime::from_secs(target + step * 0.5));
             } else {
                 let o = probe
                     .measure_offset(ctx, &comm, &mut clk, 0, ctx.rank())
                     .expect("client measures");
                 let anchor = *first.get_or_insert(o.offset);
-                points.push((target, o.offset - anchor));
-                ctx.jump_to(target + step * 0.5);
+                points.push((target, (o.offset - anchor).seconds()));
+                ctx.jump_to(SimTime::from_secs(target + step * 0.5));
             }
         }
         points
@@ -93,9 +93,9 @@ fn main() {
     for (r, pts) in series.iter().enumerate().take(ranks.min(3)).skip(1) {
         let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
         let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
-        let full = fit_linear_model(&xs, &ys);
+        let full = fit_points(&xs, &ys);
         let n10 = xs.iter().take_while(|&&x| x <= 10.0).count().max(2);
-        let short = fit_linear_model(&xs[..n10], &ys[..n10]);
+        let short = fit_points(&xs[..n10], &ys[..n10]);
         println!(
             "{:<6} {:>12.0} {:>16.4} {:>10.4} {:>16.4} {:>10.4}",
             r,
@@ -119,7 +119,7 @@ fn main() {
         let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
         let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
         let n10 = xs.iter().take_while(|&&x| x <= 10.0).count().max(2);
-        let short = fit_linear_model(&xs[..n10], &ys[..n10]).model;
+        let short = fit_points(&xs[..n10], &ys[..n10]).model;
         let err_at = |t: f64| {
             let idx = xs.iter().position(|&x| x >= t).unwrap_or(xs.len() - 1);
             (ys[idx] - (short.slope * xs[idx] + short.intercept)).abs() * 1e6
@@ -152,4 +152,12 @@ fn main() {
 fn args_csv(args: &Args) -> Option<std::path::PathBuf> {
     let s = args.get_str("csv", "");
     (!s.is_empty()).then(|| s.into())
+}
+
+/// Lifts the plotted (second, second) samples into the typed domain at
+/// the regression boundary.
+fn fit_points(xs: &[f64], ys: &[f64]) -> LinearFit {
+    let txs: Vec<LocalTime> = xs.iter().map(|&x| LocalTime::from_raw_seconds(x)).collect();
+    let tys: Vec<Span> = ys.iter().map(|&y| secs(y)).collect();
+    fit_linear_model(&txs, &tys)
 }

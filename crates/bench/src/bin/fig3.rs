@@ -23,9 +23,9 @@ use hcs_sim::machines;
 
 struct Row {
     label: String,
-    duration: f64,
-    max_at0: f64,
-    max_at10: f64,
+    duration: hcs_clock::Span,
+    max_at0: hcs_clock::Span,
+    max_at10: hcs_clock::Span,
 }
 
 fn main() {
@@ -44,7 +44,7 @@ fn main() {
     let runs = args.get_usize("runs", 10);
     let nfit = args.get_usize("fitpoints", 100);
     let pp = args.get_usize("pingpongs", 10);
-    let wait = args.get_f64("wait", 10.0);
+    let wait = hcs_sim::secs(args.get_f64("wait", 10.0));
     let seed0 = args.get_u64("seed", 1);
 
     let machine = machines::jupiter().with_shape(nodes, 2, ppn / 2);
@@ -74,7 +74,8 @@ fn main() {
         // cost, packed into a tighter window).
         (format!("jk/{}/skampi_offset/20", nfit * 4), {
             Box::new(move || {
-                Box::new(Jk::skampi(nfit * 4, 20).with_spacing(0.1e-3)) as Box<dyn ClockSync>
+                Box::new(Jk::skampi(nfit * 4, 20).with_spacing(hcs_sim::secs(0.1e-3)))
+                    as Box<dyn ClockSync>
             })
         }),
     ];
@@ -94,7 +95,10 @@ fn main() {
                     check_clock_accuracy(ctx, &mut comm, g.as_mut(), &mut probe, wait, 1.0);
                 (outcome.duration, report)
             });
-            let duration = out.iter().map(|o| o.0).fold(0.0f64, f64::max);
+            let duration = out
+                .iter()
+                .map(|o| o.0)
+                .fold(hcs_clock::Span::ZERO, hcs_clock::Span::max);
             let report = out[0].1.as_ref().expect("root reports");
             rows.push(Row {
                 label: label.clone(),
@@ -114,8 +118,8 @@ fn main() {
             "{:<55} {:>10.3} {:>14.3} {:>14.3}",
             r.label,
             r.duration,
-            r.max_at0 * 1e6,
-            r.max_at10 * 1e6
+            r.max_at0.seconds() * 1e6,
+            r.max_at10.seconds() * 1e6
         );
     }
 
@@ -127,9 +131,9 @@ fn main() {
     for (label, _) in &makers {
         let sel: Vec<&Row> = rows.iter().filter(|r| &r.label == label).collect();
         let n = sel.len() as f64;
-        let d = sel.iter().map(|r| r.duration).sum::<f64>() / n;
-        let a0 = sel.iter().map(|r| r.max_at0).sum::<f64>() / n;
-        let a1 = sel.iter().map(|r| r.max_at10).sum::<f64>() / n;
+        let d = (sel.iter().map(|r| r.duration).sum::<hcs_clock::Span>() / n).seconds();
+        let a0 = (sel.iter().map(|r| r.max_at0).sum::<hcs_clock::Span>() / n).seconds();
+        let a1 = (sel.iter().map(|r| r.max_at10).sum::<hcs_clock::Span>() / n).seconds();
         println!(
             "{:<55} {:>10.3} {:>14.3} {:>14.3}",
             label,
@@ -157,8 +161,8 @@ fn main() {
             w.row(&[
                 r.label.clone(),
                 format!("{}", r.duration),
-                format!("{}", r.max_at0 * 1e6),
-                format!("{}", r.max_at10 * 1e6),
+                format!("{}", r.max_at0.seconds() * 1e6),
+                format!("{}", r.max_at10.seconds() * 1e6),
             ])
             .unwrap();
         }
@@ -172,5 +176,5 @@ fn mean_dur(rows: &[Row], prefix: &str) -> f64 {
         .iter()
         .filter(|r| r.label.starts_with(prefix))
         .collect();
-    sel.iter().map(|r| r.duration).sum::<f64>() / sel.len() as f64
+    (sel.iter().map(|r| r.duration).sum::<hcs_clock::Span>() / sel.len() as f64).seconds()
 }

@@ -42,7 +42,7 @@ fn main() {
     let fit_hi = args.get_usize("fithi", 100);
     let fit_lo = args.get_usize("fitlo", 50);
     let pp = args.get_usize("pingpongs", 10);
-    let wait = args.get_f64("wait", 10.0);
+    let wait = hcs_sim::secs(args.get_f64("wait", 10.0));
     let sample = args.get_f64("sample", 0.1);
     let seed = args.get_u64("seed", 1);
 

@@ -76,7 +76,7 @@ fn main() {
                     let cfg = SuiteConfig {
                         nreps: reps,
                         barrier,
-                        time_slice_s: 0.2,
+                        time_slice_s: hcs_sim::secs(0.2),
                     };
                     measure_allreduce(ctx, &mut comm, g.as_mut(), suite, msize, cfg)
                 });

@@ -13,11 +13,11 @@
 //! ```
 
 use hcs_bench::prelude::*;
-use hcs_clock::{LocalClock, TimeSource};
+use hcs_clock::{LocalClock, Span, TimeSource};
 use hcs_core::prelude::*;
 use hcs_experiments::{Args, CsvWriter};
 use hcs_mpi::{BarrierAlgorithm, Comm};
-use hcs_sim::machines;
+use hcs_sim::{machines, secs};
 
 fn main() {
     let args = Args::parse(&["nodes", "ppn", "calls", "runs", "seed", "csv"]);
@@ -71,7 +71,7 @@ fn main() {
                 let mut comm = Comm::world(ctx);
                 let mut sync = Hca3::skampi(60, 10);
                 let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
-                measure_barrier_imbalance(ctx, &mut comm, g.as_mut(), alg, calls, 300e-6)
+                measure_barrier_imbalance(ctx, &mut comm, g.as_mut(), alg, calls, secs(300e-6))
             });
             let xs = res[0].clone().expect("root reports");
             if let Some(w) = csv.as_mut() {
@@ -79,12 +79,12 @@ fn main() {
                     w.row(&[
                         alg.label().to_string(),
                         run.to_string(),
-                        format!("{}", x * 1e6),
+                        format!("{}", x.seconds() * 1e6),
                     ])
                     .unwrap();
                 }
             }
-            all.extend(xs);
+            all.extend(xs.into_iter().map(Span::seconds));
         }
         let s = Summary::of(&all);
         println!(

@@ -63,7 +63,7 @@ fn main() {
                     let cfg = SuiteConfig {
                         nreps: reps,
                         barrier: BarrierAlgorithm::Bruck,
-                        time_slice_s: slice,
+                        time_slice_s: hcs_sim::secs(slice),
                     };
                     measure_allreduce(ctx, &mut comm, g.as_mut(), suite, msize, cfg)
                 });

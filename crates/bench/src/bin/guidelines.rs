@@ -46,7 +46,7 @@ fn main() {
         (
             "round-time",
             TuneScheme::RoundTime {
-                slice_s: 0.1,
+                slice_s: hcs_sim::secs(0.1),
                 max_reps: reps,
             },
         ),

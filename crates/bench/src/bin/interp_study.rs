@@ -21,11 +21,11 @@
 //! ```
 
 use hcs_bench::postmortem::{interpolate, measure_epoch, SyncEpoch};
-use hcs_clock::{Clock, LocalClock, TimeSource};
+use hcs_clock::{Clock, LocalClock, LocalTime, TimeSource};
 use hcs_core::prelude::*;
 use hcs_experiments::Args;
 use hcs_mpi::Comm;
-use hcs_sim::machines;
+use hcs_sim::{machines, secs, SimTime};
 
 fn main() {
     let args = Args::parse(&["ranks", "span", "resync", "seed"]);
@@ -66,7 +66,7 @@ fn main() {
         let once = alg_once.sync_clocks(ctx, &mut comm, Box::new(base_once));
         let mut alg_rs = Hca3::skampi(60, 10);
         let mut session =
-            ResyncSession::start(ctx, &mut comm, &mut alg_rs, Box::new(base_rs), resync);
+            ResyncSession::start(ctx, &mut comm, &mut alg_rs, Box::new(base_rs), secs(resync));
 
         // Begin epoch for interpolation.
         let begin = measure_epoch(ctx, &comm, &mut raw, &mut probe_alg);
@@ -75,20 +75,27 @@ fn main() {
         // record the resynced clock's view at each probe instant.
         let mut global_resync = Vec::with_capacity(probes.len());
         for (i, &p) in probes.iter().enumerate() {
-            while ctx.now() < p {
-                ctx.compute((2.0f64).min(p - ctx.now()));
+            let p_t = SimTime::from_secs(p);
+            while ctx.now() < p_t {
+                ctx.compute(secs(2.0).min(p_t - ctx.now()));
                 session.maybe_resync(ctx, &mut comm, &mut alg_rs);
             }
             let _ = i;
-            global_resync.push(session.clock().true_eval(p));
+            global_resync.push(session.clock().true_eval(p_t).raw_seconds());
         }
         // End epoch.
         let end = measure_epoch(ctx, &comm, &mut raw, &mut probe_alg);
 
         RankOut {
             epochs: (begin, end),
-            raw: probes.iter().map(|&p| raw_for_eval.true_eval(p)).collect(),
-            global_once: probes.iter().map(|&p| once.true_eval(p)).collect(),
+            raw: probes
+                .iter()
+                .map(|&p| raw_for_eval.true_eval(SimTime::from_secs(p)).raw_seconds())
+                .collect(),
+            global_once: probes
+                .iter()
+                .map(|&p| once.true_eval(SimTime::from_secs(p)).raw_seconds())
+                .collect(),
             global_resync,
         }
     });
@@ -111,7 +118,7 @@ fn main() {
             .iter()
             .map(|o| {
                 let (b, e) = o.epochs;
-                interpolate(b, e, o.raw[i])
+                interpolate(b, e, LocalTime::from_raw_seconds(o.raw[i])).raw_seconds()
             })
             .collect());
         let once = err(outs.iter().map(|o| o.global_once[i]).collect());

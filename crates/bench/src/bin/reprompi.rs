@@ -15,11 +15,11 @@
 
 use hcs_bench::prelude::*;
 use hcs_bench::schemes::{run_barrier_scheme, run_round_time, RoundTimeConfig};
-use hcs_clock::{BoxClock, LocalClock, TimeSource};
+use hcs_clock::{BoxClock, GlobalTime, LocalClock, TimeSource};
 use hcs_core::prelude::*;
 use hcs_experiments::Args;
 use hcs_mpi::{BarrierAlgorithm, Comm, ReduceOp};
-use hcs_sim::{machines, MachineSpec, RankCtx};
+use hcs_sim::{machines, secs, MachineSpec, RankCtx};
 
 fn machine_by_name(name: &str) -> MachineSpec {
     match name {
@@ -129,7 +129,7 @@ fn main() {
                     "roundtime" => {
                         let bl = estimate_bcast_latency(ctx, &mut comm, g.as_mut(), 10);
                         let cfg = RoundTimeConfig {
-                            max_time_slice_s: slice,
+                            max_time_slice_s: secs(slice),
                             max_nrep: reps,
                             slack_b: 3.0,
                             bcast_latency_s: bl,
@@ -137,7 +137,15 @@ fn main() {
                         let reps = run_round_time(ctx, &mut comm, g.as_mut(), cfg, op.as_mut());
                         // Global latency per repetition.
                         reps.iter()
-                            .map(|s| comm.allreduce_f64(ctx, s.end, ReduceOp::F64Max) - s.start)
+                            // Sample endpoints share the global frame.
+                            .map(|s| {
+                                let max_end = GlobalTime::from_raw_seconds(comm.allreduce_f64(
+                                    ctx,
+                                    s.end.raw_seconds(),
+                                    ReduceOp::F64Max,
+                                ));
+                                (max_end - s.start).seconds()
+                            })
                             .collect()
                     }
                     "barrier" => run_barrier_scheme(
@@ -149,7 +157,7 @@ fn main() {
                         op.as_mut(),
                     )
                     .iter()
-                    .map(|s| s.latency())
+                    .map(|s| s.latency().seconds())
                     .collect(),
                     other => panic!("unknown scheme {other:?} (roundtime|barrier)"),
                 };

@@ -66,7 +66,7 @@ fn main() {
             reps,
         },
         TuneScheme::RoundTime {
-            slice_s: 0.2,
+            slice_s: hcs_sim::secs(0.2),
             max_reps: reps,
         },
     ];

@@ -17,11 +17,11 @@
 use hcs_bench::schemes::{
     estimate_allreduce_latency, run_round_time, run_window_scheme, RoundTimeConfig, WindowConfig,
 };
-use hcs_clock::{LocalClock, TimeSource};
+use hcs_clock::{GlobalTime, LocalClock, TimeSource};
 use hcs_core::prelude::*;
 use hcs_experiments::Args;
 use hcs_mpi::{Comm, ReduceOp};
-use hcs_sim::machines;
+use hcs_sim::{machines, secs};
 
 fn main() {
     let args = Args::parse(&["nodes", "ppn", "reps", "seed"]);
@@ -57,15 +57,20 @@ fn main() {
             let cfg = WindowConfig {
                 window_s: lat * mult,
                 nreps: reps,
-                first_window_slack_s: 1e-3,
+                first_window_slack_s: secs(1e-3),
             };
             let outcome = run_window_scheme(ctx, &mut comm, g.as_mut(), cfg, &mut op);
             let spent = ctx.now() - t0;
             let mut globals = Vec::new();
             for (s, &valid) in outcome.samples.iter().zip(&outcome.valid) {
-                let max_end = comm.allreduce_f64(ctx, s.end, ReduceOp::F64Max);
+                // Sample endpoints share the global frame.
+                let max_end = GlobalTime::from_raw_seconds(comm.allreduce_f64(
+                    ctx,
+                    s.end.raw_seconds(),
+                    ReduceOp::F64Max,
+                ));
                 if valid {
-                    globals.push(max_end - s.start);
+                    globals.push((max_end - s.start).seconds());
                 }
             }
             (comm.rank() == 0).then_some((globals, spent))
@@ -78,7 +83,7 @@ fn main() {
             f64::NAN
         };
         let per_sample = if valid > 0 {
-            spent * 1e6 / valid as f64
+            spent.seconds() * 1e6 / valid as f64
         } else {
             f64::INFINITY
         };
@@ -88,7 +93,7 @@ fn main() {
             valid,
             reps,
             reported,
-            spent * 1e3,
+            spent.seconds() * 1e3,
             per_sample
         );
     }
@@ -104,7 +109,7 @@ fn main() {
         };
         let t0 = ctx.now();
         let cfg = RoundTimeConfig {
-            max_time_slice_s: 1.0,
+            max_time_slice_s: secs(1.0),
             max_nrep: reps,
             ..Default::default()
         };
@@ -112,7 +117,13 @@ fn main() {
         let spent = ctx.now() - t0;
         let mut globals = Vec::new();
         for s in &samples {
-            globals.push(comm.allreduce_f64(ctx, s.end, ReduceOp::F64Max) - s.start);
+            // Sample endpoints share the global frame.
+            let max_end = GlobalTime::from_raw_seconds(comm.allreduce_f64(
+                ctx,
+                s.end.raw_seconds(),
+                ReduceOp::F64Max,
+            ));
+            globals.push((max_end - s.start).seconds());
         }
         (comm.rank() == 0).then_some((globals, spent))
     });
@@ -123,8 +134,8 @@ fn main() {
         globals.len(),
         reps,
         globals.iter().sum::<f64>() / globals.len().max(1) as f64 * 1e6,
-        spent * 1e3,
-        spent * 1e6 / globals.len().max(1) as f64
+        spent.seconds() * 1e3,
+        spent.seconds() * 1e6 / globals.len().max(1) as f64
     );
     println!("\nExpected: windows below ~1.2x the true latency invalidate most");
     println!("measurements (under-estimation); oversized windows keep validity but");

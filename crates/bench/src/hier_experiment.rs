@@ -1,7 +1,7 @@
 //! Shared driver for the hierarchical-synchronization experiments
 //! (Figs. 4, 5 and 6 differ only in machine, shape and sampling).
 
-use hcs_clock::{LocalClock, TimeSource};
+use hcs_clock::{LocalClock, Span, TimeSource};
 use hcs_core::prelude::*;
 use hcs_core::SyncFactory;
 use hcs_mpi::Comm;
@@ -12,12 +12,12 @@ use hcs_sim::MachineSpec;
 pub struct HierRow {
     /// Algorithm label.
     pub label: String,
-    /// Synchronization duration (max over ranks), seconds.
-    pub duration: f64,
-    /// Max |offset| right after sync, seconds.
-    pub max_at0: f64,
-    /// Max |offset| after the waiting period, seconds.
-    pub max_at_wait: f64,
+    /// Synchronization duration (max over ranks).
+    pub duration: Span,
+    /// Max |offset| right after sync.
+    pub max_at0: Span,
+    /// Max |offset| after the waiting period.
+    pub max_at_wait: Span,
 }
 
 /// The four configurations of Figs. 4-6: flat HCA3 with 1000 and 500
@@ -63,7 +63,7 @@ pub fn run_hier_experiment(
     machine: &MachineSpec,
     configs: &[(String, SyncFactory)],
     runs: usize,
-    wait: f64,
+    wait: Span,
     sample_frac: f64,
     seed0: u64,
 ) -> Vec<HierRow> {
@@ -82,7 +82,7 @@ pub fn run_hier_experiment(
                     check_clock_accuracy(ctx, &mut comm, g.as_mut(), &mut probe, wait, sample_frac);
                 (outcome.duration, report)
             });
-            let duration = out.iter().map(|o| o.0).fold(0.0f64, f64::max);
+            let duration = out.iter().map(|o| o.0).fold(Span::ZERO, Span::max);
             let report = out[0].1.as_ref().expect("root reports");
             rows.push(HierRow {
                 label: label.clone(),
@@ -96,7 +96,7 @@ pub fn run_hier_experiment(
 }
 
 /// Prints the rows plus per-configuration means in the paper's format.
-pub fn print_hier_rows(rows: &[HierRow], configs: &[(String, SyncFactory)], wait: f64) {
+pub fn print_hier_rows(rows: &[HierRow], configs: &[(String, SyncFactory)], wait: Span) {
     println!(
         "{:<62} {:>10} {:>13} {:>14}",
         "configuration (one row per mpirun)", "dur [s]", "max@0s [us]", "max@wait [us]"
@@ -106,11 +106,14 @@ pub fn print_hier_rows(rows: &[HierRow], configs: &[(String, SyncFactory)], wait
             "{:<62} {:>10.3} {:>13.3} {:>14.3}",
             r.label,
             r.duration,
-            r.max_at0 * 1e6,
-            r.max_at_wait * 1e6
+            r.max_at0.seconds() * 1e6,
+            r.max_at_wait.seconds() * 1e6
         );
     }
-    println!("\nper-configuration means (wait = {wait:.0} s):");
+    println!(
+        "\nper-configuration means (wait = {:.0} s):",
+        wait.seconds()
+    );
     for (label, _) in configs {
         let sel: Vec<&HierRow> = rows.iter().filter(|r| &r.label == label).collect();
         if sel.is_empty() {
@@ -120,9 +123,9 @@ pub fn print_hier_rows(rows: &[HierRow], configs: &[(String, SyncFactory)], wait
         println!(
             "{:<62} {:>10.3} {:>13.3} {:>14.3}",
             label,
-            sel.iter().map(|r| r.duration).sum::<f64>() / n,
-            sel.iter().map(|r| r.max_at0).sum::<f64>() / n * 1e6,
-            sel.iter().map(|r| r.max_at_wait).sum::<f64>() / n * 1e6
+            sel.iter().map(|r| r.duration).sum::<Span>() / n,
+            sel.iter().map(|r| r.max_at0).sum::<Span>().seconds() / n * 1e6,
+            sel.iter().map(|r| r.max_at_wait).sum::<Span>().seconds() / n * 1e6
         );
     }
 }
@@ -147,8 +150,8 @@ pub fn write_hier_csv(rows: &[HierRow], path: &str) {
         w.row(&[
             r.label.clone(),
             format!("{}", r.duration),
-            format!("{}", r.max_at0 * 1e6),
-            format!("{}", r.max_at_wait * 1e6),
+            format!("{}", r.max_at0.seconds() * 1e6),
+            format!("{}", r.max_at_wait.seconds() * 1e6),
         ])
         .unwrap();
     }

@@ -194,7 +194,7 @@ mod tests {
         // Our collectives are reasonable, so the guidelines should hold
         // (with tolerance) under the Round-Time scheme.
         let out = verdicts(TuneScheme::RoundTime {
-            slice_s: 0.05,
+            slice_s: hcs_sim::secs(0.05),
             max_reps: 40,
         });
         assert_eq!(out.len(), 3);

@@ -7,35 +7,35 @@
 //! the barrier. "A barrier-based measurement scheme suffers less from
 //! barrier effects if this imbalance is small."
 
-use hcs_clock::{busy_wait_until, Clock};
+use hcs_clock::{busy_wait_until, Clock, Span};
 use hcs_mpi::{BarrierAlgorithm, Comm, ReduceOp};
-use hcs_sim::RankCtx;
+use hcs_sim::{secs, RankCtx};
 
 /// Measures the exit imbalance of `ncalls` barrier invocations.
-/// Returns one imbalance (seconds) per call on the root; `None` on
-/// other ranks.
+/// Returns one imbalance per call on the root; `None` on other ranks.
 pub fn measure_barrier_imbalance(
     ctx: &mut RankCtx,
     comm: &mut Comm,
     g_clk: &mut dyn Clock,
     barrier_alg: BarrierAlgorithm,
     ncalls: usize,
-    slack_s: f64,
-) -> Option<Vec<f64>> {
+    slack_s: Span,
+) -> Option<Vec<Span>> {
     let mut out = Vec::with_capacity(ncalls);
     for _ in 0..ncalls {
         // Common start on the global clock.
         let proposal = g_clk.get_time(ctx) + slack_s;
-        let start = comm.bcast_f64(ctx, 0, proposal);
+        let start = comm.bcast_time(ctx, 0, proposal);
         busy_wait_until(g_clk, ctx, start);
 
         comm.barrier(ctx, barrier_alg);
         let exit = g_clk.get_time(ctx);
 
-        // Imbalance = max exit − min exit across ranks.
-        let max_exit = comm.allreduce_f64(ctx, exit, ReduceOp::F64Max);
-        let min_exit = comm.allreduce_f64(ctx, exit, ReduceOp::F64Min);
-        out.push(max_exit - min_exit);
+        // Imbalance = max exit − min exit across ranks (the readings
+        // share the global frame, so reducing their raw values is safe).
+        let max_exit = comm.allreduce_f64(ctx, exit.raw_seconds(), ReduceOp::F64Max);
+        let min_exit = comm.allreduce_f64(ctx, exit.raw_seconds(), ReduceOp::F64Min);
+        out.push(secs(max_exit - min_exit));
     }
     (comm.rank() == 0).then_some(out)
 }
@@ -55,9 +55,14 @@ mod tests {
             let mut comm = Comm::world(ctx);
             let mut sync = Hca3::skampi(25, 6);
             let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
-            measure_barrier_imbalance(ctx, &mut comm, g.as_mut(), alg, 40, 200e-6)
+            measure_barrier_imbalance(ctx, &mut comm, g.as_mut(), alg, 40, secs(200e-6))
         });
-        res[0].clone().expect("root reports")
+        res[0]
+            .clone()
+            .expect("root reports")
+            .into_iter()
+            .map(Span::seconds)
+            .collect()
     }
 
     #[test]

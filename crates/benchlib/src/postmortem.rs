@@ -13,7 +13,7 @@
 //! and lets experiments quantify where the linearity assumption breaks
 //! (see the `interp_study` binary).
 
-use hcs_clock::Clock;
+use hcs_clock::{Clock, GlobalTime, LocalTime, Span};
 use hcs_core::{ClockOffset, OffsetAlgorithm};
 use hcs_mpi::Comm;
 use hcs_sim::RankCtx;
@@ -26,16 +26,19 @@ use crate::trace::TraceEvent;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SyncEpoch {
     /// Local clock reading at the measurement.
-    pub local: f64,
+    pub local: LocalTime,
     /// Estimated reference − local offset at that reading.
-    pub offset: f64,
+    pub offset: Span,
 }
 
 impl SyncEpoch {
     /// The epoch of the reference rank itself (zero offset by
     /// definition).
-    pub fn reference(local: f64) -> Self {
-        Self { local, offset: 0.0 }
+    pub fn reference(local: LocalTime) -> Self {
+        Self {
+            local,
+            offset: Span::ZERO,
+        }
     }
 }
 
@@ -53,7 +56,7 @@ pub fn measure_epoch(
         for client in 1..comm.size() {
             offset_alg.measure_offset(ctx, comm, clk, 0, client);
         }
-        SyncEpoch::reference(clk.get_time(ctx))
+        SyncEpoch::reference(clk.get_time(ctx).rebase_local())
     } else {
         let ClockOffset { timestamp, offset } = offset_alg
             .measure_offset(ctx, comm, clk, 0, me)
@@ -70,21 +73,29 @@ pub fn measure_epoch(
 ///
 /// # Panics
 /// Panics if the epochs coincide (no time base to interpolate over).
-pub fn interpolate(begin: SyncEpoch, end: SyncEpoch, t_local: f64) -> f64 {
+pub fn interpolate(begin: SyncEpoch, end: SyncEpoch, t_local: LocalTime) -> GlobalTime {
     let span = end.local - begin.local;
-    assert!(span.abs() > f64::EPSILON, "sync epochs must be distinct");
+    assert!(
+        span.abs() > Span::from_secs(f64::EPSILON),
+        "sync epochs must be distinct"
+    );
     let drift = (end.offset - begin.offset) / span;
-    t_local + begin.offset + drift * (t_local - begin.local)
+    let corrected = t_local + begin.offset + (t_local - begin.local) * drift;
+    // The drift-corrected reading now lives in the reference frame.
+    GlobalTime::from_raw_seconds(corrected.raw_seconds())
 }
 
-/// Applies [`interpolate`] to every event of a per-rank trace.
+/// Applies [`interpolate`] to every event of a per-rank trace. Trace
+/// events are frame-agnostic raw readings, so the corrected values are
+/// stored back as raw seconds (now in the reference frame).
 pub fn correct_events(events: &[TraceEvent], begin: SyncEpoch, end: SyncEpoch) -> Vec<TraceEvent> {
+    let fix = |t: f64| interpolate(begin, end, LocalTime::from_raw_seconds(t)).raw_seconds();
     events
         .iter()
         .map(|e| TraceEvent {
             iter: e.iter,
-            enter: interpolate(begin, end, e.enter),
-            exit: interpolate(begin, end, e.exit),
+            enter: fix(e.enter),
+            exit: fix(e.exit),
         })
         .collect()
 }
@@ -95,6 +106,14 @@ mod tests {
     use hcs_clock::{LocalClock, Oscillator};
     use hcs_core::SkampiOffset;
     use hcs_sim::machines::testbed;
+    use hcs_sim::secs;
+
+    fn epoch(local: f64, offset: f64) -> SyncEpoch {
+        SyncEpoch {
+            local: LocalTime::from_raw_seconds(local),
+            offset: secs(offset),
+        }
+    }
 
     #[test]
     fn interpolation_is_exact_for_constant_drift() {
@@ -103,16 +122,10 @@ mod tests {
         // reference frame exactly at any point in between.
         let skew = 10e-6;
         let offset0 = -1e-3; // ref - local at local=0
-        let begin = SyncEpoch {
-            local: 100.0,
-            offset: offset0 - skew * 100.0,
-        };
-        let end = SyncEpoch {
-            local: 200.0,
-            offset: offset0 - skew * 200.0,
-        };
+        let begin = epoch(100.0, offset0 - skew * 100.0);
+        let end = epoch(200.0, offset0 - skew * 200.0);
         for t in [100.0, 137.5, 200.0, 150.0] {
-            let corrected = interpolate(begin, end, t);
+            let corrected = interpolate(begin, end, LocalTime::from_raw_seconds(t)).raw_seconds();
             let want = t + offset0 - skew * t;
             assert!(
                 (corrected - want).abs() < 1e-9,
@@ -123,28 +136,17 @@ mod tests {
 
     #[test]
     fn interpolation_extrapolates_linearly_outside_the_window() {
-        let begin = SyncEpoch {
-            local: 0.0,
-            offset: 0.0,
-        };
-        let end = SyncEpoch {
-            local: 10.0,
-            offset: 1e-3,
-        };
+        let begin = epoch(0.0, 0.0);
+        let end = epoch(10.0, 1e-3);
         // 1e-4 s/s drift, extrapolated to t=20.
-        assert!((interpolate(begin, end, 20.0) - 20.002).abs() < 1e-9);
+        let corrected = interpolate(begin, end, LocalTime::from_raw_seconds(20.0));
+        assert!((corrected.raw_seconds() - 20.002).abs() < 1e-9);
     }
 
     #[test]
     fn correct_events_preserves_durations_up_to_drift() {
-        let begin = SyncEpoch {
-            local: 0.0,
-            offset: 0.0,
-        };
-        let end = SyncEpoch {
-            local: 100.0,
-            offset: 1e-3,
-        };
+        let begin = epoch(0.0, 0.0);
+        let end = epoch(100.0, 1e-3);
         let evs = vec![TraceEvent {
             iter: 0,
             enter: 50.0,
@@ -165,13 +167,13 @@ mod tests {
             let comm = Comm::world(ctx);
             let mut alg = SkampiOffset::new(10);
             // Let the clocks drift apart before measuring.
-            ctx.compute(2.0);
+            ctx.compute(secs(2.0));
             measure_epoch(ctx, &comm, &mut clk, &mut alg)
         });
-        assert_eq!(epochs[0].offset, 0.0);
+        assert_eq!(epochs[0].offset, Span::ZERO);
         // Client gained 5 us/s for 2 s => ref - client ~ -10 us.
         assert!(
-            (epochs[1].offset + 10e-6).abs() < 2e-6,
+            (epochs[1].offset + secs(10e-6)).abs() < secs(2e-6),
             "offset {:.3e}",
             epochs[1].offset
         );
@@ -180,10 +182,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "distinct")]
     fn coinciding_epochs_panic() {
-        let e = SyncEpoch {
-            local: 1.0,
-            offset: 0.0,
-        };
-        let _ = interpolate(e, e, 1.0);
+        let e = epoch(1.0, 0.0);
+        let _ = interpolate(e, e, LocalTime::from_raw_seconds(1.0));
     }
 }

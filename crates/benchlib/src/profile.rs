@@ -9,17 +9,17 @@
 
 use std::collections::HashMap;
 
-use hcs_clock::Clock;
+use hcs_clock::{Clock, GlobalTime, Span};
 use hcs_mpi::Comm;
-use hcs_sim::RankCtx;
+use hcs_sim::{secs, RankCtx};
 
 /// Accumulated statistics of one region on one rank.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RegionStats {
     /// Number of enter/leave pairs.
     pub calls: u64,
-    /// Total time spent inside, seconds.
-    pub total_s: f64,
+    /// Total time spent inside.
+    pub total_s: Span,
 }
 
 /// A per-rank region profiler.
@@ -29,9 +29,9 @@ pub struct RegionStats {
 #[derive(Debug, Default)]
 pub struct Profiler {
     stats: HashMap<String, RegionStats>,
-    stack: Vec<(String, f64)>,
-    run_begin: Option<f64>,
-    run_end: Option<f64>,
+    stack: Vec<(String, GlobalTime)>,
+    run_begin: Option<GlobalTime>,
+    run_end: Option<GlobalTime>,
 }
 
 impl Profiler {
@@ -87,10 +87,10 @@ impl Profiler {
     }
 
     /// Total profiled wall time on this rank (first enter → last leave).
-    pub fn span_s(&self) -> f64 {
+    pub fn span_s(&self) -> Span {
         match (self.run_begin, self.run_end) {
             (Some(b), Some(e)) => e - b,
-            _ => 0.0,
+            _ => Span::ZERO,
         }
     }
 
@@ -101,9 +101,9 @@ impl Profiler {
             out.extend_from_slice(&(name.len() as u32).to_le_bytes());
             out.extend_from_slice(name.as_bytes());
             out.extend_from_slice(&s.calls.to_le_bytes());
-            out.extend_from_slice(&s.total_s.to_le_bytes());
+            out.extend_from_slice(&s.total_s.seconds().to_le_bytes());
         }
-        out.extend_from_slice(&self.span_s().to_le_bytes());
+        out.extend_from_slice(&self.span_s().seconds().to_le_bytes());
         out
     }
 
@@ -112,7 +112,7 @@ impl Profiler {
     pub fn gather(&self, ctx: &mut RankCtx, comm: &mut Comm) -> Option<ProfileReport> {
         let gathered = comm.gather(ctx, 0, &self.pack())?;
         let mut merged: HashMap<String, RegionStats> = HashMap::new();
-        let mut total_span = 0.0;
+        let mut total_span = Span::ZERO;
         for raw in &gathered {
             let mut off = 0usize;
             while off + 4 <= raw.len() - 8 {
@@ -126,9 +126,9 @@ impl Profiler {
                 off += 8;
                 let e = merged.entry(name).or_default();
                 e.calls += calls;
-                e.total_s += total;
+                e.total_s += secs(total);
             }
-            total_span += f64::from_le_bytes(raw[raw.len() - 8..].try_into().unwrap());
+            total_span += secs(f64::from_le_bytes(raw[raw.len() - 8..].try_into().unwrap()));
         }
         Some(ProfileReport {
             regions: merged,
@@ -143,13 +143,13 @@ pub struct ProfileReport {
     /// Region name → aggregated stats over all ranks.
     pub regions: HashMap<String, RegionStats>,
     /// Sum of per-rank profiled spans (the denominator for percentages).
-    pub total_span_s: f64,
+    pub total_span_s: Span,
 }
 
 impl ProfileReport {
     /// Fraction of total profiled time spent in `name` (0 if absent).
     pub fn fraction(&self, name: &str) -> f64 {
-        if self.total_span_s <= 0.0 {
+        if self.total_span_s <= Span::ZERO {
             return 0.0;
         }
         self.regions
@@ -159,13 +159,13 @@ impl ProfileReport {
 
     /// Rows `(name, calls, total_s, fraction)` sorted by time, largest
     /// first.
-    pub fn rows(&self) -> Vec<(String, u64, f64, f64)> {
+    pub fn rows(&self) -> Vec<(String, u64, Span, f64)> {
         let mut rows: Vec<_> = self
             .regions
             .iter()
             .map(|(n, s)| (n.clone(), s.calls, s.total_s, self.fraction(n)))
             .collect();
-        rows.sort_by(|a, b| b.2.total_cmp(&a.2));
+        rows.sort_by(|a, b| b.2.seconds().total_cmp(&a.2.seconds()));
         rows
     }
 }
@@ -185,13 +185,17 @@ mod tests {
             let mut prof = Profiler::new();
             for _ in 0..3 {
                 prof.enter("compute", &mut clk, ctx);
-                ctx.compute(1e-3);
+                ctx.compute(secs(1e-3));
                 prof.leave("compute", &mut clk, ctx);
             }
             let s = prof.region("compute");
             assert_eq!(s.calls, 3);
-            assert!((s.total_s - 3e-3).abs() < 1e-4, "total {}", s.total_s);
-            assert!(prof.span_s() >= 3e-3);
+            assert!(
+                (s.total_s - secs(3e-3)).abs() < secs(1e-4),
+                "total {}",
+                s.total_s
+            );
+            assert!(prof.span_s() >= secs(3e-3));
         });
     }
 
@@ -203,12 +207,12 @@ mod tests {
             let mut prof = Profiler::new();
             prof.enter("outer", &mut clk, ctx);
             prof.enter("inner", &mut clk, ctx);
-            ctx.compute(2e-3);
+            ctx.compute(secs(2e-3));
             prof.leave("inner", &mut clk, ctx);
-            ctx.compute(1e-3);
+            ctx.compute(secs(1e-3));
             prof.leave("outer", &mut clk, ctx);
-            assert!(prof.region("outer").total_s >= 2.9e-3);
-            assert!((prof.region("inner").total_s - 2e-3).abs() < 1e-4);
+            assert!(prof.region("outer").total_s >= secs(2.9e-3));
+            assert!((prof.region("inner").total_s - secs(2e-3)).abs() < secs(1e-4));
         });
     }
 

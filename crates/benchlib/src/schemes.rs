@@ -17,27 +17,27 @@
 //!    keeps everyone consistent and makes single outliers cost exactly
 //!    one repetition.
 
-use hcs_clock::{busy_wait_until, Clock};
+use hcs_clock::{busy_wait_until, Clock, GlobalTime, Span};
 use hcs_mpi::{BarrierAlgorithm, Comm, ReduceOp};
-use hcs_sim::RankCtx;
+use hcs_sim::{secs, RankCtx};
 
 /// The operation under test, e.g. one `MPI_Allreduce` call.
 pub type OpUnderTest<'a> = &'a mut dyn FnMut(&mut RankCtx, &mut Comm);
 
-/// One measured repetition, in the clock units of the coordinating
+/// One measured repetition, in the clock frame of the coordinating
 /// scheme (local clock for barrier-based, global clock otherwise).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RepSample {
     /// When this rank started the operation (for the window and
     /// Round-Time schemes this is the *common* start time).
-    pub start: f64,
+    pub start: GlobalTime,
     /// When the operation returned on this rank.
-    pub end: f64,
+    pub end: GlobalTime,
 }
 
 impl RepSample {
     /// This rank's local view of the operation latency.
-    pub fn latency(&self) -> f64 {
+    pub fn latency(&self) -> Span {
         self.end - self.start
     }
 }
@@ -67,13 +67,13 @@ pub fn run_barrier_scheme(
 /// Configuration of the window-based scheme.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WindowConfig {
-    /// Window size, seconds — must exceed the operation latency or most
-    /// windows invalidate.
-    pub window_s: f64,
+    /// Window size — must exceed the operation latency or most windows
+    /// invalidate.
+    pub window_s: Span,
     /// Number of windows (= attempted repetitions).
     pub nreps: usize,
-    /// Slack between "now" and the first window start, seconds.
-    pub first_window_slack_s: f64,
+    /// Slack between "now" and the first window start.
+    pub first_window_slack_s: Span,
 }
 
 /// Result of the window scheme on this rank.
@@ -97,7 +97,7 @@ pub fn run_window_scheme(
 ) -> WindowOutcome {
     // Agree on the window grid: the root broadcasts the base time.
     let now = g_clk.get_time(ctx);
-    let base = comm.bcast_f64(ctx, 0, now + cfg.first_window_slack_s);
+    let base = comm.bcast_time(ctx, 0, now + cfg.first_window_slack_s);
     let mut samples = Vec::with_capacity(cfg.nreps);
     let mut on_time = Vec::with_capacity(cfg.nreps);
     for i in 0..cfg.nreps {
@@ -122,9 +122,9 @@ pub fn run_window_scheme(
 /// Configuration of the Round-Time scheme (paper Algorithm 5).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundTimeConfig {
-    /// The time slice allotted to this measurement, seconds (the paper
-    /// uses 5 s per message size on Titan).
-    pub max_time_slice_s: f64,
+    /// The time slice allotted to this measurement (the paper uses 5 s
+    /// per message size on Titan).
+    pub max_time_slice_s: Span,
     /// Upper bound on valid repetitions (`max_nrep`).
     pub max_nrep: usize,
     /// Slack factor `B ≥ 1` applied to the broadcast latency estimate
@@ -132,16 +132,16 @@ pub struct RoundTimeConfig {
     pub slack_b: f64,
     /// Estimated latency of `MPI_Bcast` (from
     /// [`estimate_bcast_latency`]).
-    pub bcast_latency_s: f64,
+    pub bcast_latency_s: Span,
 }
 
 impl Default for RoundTimeConfig {
     fn default() -> Self {
         Self {
-            max_time_slice_s: 1.0,
+            max_time_slice_s: secs(1.0),
             max_nrep: 1000,
             slack_b: 3.0,
-            bcast_latency_s: 50e-6,
+            bcast_latency_s: secs(50e-6),
         }
     }
 }
@@ -162,7 +162,7 @@ pub fn run_round_time(
     // itself provides the rendezvous — everyone waits for a first common
     // instant, which also anchors the time-slice accounting.
     let proposal = g_clk.get_time(ctx) + cfg.slack_b.max(2.0) * cfg.bcast_latency_s;
-    let first = comm.bcast_f64(ctx, 0, proposal);
+    let first = comm.bcast_time(ctx, 0, proposal);
     busy_wait_until(g_clk, ctx, first);
     let t_start = g_clk.get_time(ctx);
     let mut nrep = 0usize;
@@ -170,7 +170,7 @@ pub fn run_round_time(
     loop {
         // The reference picks and broadcasts the next start time.
         let proposal = g_clk.get_time(ctx) + cfg.slack_b * cfg.bcast_latency_s;
-        let start_time = comm.bcast_f64(ctx, 0, proposal);
+        let start_time = comm.bcast_time(ctx, 0, proposal);
 
         // Late processes invalidate this round.
         let mut invalid = g_clk.get_time(ctx) >= start_time;
@@ -217,19 +217,19 @@ pub fn estimate_bcast_latency(
     comm: &mut Comm,
     g_clk: &mut dyn Clock,
     nreps: usize,
-) -> f64 {
+) -> Span {
     assert!(nreps > 0);
-    let mut total = 0.0;
+    let mut total = Span::ZERO;
     for _ in 0..nreps {
         comm.barrier(ctx, BarrierAlgorithm::Tree);
         let sent = if comm.rank() == 0 {
             g_clk.get_time(ctx)
         } else {
-            0.0
+            GlobalTime::ZERO
         };
-        let t_send = comm.bcast_f64(ctx, 0, sent);
-        let lat = (g_clk.get_time(ctx) - t_send).max(0.0);
-        total += comm.allreduce_f64(ctx, lat, ReduceOp::F64Max);
+        let t_send = comm.bcast_time(ctx, 0, sent);
+        let lat = (g_clk.get_time(ctx) - t_send).max(Span::ZERO);
+        total += secs(comm.allreduce_f64(ctx, lat.seconds(), ReduceOp::F64Max));
     }
     total / nreps as f64
 }
@@ -242,17 +242,17 @@ pub fn estimate_allreduce_latency(
     clk: &mut dyn Clock,
     msize: usize,
     nreps: usize,
-) -> f64 {
+) -> Span {
     assert!(nreps > 0);
     let payload = vec![0u8; msize];
-    let mut total = 0.0;
+    let mut total = Span::ZERO;
     for _ in 0..nreps {
         comm.barrier(ctx, BarrierAlgorithm::Tree);
         let t0 = clk.get_time(ctx);
         let _ = comm.allreduce(ctx, &payload, ReduceOp::ByteMax);
         total += clk.get_time(ctx) - t0;
     }
-    comm.allreduce_f64(ctx, total / nreps as f64, ReduceOp::F64Max)
+    secs(comm.allreduce_f64(ctx, (total / nreps as f64).seconds(), ReduceOp::F64Max))
 }
 
 #[cfg(test)]
@@ -288,8 +288,8 @@ mod tests {
         for samples in res {
             assert_eq!(samples.len(), 10);
             for s in samples {
-                assert!(s.latency() > 0.0);
-                assert!(s.latency() < 1e-3, "latency {:.3e}", s.latency());
+                assert!(s.latency() > Span::ZERO);
+                assert!(s.latency() < secs(1e-3), "latency {:.3e}", s.latency());
             }
         }
     }
@@ -303,7 +303,7 @@ mod tests {
             let mut sync = Hca3::skampi(20, 5);
             let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
             let cfg = RoundTimeConfig {
-                max_time_slice_s: 0.02,
+                max_time_slice_s: secs(0.02),
                 max_nrep: 50,
                 ..Default::default()
             };
@@ -324,7 +324,7 @@ mod tests {
             let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
             let before = ctx.now();
             let cfg = RoundTimeConfig {
-                max_time_slice_s: 0.05,
+                max_time_slice_s: secs(0.05),
                 max_nrep: usize::MAX,
                 ..Default::default()
             };
@@ -335,7 +335,7 @@ mod tests {
         for &(n, dur) in &res {
             assert!(n > 10, "expected many reps, got {n}");
             // Bounded by the slice plus one round.
-            assert!(dur < 0.08, "duration {dur}");
+            assert!(dur < secs(0.08), "duration {dur}");
         }
     }
 
@@ -348,7 +348,7 @@ mod tests {
             let mut sync = Hca3::skampi(20, 5);
             let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
             let cfg = RoundTimeConfig {
-                max_time_slice_s: 10.0,
+                max_time_slice_s: secs(10.0),
                 max_nrep: 7,
                 ..Default::default()
             };
@@ -368,9 +368,9 @@ mod tests {
             let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
             // Generous window: everything should validate.
             let cfg = WindowConfig {
-                window_s: 500e-6,
+                window_s: secs(500e-6),
                 nreps: 20,
-                first_window_slack_s: 1e-3,
+                first_window_slack_s: secs(1e-3),
             };
             let mut op = allreduce_op(8);
             run_window_scheme(ctx, &mut comm, g.as_mut(), cfg, &mut op)
@@ -394,9 +394,9 @@ mod tests {
             // Window much smaller than the op latency: once a rank
             // overruns, subsequent windows invalidate.
             let cfg = WindowConfig {
-                window_s: 3e-6,
+                window_s: secs(3e-6),
                 nreps: 20,
-                first_window_slack_s: 1e-3,
+                first_window_slack_s: secs(1e-3),
             };
             let mut op = allreduce_op(64);
             run_window_scheme(ctx, &mut comm, g.as_mut(), cfg, &mut op)
@@ -422,8 +422,8 @@ mod tests {
         });
         for &(b, a) in &res {
             // Inter-node base is 3.3 us; bcast over 4 ranks = 2 hops.
-            assert!(b > 1e-6 && b < 100e-6, "bcast {b:.3e}");
-            assert!(a > 3e-6 && a < 200e-6, "allreduce {a:.3e}");
+            assert!(b > secs(1e-6) && b < secs(100e-6), "bcast {b:.3e}");
+            assert!(a > secs(3e-6) && a < secs(200e-6), "allreduce {a:.3e}");
             assert_eq!(res[0].0, b, "all ranks share the root's estimate");
         }
     }

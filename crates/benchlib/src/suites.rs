@@ -12,9 +12,9 @@
 //! `max(end over ranks) − common start` — immune to barrier-exit
 //! imbalance by construction.
 
-use hcs_clock::Clock;
+use hcs_clock::{Clock, GlobalTime, Span};
 use hcs_mpi::{BarrierAlgorithm, Comm, ReduceOp};
-use hcs_sim::RankCtx;
+use hcs_sim::{secs, RankCtx};
 
 use crate::schemes::{estimate_bcast_latency, run_barrier_scheme, run_round_time, RoundTimeConfig};
 use crate::stats::Summary;
@@ -54,8 +54,8 @@ pub struct SuiteConfig {
     pub nreps: usize,
     /// `MPI_Barrier` algorithm used by the barrier-based suites.
     pub barrier: BarrierAlgorithm,
-    /// Round-Time time slice, seconds.
-    pub time_slice_s: f64,
+    /// Round-Time time slice.
+    pub time_slice_s: Span,
 }
 
 impl Default for SuiteConfig {
@@ -63,7 +63,7 @@ impl Default for SuiteConfig {
         Self {
             nreps: 200,
             barrier: BarrierAlgorithm::Bruck,
-            time_slice_s: 0.5,
+            time_slice_s: secs(0.5),
         }
     }
 }
@@ -97,8 +97,9 @@ pub fn measure_allreduce(
     match suite {
         Suite::Osu | Suite::Imb => {
             let samples = run_barrier_scheme(ctx, comm, g_clk, cfg.barrier, cfg.nreps, &mut op);
-            let local_mean =
-                samples.iter().map(|s| s.latency()).sum::<f64>() / samples.len() as f64;
+            let local_mean = (samples.iter().map(|s| s.latency()).sum::<Span>()
+                / samples.len() as f64)
+                .seconds();
             let agg = match suite {
                 Suite::Osu => {
                     comm.allreduce_f64(ctx, local_mean, ReduceOp::F64Sum) / comm.size() as f64
@@ -123,9 +124,14 @@ pub fn measure_allreduce(
             // Global latency of the valid windows.
             let mut globals = Vec::new();
             for (s, &valid) in outcome.samples.iter().zip(&outcome.valid) {
-                let max_end = comm.allreduce_f64(ctx, s.end, ReduceOp::F64Max);
+                // End readings share the global frame across ranks.
+                let max_end = GlobalTime::from_raw_seconds(comm.allreduce_f64(
+                    ctx,
+                    s.end.raw_seconds(),
+                    ReduceOp::F64Max,
+                ));
                 if valid {
-                    globals.push(max_end - s.start);
+                    globals.push((max_end - s.start).seconds());
                 }
             }
             (comm.rank() == 0).then(|| SuiteResult {
@@ -150,8 +156,12 @@ pub fn measure_allreduce(
             // common start (all on the global clock).
             let mut globals = Vec::with_capacity(samples.len());
             for s in &samples {
-                let max_end = comm.allreduce_f64(ctx, s.end, ReduceOp::F64Max);
-                globals.push(max_end - s.start);
+                let max_end = GlobalTime::from_raw_seconds(comm.allreduce_f64(
+                    ctx,
+                    s.end.raw_seconds(),
+                    ReduceOp::F64Max,
+                ));
+                globals.push((max_end - s.start).seconds());
             }
             (comm.rank() == 0).then(|| SuiteResult {
                 latency_s: if globals.is_empty() {
@@ -182,7 +192,7 @@ mod tests {
             let cfg = SuiteConfig {
                 nreps: 50,
                 barrier,
-                time_slice_s: 0.05,
+                time_slice_s: secs(0.05),
             };
             measure_allreduce(ctx, &mut comm, g.as_mut(), suite, 8, cfg)
         });

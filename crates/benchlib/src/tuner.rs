@@ -9,7 +9,7 @@
 //! barrier-based scheme (with a chosen `MPI_Barrier` algorithm) and
 //! under Round-Time, and compare the selections.
 
-use hcs_clock::Clock;
+use hcs_clock::{Clock, GlobalTime, Span};
 use hcs_mpi::{AllreduceAlgorithm, AlltoallAlgorithm, BarrierAlgorithm, Comm, ReduceOp};
 use hcs_sim::RankCtx;
 
@@ -30,8 +30,8 @@ pub enum TuneScheme {
     /// Round-Time (ReproMPI style): median of per-repetition global
     /// latencies within a time slice.
     RoundTime {
-        /// Time slice per candidate, seconds.
-        slice_s: f64,
+        /// Time slice per candidate.
+        slice_s: Span,
         /// Maximum valid repetitions per candidate.
         max_reps: usize,
     },
@@ -87,7 +87,8 @@ pub fn measure_candidate(
     match scheme {
         TuneScheme::Barrier { barrier, reps } => {
             let samples = run_barrier_scheme(ctx, comm, g_clk, barrier, reps, op);
-            let mean = samples.iter().map(|s| s.latency()).sum::<f64>() / samples.len() as f64;
+            let mean = (samples.iter().map(|s| s.latency()).sum::<Span>() / samples.len() as f64)
+                .seconds();
             let avg = comm.allreduce_f64(ctx, mean, ReduceOp::F64Sum) / comm.size() as f64;
             (comm.rank() == 0).then_some(avg)
         }
@@ -100,8 +101,13 @@ pub fn measure_candidate(
             let samples = run_round_time(ctx, comm, g_clk, cfg, op);
             let mut globals = Vec::with_capacity(samples.len());
             for s in &samples {
-                let max_end = comm.allreduce_f64(ctx, s.end, ReduceOp::F64Max);
-                globals.push(max_end - s.start);
+                // End readings share the global frame across ranks.
+                let max_end = GlobalTime::from_raw_seconds(comm.allreduce_f64(
+                    ctx,
+                    s.end.raw_seconds(),
+                    ReduceOp::F64Max,
+                ));
+                globals.push((max_end - s.start).seconds());
             }
             (comm.rank() == 0).then(|| {
                 if globals.is_empty() {
@@ -233,7 +239,7 @@ mod tests {
     fn round_time_tuner_works_too() {
         let results = tuned(
             TuneScheme::RoundTime {
-                slice_s: 0.05,
+                slice_s: hcs_sim::secs(0.05),
                 max_reps: 40,
             },
             &[8],
@@ -249,7 +255,7 @@ mod tests {
         // (2(p-1) rounds) under any reasonable scheme.
         let results = tuned(
             TuneScheme::RoundTime {
-                slice_s: 0.05,
+                slice_s: hcs_sim::secs(0.05),
                 max_reps: 60,
             },
             &[8],
@@ -277,7 +283,7 @@ mod tests {
                 &mut comm,
                 g.as_mut(),
                 TuneScheme::RoundTime {
-                    slice_s: 0.05,
+                    slice_s: hcs_sim::secs(0.05),
                     max_reps: 30,
                 },
                 &[16],
@@ -299,7 +305,7 @@ mod tests {
         );
         assert_eq!(
             TuneScheme::RoundTime {
-                slice_s: 1.0,
+                slice_s: hcs_sim::secs(1.0),
                 max_reps: 1
             }
             .label(),

@@ -9,10 +9,10 @@
 //! small allreduce — without carrying the actual algebraic multigrid
 //! solver along.
 
-use hcs_clock::Clock;
+use hcs_clock::{Clock, Span};
 use hcs_mpi::{Comm, ReduceOp};
 use hcs_sim::rngx::{self, label};
-use hcs_sim::RankCtx;
+use hcs_sim::{secs, RankCtx};
 
 use crate::trace::Tracer;
 
@@ -23,8 +23,8 @@ pub struct AmgProxyConfig {
     pub iterations: u32,
     /// Allreduce payload, bytes (AMG2013: 8 B).
     pub msize: usize,
-    /// Mean local compute per iteration, seconds.
-    pub compute_mean_s: f64,
+    /// Mean local compute per iteration.
+    pub compute_mean_s: Span,
     /// Relative rank-dependent compute imbalance (0.2 = ±20 %).
     pub imbalance: f64,
     /// Relative random per-iteration compute noise.
@@ -36,7 +36,7 @@ impl Default for AmgProxyConfig {
         Self {
             iterations: 20,
             msize: 8,
-            compute_mean_s: 150e-6,
+            compute_mean_s: secs(150e-6),
             imbalance: 0.25,
             noise: 0.1,
         }
@@ -64,11 +64,12 @@ pub fn amg_proxy(
     let payload = vec![0u8; cfg.msize];
     for iter in 0..cfg.iterations {
         let noise = 1.0 + cfg.noise * (rng.next_f64() * 2.0 - 1.0);
-        ctx.compute((my_base * noise).max(0.0));
+        ctx.compute((my_base * noise).max(Span::ZERO));
         let enter = trace_clk.get_time(ctx);
         let _ = comm.allreduce(ctx, &payload, ReduceOp::ByteMax);
         let exit = trace_clk.get_time(ctx);
-        tracer.record(iter, enter, exit);
+        // Trace events store frame-agnostic raw readings of `trace_clk`.
+        tracer.record(iter, enter.raw_seconds(), exit.raw_seconds());
     }
     tracer
 }
@@ -80,8 +81,8 @@ pub struct HaloProxyConfig {
     pub iterations: u32,
     /// Halo message size per neighbor, bytes.
     pub halo_bytes: usize,
-    /// Mean local compute per iteration, seconds.
-    pub compute_mean_s: f64,
+    /// Mean local compute per iteration.
+    pub compute_mean_s: Span,
     /// Residual allreduce every `k` iterations (0 = never).
     pub allreduce_every: u32,
 }
@@ -91,7 +92,7 @@ impl Default for HaloProxyConfig {
         Self {
             iterations: 20,
             halo_bytes: 1024,
-            compute_mean_s: 120e-6,
+            compute_mean_s: secs(120e-6),
             allreduce_every: 4,
         }
     }
@@ -133,7 +134,7 @@ pub fn halo_proxy(
             let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
         }
         let exit = trace_clk.get_time(ctx);
-        tracer.record(iter, enter, exit);
+        tracer.record(iter, enter.raw_seconds(), exit.raw_seconds());
     }
     tracer
 }
@@ -170,7 +171,7 @@ mod tests {
             let mut comm = Comm::world(ctx);
             let cfg = AmgProxyConfig {
                 iterations: 8,
-                compute_mean_s: 300e-6,
+                compute_mean_s: secs(300e-6),
                 imbalance: 0.5,
                 noise: 0.0,
                 ..Default::default()

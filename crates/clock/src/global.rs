@@ -2,8 +2,9 @@
 //! flatten/unflatten wire format used by `ClockPropSync`, and efficient
 //! busy-waiting on a clock reading.
 
-use hcs_sim::{RankCtx, SimTime};
+use hcs_sim::{RankCtx, SimTime, Span};
 
+use crate::domain::GlobalTime;
 use crate::model::LinearModel;
 use crate::BoxClock;
 
@@ -16,12 +17,13 @@ use crate::BoxClock;
 /// reporting but are never consulted by the algorithms themselves.
 pub trait Clock: Send {
     /// Reads the clock: charges the read cost to virtual time and
-    /// returns the (noisy, quantized) reading.
-    fn get_time(&mut self, ctx: &mut RankCtx) -> f64;
+    /// returns the (noisy, quantized) reading, in the frame this clock
+    /// asserts as global.
+    fn get_time(&mut self, ctx: &mut RankCtx) -> GlobalTime;
 
     /// Oracle: the noise-free reading this clock would show at true
     /// simulated time `t`.
-    fn true_eval(&self, t: SimTime) -> f64;
+    fn true_eval(&self, t: SimTime) -> GlobalTime;
 
     /// Oracle: instantaneous rate `d reading / d true-time` at `t`
     /// (≈ 1 for real clocks).
@@ -33,10 +35,10 @@ pub trait Clock: Send {
 }
 
 impl Clock for BoxClock {
-    fn get_time(&mut self, ctx: &mut RankCtx) -> f64 {
+    fn get_time(&mut self, ctx: &mut RankCtx) -> GlobalTime {
         (**self).get_time(ctx)
     }
-    fn true_eval(&self, t: SimTime) -> f64 {
+    fn true_eval(&self, t: SimTime) -> GlobalTime {
         (**self).true_eval(t)
     }
     fn drift_rate(&self, t: SimTime) -> f64 {
@@ -100,12 +102,13 @@ impl GlobalClockLM {
 }
 
 impl Clock for GlobalClockLM {
-    fn get_time(&mut self, ctx: &mut RankCtx) -> f64 {
-        self.lm.apply(self.inner.get_time(ctx))
+    fn get_time(&mut self, ctx: &mut RankCtx) -> GlobalTime {
+        // The inner clock's asserted frame is this model's client frame.
+        self.lm.apply(self.inner.get_time(ctx).rebase_local())
     }
 
-    fn true_eval(&self, t: SimTime) -> f64 {
-        self.lm.apply(self.inner.true_eval(t))
+    fn true_eval(&self, t: SimTime) -> GlobalTime {
+        self.lm.apply(self.inner.true_eval(t).rebase_local())
     }
 
     fn drift_rate(&self, t: SimTime) -> f64 {
@@ -165,8 +168,8 @@ pub fn unflatten_clock(base: BoxClock, bytes: &[u8]) -> BoxClock {
     clock
 }
 
-/// Busy-waits until `clock` reads at least `target`, returning the first
-/// reading ≥ `target`.
+/// Busy-waits until `clock` reads at least `deadline`, returning the
+/// first reading ≥ `deadline`.
 ///
 /// Semantically identical to the polling loop of the paper's window and
 /// Round-Time schemes, but implemented with geometric fast-forwarding in
@@ -174,23 +177,27 @@ pub fn unflatten_clock(base: BoxClock, bytes: &[u8]) -> BoxClock {
 /// 10^8 polls. The final approach is genuine fine-grained polling, so
 /// the achieved start time has the same quantization error a real
 /// benchmark would see.
-pub fn busy_wait_until(clock: &mut dyn Clock, ctx: &mut RankCtx, target: f64) -> f64 {
+pub fn busy_wait_until(
+    clock: &mut dyn Clock,
+    ctx: &mut RankCtx,
+    deadline: GlobalTime,
+) -> GlobalTime {
     /// Below this remaining distance we poll in fine steps.
-    const POLL_BAND_S: f64 = 2e-6;
+    const POLL_BAND: Span = Span::from_secs(2e-6);
     /// Virtual cost of one poll iteration (loop + compare).
-    const POLL_STEP_S: f64 = 2.0e-8;
+    const POLL_STEP: Span = Span::from_secs(2.0e-8);
     loop {
         let r = clock.get_time(ctx);
-        if r >= target {
+        if r >= deadline {
             return r;
         }
-        let remaining = target - r;
-        if remaining > POLL_BAND_S {
+        let remaining = deadline - r;
+        if remaining > POLL_BAND {
             // Clock rates are 1 ± O(100 ppm); jumping 99.9 % of the
-            // remaining distance can never overshoot the target.
+            // remaining distance can never overshoot the deadline.
             ctx.jump_to(ctx.now() + remaining * 0.999);
         } else {
-            ctx.compute(POLL_STEP_S);
+            ctx.compute(POLL_STEP);
         }
     }
 }
@@ -198,9 +205,11 @@ pub fn busy_wait_until(clock: &mut dyn Clock, ctx: &mut RankCtx, target: f64) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::domain::LocalTime;
     use crate::oscillator::Oscillator;
     use crate::source::LocalClock;
     use hcs_sim::machines::testbed;
+    use hcs_sim::secs;
 
     fn skewed(skew: f64) -> BoxClock {
         Box::new(LocalClock::from_oscillator(Oscillator::with_skew(skew), 0))
@@ -209,7 +218,10 @@ mod tests {
     #[test]
     fn dummy_is_identity() {
         let clk = GlobalClockLM::dummy(skewed(0.0));
-        assert_eq!(clk.true_eval(5.0), 5.0);
+        assert_eq!(
+            clk.true_eval(SimTime::from_secs(5.0)),
+            GlobalTime::from_raw_seconds(5.0)
+        );
         assert_eq!(clk.model(), LinearModel::IDENTITY);
     }
 
@@ -221,9 +233,9 @@ mod tests {
         let outer = GlobalClockLM::new(inner, lm2);
         let eff = outer.effective_model();
         for t in [0.0, 100.0, 5e4] {
-            let direct = lm2.apply(lm1.apply(t));
-            assert!((outer.true_eval(t) - direct).abs() < 1e-9);
-            assert!((eff.apply(t) - direct).abs() < 1e-9);
+            let direct = lm2.apply(lm1.apply(LocalTime::from_raw_seconds(t)).rebase_local());
+            assert!((outer.true_eval(SimTime::from_secs(t)) - direct).abs() < secs(1e-9));
+            assert!((eff.apply(LocalTime::from_raw_seconds(t)) - direct).abs() < secs(1e-9));
         }
     }
 
@@ -247,7 +259,41 @@ mod tests {
         // Receiver has the same time source (same oscillator) here.
         let rebuilt = unflatten_clock(skewed(1e-6), &bytes);
         for t in [0.0, 9.75, 1234.5] {
-            assert!((rebuilt.true_eval(t) - chain.true_eval(t)).abs() < 1e-9);
+            let t = SimTime::from_secs(t);
+            assert!((rebuilt.true_eval(t) - chain.true_eval(t)).abs() < secs(1e-9));
+        }
+    }
+
+    #[test]
+    fn flatten_roundtrips_depth_0_to_4_with_exact_models() {
+        // Pins the wire format ClockPropSync broadcasts: every nesting
+        // depth roundtrips with bit-exact models, so the receiver's
+        // effective mapping equals the sender's.
+        let effective = |clock: &dyn Clock| {
+            let mut models = Vec::new();
+            clock.collect_models(&mut models);
+            models.into_iter().fold(LinearModel::IDENTITY, |acc, m| {
+                LinearModel::compose(&m, &acc)
+            })
+        };
+        for depth in 0usize..=4 {
+            let mut chain: BoxClock = skewed(1e-6);
+            for d in 0..depth {
+                let lm = LinearModel::new(1e-7 * (d as f64 + 1.0), 0.25 * d as f64 - 0.1);
+                chain = GlobalClockLM::new(chain, lm).boxed();
+            }
+            let bytes = flatten_clock(chain.as_ref());
+            assert_eq!(bytes.len(), 4 + 16 * depth, "depth {depth}");
+            let rebuilt = unflatten_clock(skewed(1e-6), &bytes);
+            let (mut got, mut want) = (Vec::new(), Vec::new());
+            rebuilt.collect_models(&mut got);
+            chain.collect_models(&mut want);
+            assert_eq!(got, want, "depth {depth}: models changed on the wire");
+            assert_eq!(
+                effective(rebuilt.as_ref()),
+                effective(chain.as_ref()),
+                "depth {depth}: effective model changed on the wire"
+            );
         }
     }
 
@@ -257,7 +303,10 @@ mod tests {
         let bytes = flatten_clock(base.as_ref());
         assert_eq!(bytes, 0u32.to_le_bytes().to_vec());
         let rebuilt = unflatten_clock(skewed(0.0), &bytes);
-        assert_eq!(rebuilt.true_eval(7.0), 7.0);
+        assert_eq!(
+            rebuilt.true_eval(SimTime::from_secs(7.0)),
+            GlobalTime::from_raw_seconds(7.0)
+        );
     }
 
     #[test]
@@ -269,7 +318,7 @@ mod tests {
     #[test]
     fn drift_rate_stacks() {
         let c = GlobalClockLM::new(skewed(10e-6), LinearModel::new(5e-6, 0.0));
-        let r = c.drift_rate(0.0);
+        let r = c.drift_rate(SimTime::ZERO);
         assert!((r - (1.0 + 10e-6) * (1.0 + 5e-6)).abs() < 1e-12);
     }
 
@@ -279,12 +328,16 @@ mod tests {
         cluster.run(|ctx| {
             let mut clk: BoxClock = Box::new(LocalClock::new(ctx, crate::TimeSource::RawMonotonic));
             let start = clk.get_time(ctx);
-            let target = start + 2.0; // two virtual seconds ahead
-            let reached = busy_wait_until(clk.as_mut(), ctx, target);
-            assert!(reached >= target);
-            assert!(reached - target < 1e-5, "overshoot {}", reached - target);
+            let deadline = start + secs(2.0); // two virtual seconds ahead
+            let reached = busy_wait_until(clk.as_mut(), ctx, deadline);
+            assert!(reached >= deadline);
+            assert!(
+                reached - deadline < secs(1e-5),
+                "overshoot {}",
+                reached - deadline
+            );
             // Virtual time advanced by about 2 s.
-            assert!((ctx.now() - 2.0).abs() < 0.01);
+            assert!((ctx.now().seconds() - 2.0).abs() < 0.01);
         });
     }
 
@@ -293,12 +346,12 @@ mod tests {
         let cluster = testbed(1, 1).cluster(9);
         cluster.run(|ctx| {
             let mut clk: BoxClock = Box::new(LocalClock::new(ctx, crate::TimeSource::RawMonotonic));
-            ctx.compute(1.0);
+            ctx.compute(secs(1.0));
             let r0 = clk.get_time(ctx);
             let before = ctx.now();
-            let r = busy_wait_until(clk.as_mut(), ctx, r0 - 5.0);
-            assert!(r >= r0 - 5.0);
-            assert!(ctx.now() - before < 1e-6);
+            let r = busy_wait_until(clk.as_mut(), ctx, r0 - secs(5.0));
+            assert!(r >= r0 - secs(5.0));
+            assert!(ctx.now() - before < secs(1e-6));
         });
     }
 
@@ -310,9 +363,12 @@ mod tests {
             for skew in [200e-6, -200e-6] {
                 let mut clk = skewed(skew);
                 let start = clk.get_time(ctx);
-                let target = start + 0.5;
-                let reached = busy_wait_until(clk.as_mut(), ctx, target);
-                assert!(reached >= target && reached - target < 1e-5, "skew {skew}");
+                let deadline = start + secs(0.5);
+                let reached = busy_wait_until(clk.as_mut(), ctx, deadline);
+                assert!(
+                    reached >= deadline && reached - deadline < secs(1e-5),
+                    "skew {skew}"
+                );
             }
         });
     }

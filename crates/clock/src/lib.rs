@@ -22,11 +22,13 @@
 //! - [`busy_wait_until`] — virtual-time-efficient busy-waiting on a
 //!   clock reading (used by the window and Round-Time schemes).
 
+pub mod domain;
 pub mod global;
 pub mod model;
 pub mod oscillator;
 pub mod source;
 
+pub use domain::{secs, GlobalTime, LocalTime, Span};
 pub use global::{busy_wait_until, flatten_clock, unflatten_clock, Clock, GlobalClockLM};
 pub use model::{fit_linear_model, LinearFit, LinearModel};
 pub use oscillator::Oscillator;

@@ -13,9 +13,17 @@
 //! regression over `(timestamp, offset)` fit points ([`fit_linear_model`]),
 //! and the decorator `GlobalClockLM` applies.
 //!
+//! The clock-domain types make the frame of every quantity explicit:
+//! `x` is a [`LocalTime`] (the client's own reading), the predicted
+//! offset is a [`Span`], and the mapped value is a [`GlobalTime`] in the
+//! reference frame. `slope` and `intercept` stay raw `f64` — they *are*
+//! the mapping between frames, not values within one.
+//!
 //! HCA2 additionally *merges* models along tree edges
 //! (`cm(0,3) = MERGE(cm(0,2), cm(2,3))` in the paper's Fig. 1a); that is
 //! affine composition, provided by [`LinearModel::compose`].
+
+use crate::domain::{GlobalTime, LocalTime, Span};
 
 /// A linear drift model (slope, intercept), mapping a client clock
 /// reading to the estimated offset of the reference clock.
@@ -34,36 +42,50 @@ impl LinearModel {
         intercept: 0.0,
     };
 
+    /// Slopes with `|1 + slope|` below this are treated as degenerate:
+    /// the client clock would be (numerically) frozen in the reference
+    /// frame, and inversion would explode.
+    pub const DEGENERACY_EPS: f64 = 1e-12;
+
     /// Creates a model from slope and intercept.
     pub fn new(slope: f64, intercept: f64) -> Self {
         Self { slope, intercept }
     }
 
     /// Predicted reference−client offset at client reading `x`.
-    pub fn offset_at(&self, x: f64) -> f64 {
-        self.slope * x + self.intercept
+    pub fn offset_at(&self, x: LocalTime) -> Span {
+        Span::from_secs(self.slope * x.raw_seconds() + self.intercept)
     }
 
     /// Maps a client clock reading into the reference frame.
-    pub fn apply(&self, x: f64) -> f64 {
-        x + self.offset_at(x)
+    pub fn apply(&self, x: LocalTime) -> GlobalTime {
+        GlobalTime::from_raw_seconds(x.raw_seconds()) + self.offset_at(x)
     }
 
     /// Inverse mapping: the client reading whose image is `g`.
     ///
     /// # Panics
-    /// Panics if the model is degenerate (`slope == -1`).
-    pub fn invert(&self, g: f64) -> f64 {
+    /// Panics if the model is degenerate, i.e. `|1 + slope|` is below
+    /// [`LinearModel::DEGENERACY_EPS`] — near `slope == -1` the inverse
+    /// is numerically meaningless.
+    pub fn invert(&self, g: GlobalTime) -> LocalTime {
         let a = 1.0 + self.slope;
-        assert!(a != 0.0, "degenerate clock model (slope == -1)");
-        (g - self.intercept) / a
+        assert!(
+            a.abs() >= Self::DEGENERACY_EPS,
+            "degenerate clock model: slope {} gives |1 + slope| = {:e} < {:e}",
+            self.slope,
+            a.abs(),
+            Self::DEGENERACY_EPS
+        );
+        LocalTime::from_raw_seconds((g.raw_seconds() - self.intercept) / a)
     }
 
     /// Composition for model merging (HCA2, paper Fig. 1a):
     ///
     /// If `outer` maps clock B → reference and `inner` maps clock C → B,
     /// the result maps C → reference:
-    /// `result.apply(x) == outer.apply(inner.apply(x))` for all `x`.
+    /// `result.apply(x) == outer.apply(inner.apply(x).rebase_local())`
+    /// for all `x`.
     pub fn compose(outer: &LinearModel, inner: &LinearModel) -> LinearModel {
         let ao = 1.0 + outer.slope;
         let ai = 1.0 + inner.slope;
@@ -76,8 +98,8 @@ impl LinearModel {
     /// Re-anchors the intercept so that the model passes exactly through
     /// the fit point `(timestamp, offset)` while keeping the slope
     /// (the paper's `COMPUTE_AND_SET_INTERCEPT`, Algorithm 2 line 21).
-    pub fn reanchor(&mut self, timestamp: f64, offset: f64) {
-        self.intercept = self.slope * (-timestamp) + offset;
+    pub fn reanchor(&mut self, timestamp: LocalTime, offset: Span) {
+        self.intercept = self.slope * (-timestamp.raw_seconds()) + offset.seconds();
     }
 }
 
@@ -97,14 +119,15 @@ pub struct LinearFit {
 }
 
 /// Ordinary least-squares fit of `offset ≈ slope · timestamp + intercept`
-/// (the paper's `FIT_LINEAR_MODEL`).
+/// (the paper's `FIT_LINEAR_MODEL`) over client-frame timestamps and
+/// measured offsets.
 ///
 /// With a single point the slope is zero and the intercept is that
 /// point's offset; with zero points the identity model is returned.
 ///
 /// Numerical note: timestamps can be huge (boot-time based raw clocks),
 /// so the fit is centered on the mean before computing moments.
-pub fn fit_linear_model(xs: &[f64], ys: &[f64]) -> LinearFit {
+pub fn fit_linear_model(xs: &[LocalTime], ys: &[Span]) -> LinearFit {
     assert_eq!(xs.len(), ys.len(), "fit needs equally many x and y");
     let n = xs.len();
     if n == 0 {
@@ -114,8 +137,8 @@ pub fn fit_linear_model(xs: &[f64], ys: &[f64]) -> LinearFit {
         };
     }
     let nf = n as f64;
-    let mx = xs.iter().sum::<f64>() / nf;
-    let my = ys.iter().sum::<f64>() / nf;
+    let mx = xs.iter().map(|x| x.raw_seconds()).sum::<f64>() / nf;
+    let my = ys.iter().map(|y| y.seconds()).sum::<f64>() / nf;
     if n == 1 {
         return LinearFit {
             model: LinearModel::new(0.0, my),
@@ -126,8 +149,8 @@ pub fn fit_linear_model(xs: &[f64], ys: &[f64]) -> LinearFit {
     let mut sxx = 0.0;
     let mut syy = 0.0;
     for (&x, &y) in xs.iter().zip(ys) {
-        let dx = x - mx;
-        let dy = y - my;
+        let dx = x.raw_seconds() - mx;
+        let dy = y.seconds() - my;
         sxy += dx * dy;
         sxx += dx * dx;
         syy += dy * dy;
@@ -155,12 +178,17 @@ pub fn fit_linear_model(xs: &[f64], ys: &[f64]) -> LinearFit {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::domain::secs;
+
+    fn lt(x: f64) -> LocalTime {
+        LocalTime::from_raw_seconds(x)
+    }
 
     #[test]
     fn identity_is_identity() {
         let m = LinearModel::IDENTITY;
         for x in [0.0, 1.0, -5.5, 1e9] {
-            assert_eq!(m.apply(x), x);
+            assert_eq!(m.apply(lt(x)).raw_seconds(), x);
         }
     }
 
@@ -168,8 +196,8 @@ mod tests {
     fn apply_and_invert_roundtrip() {
         let m = LinearModel::new(2.5e-6, -3.2e-4);
         for x in [0.0, 17.25, 1e5] {
-            let g = m.apply(x);
-            assert!((m.invert(g) - x).abs() < 1e-9 * (1.0 + x.abs()));
+            let g = m.apply(lt(x));
+            assert!((m.invert(g) - lt(x)).abs() < secs(1e-9 * (1.0 + x.abs())));
         }
     }
 
@@ -179,10 +207,10 @@ mod tests {
         let inner = LinearModel::new(-0.7e-6, -1e-3);
         let merged = LinearModel::compose(&outer, &inner);
         for x in [0.0, 12.0, 9999.5] {
-            let direct = outer.apply(inner.apply(x));
-            let via = merged.apply(x);
+            let direct = outer.apply(inner.apply(lt(x)).rebase_local());
+            let via = merged.apply(lt(x));
             assert!(
-                (direct - via).abs() < 1e-12 * (1.0 + direct.abs()),
+                (direct - via).abs() < secs(1e-12 * (1.0 + direct.raw_seconds().abs())),
                 "{direct} vs {via}"
             );
         }
@@ -202,15 +230,18 @@ mod tests {
     #[test]
     fn reanchor_passes_through_point() {
         let mut m = LinearModel::new(4e-6, 123.0);
-        m.reanchor(1000.0, 0.25);
-        assert!((m.offset_at(1000.0) - 0.25).abs() < 1e-12);
+        m.reanchor(lt(1000.0), secs(0.25));
+        assert!((m.offset_at(lt(1000.0)) - secs(0.25)).abs() < secs(1e-12));
         assert_eq!(m.slope, 4e-6);
     }
 
     #[test]
     fn fit_recovers_exact_line() {
-        let xs: Vec<f64> = (0..50).map(|i| 100.0 + i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 3e-6 * x - 0.125).collect();
+        let xs: Vec<LocalTime> = (0..50).map(|i| lt(100.0 + i as f64)).collect();
+        let ys: Vec<Span> = xs
+            .iter()
+            .map(|x| secs(3e-6 * x.raw_seconds() - 0.125))
+            .collect();
         let fit = fit_linear_model(&xs, &ys);
         assert!((fit.model.slope - 3e-6).abs() < 1e-15);
         assert!((fit.model.intercept + 0.125).abs() < 1e-9);
@@ -220,8 +251,11 @@ mod tests {
     #[test]
     fn fit_handles_huge_offsets() {
         // Boot-time based raw clocks: x ~ 1e4 s, y intercept large.
-        let xs: Vec<f64> = (0..100).map(|i| 5.0e4 + i as f64 * 0.01).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| -2e-7 * x + 40.0).collect();
+        let xs: Vec<LocalTime> = (0..100).map(|i| lt(5.0e4 + i as f64 * 0.01)).collect();
+        let ys: Vec<Span> = xs
+            .iter()
+            .map(|x| secs(-2e-7 * x.raw_seconds() + 40.0))
+            .collect();
         let fit = fit_linear_model(&xs, &ys);
         assert!(
             (fit.model.slope + 2e-7).abs() < 1e-12,
@@ -229,27 +263,33 @@ mod tests {
             fit.model.slope
         );
         let mid = 5.0e4 + 0.5;
-        assert!((fit.model.offset_at(mid) - (-2e-7 * mid + 40.0)).abs() < 1e-9);
+        assert!((fit.model.offset_at(lt(mid)) - secs(-2e-7 * mid + 40.0)).abs() < secs(1e-9));
     }
 
     #[test]
     fn fit_degenerate_inputs() {
         assert_eq!(fit_linear_model(&[], &[]).model, LinearModel::IDENTITY);
-        let one = fit_linear_model(&[5.0], &[0.75]);
+        let one = fit_linear_model(&[lt(5.0)], &[secs(0.75)]);
         assert_eq!(one.model.slope, 0.0);
         assert_eq!(one.model.intercept, 0.75);
-        let same_x = fit_linear_model(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        let same_x = fit_linear_model(
+            &[lt(2.0), lt(2.0), lt(2.0)],
+            &[secs(1.0), secs(2.0), secs(3.0)],
+        );
         assert_eq!(same_x.model.slope, 0.0);
         assert!((same_x.model.intercept - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn fit_r2_reflects_noise() {
-        let xs: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let xs: Vec<LocalTime> = (0..200).map(|i| lt(i as f64)).collect();
         // Deterministic pseudo-noise strong enough to hurt R^2.
-        let ys: Vec<f64> = xs
+        let ys: Vec<Span> = xs
             .iter()
-            .map(|&x| 1e-6 * x + 1e-4 * ((x * 12.9898).sin() * 43758.5453).fract())
+            .map(|x| {
+                let x = x.raw_seconds();
+                secs(1e-6 * x + 1e-4 * ((x * 12.9898).sin() * 43758.5453).fract())
+            })
             .collect();
         let fit = fit_linear_model(&xs, &ys);
         assert!(fit.r_squared < 0.9, "r2 {}", fit.r_squared);
@@ -258,6 +298,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "degenerate")]
     fn invert_degenerate_panics() {
-        let _ = LinearModel::new(-1.0, 0.0).invert(5.0);
+        let _ = LinearModel::new(-1.0, 0.0).invert(GlobalTime::from_raw_seconds(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn invert_near_degenerate_panics() {
+        // Not exactly -1, but within the degeneracy band.
+        let _ = LinearModel::new(-1.0 + 1e-13, 0.0).invert(GlobalTime::from_raw_seconds(5.0));
     }
 }

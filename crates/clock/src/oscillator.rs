@@ -69,10 +69,10 @@ impl Oscillator {
         let ppm = 1e-6;
         let skew = rngx::normal_with(&mut rng, 0.0, spec.skew_sd_ppm * ppm);
         let a1 = spec.wander_amp_ppm * ppm * rng.range(0.6, 1.4);
-        let p1 = spec.wander_period_s * rng.range(0.5, 1.5);
+        let p1 = spec.wander_period_s.seconds() * rng.range(0.5, 1.5);
         let phi1 = rng.range(0.0, TAU);
         let a2 = spec.wander2_amp_ppm * ppm * rng.range(0.6, 1.4);
-        let p2 = spec.wander2_period_s * rng.range(0.5, 1.5);
+        let p2 = spec.wander2_period_s.seconds() * rng.range(0.5, 1.5);
         let phi2 = rng.range(0.0, TAU);
         Self {
             skew,
@@ -87,6 +87,7 @@ impl Oscillator {
 
     /// Instantaneous frequency error at true time `t`.
     pub fn drift_rate(&self, t: SimTime) -> f64 {
+        let t = t.seconds();
         self.skew
             + self.a1 * (TAU * t / self.p1 + self.phi1).sin()
             + self.a2 * (TAU * t / self.p2 + self.phi2).sin()
@@ -95,6 +96,7 @@ impl Oscillator {
     /// Accumulated clock displacement at true time `t`:
     /// `∫₀ᵗ d(τ) dτ` (seconds of clock error relative to true time).
     pub fn displacement(&self, t: SimTime) -> f64 {
+        let t = t.seconds();
         let w1 = if self.a1 != 0.0 {
             self.a1 * self.p1 / TAU * (self.phi1.cos() - (TAU * t / self.p1 + self.phi1).cos())
         } else {
@@ -111,7 +113,7 @@ impl Oscillator {
     /// The clock's elapsed reading after `t` seconds of true time
     /// (without any constant offset): `t + displacement(t)`.
     pub fn elapsed(&self, t: SimTime) -> f64 {
-        t + self.displacement(t)
+        t.seconds() + self.displacement(t)
     }
 }
 
@@ -123,15 +125,15 @@ mod tests {
     fn perfect_tracks_true_time() {
         let o = Oscillator::perfect();
         for t in [0.0, 1.0, 100.0, 12345.6] {
-            assert_eq!(o.elapsed(t), t);
+            assert_eq!(o.elapsed(SimTime::from_secs(t)), t);
         }
     }
 
     #[test]
     fn constant_skew_is_linear() {
         let o = Oscillator::with_skew(1e-6);
-        assert!((o.elapsed(10.0) - (10.0 + 10.0e-6)).abs() < 1e-15);
-        assert!((o.elapsed(500.0) - (500.0 + 500.0e-6)).abs() < 1e-12);
+        assert!((o.elapsed(SimTime::from_secs(10.0)) - (10.0 + 10.0e-6)).abs() < 1e-15);
+        assert!((o.elapsed(SimTime::from_secs(500.0)) - (500.0 + 500.0e-6)).abs() < 1e-12);
     }
 
     #[test]
@@ -152,16 +154,16 @@ mod tests {
         let mut acc = 0.0;
         for i in 0..n {
             let t = (i as f64 + 0.5) * dt;
-            acc += o.drift_rate(t) * dt;
+            acc += o.drift_rate(SimTime::from_secs(t)) * dt;
         }
-        let err = (acc - o.displacement(t_end)).abs();
+        let err = (acc - o.displacement(SimTime::from_secs(t_end))).abs();
         assert!(err < 1e-12, "integration mismatch: {err:.3e}");
     }
 
     #[test]
     fn displacement_starts_at_zero() {
         let o = Oscillator::for_node(&ClockSpec::commodity(), 1, 0);
-        assert_eq!(o.displacement(0.0), 0.0);
+        assert_eq!(o.displacement(SimTime::ZERO), 0.0);
     }
 
     #[test]
@@ -183,7 +185,8 @@ mod tests {
         for node in 1..10 {
             let a = Oscillator::for_node(&spec, 7, 0);
             let b = Oscillator::for_node(&spec, 7, node);
-            let rel = (a.displacement(500.0) - b.displacement(500.0)).abs();
+            let t = SimTime::from_secs(500.0);
+            let rel = (a.displacement(t) - b.displacement(t)).abs();
             max_rel = max_rel.max(rel);
         }
         assert!(max_rel > 50e-6, "max relative drift {max_rel:.3e}");
@@ -199,7 +202,10 @@ mod tests {
         let xs: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&t| a.displacement(t) - b.displacement(t))
+            .map(|&t| {
+                let t = SimTime::from_secs(t);
+                a.displacement(t) - b.displacement(t)
+            })
             .collect();
         let n = xs.len() as f64;
         let mx = xs.iter().sum::<f64>() / n;

@@ -8,8 +8,9 @@
 //! shared by all cores of a node).
 
 use hcs_sim::rngx::{self, label, Pcg64};
-use hcs_sim::{RankCtx, SimTime};
+use hcs_sim::{RankCtx, SimTime, Span};
 
+use crate::domain::GlobalTime;
 use crate::global::Clock;
 use crate::model::LinearModel;
 use crate::oscillator::Oscillator;
@@ -41,7 +42,7 @@ pub struct LocalClock {
     /// Reporting resolution (readings are floored to a multiple).
     resolution: f64,
     read_noise_sd: f64,
-    read_cost: f64,
+    read_cost: Span,
     noise_rng: Pcg64,
     /// Monotonicity guard: readings never decrease.
     last_reading: f64,
@@ -61,24 +62,27 @@ impl LocalClock {
 
         // Node-level offset stream (same for every rank of the node).
         let mut node_rng = rngx::stream_rng(seed, label::node_oscillator(node) ^ 0xFFFF);
-        let raw_node_off = rngx::normal_with(&mut node_rng, 0.0, spec.raw_node_offset_sd_s);
-        let wall_node_off = rngx::normal_with(&mut node_rng, 0.0, spec.wall_node_offset_sd_s);
+        let raw_node_off =
+            rngx::normal_with(&mut node_rng, 0.0, spec.raw_node_offset_sd_s.seconds());
+        let wall_node_off =
+            rngx::normal_with(&mut node_rng, 0.0, spec.wall_node_offset_sd_s.seconds());
 
         // Per-core offset stream.
         let mut core_rng = rngx::stream_rng(seed, label::rank_timesource(rank));
-        let raw_core_off = rngx::normal_with(&mut core_rng, 0.0, spec.raw_core_offset_sd_s);
+        let raw_core_off =
+            rngx::normal_with(&mut core_rng, 0.0, spec.raw_core_offset_sd_s.seconds());
 
         let (offset, resolution) = match source {
             TimeSource::MpiWtime => (raw_node_off, 1e-9),
             TimeSource::RawMonotonic => (raw_node_off + raw_core_off, 1e-9),
-            TimeSource::WallCoarse => (wall_node_off, spec.wall_resolution_s.max(0.0)),
+            TimeSource::WallCoarse => (wall_node_off, spec.wall_resolution_s.seconds().max(0.0)),
         };
         let instance = ctx.fresh_label();
         Self {
             oscillator,
             offset,
             resolution,
-            read_noise_sd: spec.read_noise_s,
+            read_noise_sd: spec.read_noise_s.seconds(),
             read_cost: spec.read_cost_s,
             noise_rng: rngx::stream_rng(seed, label::rank_clock_noise(rank) ^ instance),
             last_reading: f64::NEG_INFINITY,
@@ -93,7 +97,7 @@ impl LocalClock {
             offset: 0.0,
             resolution: 0.0,
             read_noise_sd: 0.0,
-            read_cost: 0.0,
+            read_cost: Span::ZERO,
             noise_rng: rngx::stream_rng(seed, 0),
             last_reading: f64::NEG_INFINITY,
         }
@@ -114,7 +118,7 @@ impl LocalClock {
 }
 
 impl Clock for LocalClock {
-    fn get_time(&mut self, ctx: &mut RankCtx) -> f64 {
+    fn get_time(&mut self, ctx: &mut RankCtx) -> GlobalTime {
         ctx.compute(self.read_cost);
         let t = ctx.now();
         let mut reading = self.offset + self.oscillator.elapsed(t);
@@ -126,11 +130,11 @@ impl Clock for LocalClock {
             reading = self.last_reading;
         }
         self.last_reading = reading;
-        reading
+        GlobalTime::from_raw_seconds(reading)
     }
 
-    fn true_eval(&self, t: SimTime) -> f64 {
-        self.offset + self.oscillator.elapsed(t)
+    fn true_eval(&self, t: SimTime) -> GlobalTime {
+        GlobalTime::from_raw_seconds(self.offset + self.oscillator.elapsed(t))
     }
 
     fn drift_rate(&self, t: SimTime) -> f64 {
@@ -144,6 +148,7 @@ impl Clock for LocalClock {
 mod tests {
     use super::*;
     use hcs_sim::machines::testbed;
+    use hcs_sim::secs;
 
     #[test]
     fn readings_advance_with_virtual_time() {
@@ -151,9 +156,9 @@ mod tests {
         c.run(|ctx| {
             let mut clk = LocalClock::new(ctx, TimeSource::RawMonotonic);
             let a = clk.get_time(ctx);
-            ctx.compute(1.0);
+            ctx.compute(secs(1.0));
             let b = clk.get_time(ctx);
-            let d = b - a;
+            let d = (b - a).seconds();
             assert!((d - 1.0).abs() < 1e-3, "elapsed {d}");
         });
     }
@@ -174,8 +179,8 @@ mod tests {
     fn raw_offsets_differ_per_core_wall_offsets_do_not() {
         let c = testbed(1, 2).cluster(3);
         let vals = c.run(|ctx| {
-            let raw = LocalClock::new(ctx, TimeSource::RawMonotonic).true_eval(0.0);
-            let wall = LocalClock::new(ctx, TimeSource::WallCoarse).true_eval(0.0);
+            let raw = LocalClock::new(ctx, TimeSource::RawMonotonic).true_eval(SimTime::ZERO);
+            let wall = LocalClock::new(ctx, TimeSource::WallCoarse).true_eval(SimTime::ZERO);
             (raw, wall)
         });
         assert_ne!(vals[0].0, vals[1].0, "raw per-core offsets differ");
@@ -189,7 +194,7 @@ mod tests {
             let mut clk = LocalClock::new(ctx, TimeSource::RawMonotonic);
             let mut last = f64::NEG_INFINITY;
             for _ in 0..10_000 {
-                let r = clk.get_time(ctx);
+                let r = clk.get_time(ctx).raw_seconds();
                 assert!(r >= last);
                 last = r;
             }
@@ -201,15 +206,15 @@ mod tests {
         let c = testbed(1, 1).cluster(5);
         c.run(|ctx| {
             let mut clk = LocalClock::new(ctx, TimeSource::WallCoarse);
-            let res = ctx.clock_spec().wall_resolution_s;
+            let res = ctx.clock_spec().wall_resolution_s.seconds();
             for _ in 0..100 {
-                let r = clk.get_time(ctx);
+                let r = clk.get_time(ctx).raw_seconds();
                 let rem = (r / res).fract().abs();
                 assert!(
                     !(1e-6..=1.0 - 1e-6).contains(&rem),
                     "reading {r} not on {res} grid"
                 );
-                ctx.compute(1.37e-6);
+                ctx.compute(secs(1.37e-6));
             }
         });
     }
@@ -230,8 +235,8 @@ mod tests {
         let c = testbed(1, 1).cluster(7);
         c.run(|ctx| {
             let mut clk = LocalClock::from_oscillator(Oscillator::with_skew(1e-6), 0);
-            ctx.compute(10.0);
-            let r = clk.get_time(ctx);
+            ctx.compute(secs(10.0));
+            let r = clk.get_time(ctx).raw_seconds();
             assert!((r - (10.0 + 10.0e-6)).abs() < 1e-12);
         });
     }

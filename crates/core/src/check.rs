@@ -8,9 +8,9 @@
 //! at the same true instant. Experiments report the paper's estimator;
 //! tests cross-check it against the oracle.
 
-use hcs_clock::{busy_wait_until, Clock};
+use hcs_clock::{busy_wait_until, Clock, Span};
 use hcs_mpi::Comm;
-use hcs_sim::{rngx, RankCtx, Tag};
+use hcs_sim::{rngx, RankCtx, SimTime, Tag};
 
 use crate::offset::OffsetAlgorithm;
 
@@ -21,21 +21,27 @@ const TAG_REPORT: Tag = 0x0180;
 #[derive(Debug, Clone)]
 pub struct AccuracyReport {
     /// `(comm_rank, offset_after_sync, offset_after_wait)` per checked
-    /// client, offsets in seconds (reference − client).
-    pub entries: Vec<(usize, f64, f64)>,
-    /// The waiting period between the two measurement phases, seconds.
-    pub wait_time: f64,
+    /// client (reference − client).
+    pub entries: Vec<(usize, Span, Span)>,
+    /// The waiting period between the two measurement phases.
+    pub wait_time: Span,
 }
 
 impl AccuracyReport {
     /// Maximum absolute clock offset right after synchronization.
-    pub fn max_abs_at_sync(&self) -> f64 {
-        self.entries.iter().map(|e| e.1.abs()).fold(0.0, f64::max)
+    pub fn max_abs_at_sync(&self) -> Span {
+        self.entries
+            .iter()
+            .map(|e| e.1.abs())
+            .fold(Span::ZERO, Span::max)
     }
 
     /// Maximum absolute clock offset after the waiting period.
-    pub fn max_abs_after_wait(&self) -> f64 {
-        self.entries.iter().map(|e| e.2.abs()).fold(0.0, f64::max)
+    pub fn max_abs_after_wait(&self) -> Span {
+        self.entries
+            .iter()
+            .map(|e| e.2.abs())
+            .fold(Span::ZERO, Span::max)
     }
 }
 
@@ -66,7 +72,7 @@ pub fn check_clock_accuracy(
     comm: &mut Comm,
     g_clk: &mut dyn Clock,
     offset_alg: &mut dyn OffsetAlgorithm,
-    wait_time: f64,
+    wait_time: Span,
     sample_frac: f64,
 ) -> Option<AccuracyReport> {
     let me = comm.rank();
@@ -84,14 +90,14 @@ pub fn check_clock_accuracy(
         let mut first = Vec::with_capacity(sampled.len());
         for &c in &sampled {
             offset_alg.measure_offset(ctx, comm, g_clk, 0, c);
-            first.push(comm.recv_f64(ctx, c, TAG_REPORT));
+            first.push(Span::from_secs(comm.recv_f64(ctx, c, TAG_REPORT)));
         }
         // Busy-wait on the global clock, as the pseudo-code does.
         busy_wait_until(g_clk, ctx, timestamp + wait_time);
         let mut entries = Vec::with_capacity(sampled.len());
         for (&c, &off0) in sampled.iter().zip(&first) {
             offset_alg.measure_offset(ctx, comm, g_clk, 0, c);
-            let off1 = comm.recv_f64(ctx, c, TAG_REPORT);
+            let off1 = Span::from_secs(comm.recv_f64(ctx, c, TAG_REPORT));
             entries.push((c, off0, off1));
         }
         Some(AccuracyReport { entries, wait_time })
@@ -101,7 +107,7 @@ pub fn check_clock_accuracy(
                 let o = offset_alg
                     .measure_offset(ctx, comm, g_clk, 0, me)
                     .expect("client obtains an offset");
-                comm.send_f64(ctx, 0, TAG_REPORT, o.offset);
+                comm.send_f64(ctx, 0, TAG_REPORT, o.offset.seconds());
             }
         }
         None
@@ -110,7 +116,7 @@ pub fn check_clock_accuracy(
 
 /// Oracle: the difference between two clocks' noise-free readings at the
 /// same true simulated time (`a − b`).
-pub fn oracle_offset(a: &dyn Clock, b: &dyn Clock, t: f64) -> f64 {
+pub fn oracle_offset(a: &dyn Clock, b: &dyn Clock, t: SimTime) -> Span {
     a.true_eval(t) - b.true_eval(t)
 }
 
@@ -122,6 +128,7 @@ mod tests {
     use crate::sync::run_sync;
     use hcs_clock::{GlobalClockLM, LinearModel, LocalClock, TimeSource};
     use hcs_sim::machines::testbed;
+    use hcs_sim::secs;
 
     #[test]
     fn reports_planted_offsets() {
@@ -137,14 +144,20 @@ mod tests {
             };
             let mut comm = Comm::world(ctx);
             let mut alg = SkampiOffset::new(10);
-            check_clock_accuracy(ctx, &mut comm, clk.as_mut(), &mut alg, 0.05, 1.0)
+            check_clock_accuracy(ctx, &mut comm, clk.as_mut(), &mut alg, secs(0.05), 1.0)
         });
         let report = reports[0].as_ref().unwrap();
         assert_eq!(report.entries.len(), 3);
         for &(c, off0, off1) in &report.entries {
             let want = if c == 2 { 50e-6 } else { 0.0 };
-            assert!((off0 - want).abs() < 2e-6, "client {c}: off0 {off0:.3e}");
-            assert!((off1 - want).abs() < 2e-6, "client {c}: off1 {off1:.3e}");
+            assert!(
+                (off0.seconds() - want).abs() < 2e-6,
+                "client {c}: off0 {off0:.3e}"
+            );
+            assert!(
+                (off1.seconds() - want).abs() < 2e-6,
+                "client {c}: off1 {off1:.3e}"
+            );
         }
     }
 
@@ -157,16 +170,17 @@ mod tests {
             let mut sync = Hca3::skampi(40, 10);
             let mut g = run_sync(&mut sync, ctx, &mut comm, Box::new(clk)).clock;
             let mut alg = SkampiOffset::new(10);
-            let report = check_clock_accuracy(ctx, &mut comm, g.as_mut(), &mut alg, 0.02, 1.0);
+            let report =
+                check_clock_accuracy(ctx, &mut comm, g.as_mut(), &mut alg, secs(0.02), 1.0);
             // Export the oracle view at a common instant.
-            (report, g.true_eval(2.0))
+            (report, g.true_eval(SimTime::from_secs(2.0)).raw_seconds())
         });
         let report = out[0].0.as_ref().unwrap();
         let ref_eval = out[0].1;
         for &(c, off0, _) in &report.entries {
             let oracle = ref_eval - out[c].1;
             assert!(
-                (off0 - oracle).abs() < 3e-6,
+                (off0.seconds() - oracle).abs() < 3e-6,
                 "client {c}: estimator {off0:.3e} vs oracle {oracle:.3e}"
             );
         }
@@ -182,14 +196,14 @@ mod tests {
             let mut clk = LocalClock::from_oscillator(hcs_clock::Oscillator::with_skew(skew), 0);
             let mut comm = Comm::world(ctx);
             let mut alg = SkampiOffset::new(10);
-            check_clock_accuracy(ctx, &mut comm, &mut clk, &mut alg, 1.0, 1.0)
+            check_clock_accuracy(ctx, &mut comm, &mut clk, &mut alg, secs(1.0), 1.0)
         });
         let r = reports[0].as_ref().unwrap();
         let (_, off0, off1) = r.entries[0];
         // Client gains 5 us per second; after 1 s the ref-client offset
         // shrinks by ~5 us (or grows in magnitude, depending on sign).
         assert!(
-            (off1 - off0).abs() > 3e-6,
+            (off1 - off0).abs() > secs(3e-6),
             "off0 {off0:.3e} off1 {off1:.3e}"
         );
     }
@@ -215,7 +229,7 @@ mod tests {
             let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
             let mut comm = Comm::world(ctx);
             let mut alg = SkampiOffset::new(2);
-            check_clock_accuracy(ctx, &mut comm, &mut clk, &mut alg, 0.1, 1.0)
+            check_clock_accuracy(ctx, &mut comm, &mut clk, &mut alg, secs(0.1), 1.0)
         });
         assert!(reports[0].as_ref().unwrap().entries.is_empty());
     }

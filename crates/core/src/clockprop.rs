@@ -87,7 +87,7 @@ mod tests {
             };
             let mut alg = ClockPropSync::verified();
             let g = alg.sync_clocks(ctx, &mut comm, clk);
-            g.true_eval(3.0)
+            g.true_eval(hcs_sim::SimTime::from_secs(3.0)).raw_seconds()
         });
         for v in &evals {
             assert!((v - evals[0]).abs() < 1e-12, "{evals:?}");
@@ -109,7 +109,7 @@ mod tests {
             };
             let mut alg = ClockPropSync::default();
             let g = alg.sync_clocks(ctx, &mut comm, clk);
-            g.true_eval(10.0)
+            g.true_eval(hcs_sim::SimTime::from_secs(10.0)).raw_seconds()
         });
         for v in &evals {
             assert!((v - evals[0]).abs() < 1e-12);
@@ -120,12 +120,13 @@ mod tests {
     fn single_member_is_identity() {
         let cluster = testbed(1, 1).cluster(3);
         cluster.run(|ctx| {
+            let t = hcs_sim::SimTime::from_secs(1.0);
             let base = LocalClock::new(ctx, TimeSource::WallCoarse);
-            let want = base.true_eval(1.0);
+            let want = base.true_eval(t);
             let mut comm = Comm::world(ctx);
             let mut alg = ClockPropSync::verified();
             let g = alg.sync_clocks(ctx, &mut comm, Box::new(base));
-            assert_eq!(g.true_eval(1.0), want);
+            assert_eq!(g.true_eval(t), want);
         });
     }
 

@@ -12,7 +12,7 @@
 
 use hcs_clock::{BoxClock, GlobalClockLM, LinearModel};
 use hcs_mpi::Comm;
-use hcs_sim::{RankCtx, Tag};
+use hcs_sim::{RankCtx, Span, Tag};
 
 use crate::learn::{learn_clock_model, LearnParams};
 use crate::offset::OffsetSpec;
@@ -60,7 +60,7 @@ impl Hca2 {
     }
 
     /// Overrides the fit-point spacing (see `LearnParams::spacing_s`).
-    pub fn with_spacing(mut self, spacing_s: f64) -> Self {
+    pub fn with_spacing(mut self, spacing_s: Span) -> Self {
         self.params.spacing_s = spacing_s;
         self
     }
@@ -240,7 +240,7 @@ impl Hca {
     }
 
     /// Overrides the fit-point spacing (see `LearnParams::spacing_s`).
-    pub fn with_spacing(mut self, spacing_s: f64) -> Self {
+    pub fn with_spacing(mut self, spacing_s: Span) -> Self {
         self.params.spacing_s = spacing_s;
         self
     }
@@ -299,7 +299,9 @@ mod tests {
             let mut comm = Comm::world(ctx);
             let mut alg = make();
             let out = run_sync(alg.as_mut(), ctx, &mut comm, Box::new(clk));
-            out.clock.true_eval(5.0)
+            out.clock
+                .true_eval(hcs_sim::SimTime::from_secs(5.0))
+                .raw_seconds()
         });
         let reference = evals[0];
         evals.iter().map(|v| v - reference).collect()

@@ -58,7 +58,7 @@ impl Hca3 {
     }
 
     /// Overrides the fit-point spacing (see `LearnParams::spacing_s`).
-    pub fn with_spacing(mut self, spacing_s: f64) -> Self {
+    pub fn with_spacing(mut self, spacing_s: hcs_sim::Span) -> Self {
         self.params.spacing_s = spacing_s;
         self
     }
@@ -188,10 +188,12 @@ mod tests {
             let out = run_sync(&mut alg, ctx, &mut comm, Box::new(clk));
             // Evaluate the global clock at a fixed true time beyond all
             // ranks' sync completion.
-            (out.clock.true_eval(5.0), out.duration)
+            out.clock
+                .true_eval(hcs_sim::SimTime::from_secs(5.0))
+                .raw_seconds()
         });
-        let reference = evals[0].0;
-        evals.iter().map(|(v, _)| v - reference).collect()
+        let reference = evals[0];
+        evals.iter().map(|v| v - reference).collect()
     }
 
     #[test]
@@ -232,7 +234,9 @@ mod tests {
                 let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
                 let mut comm = Comm::world(ctx);
                 let mut alg = Hca3::skampi(20, 5);
-                run_sync(&mut alg, ctx, &mut comm, Box::new(clk)).duration
+                run_sync(&mut alg, ctx, &mut comm, Box::new(clk))
+                    .duration
+                    .seconds()
             });
             outs.into_iter().fold(0.0f64, f64::max)
         };
@@ -251,9 +255,10 @@ mod tests {
             let mut alg = Hca3::default();
             let g = alg.sync_clocks(ctx, &mut comm, Box::new(clk));
             // Dummy wrap: identical readings to the base clock.
+            let t = hcs_sim::SimTime::from_secs(1.0);
             assert_eq!(
-                g.true_eval(1.0),
-                LocalClock::new(ctx, TimeSource::MpiWtime).true_eval(1.0)
+                g.true_eval(t),
+                LocalClock::new(ctx, TimeSource::MpiWtime).true_eval(t)
             );
         });
     }

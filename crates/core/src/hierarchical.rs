@@ -167,7 +167,12 @@ mod tests {
                 Box::new(ClockPropSync::verified()),
             );
             let out = run_sync(&mut alg, ctx, &mut comm, Box::new(clk));
-            (out.clock.true_eval(5.0), out.duration)
+            (
+                out.clock
+                    .true_eval(hcs_sim::SimTime::from_secs(5.0))
+                    .raw_seconds(),
+                out.duration.seconds(),
+            )
         });
         let reference = evals[0].0;
         let dur = evals.iter().map(|&(_, d)| d).fold(0.0f64, f64::max);
@@ -189,7 +194,9 @@ mod tests {
             let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
             let mut comm = Comm::world(ctx);
             let mut alg = Hca3::skampi(30, 8);
-            run_sync(&mut alg, ctx, &mut comm, Box::new(clk)).duration
+            run_sync(&mut alg, ctx, &mut comm, Box::new(clk))
+                .duration
+                .seconds()
         });
         let hier = cluster.run(|ctx| {
             let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
@@ -198,7 +205,9 @@ mod tests {
                 Box::new(Hca3::skampi(30, 8)),
                 Box::new(ClockPropSync::verified()),
             );
-            run_sync(&mut alg, ctx, &mut comm, Box::new(clk)).duration
+            run_sync(&mut alg, ctx, &mut comm, Box::new(clk))
+                .duration
+                .seconds()
         });
         let flat_d = flat.into_iter().fold(0.0f64, f64::max);
         let hier_d = hier.into_iter().fold(0.0f64, f64::max);
@@ -218,7 +227,9 @@ mod tests {
                 Box::new(ClockPropSync::verified()),
             );
             let out = run_sync(&mut alg, ctx, &mut comm, Box::new(clk));
-            out.clock.true_eval(5.0)
+            out.clock
+                .true_eval(hcs_sim::SimTime::from_secs(5.0))
+                .raw_seconds()
         });
         for (r, v) in evals.iter().enumerate() {
             let e = v - evals[0];

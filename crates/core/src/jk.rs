@@ -73,7 +73,7 @@ impl Jk {
     }
 
     /// Overrides the fit-point spacing (see `LearnParams::spacing_s`).
-    pub fn with_spacing(mut self, spacing_s: f64) -> Self {
+    pub fn with_spacing(mut self, spacing_s: hcs_sim::Span) -> Self {
         self.params.spacing_s = spacing_s;
         self
     }
@@ -131,7 +131,12 @@ mod tests {
             let mut comm = Comm::world(ctx);
             let mut alg = make();
             let out = run_sync(&mut alg, ctx, &mut comm, Box::new(clk));
-            (out.clock.true_eval(5.0), out.duration)
+            (
+                out.clock
+                    .true_eval(hcs_sim::SimTime::from_secs(5.0))
+                    .raw_seconds(),
+                out.duration.seconds(),
+            )
         });
         let reference = evals[0].0;
         let max_dur = evals.iter().map(|&(_, d)| d).fold(0.0f64, f64::max);

@@ -3,7 +3,7 @@
 
 use hcs_clock::{fit_linear_model, Clock, LinearModel};
 use hcs_mpi::Comm;
-use hcs_sim::RankCtx;
+use hcs_sim::{secs, RankCtx, Span};
 
 use crate::offset::OffsetAlgorithm;
 
@@ -16,7 +16,7 @@ pub struct LearnParams {
     /// Whether to re-measure and re-anchor the intercept after the
     /// regression (the paper's `recompute_intercept` flag).
     pub recompute_intercept: bool,
-    /// Idle time inserted by the client before each fit point, seconds.
+    /// Idle time inserted by the client before each fit point.
     ///
     /// The slope accuracy of the regression is governed by the *time
     /// span* the fit points cover (the paper's `1000 × 100` ping-pong
@@ -24,7 +24,7 @@ pub struct LearnParams {
     /// ping-pongs would cost millions of simulated messages; spacing
     /// fit points out reproduces the span — and thus the slope accuracy
     /// and the synchronization duration — at a fraction of the cost.
-    pub spacing_s: f64,
+    pub spacing_s: Span,
 }
 
 impl Default for LearnParams {
@@ -32,7 +32,7 @@ impl Default for LearnParams {
         Self {
             nfitpoints: 100,
             recompute_intercept: true,
-            spacing_s: 3e-3,
+            spacing_s: secs(3e-3),
         }
     }
 }
@@ -48,7 +48,7 @@ impl LearnParams {
 
     /// The fit window (time span) these parameters produce, assuming
     /// `exchange_s` per ping-pong and `pingpongs` exchanges per point.
-    pub fn fit_window_s(&self, pingpongs: usize, exchange_s: f64) -> f64 {
+    pub fn fit_window_s(&self, pingpongs: usize, exchange_s: Span) -> Span {
         self.nfitpoints as f64 * (self.spacing_s + pingpongs as f64 * exchange_s)
     }
 }
@@ -82,7 +82,7 @@ pub fn learn_clock_model(
         let mut xfit = Vec::with_capacity(params.nfitpoints);
         let mut yfit = Vec::with_capacity(params.nfitpoints);
         for _ in 0..params.nfitpoints {
-            if params.spacing_s > 0.0 {
+            if params.spacing_s > Span::ZERO {
                 // Spread the fit points over the configured window; the
                 // reference idles in its matching receive meanwhile.
                 ctx.compute(params.spacing_s);
@@ -129,7 +129,7 @@ mod tests {
             let params = LearnParams {
                 nfitpoints: 60,
                 recompute_intercept: recompute,
-                spacing_s: 0.0,
+                spacing_s: Span::ZERO,
             };
             if comm.rank() == 0 {
                 let mut clk = GlobalClockLM::new(
@@ -153,10 +153,10 @@ mod tests {
         // Slope: ref gains `skew` per client second.
         assert!((lm.slope - skew).abs() < 0.5e-6, "slope {:.3e}", lm.slope);
         // Offset near the measurement window (~a few ms of client time).
-        let x = 0.005;
-        let want = 250e-6 + skew * x;
+        let x = hcs_clock::LocalTime::from_raw_seconds(0.005);
+        let want = 250e-6 + skew * 0.005;
         assert!(
-            (lm.offset_at(x) - want).abs() < 2e-6,
+            (lm.offset_at(x).seconds() - want).abs() < 2e-6,
             "offset {:.3e}",
             lm.offset_at(x)
         );
@@ -165,9 +165,9 @@ mod tests {
     #[test]
     fn recompute_intercept_reanchors() {
         let (lm, _) = learn_planted(true);
-        let x = 0.005;
+        let x = hcs_clock::LocalTime::from_raw_seconds(0.005);
         assert!(
-            (lm.offset_at(x) - 250e-6).abs() < 3e-6,
+            (lm.offset_at(x).seconds() - 250e-6).abs() < 3e-6,
             "offset {:.3e}",
             lm.offset_at(x)
         );

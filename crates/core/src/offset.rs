@@ -16,7 +16,7 @@
 
 use std::collections::BTreeMap;
 
-use hcs_clock::Clock;
+use hcs_clock::{Clock, LocalTime, Span};
 use hcs_mpi::Comm;
 use hcs_sim::{RankCtx, Tag};
 
@@ -30,10 +30,11 @@ const TAG_RTT: Tag = 0x0102;
 /// reference clock was estimated to be `offset` ahead.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClockOffset {
-    /// Client clock reading at (or near) the measurement.
-    pub timestamp: f64,
-    /// Estimated `reference − client` clock offset, seconds.
-    pub offset: f64,
+    /// Client clock reading at (or near) the measurement, in the
+    /// client's frame (the fit abscissa).
+    pub timestamp: LocalTime,
+    /// Estimated `reference − client` clock offset.
+    pub offset: Span,
 }
 
 /// Common parameter of the offset algorithms: ping-pongs per fit point.
@@ -113,25 +114,27 @@ impl OffsetAlgorithm for SkampiOffset {
             for _ in 0..self.params.nexchanges {
                 let _dummy = comm.recv_f64(ctx, client, TAG_PING);
                 let t_last = clk.get_time(ctx);
-                comm.send_f64(ctx, p_ref_partner(client), TAG_PING, t_last);
+                comm.send_time(ctx, p_ref_partner(client), TAG_PING, t_last);
             }
             None
         } else if me == client {
-            let mut td_min = f64::NEG_INFINITY;
-            let mut td_max = f64::INFINITY;
+            let mut td_min = Span::from_secs(f64::NEG_INFINITY);
+            let mut td_max = Span::from_secs(f64::INFINITY);
             for _ in 0..self.params.nexchanges {
                 let s_slast = clk.get_time(ctx);
-                comm.send_f64(ctx, p_ref, TAG_PING, s_slast);
-                let t_last = comm.recv_f64(ctx, p_ref, TAG_PING);
+                comm.send_time(ctx, p_ref, TAG_PING, s_slast);
+                let t_last = comm.recv_time(ctx, p_ref, TAG_PING);
                 let s_now = clk.get_time(ctx);
                 // t_last - s_now under-estimates (ref stamped a round
-                // trip ago), t_last - s_slast over-estimates.
+                // trip ago), t_last - s_slast over-estimates. The two
+                // clocks assert different frames, so these differences
+                // are exactly the offsets this estimator exists to find.
                 td_min = td_min.max(t_last - s_now);
                 td_max = td_max.min(t_last - s_slast);
             }
             let diff = (td_min + td_max) / 2.0;
             Some(ClockOffset {
-                timestamp: clk.get_time(ctx),
+                timestamp: clk.get_time(ctx).rebase_local(),
                 offset: diff,
             })
         } else {
@@ -160,7 +163,7 @@ pub struct MeanRttOffset {
     /// order is the key order, so any output derived from walking the
     /// cache is deterministic across processes — the randomly seeded
     /// default hasher would break bit-identical replay.
-    rtt_cache: BTreeMap<(usize, usize), f64>,
+    rtt_cache: BTreeMap<(usize, usize), Span>,
 }
 
 impl MeanRttOffset {
@@ -184,9 +187,9 @@ impl MeanRttOffset {
         clk: &mut dyn Clock,
         p_ref: usize,
         client: usize,
-    ) -> f64 {
+    ) -> Span {
         let me = comm.rank();
-        let mut sum = 0.0;
+        let mut sum = Span::ZERO;
         // One untimed warm-up exchange: the two processes may reach this
         // point at very different times (e.g. JK's root has just served
         // another client); without it the first round trip measures that
@@ -244,7 +247,7 @@ impl OffsetAlgorithm for MeanRttOffset {
             for _ in 0..self.params.nexchanges {
                 let _dummy = comm.recv_f64(ctx, client, TAG_PING);
                 let tlocal = clk.get_time(ctx);
-                comm.ssend_f64(ctx, client, TAG_PING, tlocal);
+                comm.ssend_time(ctx, client, TAG_PING, tlocal);
             }
             None
         } else {
@@ -253,15 +256,15 @@ impl OffsetAlgorithm for MeanRttOffset {
             let mut time_var = Vec::with_capacity(n);
             for _ in 0..n {
                 comm.ssend_f64(ctx, p_ref, TAG_PING, 0.0);
-                let ref_time = comm.recv_f64(ctx, p_ref, TAG_PING);
+                let ref_time = comm.recv_time(ctx, p_ref, TAG_PING);
                 let lt = clk.get_time(ctx);
                 // ref stamped ~RTT/2 before our read; offset = ref - client.
-                local_time.push(lt);
+                local_time.push(lt.rebase_local());
                 time_var.push(ref_time + rtt / 2.0 - lt);
             }
             // Median by value; pick the sample realizing it (paper line 17).
             let mut sorted = time_var.clone();
-            sorted.sort_by(f64::total_cmp);
+            sorted.sort_by(|a, b| a.seconds().total_cmp(&b.seconds()));
             let median = sorted[sorted.len() / 2];
             let med_idx = time_var
                 .iter()
@@ -341,7 +344,7 @@ mod tests {
             }
         });
         let got = results[1].expect("client got an offset");
-        got.offset
+        got.offset.seconds()
     }
 
     #[test]
@@ -366,14 +369,14 @@ mod tests {
             let mut clk = LocalClock::from_oscillator(Oscillator::perfect(), 0);
             // Client pre-advances its own time by 5 s.
             if comm.rank() == 1 {
-                ctx.compute(5.0);
+                ctx.compute(hcs_sim::secs(5.0));
             }
             let mut alg = SkampiOffset::new(4);
             alg.measure_offset(ctx, &comm, &mut clk, 0, 1)
         });
         let off = results[1].unwrap();
         assert!(
-            off.timestamp > 5.0,
+            off.timestamp.raw_seconds() > 5.0,
             "timestamp {} must reflect client clock",
             off.timestamp
         );

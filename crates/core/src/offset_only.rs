@@ -53,7 +53,7 @@ impl ClockSync for OffsetOnlySync {
             let o = alg
                 .measure_offset(ctx, comm, &mut my_clk, 0, r)
                 .expect("client obtains an offset");
-            my_clk = GlobalClockLM::new(my_clk, LinearModel::new(0.0, o.offset)).boxed();
+            my_clk = GlobalClockLM::new(my_clk, LinearModel::new(0.0, o.offset.seconds())).boxed();
         }
         my_clk
     }
@@ -77,7 +77,7 @@ mod tests {
             let mut comm = Comm::world(ctx);
             let mut alg = make();
             let g = alg.sync_clocks(ctx, &mut comm, Box::new(clk));
-            g.true_eval(at)
+            g.true_eval(hcs_sim::SimTime::from_secs(at)).raw_seconds()
         });
         evals
             .iter()

@@ -9,19 +9,19 @@
 //! decides the interval has elapsed, a fresh synchronization runs and
 //! the global clock is replaced.
 
-use hcs_clock::{BoxClock, Clock};
+use hcs_clock::{BoxClock, Clock, GlobalTime};
 use hcs_mpi::Comm;
-use hcs_sim::RankCtx;
+use hcs_sim::{RankCtx, SimTime, Span};
 
 use crate::sync::ClockSync;
 
 /// A long-running global clock that re-synchronizes itself every
-/// `interval_s` seconds (decided by the reference rank, announced with
+/// `interval_s` (decided by the reference rank, announced with
 /// a broadcast so every member acts in lockstep).
 pub struct ResyncSession {
     clock: BoxClock,
-    interval_s: f64,
-    last_sync_reading: f64,
+    interval_s: Span,
+    last_sync_reading: GlobalTime,
     resyncs: usize,
 }
 
@@ -32,9 +32,9 @@ impl ResyncSession {
         comm: &mut Comm,
         alg: &mut dyn ClockSync,
         base: BoxClock,
-        interval_s: f64,
+        interval_s: Span,
     ) -> Self {
-        assert!(interval_s > 0.0, "resync interval must be positive");
+        assert!(interval_s > Span::ZERO, "resync interval must be positive");
         let mut clock = alg.sync_clocks(ctx, comm, base);
         let last_sync_reading = clock.get_time(ctx);
         Self {
@@ -92,13 +92,13 @@ impl ResyncSession {
 struct NullClock;
 
 impl Clock for NullClock {
-    fn get_time(&mut self, _ctx: &mut RankCtx) -> f64 {
+    fn get_time(&mut self, _ctx: &mut RankCtx) -> GlobalTime {
         unreachable!("NullClock must never be read")
     }
-    fn true_eval(&self, _t: f64) -> f64 {
+    fn true_eval(&self, _t: SimTime) -> GlobalTime {
         unreachable!("NullClock must never be read")
     }
-    fn drift_rate(&self, _t: f64) -> f64 {
+    fn drift_rate(&self, _t: SimTime) -> f64 {
         unreachable!("NullClock must never be read")
     }
     fn collect_models(&self, _out: &mut Vec<hcs_clock::LinearModel>) {}
@@ -110,7 +110,7 @@ mod tests {
     use crate::hca3::Hca3;
     use hcs_clock::{LocalClock, TimeSource};
     use hcs_sim::machines::testbed;
-    use hcs_sim::ClockSpec;
+    use hcs_sim::{secs, ClockSpec};
 
     /// Strong wander so linear models age quickly — resync must help.
     fn wandery_machine() -> hcs_sim::MachineSpec {
@@ -118,14 +118,14 @@ mod tests {
         m.clock = ClockSpec {
             skew_sd_ppm: 0.5,
             wander_amp_ppm: 0.5,
-            wander_period_s: 60.0,
+            wander_period_s: secs(60.0),
             ..ClockSpec::commodity()
         };
         m
     }
 
     fn final_error(resync_every: Option<f64>) -> f64 {
-        let horizon = 60.0;
+        let horizon = SimTime::from_secs(60.0);
         let cluster = wandery_machine().cluster(5);
         let evals = cluster.run(|ctx| {
             let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
@@ -136,14 +136,17 @@ mod tests {
                 &mut comm,
                 &mut alg,
                 Box::new(clk),
-                resync_every.unwrap_or(f64::INFINITY),
+                secs(resync_every.unwrap_or(f64::INFINITY)),
             );
             // Application loop: compute 2 s per iteration, checkpoint.
             while ctx.now() < horizon {
-                ctx.compute(2.0);
+                ctx.compute(secs(2.0));
                 session.maybe_resync(ctx, &mut comm, &mut alg);
             }
-            (session.clock().true_eval(horizon + 1.0), session.resyncs())
+            (
+                session.clock().true_eval(horizon + secs(1.0)).raw_seconds(),
+                session.resyncs(),
+            )
         });
         evals
             .iter()
@@ -168,9 +171,10 @@ mod tests {
             let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
             let mut comm = Comm::world(ctx);
             let mut alg = Hca3::skampi(20, 5);
-            let mut session = ResyncSession::start(ctx, &mut comm, &mut alg, Box::new(clk), 5.0);
+            let mut session =
+                ResyncSession::start(ctx, &mut comm, &mut alg, Box::new(clk), secs(5.0));
             for _ in 0..10 {
-                ctx.compute(2.0);
+                ctx.compute(secs(2.0));
                 session.maybe_resync(ctx, &mut comm, &mut alg);
             }
             session.resyncs()
@@ -190,9 +194,10 @@ mod tests {
             let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
             let mut comm = Comm::world(ctx);
             let mut alg = Hca3::skampi(20, 5);
-            let mut session = ResyncSession::start(ctx, &mut comm, &mut alg, Box::new(clk), 1e6);
+            let mut session =
+                ResyncSession::start(ctx, &mut comm, &mut alg, Box::new(clk), secs(1e6));
             for _ in 0..3 {
-                ctx.compute(0.5);
+                ctx.compute(secs(0.5));
                 assert!(!session.maybe_resync(ctx, &mut comm, &mut alg));
             }
             assert_eq!(session.resyncs(), 0);

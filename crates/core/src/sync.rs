@@ -2,7 +2,7 @@
 
 use hcs_clock::BoxClock;
 use hcs_mpi::Comm;
-use hcs_sim::RankCtx;
+use hcs_sim::{RankCtx, Span};
 
 /// A clock synchronization algorithm (the paper's `SYNC_CLOCKS`).
 ///
@@ -32,10 +32,10 @@ pub type SyncFactory = Box<dyn Fn() -> Box<dyn ClockSync> + Sync>;
 pub struct SyncOutcome {
     /// The logical global clock of this rank.
     pub clock: BoxClock,
-    /// Virtual wall-clock duration of the synchronization on this rank,
-    /// seconds. (The paper's "synchronization duration"; for figures use
-    /// the maximum over ranks.)
-    pub duration: f64,
+    /// Virtual wall-clock duration of the synchronization on this rank.
+    /// (The paper's "synchronization duration"; for figures use the
+    /// maximum over ranks.)
+    pub duration: Span,
 }
 
 /// Runs `sync` and measures its duration on this rank.

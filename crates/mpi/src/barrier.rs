@@ -201,10 +201,10 @@ mod tests {
         let times = cluster.run(|ctx| {
             let mut comm = Comm::world(ctx);
             if ctx.rank() == comm.size() - 1 {
-                ctx.compute(late_entry);
+                ctx.compute(hcs_sim::secs(late_entry));
             }
             comm.barrier(ctx, alg);
-            ctx.now()
+            ctx.now().seconds()
         });
         for (r, &t) in times.iter().enumerate() {
             assert!(
@@ -259,7 +259,7 @@ mod tests {
             let times = cluster.run(|ctx| {
                 let mut comm = Comm::world(ctx);
                 comm.barrier(ctx, alg);
-                ctx.now()
+                ctx.now().seconds()
             });
             let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);

@@ -28,6 +28,18 @@ impl Comm {
         let out = self.bcast(ctx, root, &x.to_le_bytes());
         hcs_sim::msg::decode_f64(&out)
     }
+
+    /// Broadcasts a clock reading from `root`. As with
+    /// [`Comm::send_time`], the frame travels by convention: every
+    /// member interprets the value in the root's asserted global frame.
+    pub fn bcast_time(
+        &mut self,
+        ctx: &mut RankCtx,
+        root: usize,
+        time: crate::GlobalTime,
+    ) -> crate::GlobalTime {
+        crate::GlobalTime::from_raw_seconds(self.bcast_f64(ctx, root, time.raw_seconds()))
+    }
 }
 
 fn binomial_bcast(comm: &Comm, ctx: &mut RankCtx, tag: Tag, root: usize, data: &[u8]) -> Vec<u8> {

@@ -36,6 +36,7 @@ pub use reduce::{AllreduceAlgorithm, ReduceOp};
 
 use std::sync::Arc;
 
+use hcs_clock::GlobalTime;
 use hcs_sim::msg::Payload;
 use hcs_sim::{Rank, RankCtx, Tag};
 
@@ -175,6 +176,23 @@ impl Comm {
     /// Receives an `f64`.
     pub fn recv_f64(&self, ctx: &mut RankCtx, src: usize, tag: Tag) -> f64 {
         hcs_sim::msg::decode_f64(&self.recv(ctx, src, tag))
+    }
+
+    /// Sends a clock reading. The frame travels by convention: sender and
+    /// receiver must agree on which clock's asserted global frame the
+    /// value is in (exactly as real MPI codes agree on timestamp units).
+    pub fn send_time(&self, ctx: &mut RankCtx, dst: usize, tag: Tag, time: GlobalTime) {
+        self.send_f64(ctx, dst, tag, time.raw_seconds());
+    }
+
+    /// Synchronous-sends a clock reading (see [`Comm::send_time`]).
+    pub fn ssend_time(&self, ctx: &mut RankCtx, dst: usize, tag: Tag, time: GlobalTime) {
+        self.ssend_f64(ctx, dst, tag, time.raw_seconds());
+    }
+
+    /// Receives a clock reading (see [`Comm::send_time`]).
+    pub fn recv_time(&self, ctx: &mut RankCtx, src: usize, tag: Tag) -> GlobalTime {
+        GlobalTime::from_raw_seconds(self.recv_f64(ctx, src, tag))
     }
 
     /// Combined exchange (the `MPI_Sendrecv` analogue): posts the eager

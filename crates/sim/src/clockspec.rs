@@ -7,6 +7,11 @@
 //! (⇒ sub-ppm relative skew between nodes) with visible curvature at the
 //! 100 s scale (⇒ slow sinusoidal wander), while any 10 s window still
 //! fits a line with R² > 0.9.
+//!
+//! Duration-valued parameters are typed as [`Span`]; ppm-valued ones
+//! stay dimensionless `f64`.
+
+use crate::timebase::{secs, Span};
 
 /// Oscillator and time-source parameters for one machine.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,33 +21,33 @@ pub struct ClockSpec {
     pub skew_sd_ppm: f64,
     /// Amplitude of the slow sinusoidal frequency wander, ppm.
     pub wander_amp_ppm: f64,
-    /// Mean period of the frequency wander, seconds. Each node draws its
-    /// own period uniformly in `[0.5, 1.5] × wander_period_s` and a random
+    /// Mean period of the frequency wander. Each node draws its own
+    /// period uniformly in `[0.5, 1.5] × wander_period_s` and a random
     /// phase, so nodes curve differently (as in the paper's Fig. 2a).
-    pub wander_period_s: f64,
+    pub wander_period_s: Span,
     /// Amplitude of a secondary, faster wander component, ppm (adds
     /// small-scale waviness without breaking 10 s linearity).
     pub wander2_amp_ppm: f64,
-    /// Period of the secondary wander component, seconds.
-    pub wander2_period_s: f64,
-    /// Standard deviation of the read-out noise per clock read, seconds.
-    pub read_noise_s: f64,
-    /// CPU cost of one clock read (charged to virtual time), seconds.
-    pub read_cost_s: f64,
+    /// Period of the secondary wander component.
+    pub wander2_period_s: Span,
+    /// Standard deviation of the read-out noise per clock read.
+    pub read_noise_s: Span,
+    /// CPU cost of one clock read (charged to virtual time).
+    pub read_cost_s: Span,
     /// Std. dev. of the boot-time offset of each node's monotonic
-    /// (`clock_gettime`-like) time base, seconds. These are *huge* in
-    /// practice (nodes boot at different times), which is exactly the
-    /// effect the paper's Fig. 10b shows.
-    pub raw_node_offset_sd_s: f64,
+    /// (`clock_gettime`-like) time base. These are *huge* in practice
+    /// (nodes boot at different times), which is exactly the effect the
+    /// paper's Fig. 10b shows.
+    pub raw_node_offset_sd_s: Span,
     /// Std. dev. of additional per-core offsets of the monotonic time
-    /// base (TSC sync error between cores/sockets), seconds.
-    pub raw_core_offset_sd_s: f64,
+    /// base (TSC sync error between cores/sockets).
+    pub raw_core_offset_sd_s: Span,
     /// Std. dev. of the per-node offset of the wall-clock
     /// (`gettimeofday`-like) time base — NTP keeps these at ms scale.
-    pub wall_node_offset_sd_s: f64,
-    /// Reporting resolution of the wall-clock time base, seconds
+    pub wall_node_offset_sd_s: Span,
+    /// Reporting resolution of the wall-clock time base
     /// (`gettimeofday` reports µs).
-    pub wall_resolution_s: f64,
+    pub wall_resolution_s: Span,
 }
 
 impl ClockSpec {
@@ -52,15 +57,15 @@ impl ClockSpec {
         Self {
             skew_sd_ppm: 0.5,
             wander_amp_ppm: 0.08,
-            wander_period_s: 250.0,
+            wander_period_s: secs(250.0),
             wander2_amp_ppm: 0.015,
-            wander2_period_s: 31.0,
-            read_noise_s: 15e-9,
-            read_cost_s: 25e-9,
-            raw_node_offset_sd_s: 20_000.0,
-            raw_core_offset_sd_s: 50e-6,
-            wall_node_offset_sd_s: 2e-3,
-            wall_resolution_s: 1e-6,
+            wander2_period_s: secs(31.0),
+            read_noise_s: secs(15e-9),
+            read_cost_s: secs(25e-9),
+            raw_node_offset_sd_s: secs(20_000.0),
+            raw_core_offset_sd_s: secs(50e-6),
+            wall_node_offset_sd_s: secs(2e-3),
+            wall_resolution_s: secs(1e-6),
         }
     }
 
@@ -70,15 +75,15 @@ impl ClockSpec {
         Self {
             skew_sd_ppm: 0.0,
             wander_amp_ppm: 0.0,
-            wander_period_s: 100.0,
+            wander_period_s: secs(100.0),
             wander2_amp_ppm: 0.0,
-            wander2_period_s: 10.0,
-            read_noise_s: 0.0,
-            read_cost_s: 0.0,
-            raw_node_offset_sd_s: 0.0,
-            raw_core_offset_sd_s: 0.0,
-            wall_node_offset_sd_s: 0.0,
-            wall_resolution_s: 0.0,
+            wander2_period_s: secs(10.0),
+            read_noise_s: Span::ZERO,
+            read_cost_s: Span::ZERO,
+            raw_node_offset_sd_s: Span::ZERO,
+            raw_core_offset_sd_s: Span::ZERO,
+            wall_node_offset_sd_s: Span::ZERO,
+            wall_resolution_s: Span::ZERO,
         }
     }
 
@@ -100,8 +105,8 @@ mod tests {
     fn ideal_is_noiseless() {
         let s = ClockSpec::ideal();
         assert_eq!(s.skew_sd_ppm, 0.0);
-        assert_eq!(s.read_noise_s, 0.0);
-        assert_eq!(s.read_cost_s, 0.0);
+        assert_eq!(s.read_noise_s, Span::ZERO);
+        assert_eq!(s.read_cost_s, Span::ZERO);
     }
 
     #[test]

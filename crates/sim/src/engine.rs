@@ -29,13 +29,14 @@ use crate::msg::{Envelope, Payload, ACK_BIT};
 use crate::net::NetworkModel;
 use crate::pool::{ClusterPool, Job, Latch, RANK_STACK_BYTES};
 use crate::rngx::{self, label, Pcg64};
+use crate::timebase::Span;
 use crate::topology::Topology;
 use crate::waitgraph::WaitGraph;
 use crate::{ClockSpec, Rank, SimTime, Tag};
 
 /// Minimal spacing enforced between consecutive arrivals on the same
 /// (src → dst) channel, to model MPI's non-overtaking guarantee.
-const FIFO_EPS: f64 = 1e-12;
+const FIFO_EPS: Span = Span::from_secs(1e-12);
 
 /// Tag of the poison message broadcast by a panicking rank so that
 /// peers blocked in receives fail fast instead of deadlocking.
@@ -203,8 +204,8 @@ impl RunNet {
                     Envelope {
                         src,
                         tag: POISON_TAG,
-                        send_time: 0.0,
-                        arrival: 0.0,
+                        send_time: SimTime::ZERO,
+                        arrival: SimTime::ZERO,
                         needs_ack: false,
                         payload: Payload::empty(),
                     },
@@ -226,7 +227,7 @@ enum DstClamp {
 impl DstClamp {
     fn new(size: usize) -> Self {
         if size <= DIRECT_CLAMP_MAX_RANKS {
-            DstClamp::Direct(vec![f64::NEG_INFINITY; size])
+            DstClamp::Direct(vec![SimTime::NEG_INFINITY; size])
         } else {
             DstClamp::Sparse(Vec::new())
         }
@@ -248,13 +249,13 @@ impl DstClamp {
                 a
             }
             DstClamp::Sparse(list) => {
-                if let Some(entry) = list.iter_mut().find(|e| e.0 == dst) {
-                    let a = if arrival <= entry.1 {
-                        entry.1 + FIFO_EPS
+                if let Some((_, last)) = list.iter_mut().find(|(r, _)| *r == dst) {
+                    let a = if arrival <= *last {
+                        *last + FIFO_EPS
                     } else {
                         arrival
                     };
-                    entry.1 = a;
+                    *last = a;
                     a
                 } else {
                     list.push((dst, arrival));
@@ -550,7 +551,7 @@ impl RankCtx {
         Self {
             rank,
             size,
-            now: 0.0,
+            now: SimTime::ZERO,
             topology,
             network,
             clock,
@@ -637,22 +638,25 @@ impl RankCtx {
         self.counters
     }
 
-    /// Spends `dt` seconds of local computation.
+    /// Spends `dt` of local computation.
     ///
     /// # Panics
     /// Panics if `dt` is negative or not finite.
-    pub fn compute(&mut self, dt: f64) {
+    pub fn compute(&mut self, dt: Span) {
         assert!(
-            dt.is_finite() && dt >= 0.0,
-            "compute(dt) needs finite dt >= 0, got {dt}"
+            dt.is_finite() && dt >= Span::ZERO,
+            "compute(dt) needs finite dt >= 0, got {dt} s"
         );
         self.now += dt;
         if let Some(n) = self.noise {
             // Poisson preemptions over cumulative compute time, each
             // stealing an exponential slice of wall time.
-            self.cum_compute += dt;
+            self.cum_compute += dt.seconds();
             while self.cum_compute >= self.next_noise_at {
-                self.now += rngx::exponential(&mut self.noise_rng, n.mean_preempt_s);
+                self.now += Span::from_secs(rngx::exponential(
+                    &mut self.noise_rng,
+                    n.mean_preempt_s.seconds(),
+                ));
                 self.next_noise_at += rngx::exponential(&mut self.noise_rng, 1.0 / n.rate_hz);
             }
         }
@@ -755,10 +759,11 @@ impl RankCtx {
 
     /// Statistical NIC queueing delay for inter-node messages while
     /// multiple node peers are communicating (LogGP-style gap model).
-    fn contention_delay(&mut self, level: crate::topology::Level) -> f64 {
+    fn contention_delay(&mut self, level: crate::topology::Level) -> Span {
         let gap = self.network.nic_gap_s;
-        if level != crate::topology::Level::InterNode || self.active_peers <= 1 || gap <= 0.0 {
-            return 0.0;
+        if level != crate::topology::Level::InterNode || self.active_peers <= 1 || gap <= Span::ZERO
+        {
+            return Span::ZERO;
         }
         gap * self.net_rng.range(0.0, (self.active_peers - 1) as f64)
     }
@@ -844,26 +849,27 @@ impl RankCtx {
 mod tests {
     use super::*;
     use crate::net::{Jitter, LevelLatency};
+    use crate::timebase::secs;
 
     fn test_network(jitter: bool) -> NetworkModel {
         let j = if jitter {
-            Jitter::smooth(0.2e-6, 0.5)
+            Jitter::smooth(secs(0.2e-6), 0.5)
         } else {
-            Jitter::smooth(0.0, 0.5)
+            Jitter::smooth(Span::ZERO, 0.5)
         };
         let lvl = |base: f64| LevelLatency {
-            base_s: base,
-            per_byte_s: 1e-10,
+            base_s: secs(base),
+            per_byte_s: secs(1e-10),
             jitter: j.clone(),
         };
         NetworkModel {
             same_socket: lvl(0.3e-6),
             same_node: lvl(0.6e-6),
             inter_node: lvl(3.0e-6),
-            send_overhead_s: 0.05e-6,
-            recv_overhead_s: 0.05e-6,
+            send_overhead_s: secs(0.05e-6),
+            recv_overhead_s: secs(0.05e-6),
             asymmetry_frac: 0.0,
-            nic_gap_s: 0.0,
+            nic_gap_s: Span::ZERO,
         }
     }
 
@@ -893,7 +899,7 @@ mod tests {
                 }
                 _ => {}
             }
-            ctx.now()
+            ctx.now().seconds()
         });
         // Rank 0: send (0.05us) -> wait reply.
         // one-way = send_ovh + base(3us) + 8 bytes*0.1ns + recv side ...
@@ -961,10 +967,10 @@ mod tests {
             small_cluster(true, seed).run(|ctx| {
                 if ctx.rank() == 0 {
                     ctx.send(1, 0, &[0u8; 8]);
-                    ctx.now()
+                    ctx.now().seconds()
                 } else if ctx.rank() == 1 {
                     let _ = ctx.recv(0, 0);
-                    ctx.now()
+                    ctx.now().seconds()
                 } else {
                     0.0
                 }
@@ -979,13 +985,13 @@ mod tests {
         // without the clamp; assert receive order preserves send order.
         let net = NetworkModel {
             inter_node: LevelLatency {
-                base_s: 1e-6,
-                per_byte_s: 0.0,
+                base_s: secs(1e-6),
+                per_byte_s: Span::ZERO,
                 jitter: Jitter {
-                    median_s: 5e-6,
+                    median_s: secs(5e-6),
                     sigma: 1.5,
                     spike_prob: 0.1,
-                    spike_mean_s: 1e-4,
+                    spike_mean_s: secs(1e-4),
                 },
             },
             ..test_network(true)
@@ -997,7 +1003,7 @@ mod tests {
                     ctx.send(1, 3, &i.to_le_bytes());
                 }
             } else {
-                let mut last_arrival = f64::NEG_INFINITY;
+                let mut last_arrival = SimTime::NEG_INFINITY;
                 for i in 0..200u64 {
                     let p = ctx.recv(1 - 1, 3);
                     let got = u64::from_le_bytes(p.as_ref().try_into().unwrap());
@@ -1015,13 +1021,13 @@ mod tests {
         let times = c.run(|ctx| {
             if ctx.rank() == 0 {
                 ctx.ssend_f64(2, 1, 9.0);
-                ctx.now()
+                ctx.now().seconds()
             } else if ctx.rank() == 2 {
                 // Receiver is busy for 1 ms before posting the receive.
-                ctx.compute(1e-3);
+                ctx.compute(secs(1e-3));
                 let v = ctx.recv_f64(0, 1);
                 assert_eq!(v, 9.0);
-                ctx.now()
+                ctx.now().seconds()
             } else {
                 0.0
             }
@@ -1070,11 +1076,11 @@ mod tests {
     fn jump_to_never_goes_backward() {
         let c = small_cluster(false, 6);
         c.run(|ctx| {
-            ctx.compute(5.0);
-            ctx.jump_to(1.0);
-            assert_eq!(ctx.now(), 5.0);
-            ctx.jump_to(6.0);
-            assert_eq!(ctx.now(), 6.0);
+            ctx.compute(secs(5.0));
+            ctx.jump_to(SimTime::from_secs(1.0));
+            assert_eq!(ctx.now(), SimTime::from_secs(5.0));
+            ctx.jump_to(SimTime::from_secs(6.0));
+            assert_eq!(ctx.now(), SimTime::from_secs(6.0));
         });
     }
 
@@ -1106,7 +1112,7 @@ mod tests {
                 }
                 1 | 2 => {
                     let _ = ctx.recv(0, 0);
-                    ctx.now()
+                    ctx.now().seconds()
                 }
                 _ => 0.0,
             }
@@ -1167,7 +1173,7 @@ mod tests {
         // Exercise both clamp representations on the same send pattern.
         let mut direct = DstClamp::new(4);
         let mut sparse = DstClamp::Sparse(Vec::new());
-        let arrivals = [5.0, 3.0, 3.0, 7.0, 6.9, 1.0];
+        let arrivals = [5.0, 3.0, 3.0, 7.0, 6.9, 1.0].map(SimTime::from_secs);
         for (i, &a) in arrivals.iter().enumerate() {
             let dst = i % 3;
             assert_eq!(

@@ -49,6 +49,7 @@ pub mod net;
 pub mod noise;
 pub mod pool;
 pub mod rngx;
+pub mod timebase;
 pub mod topology;
 pub mod waitgraph;
 
@@ -58,10 +59,8 @@ pub use machines::MachineSpec;
 pub use net::{Jitter, LevelLatency, NetworkModel};
 pub use noise::NoiseSpec;
 pub use pool::ClusterPool;
+pub use timebase::{secs, SimTime, Span};
 pub use topology::{Level, Topology};
-
-/// Simulated time, in seconds since simulation start ("true time").
-pub type SimTime = f64;
 
 /// Message tag type used by the engine and the MPI layer above it.
 pub type Tag = u32;

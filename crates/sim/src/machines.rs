@@ -15,6 +15,7 @@
 use crate::clockspec::ClockSpec;
 use crate::net::{Jitter, LevelLatency, NetworkModel};
 use crate::noise::NoiseSpec;
+use crate::timebase::{secs, Span};
 use crate::topology::Topology;
 use crate::Cluster;
 
@@ -65,13 +66,13 @@ impl MachineSpec {
 
 fn intranode_levels(socket_base: f64, node_base: f64) -> (LevelLatency, LevelLatency) {
     let mk = |base: f64| LevelLatency {
-        base_s: base,
-        per_byte_s: 1.0 / 8e9, // ~8 GB/s shared-memory copies
+        base_s: secs(base),
+        per_byte_s: secs(1.0 / 8e9), // ~8 GB/s shared-memory copies
         jitter: Jitter {
-            median_s: base * 0.06,
+            median_s: secs(base * 0.06),
             sigma: 0.45,
             spike_prob: 2e-5,
-            spike_mean_s: 8e-6,
+            spike_mean_s: secs(8e-6),
         },
     };
     (mk(socket_base), mk(node_base))
@@ -91,19 +92,19 @@ pub fn jupiter() -> MachineSpec {
             same_socket,
             same_node,
             inter_node: LevelLatency {
-                base_s: 3.3e-6,          // paper: ping-pong latency 3-4 us
-                per_byte_s: 1.0 / 3.2e9, // QDR ~32 Gbit/s
+                base_s: secs(3.3e-6),          // paper: ping-pong latency 3-4 us
+                per_byte_s: secs(1.0 / 3.2e9), // QDR ~32 Gbit/s
                 jitter: Jitter {
-                    median_s: 0.22e-6,
+                    median_s: secs(0.22e-6),
                     sigma: 0.55,
                     spike_prob: 3e-4,
-                    spike_mean_s: 40e-6,
+                    spike_mean_s: secs(40e-6),
                 },
             },
-            send_overhead_s: 0.10e-6,
-            recv_overhead_s: 0.10e-6,
+            send_overhead_s: secs(0.10e-6),
+            recv_overhead_s: secs(0.10e-6),
             asymmetry_frac: 0.012,
-            nic_gap_s: 1.0e-6,
+            nic_gap_s: secs(1.0e-6),
         },
         clock: ClockSpec {
             // Jupiter's oscillators are comparatively stable — the paper
@@ -111,7 +112,7 @@ pub fn jupiter() -> MachineSpec {
             // time they are used) *most accurate* on this machine, which
             // requires slowly changing drift.
             wander_amp_ppm: 0.035,
-            wander_period_s: 450.0,
+            wander_period_s: secs(450.0),
             ..ClockSpec::commodity()
         },
         noise: None,
@@ -132,19 +133,19 @@ pub fn hydra() -> MachineSpec {
             same_socket,
             same_node,
             inter_node: LevelLatency {
-                base_s: 1.9e-6,           // "the newer OmniPath network has a smaller latency"
-                per_byte_s: 1.0 / 12.5e9, // 100 Gbit/s
+                base_s: secs(1.9e-6), // "the newer OmniPath network has a smaller latency"
+                per_byte_s: secs(1.0 / 12.5e9), // 100 Gbit/s
                 jitter: Jitter {
-                    median_s: 0.10e-6,
+                    median_s: secs(0.10e-6),
                     sigma: 0.50,
                     spike_prob: 2e-4,
-                    spike_mean_s: 25e-6,
+                    spike_mean_s: secs(25e-6),
                 },
             },
-            send_overhead_s: 0.08e-6,
-            recv_overhead_s: 0.08e-6,
+            send_overhead_s: secs(0.08e-6),
+            recv_overhead_s: secs(0.08e-6),
             asymmetry_frac: 0.008,
-            nic_gap_s: 0.55e-6,
+            nic_gap_s: secs(0.55e-6),
         },
         clock: ClockSpec {
             // Newer Xeons: slightly tighter oscillators, but the same
@@ -174,27 +175,27 @@ pub fn titan() -> MachineSpec {
             same_socket,
             same_node,
             inter_node: LevelLatency {
-                base_s: 4.6e-6,
-                per_byte_s: 1.0 / 4.0e9,
+                base_s: secs(4.6e-6),
+                per_byte_s: secs(1.0 / 4.0e9),
                 // Torus network with shared links: more jitter, fatter
                 // congestion tail — the source of Fig. 6's variance.
                 jitter: Jitter {
-                    median_s: 0.5e-6,
+                    median_s: secs(0.5e-6),
                     sigma: 0.8,
                     spike_prob: 1.2e-3,
-                    spike_mean_s: 80e-6,
+                    spike_mean_s: secs(80e-6),
                 },
             },
-            send_overhead_s: 0.12e-6,
-            recv_overhead_s: 0.12e-6,
+            send_overhead_s: secs(0.12e-6),
+            recv_overhead_s: secs(0.12e-6),
             asymmetry_frac: 0.02,
-            nic_gap_s: 1.2e-6,
+            nic_gap_s: secs(1.2e-6),
         },
         clock: ClockSpec {
             // The paper observed rapidly changing drift on Titan.
             skew_sd_ppm: 0.8,
             wander_amp_ppm: 0.18,
-            wander_period_s: 150.0,
+            wander_period_s: secs(150.0),
             ..ClockSpec::commodity()
         },
         noise: None,
@@ -218,19 +219,19 @@ pub fn ethernet() -> MachineSpec {
             same_socket,
             same_node,
             inter_node: LevelLatency {
-                base_s: 28e-6, // kernel TCP stack round
-                per_byte_s: 1.0 / 1.1e9,
+                base_s: secs(28e-6), // kernel TCP stack round
+                per_byte_s: secs(1.0 / 1.1e9),
                 jitter: Jitter {
-                    median_s: 6e-6,
+                    median_s: secs(6e-6),
                     sigma: 0.9,
                     spike_prob: 2e-3,
-                    spike_mean_s: 300e-6,
+                    spike_mean_s: secs(300e-6),
                 },
             },
-            send_overhead_s: 1.5e-6,
-            recv_overhead_s: 1.5e-6,
+            send_overhead_s: secs(1.5e-6),
+            recv_overhead_s: secs(1.5e-6),
             asymmetry_frac: 0.03,
-            nic_gap_s: 2.5e-6,
+            nic_gap_s: secs(2.5e-6),
         },
         clock: ClockSpec::commodity(),
         noise: Some(NoiseSpec::commodity_linux()),
@@ -261,10 +262,10 @@ pub fn quiet_testbed(nodes: usize, cores_per_node: usize) -> MachineSpec {
         &mut m.network.same_node,
         &mut m.network.inter_node,
     ] {
-        lvl.jitter = Jitter::smooth(0.0, 0.5);
+        lvl.jitter = Jitter::smooth(Span::ZERO, 0.5);
     }
     m.network.asymmetry_frac = 0.0;
-    m.network.nic_gap_s = 0.0;
+    m.network.nic_gap_s = Span::ZERO;
     m.clock = ClockSpec::ideal();
     m
 }

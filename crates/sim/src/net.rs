@@ -8,45 +8,49 @@
 //! right tail); congestion spikes model the occasional outliers that the
 //! window-based scheme of the paper suffers from and the Round-Time
 //! scheme is designed to tolerate.
+//!
+//! All durations are typed as [`Span`] (seconds); the `_s` field-name
+//! suffix is kept so the profile literals still read as seconds.
 
 use crate::rngx::{self, Pcg64};
+use crate::timebase::Span;
 use crate::topology::Level;
 
 /// Jitter model: log-normal body plus a rare exponential spike.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Jitter {
-    /// Median of the log-normal jitter body, in seconds.
-    pub median_s: f64,
+    /// Median of the log-normal jitter body.
+    pub median_s: Span,
     /// Shape (σ) of the log-normal body.
     pub sigma: f64,
     /// Probability of a congestion spike per message.
     pub spike_prob: f64,
-    /// Mean of the exponential spike magnitude, in seconds.
-    pub spike_mean_s: f64,
+    /// Mean of the exponential spike magnitude.
+    pub spike_mean_s: Span,
 }
 
 impl Jitter {
     /// Jitter with only the log-normal body (no spikes).
-    pub fn smooth(median_s: f64, sigma: f64) -> Self {
+    pub fn smooth(median_s: Span, sigma: f64) -> Self {
         Self {
             median_s,
             sigma,
             spike_prob: 0.0,
-            spike_mean_s: 0.0,
+            spike_mean_s: Span::ZERO,
         }
     }
 
     /// Draws a non-negative jitter sample.
-    pub fn sample(&self, rng: &mut Pcg64) -> f64 {
-        let mut j = if self.median_s > 0.0 {
-            rngx::lognormal(rng, self.median_s, self.sigma)
+    pub fn sample(&self, rng: &mut Pcg64) -> Span {
+        let mut j = if self.median_s > Span::ZERO {
+            Span::from_secs(rngx::lognormal(rng, self.median_s.seconds(), self.sigma))
         } else {
             // Keep the RNG stream aligned even when jitter is disabled.
             let _ = rngx::normal(rng);
-            0.0
+            Span::ZERO
         };
         if self.spike_prob > 0.0 && rng.next_f64() < self.spike_prob {
-            j += rngx::exponential(rng, self.spike_mean_s);
+            j += Span::from_secs(rngx::exponential(rng, self.spike_mean_s.seconds()));
         }
         j
     }
@@ -55,20 +59,20 @@ impl Jitter {
 /// Latency parameters for one topology level.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LevelLatency {
-    /// Deterministic base one-way latency, in seconds.
-    pub base_s: f64,
-    /// Per-byte cost, in seconds (inverse bandwidth).
-    pub per_byte_s: f64,
+    /// Deterministic base one-way latency.
+    pub base_s: Span,
+    /// Per-byte cost (inverse bandwidth).
+    pub per_byte_s: Span,
     /// Stochastic jitter added on top.
     pub jitter: Jitter,
 }
 
 impl LevelLatency {
     /// Convenience constructor with smooth jitter at `jitter_frac * base`.
-    pub fn simple(base_s: f64, bandwidth_bytes_per_s: f64, jitter_frac: f64, sigma: f64) -> Self {
+    pub fn simple(base_s: Span, bandwidth_bps: f64, jitter_frac: f64, sigma: f64) -> Self {
         Self {
             base_s,
-            per_byte_s: 1.0 / bandwidth_bytes_per_s,
+            per_byte_s: Span::from_secs(1.0 / bandwidth_bps),
             jitter: Jitter::smooth(base_s * jitter_frac, sigma),
         }
     }
@@ -85,21 +89,21 @@ pub struct NetworkModel {
     pub same_node: LevelLatency,
     /// Network transfers.
     pub inter_node: LevelLatency,
-    /// CPU time charged to the sender per send call, seconds.
-    pub send_overhead_s: f64,
-    /// CPU time charged to the receiver per matched receive, seconds.
-    pub recv_overhead_s: f64,
+    /// CPU time charged to the sender per send call.
+    pub send_overhead_s: Span,
+    /// CPU time charged to the receiver per matched receive.
+    pub recv_overhead_s: Span,
     /// Relative magnitude of the deterministic directional asymmetry per
     /// ordered link (e.g. `0.01` means up to ±1 % of base). Clock-offset
     /// estimators cannot cancel this term; it sets their accuracy floor.
     pub asymmetry_frac: f64,
-    /// Per-message NIC occupancy (LogGP-style gap), seconds. When a rank
-    /// declares that `k` node peers are communicating concurrently (see
+    /// Per-message NIC occupancy (LogGP-style gap). When a rank declares
+    /// that `k` node peers are communicating concurrently (see
     /// `RankCtx::set_active_peers`, used by the collectives), each
     /// inter-node message queues behind `U(0, k-1)` peers' messages and
     /// pays `gap · U`. This statistical contention model is what spreads
     /// barrier exit times apart for NIC-heavy algorithms (paper Fig. 8).
-    pub nic_gap_s: f64,
+    pub nic_gap_s: Span,
 }
 
 impl NetworkModel {
@@ -142,7 +146,7 @@ impl NetworkModel {
         src: usize,
         dst: usize,
         bytes: usize,
-    ) -> f64 {
+    ) -> Span {
         let p = self.level(level);
         let base = p.base_s * (1.0 + self.link_skew(src, dst));
         base + p.per_byte_s * bytes as f64 + p.jitter.sample(rng)
@@ -153,16 +157,17 @@ impl NetworkModel {
 mod tests {
     use super::*;
     use crate::rngx::stream_rng;
+    use crate::timebase::secs;
 
     fn model() -> NetworkModel {
         NetworkModel {
-            same_socket: LevelLatency::simple(0.3e-6, 8e9, 0.05, 0.4),
-            same_node: LevelLatency::simple(0.6e-6, 6e9, 0.05, 0.4),
-            inter_node: LevelLatency::simple(3.5e-6, 3e9, 0.05, 0.5),
-            send_overhead_s: 50e-9,
-            recv_overhead_s: 50e-9,
+            same_socket: LevelLatency::simple(secs(0.3e-6), 8e9, 0.05, 0.4),
+            same_node: LevelLatency::simple(secs(0.6e-6), 6e9, 0.05, 0.4),
+            inter_node: LevelLatency::simple(secs(3.5e-6), 3e9, 0.05, 0.5),
+            send_overhead_s: secs(50e-9),
+            recv_overhead_s: secs(50e-9),
             asymmetry_frac: 0.01,
-            nic_gap_s: 0.0,
+            nic_gap_s: Span::ZERO,
         }
     }
 
@@ -189,15 +194,15 @@ mod tests {
     #[test]
     fn jitter_is_nonnegative_and_spiky() {
         let j = Jitter {
-            median_s: 1e-7,
+            median_s: secs(1e-7),
             sigma: 0.5,
             spike_prob: 0.05,
-            spike_mean_s: 1e-5,
+            spike_mean_s: secs(1e-5),
         };
         let mut rng = stream_rng(1, 1);
-        let samples: Vec<f64> = (0..20_000).map(|_| j.sample(&mut rng)).collect();
-        assert!(samples.iter().all(|&x| x >= 0.0));
-        let spikes = samples.iter().filter(|&&x| x > 5e-6).count();
+        let samples: Vec<Span> = (0..20_000).map(|_| j.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x >= Span::ZERO));
+        let spikes = samples.iter().filter(|&&x| x > secs(5e-6)).count();
         // ~5% spike probability should produce a visible tail.
         assert!(spikes > 200, "spikes {spikes}");
     }
@@ -216,10 +221,10 @@ mod tests {
 
     #[test]
     fn zero_jitter_stays_zero() {
-        let j = Jitter::smooth(0.0, 0.5);
+        let j = Jitter::smooth(Span::ZERO, 0.5);
         let mut rng = stream_rng(2, 2);
         for _ in 0..100 {
-            assert_eq!(j.sample(&mut rng), 0.0);
+            assert_eq!(j.sample(&mut rng), Span::ZERO);
         }
     }
 }

@@ -13,13 +13,15 @@
 //! drawn from a dedicated per-rank RNG stream, so runs stay
 //! bit-deterministic.
 
+use crate::timebase::{secs, Span};
+
 /// Parameters of the per-rank OS-noise process.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseSpec {
     /// Mean noise-event rate, events per second of compute time.
     pub rate_hz: f64,
-    /// Mean duration of one preemption, seconds.
-    pub mean_preempt_s: f64,
+    /// Mean duration of one preemption.
+    pub mean_preempt_s: Span,
 }
 
 impl NoiseSpec {
@@ -27,7 +29,7 @@ impl NoiseSpec {
     pub fn commodity_linux() -> Self {
         Self {
             rate_hz: 100.0,
-            mean_preempt_s: 5e-6,
+            mean_preempt_s: secs(5e-6),
         }
     }
 
@@ -35,13 +37,13 @@ impl NoiseSpec {
     pub fn noisy() -> Self {
         Self {
             rate_hz: 500.0,
-            mean_preempt_s: 20e-6,
+            mean_preempt_s: secs(20e-6),
         }
     }
 
     /// Expected slowdown factor of pure compute phases.
     pub fn expected_slowdown(&self) -> f64 {
-        1.0 + self.rate_hz * self.mean_preempt_s
+        1.0 + self.rate_hz * self.mean_preempt_s.seconds()
     }
 }
 
@@ -54,7 +56,7 @@ mod tests {
     fn expected_slowdown_is_rate_times_duration() {
         let n = NoiseSpec {
             rate_hz: 1000.0,
-            mean_preempt_s: 100e-6,
+            mean_preempt_s: secs(100e-6),
         };
         assert!((n.expected_slowdown() - 1.1).abs() < 1e-12);
     }
@@ -63,7 +65,7 @@ mod tests {
     fn noise_extends_compute_time_by_the_expected_factor() {
         let spec = NoiseSpec {
             rate_hz: 2000.0,
-            mean_preempt_s: 50e-6,
+            mean_preempt_s: secs(50e-6),
         };
         let mut machine = testbed(1, 2);
         machine.noise = Some(spec);
@@ -71,12 +73,12 @@ mod tests {
         let elapsed = cluster.run(|ctx| {
             let before = ctx.now();
             for _ in 0..1000 {
-                ctx.compute(1e-3);
+                ctx.compute(secs(1e-3));
             }
             ctx.now() - before
         });
         for &e in &elapsed {
-            let factor = e / 1.0;
+            let factor = e / secs(1.0);
             assert!(
                 (factor - spec.expected_slowdown()).abs() < 0.02,
                 "slowdown {factor} vs expected {}",
@@ -91,7 +93,7 @@ mod tests {
         machine.noise = Some(NoiseSpec::noisy());
         let run = || {
             machine.cluster(7).run(|ctx| {
-                ctx.compute(0.1);
+                ctx.compute(secs(0.1));
                 ctx.now()
             })
         };
@@ -105,8 +107,8 @@ mod tests {
     fn zero_noise_leaves_compute_exact() {
         let cluster = testbed(1, 1).cluster(9);
         cluster.run(|ctx| {
-            ctx.compute(0.25);
-            assert_eq!(ctx.now(), 0.25);
+            ctx.compute(secs(0.25));
+            assert_eq!(ctx.now().seconds(), 0.25);
         });
     }
 }

@@ -7,6 +7,12 @@
 //! scanner) and enforces the repo invariants the paper reproduction
 //! depends on:
 //!
+//! - **clock domains** — `crates/{sim,core,clock,mpi}` library code may
+//!   not pass times or durations as bare `f64`/`u64` (vocabulary-named
+//!   parameters, fields, and returns must use the `LocalTime` /
+//!   `GlobalTime` / `SimTime` / `Span` newtypes) nor unwrap a domain
+//!   value anonymously (`.0`, `f64::from(..)`, `as f64`); see
+//!   [`clockdomain`];
 //! - **determinism** — `crates/{sim,core,clock,mpi}` library code may
 //!   not read wall clocks (`Instant`, `SystemTime`), use randomly
 //!   seeded hashers (`HashMap`, `HashSet`, `RandomState`) or ambient
@@ -23,6 +29,7 @@
 //! The passes are exposed as a library so `tests/xtask_lints.rs` can
 //! run them over fixture snippets and over the real workspace.
 
+pub mod clockdomain;
 pub mod deps;
 pub mod lints;
 pub mod scanner;

@@ -5,6 +5,7 @@
 //! comment/string-stripped code lines, so forbidden names in docs or
 //! error messages never fire.
 
+use crate::clockdomain::clockdomain;
 use crate::scanner::{has_word, FileScan};
 use crate::{Finding, Level};
 
@@ -54,6 +55,7 @@ pub fn lint_file(path: &str, scan: &FileScan) -> Vec<Finding> {
     let mut out = Vec::new();
     if class.in_crate_src(DETERMINISM_CRATES) {
         determinism(path, scan, &mut out);
+        clockdomain(path, scan, &mut out);
     }
     unsafe_hygiene(path, scan, &mut out);
     if class.in_crate_src(UNWRAP_CRATES) {

@@ -1,30 +1,54 @@
-//! `cargo run -p xtask -- check [--deny-warnings]`
+//! `cargo run -p xtask -- check [--deny-warnings] [--format json]`
 //!
 //! Exit code 0 when the workspace satisfies every repo invariant,
 //! 1 when any error-level finding exists (or any warning under
 //! `--deny-warnings`), 2 on usage errors.
+//!
+//! The default text output is one `path:line: level [lint] message`
+//! row per finding — the shape `.github/problem-matchers/xtask.json`
+//! parses so CI annotates PR diffs. `--format json` emits the same
+//! findings as a JSON document for other tooling.
 
 use std::process::ExitCode;
 
-use xtask::{check_workspace, workspace_root, Level};
+use xtask::{check_workspace, workspace_root, Finding, Level};
+
+const USAGE: &str = "usage: cargo run -p xtask -- check [--deny-warnings] [--format json]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut deny_warnings = false;
     let mut command = None;
-    for a in &args {
-        match a.as_str() {
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
             "check" => command = Some("check"),
             "--deny-warnings" => deny_warnings = true,
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("json") => json = true,
+                    Some("text") => json = false,
+                    other => {
+                        eprintln!("--format takes `text` or `json`, got {other:?}");
+                        eprintln!("{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--format=json" => json = true,
+            "--format=text" => json = false,
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: cargo run -p xtask -- check [--deny-warnings]");
+                eprintln!("{USAGE}");
                 return ExitCode::from(2);
             }
         }
+        i += 1;
     }
     if command != Some("check") {
-        eprintln!("usage: cargo run -p xtask -- check [--deny-warnings]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
 
@@ -32,16 +56,61 @@ fn main() -> ExitCode {
     let findings = check_workspace(&root);
     let errors = findings.iter().filter(|f| f.level == Level::Error).count();
     let warnings = findings.len() - errors;
-    for f in &findings {
-        println!("{f}");
+    if json {
+        println!("{}", render_json(&findings, errors, warnings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!(
+            "xtask check: {errors} error(s), {warnings} warning(s) across workspace at {}",
+            root.display()
+        );
     }
-    println!(
-        "xtask check: {errors} error(s), {warnings} warning(s) across workspace at {}",
-        root.display()
-    );
     if errors > 0 || (deny_warnings && warnings > 0) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Renders the findings as a JSON document (std-only, so escaping is
+/// done by hand; paths and messages are ASCII in practice).
+fn render_json(findings: &[Finding], errors: usize, warnings: usize) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"level\": \"{}\", \"lint\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&f.path),
+            f.line,
+            f.level,
+            json_escape(f.lint),
+            json_escape(&f.msg)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"errors\": {errors},\n  \"warnings\": {warnings}\n}}"
+    ));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }

@@ -32,7 +32,7 @@ fn main() {
         );
         let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
         let scheme = TuneScheme::RoundTime {
-            slice_s: 0.2,
+            slice_s: secs(0.2),
             max_reps: 100,
         };
         let ar = tune_allreduce(ctx, &mut comm, g.as_mut(), scheme, &msizes);

@@ -43,7 +43,7 @@ fn main() {
                 let cfg = SuiteConfig {
                     nreps: 100,
                     barrier,
-                    time_slice_s: 0.1,
+                    time_slice_s: secs(0.1),
                 };
                 measure_allreduce(ctx, &mut comm, global.as_mut(), suite, 8, cfg)
             });

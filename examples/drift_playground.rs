@@ -19,7 +19,7 @@ fn main() {
     for t in [1.0, 10.0, 100.0] {
         println!(
             "  after {t:>5.0} s: fast-slow offset = {:>9.2} us",
-            (fast.elapsed(t) - slow.elapsed(t)) * 1e6
+            (fast.elapsed(SimTime::from_secs(t)) - slow.elapsed(SimTime::from_secs(t))) * 1e6
         );
     }
 
@@ -33,7 +33,7 @@ fn main() {
     for t in [0.0, 100.0, 200.0, 400.0] {
         println!(
             "    at {t:>5.0} s: {:>8.4} ppm",
-            (a.drift_rate(t) - b.drift_rate(t)) * 1e6
+            (a.drift_rate(SimTime::from_secs(t)) - b.drift_rate(SimTime::from_secs(t))) * 1e6
         );
     }
 
@@ -42,7 +42,7 @@ fn main() {
     let ab = LinearModel::new(0.8e-6, 125e-6); // b -> a frame
     let bc = LinearModel::new(-0.3e-6, -50e-6); // c -> b frame
     let ac = LinearModel::compose(&ab, &bc);
-    let reading_c = 1000.0;
+    let reading_c = LocalTime::from_raw_seconds(1000.0);
     println!("\nmodel algebra:");
     println!(
         "  c-reading {reading_c} -> a-frame via compose: {:.9}",
@@ -50,16 +50,18 @@ fn main() {
     );
     println!(
         "  same via two hops:                           {:.9}",
-        ab.apply(bc.apply(reading_c))
+        ab.apply(bc.apply(reading_c).rebase_local())
     );
 
     // 4. Fitting recovers a planted drift from noisy observations.
     let truth = LinearModel::new(1.5e-6, -2e-4);
-    let xs: Vec<f64> = (0..200).map(|i| i as f64 * 0.05).collect();
-    let ys: Vec<f64> = xs
+    let xs: Vec<LocalTime> = (0..200)
+        .map(|i| LocalTime::from_raw_seconds(i as f64 * 0.05))
+        .collect();
+    let ys: Vec<Span> = xs
         .iter()
         .enumerate()
-        .map(|(i, &x)| truth.offset_at(x) + 40e-9 * ((i as f64 * 12.9898).sin()))
+        .map(|(i, &x)| truth.offset_at(x) + secs(40e-9 * ((i as f64 * 12.9898).sin())))
         .collect();
     let fit = fit_linear_model(&xs, &ys);
     println!("\nregression on noisy fit points (40 ns noise, 10 s window):");
@@ -74,9 +76,15 @@ fn main() {
     // through three time sources with very different offsets/resolutions.
     let cluster = machines::jupiter().with_shape(2, 1, 1).cluster(7);
     let rows = cluster.run(|ctx| {
-        let wtime = LocalClock::new(ctx, TimeSource::MpiWtime).true_eval(1.0);
-        let raw = LocalClock::new(ctx, TimeSource::RawMonotonic).true_eval(1.0);
-        let wall = LocalClock::new(ctx, TimeSource::WallCoarse).true_eval(1.0);
+        let wtime = LocalClock::new(ctx, TimeSource::MpiWtime)
+            .true_eval(SimTime::from_secs(1.0))
+            .raw_seconds();
+        let raw = LocalClock::new(ctx, TimeSource::RawMonotonic)
+            .true_eval(SimTime::from_secs(1.0))
+            .raw_seconds();
+        let wall = LocalClock::new(ctx, TimeSource::WallCoarse)
+            .true_eval(SimTime::from_secs(1.0))
+            .raw_seconds();
         (wtime, raw, wall)
     });
     println!("\ntime-source readings at the same true instant (t = 1 s):");

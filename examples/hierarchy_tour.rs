@@ -13,7 +13,7 @@ fn measure(
     machine: &MachineSpec,
     seed: u64,
     make: &(dyn Fn() -> Box<dyn ClockSync> + Sync),
-) -> (String, f64, f64, f64) {
+) -> (String, Span, Span, Span) {
     let cluster = machine.cluster(seed);
     let out = cluster.run(|ctx| {
         let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
@@ -22,11 +22,12 @@ fn measure(
         let outcome = run_sync(alg.as_mut(), ctx, &mut comm, Box::new(clk));
         let mut global = outcome.clock;
         let mut probe = SkampiOffset::new(10);
-        let report = check_clock_accuracy(ctx, &mut comm, global.as_mut(), &mut probe, 10.0, 1.0);
+        let report =
+            check_clock_accuracy(ctx, &mut comm, global.as_mut(), &mut probe, secs(10.0), 1.0);
         (alg.label(), outcome.duration, report)
     });
     let label = out[0].0.clone();
-    let duration = out.iter().map(|o| o.1).fold(0.0f64, f64::max);
+    let duration = out.iter().map(|o| o.1).fold(Span::ZERO, Span::max);
     let report = out[0].2.as_ref().expect("root reports");
     (
         label,
@@ -76,8 +77,8 @@ fn main() {
             "{:<64} {:>10.3} {:>12.3} {:>12.3}",
             label,
             dur,
-            at0 * 1e6,
-            at10 * 1e6
+            at0.seconds() * 1e6,
+            at10.seconds() * 1e6
         );
     }
     println!("\nJK is accurate but O(p); HCA3 matches it at a fraction of the time;");

@@ -30,7 +30,8 @@ fn main() {
         // Algorithm 6: measure every rank's offset to the reference now
         // and again 10 (virtual) seconds later.
         let mut probe = SkampiOffset::new(10);
-        let report = check_clock_accuracy(ctx, &mut comm, global.as_mut(), &mut probe, 10.0, 1.0);
+        let report =
+            check_clock_accuracy(ctx, &mut comm, global.as_mut(), &mut probe, secs(10.0), 1.0);
         (report, outcome.duration)
     });
 

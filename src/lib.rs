@@ -17,7 +17,7 @@
 //!     let mut comm = Comm::world(ctx);
 //!     let mut sync = Hca3::skampi(30, 5);
 //!     let global = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
-//!     global.true_eval(0.0)
+//!     global.true_eval(SimTime::ZERO)
 //! });
 //! assert_eq!(results.len(), 8);
 //! ```
@@ -32,10 +32,12 @@ pub use hcs_sim as sim;
 pub mod prelude {
     pub use hcs_bench::prelude::*;
     pub use hcs_clock::{
-        busy_wait_until, fit_linear_model, BoxClock, Clock, GlobalClockLM, LinearModel, LocalClock,
-        Oscillator, TimeSource,
+        busy_wait_until, fit_linear_model, BoxClock, Clock, GlobalClockLM, GlobalTime, LinearModel,
+        LocalClock, LocalTime, Oscillator, Span, TimeSource,
     };
     pub use hcs_core::prelude::*;
     pub use hcs_mpi::{BarrierAlgorithm, Comm};
-    pub use hcs_sim::{machines, ClockSpec, Cluster, MachineSpec, RankCtx, Topology};
+    pub use hcs_sim::{
+        machines, secs, ClockSpec, Cluster, MachineSpec, RankCtx, SimTime, Topology,
+    };
 }

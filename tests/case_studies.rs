@@ -24,7 +24,7 @@ fn tuner_decisions_are_deterministic_and_seed_sensitive() {
                     &mut comm,
                     g.as_mut(),
                     TuneScheme::RoundTime {
-                        slice_s: 0.03,
+                        slice_s: secs(0.03),
                         max_reps: 30,
                     },
                     &[8],
@@ -61,7 +61,7 @@ fn guidelines_hold_on_every_machine_profile() {
                 &mut comm,
                 g.as_mut(),
                 TuneScheme::RoundTime {
-                    slice_s: 0.03,
+                    slice_s: secs(0.03),
                     max_reps: 30,
                 },
                 Guideline::AllreduceVsReduceBcast,
@@ -99,7 +99,7 @@ fn profiler_and_tracer_agree_on_halo_proxy() {
         );
         prof.leave("halo", &mut clk, ctx);
         let traced: f64 = tracer.events().iter().map(|e| e.duration()).sum();
-        let profiled = prof.region("halo").total_s;
+        let profiled = prof.region("halo").total_s.seconds();
         (traced, profiled)
     });
     for &(traced, profiled) in &res {
@@ -123,11 +123,14 @@ fn postmortem_interpolation_beats_raw_on_drifting_cluster() {
             let mut alg = SkampiOffset::new(15);
             let begin = measure_epoch(ctx, &comm, &mut clk, &mut alg);
             // 60 s of "application".
-            ctx.compute(60.0);
+            ctx.compute(secs(60.0));
             // Mid-trace probe instant in local clock terms (oracle view).
-            let mid_local = oracle.true_eval(30.0);
+            let mid_local = oracle.true_eval(SimTime::from_secs(30.0)).rebase_local();
             let end = measure_epoch(ctx, &comm, &mut clk, &mut alg);
-            (mid_local, interpolate(begin, end, mid_local))
+            (
+                mid_local.raw_seconds(),
+                interpolate(begin, end, mid_local).raw_seconds(),
+            )
         });
     let raw_spread = res
         .iter()
@@ -156,7 +159,7 @@ fn profiled_allreduce_fraction_matches_amg_premise() {
             let mut prof = Profiler::new();
             for _ in 0..15 {
                 prof.enter("compute", &mut clk, ctx);
-                ctx.compute(8e-6);
+                ctx.compute(secs(8e-6));
                 prof.leave("compute", &mut clk, ctx);
                 prof.enter("allreduce", &mut clk, ctx);
                 let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);

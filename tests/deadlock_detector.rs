@@ -84,7 +84,7 @@ fn full_sync_and_round_time_pipeline_has_no_false_positives() {
         let mut sync = Hca3::skampi(20, 5);
         let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
         let cfg = RoundTimeConfig {
-            max_time_slice_s: 0.02,
+            max_time_slice_s: secs(0.02),
             max_nrep: 50,
             ..Default::default()
         };

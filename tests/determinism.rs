@@ -19,10 +19,10 @@ fn full_pipeline(seed: u64) -> (Vec<f64>, f64, usize) {
         let cfg = SuiteConfig {
             nreps: 30,
             barrier: BarrierAlgorithm::Bruck,
-            time_slice_s: 0.05,
+            time_slice_s: secs(0.05),
         };
         let res = measure_allreduce(ctx, &mut comm, g.as_mut(), Suite::ReproMpi, 8, cfg);
-        (g.true_eval(1.0), res)
+        (g.true_eval(SimTime::from_secs(1.0)).raw_seconds(), res)
     });
     let evals: Vec<f64> = out.iter().map(|o| o.0).collect();
     let root = out[0].1.unwrap();

@@ -18,9 +18,15 @@ fn accuracy_of(
         let mut alg = make();
         let outcome = run_sync(alg.as_mut(), ctx, &mut comm, Box::new(clk));
         (
-            outcome.duration,
-            outcome.clock.true_eval(3.0),
-            outcome.clock.true_eval(13.0),
+            outcome.duration.seconds(),
+            outcome
+                .clock
+                .true_eval(SimTime::from_secs(3.0))
+                .raw_seconds(),
+            outcome
+                .clock
+                .true_eval(SimTime::from_secs(13.0))
+                .raw_seconds(),
         )
     });
     let dur = out.iter().map(|o| o.0).fold(0.0f64, f64::max);
@@ -106,7 +112,7 @@ fn unsynchronized_clocks_are_much_worse() {
     let cluster = machines::jupiter().with_shape(4, 1, 1).cluster(1);
     let evals = cluster.run(|ctx| {
         let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
-        clk.true_eval(3.0)
+        clk.true_eval(SimTime::from_secs(3.0)).raw_seconds()
     });
     let spread = evals.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
         - evals.iter().fold(f64::INFINITY, |a, &b| a.min(b));
@@ -164,14 +170,14 @@ fn estimator_and_oracle_agree() {
         let mut alg = Hca3::skampi(60, 10);
         let mut g = alg.sync_clocks(ctx, &mut comm, Box::new(clk));
         let mut probe = SkampiOffset::new(10);
-        let report = check_clock_accuracy(ctx, &mut comm, g.as_mut(), &mut probe, 0.1, 1.0);
-        (report, g.true_eval(2.0))
+        let report = check_clock_accuracy(ctx, &mut comm, g.as_mut(), &mut probe, secs(0.1), 1.0);
+        (report, g.true_eval(SimTime::from_secs(2.0)).raw_seconds())
     });
     let report = out[0].0.as_ref().unwrap();
     for &(c, off0, _) in &report.entries {
         let oracle = out[0].1 - out[c].1;
         assert!(
-            (off0 - oracle).abs() < 2e-6,
+            (off0.seconds() - oracle).abs() < 2e-6,
             "client {c}: estimator {off0:.3e} oracle {oracle:.3e}"
         );
     }

@@ -24,7 +24,7 @@ fn h2_and_h3_agree_on_shared_node_time_sources() {
                 ))
             };
             let g = alg.sync_clocks(ctx, &mut comm, Box::new(clk));
-            g.true_eval(2.0)
+            g.true_eval(SimTime::from_secs(2.0)).raw_seconds()
         })
     };
     let h2 = run(2);
@@ -49,7 +49,10 @@ fn node_locals_share_the_leaders_clock_exactly() {
             Box::new(ClockPropSync::verified()),
         );
         let g = alg.sync_clocks(ctx, &mut comm, Box::new(clk));
-        (ctx.topology().node_of(ctx.rank()), g.true_eval(1.0))
+        (
+            ctx.topology().node_of(ctx.rank()),
+            g.true_eval(SimTime::from_secs(1.0)).raw_seconds(),
+        )
     });
     for (node, eval) in &evals {
         let leader_eval = evals.iter().find(|(n, _)| n == node).unwrap().1;
@@ -91,7 +94,7 @@ fn mixed_algorithms_per_level_compose() {
             let mut comm = Comm::world(ctx);
             let mut alg = make();
             let g = alg.sync_clocks(ctx, &mut comm, Box::new(clk));
-            g.true_eval(2.0)
+            g.true_eval(SimTime::from_secs(2.0)).raw_seconds()
         });
         let err = evals
             .iter()
@@ -155,7 +158,7 @@ fn flattened_models_survive_the_wire() {
         };
         let mut alg = ClockPropSync::verified();
         let g = alg.sync_clocks(ctx, &mut comm, clk);
-        g.true_eval(4.0)
+        g.true_eval(SimTime::from_secs(4.0)).raw_seconds()
     });
     for v in &evals {
         assert!((v - evals[0]).abs() < 1e-12);

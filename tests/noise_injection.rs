@@ -23,11 +23,11 @@ fn round_time_still_collects_samples_under_heavy_noise() {
         let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
         let mut op = |ctx: &mut RankCtx, comm: &mut Comm| {
             // An operation with a compute phase (preemptable).
-            ctx.compute(20e-6);
+            ctx.compute(secs(20e-6));
             let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
         };
         let cfg = RoundTimeConfig {
-            max_time_slice_s: 0.05,
+            max_time_slice_s: secs(0.05),
             max_nrep: 60,
             ..Default::default()
         };
@@ -52,17 +52,18 @@ fn noise_inflates_measured_latency() {
                 let mut sync = Hca3::skampi(30, 6);
                 let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
                 let mut op = |ctx: &mut RankCtx, comm: &mut Comm| {
-                    ctx.compute(50e-6);
+                    ctx.compute(secs(50e-6));
                     let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
                 };
                 let cfg = RoundTimeConfig {
-                    max_time_slice_s: 0.05,
+                    max_time_slice_s: secs(0.05),
                     max_nrep: 40,
                     ..Default::default()
                 };
                 let samples = run_round_time(ctx, &mut comm, g.as_mut(), cfg, &mut op);
-                let mean =
-                    samples.iter().map(|s| s.latency()).sum::<f64>() / samples.len().max(1) as f64;
+                let mean = (samples.iter().map(|s| s.latency()).sum::<Span>()
+                    / samples.len().max(1) as f64)
+                    .seconds();
                 comm.allreduce_f64(ctx, mean, ReduceOp::F64Max)
             })
             .remove(0)
@@ -70,7 +71,7 @@ fn noise_inflates_measured_latency() {
     let quiet = measure(None);
     let noisy = measure(Some(NoiseSpec {
         rate_hz: 2000.0,
-        mean_preempt_s: 50e-6,
+        mean_preempt_s: secs(50e-6),
     }));
     // 2 kHz x 50 us = 10% expected compute inflation plus straggler
     // amplification through the collective.
@@ -90,7 +91,7 @@ fn clock_sync_accuracy_survives_noise() {
         let mut comm = Comm::world(ctx);
         let mut sync = Hca3::skampi(40, 8);
         let g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
-        g.true_eval(3.0)
+        g.true_eval(SimTime::from_secs(3.0)).raw_seconds()
     });
     for v in &evals {
         assert!(
@@ -109,7 +110,7 @@ fn congestion_spikes_hit_the_window_scheme_hardest() {
     use hierarchical_clock_sync::bench::schemes::{run_window_scheme, WindowConfig};
     let mut machine = machines::testbed(4, 2);
     machine.network.inter_node.jitter.spike_prob = 0.02;
-    machine.network.inter_node.jitter.spike_mean_s = 200e-6;
+    machine.network.inter_node.jitter.spike_mean_s = secs(200e-6);
     let res = machine.cluster(4).run(|ctx| {
         let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
         let mut comm = Comm::world(ctx);
@@ -123,9 +124,9 @@ fn congestion_spikes_hit_the_window_scheme_hardest() {
             &mut comm,
             g.as_mut(),
             WindowConfig {
-                window_s: 60e-6,
+                window_s: secs(60e-6),
                 nreps: 50,
-                first_window_slack_s: 1e-3,
+                first_window_slack_s: secs(1e-3),
             },
             &mut op,
         );
@@ -134,7 +135,7 @@ fn congestion_spikes_hit_the_window_scheme_hardest() {
             &mut comm,
             g.as_mut(),
             RoundTimeConfig {
-                max_time_slice_s: 0.1,
+                max_time_slice_s: secs(0.1),
                 max_nrep: 50,
                 ..Default::default()
             },

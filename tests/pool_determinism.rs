@@ -28,7 +28,8 @@ fn workload(ctx: &mut RankCtx) -> (u64, u64) {
         comm.barrier(ctx, BarrierAlgorithm::Tree);
     }
     let reading = clk.get_time(ctx);
-    (acc.to_bits(), (ctx.now() + reading).to_bits())
+    let mix = ctx.now().seconds() + reading.raw_seconds();
+    (acc.to_bits(), mix.to_bits())
 }
 
 #[test]
@@ -72,7 +73,7 @@ fn panicking_rank_poisons_peers_through_the_pool() {
     let caught = std::panic::catch_unwind(|| {
         cluster.run(|ctx| {
             if ctx.rank() == 1 {
-                ctx.compute(1e-6);
+                ctx.compute(secs(1e-6));
                 panic!("deliberate failure at rank 1");
             }
             // Everyone else blocks on a message rank 1 will never send;

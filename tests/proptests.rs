@@ -27,22 +27,44 @@ fn model_compose_is_associative() {
             small_model(&mut rng),
             small_model(&mut rng),
         );
-        let x = rng.range(-1e4, 1e4);
+        let raw = rng.range(-1e4, 1e4);
+        let x = LocalTime::from_raw_seconds(raw);
         let left = LinearModel::compose(&LinearModel::compose(&a, &b), &c);
         let right = LinearModel::compose(&a, &LinearModel::compose(&b, &c));
-        let scale = 1.0 + x.abs();
-        assert!((left.apply(x) - right.apply(x)).abs() < 1e-9 * scale);
+        let scale = 1.0 + raw.abs();
+        assert!((left.apply(x) - right.apply(x)).abs() < secs(1e-9 * scale));
+    }
+}
+
+#[test]
+fn model_compose_matches_pointwise_composition() {
+    // `compose(ab, bc)` must agree with applying the two hops in
+    // sequence: c-frame -> b-frame -> a-frame. The intermediate
+    // `GlobalTime` is rebased because `bc`'s output frame is `ab`'s
+    // input frame.
+    let mut rng = case_rng(14);
+    for _ in 0..64 {
+        let ab = small_model(&mut rng);
+        let bc = small_model(&mut rng);
+        let raw = rng.range(-1e4, 1e4);
+        let x = LocalTime::from_raw_seconds(raw);
+        let direct = LinearModel::compose(&ab, &bc).apply(x);
+        let hops = ab.apply(bc.apply(x).rebase_local());
+        assert!((direct - hops).abs() < secs(1e-9 * (1.0 + raw.abs())));
     }
 }
 
 #[test]
 fn model_invert_roundtrips() {
+    // `invert` after `apply` is the identity on `LocalTime` (within
+    // float tolerance): global-frame projections lose no information.
     let mut rng = case_rng(2);
     for _ in 0..64 {
         let m = small_model(&mut rng);
-        let x = rng.range(-1e4, 1e4);
+        let raw = rng.range(-1e4, 1e4);
+        let x = LocalTime::from_raw_seconds(raw);
         let g = m.apply(x);
-        assert!((m.invert(g) - x).abs() < 1e-6 * (1.0 + x.abs()));
+        assert!((m.invert(g) - x).abs() < secs(1e-6 * (1.0 + raw.abs())));
     }
 }
 
@@ -54,8 +76,13 @@ fn fit_recovers_arbitrary_lines() {
         let intercept = rng.range(-1.0, 1.0);
         let x0 = rng.range(0.0, 1e4);
         let n = 2 + (rng.next_u64() % 58) as usize;
-        let xs: Vec<f64> = (0..n).map(|i| x0 + i as f64 * 0.25).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let xs: Vec<LocalTime> = (0..n)
+            .map(|i| LocalTime::from_raw_seconds(x0 + i as f64 * 0.25))
+            .collect();
+        let ys: Vec<Span> = xs
+            .iter()
+            .map(|x| secs(slope * x.raw_seconds() + intercept))
+            .collect();
         let fit = fit_linear_model(&xs, &ys).model;
         assert!(
             (fit.slope - slope).abs() < 1e-9 + slope.abs() * 1e-6,
@@ -64,7 +91,8 @@ fn fit_recovers_arbitrary_lines() {
             slope
         );
         let mid = x0 + n as f64 * 0.125;
-        assert!((fit.offset_at(mid) - (slope * mid + intercept)).abs() < 1e-6);
+        let at_mid = fit.offset_at(LocalTime::from_raw_seconds(mid));
+        assert!((at_mid - secs(slope * mid + intercept)).abs() < secs(1e-6));
     }
 }
 
@@ -92,9 +120,9 @@ fn oscillator_displacement_is_continuous() {
     let o = Oscillator::for_node(&spec, 42, 3);
     for _ in 0..64 {
         let skew = rng.range(-1e-5, 1e-5);
-        let t = rng.range(0.0, 1e3);
+        let t = SimTime::from_secs(rng.range(0.0, 1e3));
         let d1 = o.displacement(t);
-        let d2 = o.displacement(t + 1e-6);
+        let d2 = o.displacement(t + secs(1e-6));
         // Rate is bounded by skew + wander amplitudes (well below 1e-4).
         assert!((d2 - d1).abs() < 1e-6 * 1e-4 + skew.abs() * 1e-6 + 1e-12);
     }
@@ -149,14 +177,14 @@ fn barriers_always_synchronize() {
             let times = cluster.run(move |ctx| {
                 let mut comm = Comm::world(ctx);
                 if ctx.rank() == late_rank {
-                    ctx.compute(1e-3);
+                    ctx.compute(secs(1e-3));
                 }
                 comm.barrier(ctx, alg);
                 ctx.now()
             });
             for (r, &t) in times.iter().enumerate() {
                 assert!(
-                    t >= 1e-3,
+                    t >= SimTime::from_secs(1e-3),
                     "{alg:?}: rank {r} exited at {t} before late entry"
                 );
             }
@@ -172,7 +200,8 @@ fn flatten_roundtrips_arbitrary_chains() {
         let models: Vec<(f64, f64)> = (0..depth)
             .map(|_| (rng.range(-50e-6, 50e-6), rng.range(-1e-2, 1e-2)))
             .collect();
-        let t = rng.range(0.0, 100.0);
+        let raw_t = rng.range(0.0, 100.0);
+        let t = SimTime::from_secs(raw_t);
         let build = |base: BoxClock| -> BoxClock {
             let mut c = base;
             for &(s, i) in &models {
@@ -185,7 +214,7 @@ fn flatten_roundtrips_arbitrary_chains() {
         let chain = build(base1);
         let bytes = hierarchical_clock_sync::clock::flatten_clock(chain.as_ref());
         let rebuilt = hierarchical_clock_sync::clock::unflatten_clock(base2, &bytes);
-        assert!((rebuilt.true_eval(t) - chain.true_eval(t)).abs() < 1e-9 * (1.0 + t));
+        assert!((rebuilt.true_eval(t) - chain.true_eval(t)).abs() < secs(1e-9 * (1.0 + raw_t)));
     }
 }
 
@@ -294,13 +323,17 @@ fn busy_wait_terminates_and_never_undershoots() {
                 let mut clk: BoxClock =
                     Box::new(LocalClock::from_oscillator(Oscillator::with_skew(skew), 0));
                 let start = clk.get_time(ctx);
-                let target = start + wait_s;
+                let target = start + secs(wait_s);
                 (busy_wait_until(clk.as_mut(), ctx, target), target)
             })
             .remove(0);
         assert!(reached >= target);
         // Overshoot bounded by the polling quantum (generously).
-        assert!(reached - target < 1e-4, "overshoot {}", reached - target);
+        assert!(
+            reached - target < secs(1e-4),
+            "overshoot {}",
+            reached - target
+        );
     }
 }
 

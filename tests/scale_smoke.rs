@@ -23,7 +23,7 @@ fn two_thousand_ranks_sync_and_reduce() {
         let g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
         let s = comm.allreduce_f64(ctx, 1.0, ReduceOp::F64Sum);
         assert_eq!(s, 2048.0);
-        g.true_eval(2.0)
+        g.true_eval(SimTime::from_secs(2.0)).raw_seconds()
     });
     assert_eq!(evals.len(), 2048);
     let max_err = evals
@@ -45,7 +45,7 @@ fn titan_large_scale_8192_ranks() {
             Box::new(ClockPropSync::verified()),
         );
         let g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
-        g.true_eval(2.0)
+        g.true_eval(SimTime::from_secs(2.0)).raw_seconds()
     });
     assert_eq!(evals.len(), 8192);
     let max_err = evals

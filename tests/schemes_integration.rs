@@ -32,7 +32,7 @@ fn round_time_latency_is_independent_of_barrier_imbalance() {
             let cfg = SuiteConfig {
                 nreps: 80,
                 barrier,
-                time_slice_s: 0.1,
+                time_slice_s: secs(0.1),
             };
             measure_allreduce(ctx, comm, g.as_mut(), suite, 8, cfg)
         });
@@ -70,9 +70,9 @@ fn window_scheme_cascades_but_round_time_recovers() {
             comm,
             g.as_mut(),
             WindowConfig {
-                window_s: 4e-6,
+                window_s: secs(4e-6),
                 nreps: 30,
-                first_window_slack_s: 1e-3,
+                first_window_slack_s: secs(1e-3),
             },
             &mut op,
         );
@@ -81,7 +81,7 @@ fn window_scheme_cascades_but_round_time_recovers() {
             comm,
             g.as_mut(),
             RoundTimeConfig {
-                max_time_slice_s: 0.05,
+                max_time_slice_s: secs(0.05),
                 max_nrep: 30,
                 ..Default::default()
             },
@@ -112,14 +112,14 @@ fn all_schemes_measure_the_same_operation_consistently() {
             comm,
             g.as_mut(),
             RoundTimeConfig {
-                max_time_slice_s: 0.05,
+                max_time_slice_s: secs(0.05),
                 max_nrep: 20,
                 ..Default::default()
             },
             &mut op,
         );
-        let bl = b.iter().map(|s| s.latency()).sum::<f64>() / b.len() as f64;
-        let rl = rt.iter().map(|s| s.latency()).sum::<f64>() / rt.len() as f64;
+        let bl = (b.iter().map(|s| s.latency()).sum::<Span>() / b.len() as f64).seconds();
+        let rl = (rt.iter().map(|s| s.latency()).sum::<Span>() / rt.len() as f64).seconds();
         (bl, rl)
     });
     // Per-rank local views differ (fast ranks wait inside the op). The
@@ -151,7 +151,7 @@ fn round_time_sample_counts_agree_across_ranks() {
             comm,
             g.as_mut(),
             RoundTimeConfig {
-                max_time_slice_s: 0.05,
+                max_time_slice_s: secs(0.05),
                 max_nrep: 100,
                 ..Default::default()
             },

@@ -1,6 +1,7 @@
 //! The `xtask check` static-analysis passes: seeded fixture violations
-//! must each be caught, and the real workspace must pass clean (the
-//! same invariant CI enforces via `cargo run -p xtask -- check`).
+//! must each be caught (including clock-domain newtype erosion), and
+//! the real workspace must pass clean (the same invariant CI enforces
+//! via `cargo run -p xtask -- check`).
 
 use xtask::{lint_sources, Level};
 
@@ -98,6 +99,91 @@ fn bare_unwrap_in_library_code_is_a_warning() {
     )]);
     assert_eq!(lint_ids(&findings), vec!["style/unwrap"]);
     assert!(findings.iter().all(|f| f.level == Level::Warning));
+}
+
+#[test]
+fn bare_time_parameter_is_an_error() {
+    // Deleting the newtype annotation from a time-named parameter in a
+    // deterministic crate must fail the clockdomain pass.
+    let findings = lint_sources(&[(
+        "crates/clock/src/global.rs",
+        "pub fn busy_wait_until(deadline: f64) -> GlobalTime { loop {} }\n",
+    )]);
+    assert!(
+        lint_ids(&findings).contains(&"clockdomain/bare-time"),
+        "{findings:?}"
+    );
+    // The typed signature passes.
+    let ok = lint_sources(&[(
+        "crates/clock/src/global.rs",
+        "pub fn busy_wait_until(deadline: GlobalTime) -> GlobalTime { loop {} }\n",
+    )]);
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn bare_time_field_and_return_are_errors() {
+    // A seconds-suffixed f64 field and a time-named fn returning f64
+    // each violate the newtype boundary.
+    let findings = lint_sources(&[(
+        "crates/core/src/check.rs",
+        "pub struct Outcome {\n    pub duration_s: f64,\n}\nimpl Outcome {\n    pub fn start_time(&self) -> f64 {\n        0.0\n    }\n}\n",
+    )]);
+    let ids = lint_ids(&findings);
+    assert_eq!(
+        ids.iter()
+            .filter(|l| **l == "clockdomain/bare-time")
+            .count(),
+        2,
+        "{findings:?}"
+    );
+    assert_eq!(findings[0].line, 2, "{findings:?}");
+    assert_eq!(findings[1].line, 5, "{findings:?}");
+}
+
+#[test]
+fn raw_domain_extraction_is_an_error() {
+    // Anonymous unwrapping of a newtype: `.0` access and `as f64` on a
+    // domain-typed line (outside crates/clock/src/domain.rs and
+    // crates/sim/src/timebase.rs, which define the types).
+    let findings = lint_sources(&[(
+        "crates/mpi/src/bcast.rs",
+        "pub fn leak(x: GlobalTime) -> Vec<u8> {\n    let raw = x.0;\n    raw.to_le_bytes().to_vec()\n}\n",
+    )]);
+    assert!(
+        lint_ids(&findings).contains(&"clockdomain/raw-extraction"),
+        "{findings:?}"
+    );
+    let findings = lint_sources(&[(
+        "crates/sim/src/engine.rs",
+        "pub fn cast(x: Span) -> usize { x as f64 as usize }\n",
+    )]);
+    assert!(
+        lint_ids(&findings).contains(&"clockdomain/raw-extraction"),
+        "{findings:?}"
+    );
+    // The same extraction inside the defining module is fine.
+    let ok = lint_sources(&[(
+        "crates/clock/src/domain.rs",
+        "impl GlobalTime {\n    pub const fn raw_seconds(self) -> f64 {\n        self.0\n    }\n}\n",
+    )]);
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn xtask_allow_comment_silences_clockdomain() {
+    let ok = lint_sources(&[(
+        "crates/sim/src/net.rs",
+        "pub struct Wire {\n    pub start: f64, // raw wire field; xtask-allow: clockdomain\n}\n",
+    )]);
+    assert!(ok.is_empty(), "{ok:?}");
+    // The marker only covers its own line.
+    let findings = lint_sources(&[(
+        "crates/sim/src/net.rs",
+        "pub struct Wire {\n    pub start: f64, // xtask-allow: clockdomain\n    pub deadline: f64,\n}\n",
+    )]);
+    assert_eq!(lint_ids(&findings), vec!["clockdomain/bare-time"]);
+    assert_eq!(findings[0].line, 3);
 }
 
 #[test]
