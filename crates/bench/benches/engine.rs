@@ -17,14 +17,14 @@ fn pingpong_run(p: usize, msgs: u32, seed: u64, pooled: bool) {
         match ctx.rank() {
             0 => {
                 for i in 0..msgs {
-                    ctx.send_f64(1, i & 0xFF, 1.0);
-                    let _ = ctx.recv_f64(1, i & 0xFF);
+                    ctx.send_t(1, i & 0xFF, 1.0f64);
+                    let _: f64 = ctx.recv_t(1, i & 0xFF);
                 }
             }
             1 => {
                 for i in 0..msgs {
-                    let v = ctx.recv_f64(0, i & 0xFF);
-                    ctx.send_f64(0, i & 0xFF, v);
+                    let v: f64 = ctx.recv_t(0, i & 0xFF);
+                    ctx.send_t(0, i & 0xFF, v);
                 }
             }
             _ => {}

@@ -9,13 +9,13 @@
 //!     [--nodes 27] [--ppn 8] [--iter 10] [--seed 1] [--csv out/fig10.csv]
 //! ```
 
-use hcs_bench::trace::gantt_rows;
-use hcs_bench::workloads::{amg_proxy, AmgProxyConfig};
+use hcs_bench::trace::{gantt_rows, per_rank_events};
+use hcs_bench::workloads::{amg_proxy, AmgProxyConfig, AMG_SPAN};
 use hcs_clock::{BoxClock, LocalClock, TimeSource};
 use hcs_core::prelude::*;
 use hcs_experiments::{Args, CsvWriter};
 use hcs_mpi::Comm;
-use hcs_sim::machines;
+use hcs_sim::{machines, ObsSpec};
 
 fn run_case(
     machine: &hcs_sim::MachineSpec,
@@ -24,8 +24,12 @@ fn run_case(
     use_global: bool,
     iter: u32,
 ) -> Vec<(usize, f64, f64)> {
-    let cluster = machine.cluster(seed);
-    let traces = cluster.run(|ctx| {
+    let cluster = machine
+        .cluster(seed)
+        .to_builder()
+        .observability(ObsSpec::spans_only())
+        .build();
+    let (_, log) = cluster.run_observed(|ctx| {
         let mut comm = Comm::world(ctx);
         let base = LocalClock::new(ctx, source);
         let mut trace_clk: BoxClock = if use_global {
@@ -42,10 +46,13 @@ fn run_case(
             iterations: 12,
             ..Default::default()
         };
-        let tracer = amg_proxy(ctx, &mut comm, trace_clk.as_mut(), cfg);
-        tracer.gather(ctx, &mut comm)
+        amg_proxy(ctx, &mut comm, trace_clk.as_mut(), cfg);
     });
-    gantt_rows(traces[0].as_ref().expect("root gathers"), iter)
+    let per_rank = per_rank_events(&log, AMG_SPAN);
+    gantt_rows(&per_rank, iter)
+        .into_iter()
+        .map(|(rank, start, dur)| (rank, start.seconds(), dur.seconds()))
+        .collect()
 }
 
 fn describe(rows: &[(usize, f64, f64)]) -> (f64, f64, f64) {

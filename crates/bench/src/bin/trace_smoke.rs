@@ -1,0 +1,66 @@
+//! Observability smoke run: one HCA3 synchronization followed by a
+//! Round-Time allreduce measurement with `ObsSpec::full()`, exported as
+//! a Chrome `trace_event` JSON (load it in chrome://tracing or
+//! Perfetto), plus the summary-stats JSON and the flame report. CI
+//! uploads the trace as an artifact of every run.
+//!
+//! ```text
+//! cargo run --release -p hcs-experiments --bin trace_smoke \
+//!     [--nodes 4] [--ppn 2] [--seed 1] [--out out/trace_smoke.json]
+//! ```
+
+use hcs_bench::schemes::{run_round_time, RoundTimeConfig};
+use hcs_clock::{LocalClock, TimeSource};
+use hcs_core::prelude::*;
+use hcs_experiments::Args;
+use hcs_mpi::{Comm, ReduceOp};
+use hcs_sim::obs::{chrome_trace, flame_report, summary_json};
+use hcs_sim::{machines, secs, ObsSpec};
+
+fn main() {
+    let args = Args::parse(&["nodes", "ppn", "seed", "out"]);
+    let nodes = args.get_usize("nodes", 4);
+    let ppn = args.get_usize("ppn", 2);
+    let seed = args.get_u64("seed", 1);
+    let out_path = args.get_str("out", "trace_smoke.json");
+
+    let cluster = machines::testbed(nodes, ppn)
+        .cluster(seed)
+        .to_builder()
+        .observability(ObsSpec::full())
+        .build();
+    let (nreps, log) = cluster.run_observed(|ctx| {
+        let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let mut comm = Comm::world(ctx);
+        let mut sync = Hca3::skampi(30, 8);
+        let out = run_sync(&mut sync, ctx, &mut comm, Box::new(clk));
+        let mut g = out.clock;
+        let cfg = RoundTimeConfig {
+            max_time_slice_s: secs(0.02),
+            max_nrep: 50,
+            ..Default::default()
+        };
+        let mut op = |ctx: &mut hcs_sim::RankCtx, comm: &mut Comm| {
+            let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
+        };
+        run_round_time(ctx, &mut comm, g.as_mut(), cfg, &mut op).len()
+    });
+
+    println!(
+        "{} ranks, {} valid Round-Time repetitions, {} events recorded ({} dropped)",
+        log.ranks().len(),
+        nreps[0],
+        log.total_events(),
+        log.total_dropped()
+    );
+
+    std::fs::write(&out_path, chrome_trace(&log)).expect("write chrome trace");
+    println!("chrome trace written to {out_path} (open in chrome://tracing)");
+
+    let stem = out_path.trim_end_matches(".json");
+    let summary_path = format!("{stem}.summary.json");
+    std::fs::write(&summary_path, summary_json(&log)).expect("write summary");
+    println!("span summary written to {summary_path}");
+
+    println!("\n{}", flame_report(&log));
+}

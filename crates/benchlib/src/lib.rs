@@ -12,8 +12,9 @@
 //!   Benchmarks and ReproMPI aggregate samples into a reported latency
 //!   (Figs. 7 and 9),
 //! - [`imbalance`] — barrier exit-imbalance measurement (Fig. 8),
-//! - [`trace`] + [`workloads`] — a minimal MPI tracing layer and the
-//!   AMG2013-proxy workload behind the Gantt charts of Fig. 10,
+//! - [`trace`] + [`workloads`] — typed trace extraction from the
+//!   observability layer and the AMG2013-proxy workload behind the
+//!   Gantt charts of Fig. 10,
 //! - [`stats`] — summary statistics used throughout.
 
 pub mod guidelines;
@@ -38,11 +39,11 @@ pub use schemes::{
 };
 pub use stats::{Histogram, Summary};
 pub use suites::{measure_allreduce, Suite, SuiteConfig, SuiteResult};
-pub use trace::{TraceEvent, Tracer};
+pub use trace::{gantt_rows, per_rank_events, TraceEvent};
 pub use tuner::{
     measure_candidate, tune_allreduce, tune_alltoall, CandidateResult, TuneScheme, TuningResult,
 };
-pub use workloads::{amg_proxy, halo_proxy, AmgProxyConfig, HaloProxyConfig};
+pub use workloads::{amg_proxy, halo_proxy, AmgProxyConfig, HaloProxyConfig, AMG_SPAN, HALO_SPAN};
 
 /// One-stop imports.
 pub mod prelude {
@@ -56,9 +57,11 @@ pub mod prelude {
     };
     pub use crate::stats::{Histogram, Summary};
     pub use crate::suites::{measure_allreduce, Suite, SuiteConfig, SuiteResult};
-    pub use crate::trace::{TraceEvent, Tracer};
+    pub use crate::trace::{gantt_rows, per_rank_events, TraceEvent};
     pub use crate::tuner::{
         measure_candidate, tune_allreduce, tune_alltoall, CandidateResult, TuneScheme, TuningResult,
     };
-    pub use crate::workloads::{amg_proxy, halo_proxy, AmgProxyConfig, HaloProxyConfig};
+    pub use crate::workloads::{
+        amg_proxy, halo_proxy, AmgProxyConfig, HaloProxyConfig, AMG_SPAN, HALO_SPAN,
+    };
 }

@@ -86,10 +86,11 @@ pub fn interpolate(begin: SyncEpoch, end: SyncEpoch, t_local: LocalTime) -> Glob
 }
 
 /// Applies [`interpolate`] to every event of a per-rank trace. Trace
-/// events are frame-agnostic raw readings, so the corrected values are
-/// stored back as raw seconds (now in the reference frame).
+/// events are frame-agnostic readings, so an uncorrected event's times
+/// are re-based into the local frame before interpolating; the
+/// corrected values live in the reference frame.
 pub fn correct_events(events: &[TraceEvent], begin: SyncEpoch, end: SyncEpoch) -> Vec<TraceEvent> {
-    let fix = |t: f64| interpolate(begin, end, LocalTime::from_raw_seconds(t)).raw_seconds();
+    let fix = |t: GlobalTime| interpolate(begin, end, t.rebase_local());
     events
         .iter()
         .map(|e| TraceEvent {
@@ -149,12 +150,12 @@ mod tests {
         let end = epoch(100.0, 1e-3);
         let evs = vec![TraceEvent {
             iter: 0,
-            enter: 50.0,
-            exit: 50.5,
+            enter: GlobalTime::from_raw_seconds(50.0),
+            exit: GlobalTime::from_raw_seconds(50.5),
         }];
         let fixed = correct_events(&evs, begin, end);
         // Duration scales by (1 + 1e-5).
-        assert!((fixed[0].duration() - 0.5 * (1.0 + 1e-5)).abs() < 1e-9);
+        assert!((fixed[0].duration().seconds() - 0.5 * (1.0 + 1e-5)).abs() < 1e-9);
         assert_eq!(fixed[0].iter, 0);
     }
 

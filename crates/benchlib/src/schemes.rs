@@ -19,7 +19,8 @@
 
 use hcs_clock::{busy_wait_until, Clock, GlobalTime, Span};
 use hcs_mpi::{BarrierAlgorithm, Comm, ReduceOp};
-use hcs_sim::{secs, RankCtx};
+use hcs_sim::obs::ClockReadings;
+use hcs_sim::{secs, RankCtx, Wire};
 
 /// The operation under test, e.g. one `MPI_Allreduce` call.
 pub type OpUnderTest<'a> = &'a mut dyn FnMut(&mut RankCtx, &mut Comm);
@@ -54,11 +55,21 @@ pub fn run_barrier_scheme(
     op: OpUnderTest,
 ) -> Vec<RepSample> {
     let mut out = Vec::with_capacity(nreps);
-    for _ in 0..nreps {
+    for i in 0..nreps {
         comm.barrier(ctx, barrier_alg);
         let start = clk.get_time(ctx);
+        if ctx.obs_on() {
+            ctx.obs_enter_read(
+                "scheme/barrier/rep",
+                i as u32,
+                ClockReadings::global(start.raw_seconds()),
+            );
+        }
         op(ctx, comm);
         let end = clk.get_time(ctx);
+        if ctx.obs_on() {
+            ctx.obs_exit_read(ClockReadings::global(end.raw_seconds()));
+        }
         out.push(RepSample { start, end });
     }
     out
@@ -105,8 +116,21 @@ pub fn run_window_scheme(
         let before = g_clk.get_time(ctx);
         let late = before > start;
         busy_wait_until(g_clk, ctx, start);
+        if ctx.obs_on() {
+            ctx.obs_enter_read(
+                "scheme/window/rep",
+                i as u32,
+                ClockReadings::global(start.raw_seconds()),
+            );
+            if late {
+                ctx.obs_note("window/late");
+            }
+        }
         op(ctx, comm);
         let end = g_clk.get_time(ctx);
+        if ctx.obs_on() {
+            ctx.obs_exit_read(ClockReadings::global(end.raw_seconds()));
+        }
         samples.push(RepSample { start, end });
         on_time.push(!late);
     }
@@ -166,6 +190,7 @@ pub fn run_round_time(
     busy_wait_until(g_clk, ctx, first);
     let t_start = g_clk.get_time(ctx);
     let mut nrep = 0usize;
+    let mut round = 0u32;
     let mut out = Vec::new();
     loop {
         // The reference picks and broadcasts the next start time.
@@ -178,17 +203,40 @@ pub fn run_round_time(
             busy_wait_until(g_clk, ctx, start_time);
         }
         let t0 = g_clk.get_time(ctx);
+        if ctx.obs_on() {
+            ctx.obs_enter_read(
+                "scheme/roundtime/rep",
+                round,
+                ClockReadings::global(t0.raw_seconds()),
+            );
+        }
         op(ctx, comm);
         let t1 = g_clk.get_time(ctx);
+        if ctx.obs_on() {
+            ctx.obs_exit_read(ClockReadings::global(t1.raw_seconds()));
+        }
+        round += 1;
 
         let out_of_time = t1 - t_start >= cfg.max_time_slice_s;
-        // Single allreduce combining both flags (the paper's line 21).
-        let mut flags = Vec::with_capacity(16);
-        flags.extend_from_slice(&(if invalid { 1.0f64 } else { 0.0 }).to_le_bytes());
-        flags.extend_from_slice(&(if out_of_time { 1.0f64 } else { 0.0 }).to_le_bytes());
-        let combined = comm.allreduce(ctx, &flags, ReduceOp::F64LOr);
-        invalid = f64::from_le_bytes(combined[0..8].try_into().unwrap()) != 0.0;
-        let out_of_time = f64::from_le_bytes(combined[8..16].try_into().unwrap()) != 0.0;
+        // Single allreduce combining both flags (the paper's line 21),
+        // encoded through the same `Wire` impl point-to-point uses.
+        let flags = [
+            if invalid { 1.0f64 } else { 0.0 },
+            if out_of_time { 1.0f64 } else { 0.0 },
+        ]
+        .to_wire();
+        let combined = comm.allreduce(ctx, flags.as_ref(), ReduceOp::F64LOr);
+        let [inv, oot] = <[f64; 2]>::from_wire(&combined);
+        invalid = inv != 0.0;
+        let out_of_time = oot != 0.0;
+        if ctx.obs_on() {
+            if invalid {
+                ctx.obs_note("roundtime/invalid");
+            }
+            if out_of_time {
+                ctx.obs_note("roundtime/out_of_time");
+            }
+        }
 
         if !invalid {
             out.push(RepSample {

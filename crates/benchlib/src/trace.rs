@@ -1,158 +1,175 @@
-//! A minimal MPI tracing layer (for the paper's Fig. 10 case study).
+//! Typed per-iteration trace events for the Gantt-chart case study
+//! (paper §V-C, Fig. 10), derived from the observability layer.
 //!
-//! Each rank records `(iteration, enter, exit)` events for the traced
-//! operation using a caller-supplied clock — a local time source
-//! reproduces the distorted Gantt charts of Fig. 10 (right column), a
-//! synchronized global clock the coherent ones (left column).
+//! Workloads no longer carry their own tracer: they open an
+//! observability span per iteration (with the traced clock's reading
+//! attached to both edges) and [`per_rank_events`] reconstructs the
+//! classic `(iter, enter, exit)` trace from the merged
+//! [`TraceLog`](hcs_sim::TraceLog) after the run. Readings are
+//! frame-agnostic raw values of whatever clock the workload traced with
+//! — a raw local clock or a synchronized global clock; comparing the
+//! two is the whole point of Fig. 10 — so events carry them as
+//! [`GlobalTime`] and analysis stays inside the clock-domain newtypes.
 
-use hcs_mpi::Comm;
-use hcs_sim::{RankCtx, Tag};
+use hcs_clock::{GlobalTime, Span};
+use hcs_sim::obs::Event;
+use hcs_sim::TraceLog;
 
-/// One traced operation instance on one rank.
+/// One traced interval of a workload iteration, in the frame of the
+/// clock the workload traced with.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
-    /// Iteration (or sequence) number.
+    /// Iteration index (the span's sequence number).
     pub iter: u32,
-    /// Clock reading at operation entry.
-    pub enter: f64,
-    /// Clock reading at operation exit.
-    pub exit: f64,
+    /// Traced-clock reading at region entry.
+    pub enter: GlobalTime,
+    /// Traced-clock reading at region exit.
+    pub exit: GlobalTime,
 }
 
 impl TraceEvent {
-    /// Duration of the traced operation.
-    pub fn duration(&self) -> f64 {
+    /// Apparent duration of the region under the traced clock.
+    pub fn duration(&self) -> Span {
         self.exit - self.enter
     }
 }
 
-/// Per-rank event recorder.
-#[derive(Debug, Default, Clone)]
-pub struct Tracer {
-    events: Vec<TraceEvent>,
+/// Extracts every `name` span of every rank from a merged trace log,
+/// in rank order, as classic `(iter, enter, exit)` trace events.
+///
+/// Span edges prefer the clock reading the workload attached (the
+/// traced clock); edges without a reading fall back to virtual true
+/// time, which is exact but unobtainable on a real machine.
+pub fn per_rank_events(log: &TraceLog, name: &str) -> Vec<Vec<TraceEvent>> {
+    log.ranks()
+        .iter()
+        .map(|rec| {
+            let Some(want) = rec.names().iter().position(|n| n == name) else {
+                return Vec::new();
+            };
+            let mut out = Vec::new();
+            let mut open: Vec<(u32, GlobalTime)> = Vec::new();
+            for ev in rec.events() {
+                match *ev {
+                    Event::Enter {
+                        secs,
+                        name,
+                        seq,
+                        reads,
+                    } if name as usize == want => {
+                        let enter = GlobalTime::from_raw_seconds(reads.global.unwrap_or(secs));
+                        open.push((seq, enter));
+                    }
+                    Event::Exit { secs, name, reads } if name as usize == want => {
+                        if let Some((iter, enter)) = open.pop() {
+                            let exit = GlobalTime::from_raw_seconds(reads.global.unwrap_or(secs));
+                            out.push(TraceEvent { iter, enter, exit });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            out
+        })
+        .collect()
 }
 
-const TAG_TRACE: Tag = 0x01A0;
-
-impl Tracer {
-    /// A fresh, empty tracer.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one event.
-    pub fn record(&mut self, iter: u32, enter: f64, exit: f64) {
-        self.events.push(TraceEvent { iter, enter, exit });
-    }
-
-    /// This rank's events.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
-    }
-
-    /// Gathers all ranks' events at the root (post-mortem, like real
-    /// tracing tools). Returns `Some(per_rank_events)` on comm rank 0.
-    pub fn gather(&self, ctx: &mut RankCtx, comm: &mut Comm) -> Option<Vec<Vec<TraceEvent>>> {
-        let mut buf = Vec::with_capacity(self.events.len() * 20);
-        for e in &self.events {
-            buf.extend_from_slice(&e.iter.to_le_bytes());
-            buf.extend_from_slice(&e.enter.to_le_bytes());
-            buf.extend_from_slice(&e.exit.to_le_bytes());
-        }
-        let _ = TAG_TRACE; // tag reserved for streaming extensions
-        let gathered = comm.gather(ctx, 0, &buf)?;
-        Some(
-            gathered
-                .into_iter()
-                .map(|raw| {
-                    raw.chunks_exact(20)
-                        .map(|c| TraceEvent {
-                            iter: u32::from_le_bytes(c[0..4].try_into().unwrap()),
-                            enter: f64::from_le_bytes(c[4..12].try_into().unwrap()),
-                            exit: f64::from_le_bytes(c[12..20].try_into().unwrap()),
-                        })
-                        .collect()
-                })
-                .collect(),
-        )
-    }
-}
-
-/// A Gantt row for one rank and one iteration: `(rank, start, duration)`
-/// with `start` normalized to the earliest start among ranks (this is
-/// what Fig. 10 plots).
-pub fn gantt_rows(per_rank: &[Vec<TraceEvent>], iter: u32) -> Vec<(usize, f64, f64)> {
-    let starts: Vec<Option<&TraceEvent>> = per_rank
-        .iter()
-        .map(|evs| evs.iter().find(|e| e.iter == iter))
-        .collect();
-    let min_start = starts
-        .iter()
-        .flatten()
-        .map(|e| e.enter)
-        .fold(f64::INFINITY, f64::min);
-    starts
+/// Extracts the Gantt rows of one iteration from per-rank trace events:
+/// `(rank, enter offset, duration)`, offsets normalized to the earliest
+/// enter among the ranks that recorded the iteration.
+pub fn gantt_rows(per_rank: &[Vec<TraceEvent>], iter: u32) -> Vec<(usize, Span, Span)> {
+    let picked: Vec<(usize, &TraceEvent)> = per_rank
         .iter()
         .enumerate()
-        .filter_map(|(rank, ev)| ev.map(|e| (rank, e.enter - min_start, e.duration())))
+        .filter_map(|(rank, evs)| evs.iter().find(|e| e.iter == iter).map(|e| (rank, e)))
+        .collect();
+    let Some(origin) = picked
+        .iter()
+        .map(|&(_, e)| e.enter)
+        .reduce(|a, b| if b < a { b } else { a })
+    else {
+        return Vec::new();
+    };
+    picked
+        .into_iter()
+        .map(|(rank, e)| (rank, e.enter - origin, e.duration()))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hcs_sim::machines::testbed;
+    use hcs_sim::obs::{ClockReadings, RankRecorder};
+
+    fn ev(iter: u32, enter: f64, exit: f64) -> TraceEvent {
+        TraceEvent {
+            iter,
+            enter: GlobalTime::from_raw_seconds(enter),
+            exit: GlobalTime::from_raw_seconds(exit),
+        }
+    }
 
     #[test]
-    fn record_and_gather_roundtrip() {
-        let cluster = testbed(2, 2).cluster(1);
-        let res = cluster.run(|ctx| {
-            let mut comm = Comm::world(ctx);
-            let mut tr = Tracer::new();
-            let base = comm.rank() as f64;
-            tr.record(0, base, base + 0.5);
-            tr.record(1, base + 1.0, base + 1.25);
-            tr.gather(ctx, &mut comm)
-        });
-        let all = res[0].as_ref().unwrap();
-        assert_eq!(all.len(), 4);
-        for (rank, evs) in all.iter().enumerate() {
-            assert_eq!(evs.len(), 2);
-            assert_eq!(evs[0].iter, 0);
-            assert!((evs[0].enter - rank as f64).abs() < 1e-12);
-            assert!((evs[1].duration() - 0.25).abs() < 1e-12);
-        }
-        assert!(res[1].is_none());
+    fn per_rank_events_rebuilds_iterations_from_spans() {
+        let mut r0 = RankRecorder::new(0, 64);
+        r0.enter(1.0, "amg/allreduce", 0, ClockReadings::global(10.0));
+        r0.exit(1.5, ClockReadings::global(10.5));
+        r0.enter(2.0, "amg/allreduce", 1, ClockReadings::global(11.0));
+        r0.exit(2.25, ClockReadings::global(11.25));
+        let mut r1 = RankRecorder::new(1, 64);
+        // A rank with other spans but none matching.
+        r1.enter(1.0, "sync/hca3", 0, ClockReadings::NONE);
+        r1.exit(2.0, ClockReadings::NONE);
+        let log = TraceLog::new(vec![r0, r1]);
+
+        let per_rank = per_rank_events(&log, "amg/allreduce");
+        assert_eq!(per_rank.len(), 2);
+        assert_eq!(per_rank[0], vec![ev(0, 10.0, 10.5), ev(1, 11.0, 11.25)]);
+        assert!(per_rank[1].is_empty());
+    }
+
+    #[test]
+    fn per_rank_events_falls_back_to_virtual_time_without_readings() {
+        let mut rec = RankRecorder::new(0, 64);
+        rec.enter(3.0, "halo/exchange", 7, ClockReadings::NONE);
+        rec.exit(3.5, ClockReadings::NONE);
+        let log = TraceLog::new(vec![rec]);
+        let per_rank = per_rank_events(&log, "halo/exchange");
+        assert_eq!(per_rank[0], vec![ev(7, 3.0, 3.5)]);
+    }
+
+    #[test]
+    fn per_rank_events_ignores_nested_foreign_spans() {
+        let mut rec = RankRecorder::new(0, 64);
+        rec.enter(1.0, "outer", 0, ClockReadings::global(1.0));
+        rec.enter(1.1, "inner", 0, ClockReadings::NONE);
+        rec.exit(1.2, ClockReadings::NONE);
+        rec.exit(2.0, ClockReadings::global(2.0));
+        let log = TraceLog::new(vec![rec]);
+        let per_rank = per_rank_events(&log, "outer");
+        assert_eq!(per_rank[0], vec![ev(0, 1.0, 2.0)]);
     }
 
     #[test]
     fn gantt_rows_normalize_to_earliest() {
         let per_rank = vec![
-            vec![TraceEvent {
-                iter: 3,
-                enter: 10.0,
-                exit: 10.5,
-            }],
-            vec![TraceEvent {
-                iter: 3,
-                enter: 9.0,
-                exit: 9.25,
-            }],
-            vec![], // a rank without this iteration
+            vec![ev(0, 5.0, 5.5), ev(1, 8.0, 8.1)],
+            vec![ev(0, 4.5, 6.0)],
+            vec![], // rank without the iteration
         ];
-        let rows = gantt_rows(&per_rank, 3);
-        assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0], (0, 1.0, 0.5));
-        assert_eq!(rows[1], (1, 0.0, 0.25));
+        let rows = gantt_rows(&per_rank, 0);
+        assert_eq!(
+            rows,
+            vec![
+                (0, Span::from_secs(0.5), Span::from_secs(0.5)),
+                (1, Span::from_secs(0.0), Span::from_secs(1.5)),
+            ]
+        );
     }
 
     #[test]
-    fn empty_tracer_gathers_empty() {
-        let cluster = testbed(1, 2).cluster(2);
-        let res = cluster.run(|ctx| {
-            let mut comm = Comm::world(ctx);
-            Tracer::new().gather(ctx, &mut comm)
-        });
-        assert!(res[0].as_ref().unwrap().iter().all(|v| v.is_empty()));
+    fn gantt_rows_of_missing_iteration_are_empty() {
+        let per_rank = vec![vec![ev(0, 1.0, 2.0)]];
+        assert!(gantt_rows(&per_rank, 3).is_empty());
     }
 }

@@ -11,10 +11,16 @@
 
 use hcs_clock::{Clock, Span};
 use hcs_mpi::{Comm, ReduceOp};
+use hcs_sim::obs::ClockReadings;
 use hcs_sim::rngx::{self, label};
 use hcs_sim::{secs, RankCtx};
 
-use crate::trace::Tracer;
+/// Span name of the AMG proxy's per-iteration allreduce (see
+/// [`crate::trace::per_rank_events`]).
+pub const AMG_SPAN: &str = "amg/allreduce";
+
+/// Span name of the halo proxy's per-iteration exchange phase.
+pub const HALO_SPAN: &str = "halo/exchange";
 
 /// Parameters of the AMG proxy run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,14 +51,17 @@ impl Default for AmgProxyConfig {
 
 /// Runs the AMG proxy, tracing every allreduce with `trace_clk` (which
 /// may be a raw local clock or a synchronized global clock — that is
-/// the whole point of Fig. 10). Returns this rank's tracer.
+/// the whole point of Fig. 10). Each allreduce is wrapped in an
+/// [`AMG_SPAN`] observability span carrying the traced-clock readings;
+/// retrieve the per-rank trace after the run with
+/// [`crate::trace::per_rank_events`]. The clock reads happen whether or
+/// not observability is on, so the timeline is identical either way.
 pub fn amg_proxy(
     ctx: &mut RankCtx,
     comm: &mut Comm,
     trace_clk: &mut dyn Clock,
     cfg: AmgProxyConfig,
-) -> Tracer {
-    let mut tracer = Tracer::new();
+) {
     let mut rng = rngx::stream_rng(ctx.master_seed(), label::rank_workload(ctx.rank()));
     // Deterministic rank-dependent imbalance factor in [1-i, 1+i].
     let spread = if comm.size() > 1 {
@@ -66,12 +75,16 @@ pub fn amg_proxy(
         let noise = 1.0 + cfg.noise * (rng.next_f64() * 2.0 - 1.0);
         ctx.compute((my_base * noise).max(Span::ZERO));
         let enter = trace_clk.get_time(ctx);
+        if ctx.obs_on() {
+            // Spans store frame-agnostic raw readings of `trace_clk`.
+            ctx.obs_enter_read(AMG_SPAN, iter, ClockReadings::global(enter.raw_seconds()));
+        }
         let _ = comm.allreduce(ctx, &payload, ReduceOp::ByteMax);
         let exit = trace_clk.get_time(ctx);
-        // Trace events store frame-agnostic raw readings of `trace_clk`.
-        tracer.record(iter, enter.raw_seconds(), exit.raw_seconds());
+        if ctx.obs_on() {
+            ctx.obs_exit_read(ClockReadings::global(exit.raw_seconds()));
+        }
     }
-    tracer
 }
 
 /// Parameters of the halo-exchange (stencil) proxy.
@@ -102,14 +115,14 @@ impl Default for HaloProxyConfig {
 /// neighbors (eager send + two receives, like `MPI_Sendrecv` pairs) and
 /// periodically runs a residual allreduce — the other common
 /// communication pattern of the DOE mini-apps the paper motivates with.
-/// Traces the halo phase per iteration with `trace_clk`.
+/// Traces the halo phase per iteration with `trace_clk`, recorded as
+/// [`HALO_SPAN`] observability spans like [`amg_proxy`] does.
 pub fn halo_proxy(
     ctx: &mut RankCtx,
     comm: &mut Comm,
     trace_clk: &mut dyn Clock,
     cfg: HaloProxyConfig,
-) -> Tracer {
-    let mut tracer = Tracer::new();
+) {
     let mut rng = rngx::stream_rng(ctx.master_seed(), label::rank_workload(ctx.rank()) ^ 0xA10);
     let p = comm.size();
     let me = comm.rank();
@@ -122,6 +135,9 @@ pub fn halo_proxy(
         let noise = 1.0 + 0.15 * (rng.next_f64() * 2.0 - 1.0);
         ctx.compute(cfg.compute_mean_s * noise);
         let enter = trace_clk.get_time(ctx);
+        if ctx.obs_on() {
+            ctx.obs_enter_read(HALO_SPAN, iter, ClockReadings::global(enter.raw_seconds()));
+        }
         if p > 1 {
             // Exchange with both neighbors (eager sends first, so the
             // pattern is deadlock-free like MPI_Sendrecv).
@@ -134,30 +150,43 @@ pub fn halo_proxy(
             let _ = comm.allreduce(ctx, &[0u8; 8], ReduceOp::ByteMax);
         }
         let exit = trace_clk.get_time(ctx);
-        tracer.record(iter, enter.raw_seconds(), exit.raw_seconds());
+        if ctx.obs_on() {
+            ctx.obs_exit_read(ClockReadings::global(exit.raw_seconds()));
+        }
     }
-    tracer
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::per_rank_events;
     use hcs_clock::{LocalClock, TimeSource};
     use hcs_sim::machines::testbed;
+    use hcs_sim::{Cluster, ObsSpec};
+
+    fn observed(nodes: usize, cores: usize, seed: u64) -> Cluster {
+        testbed(nodes, cores)
+            .cluster(seed)
+            .to_builder()
+            .observability(ObsSpec::full())
+            .build()
+    }
 
     #[test]
     fn proxy_records_every_iteration() {
-        let cluster = testbed(2, 2).cluster(1);
-        let res = cluster.run(|ctx| {
+        let cluster = observed(2, 2, 1);
+        let (_, log) = cluster.run_observed(|ctx| {
             let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
             let mut comm = Comm::world(ctx);
             let cfg = AmgProxyConfig {
                 iterations: 10,
                 ..Default::default()
             };
-            amg_proxy(ctx, &mut comm, &mut clk, cfg).events().len()
+            amg_proxy(ctx, &mut comm, &mut clk, cfg);
         });
-        assert!(res.iter().all(|&n| n == 10));
+        let per_rank = per_rank_events(&log, AMG_SPAN);
+        assert_eq!(per_rank.len(), 4);
+        assert!(per_rank.iter().all(|evs| evs.len() == 10));
     }
 
     #[test]
@@ -165,8 +194,8 @@ mod tests {
         // The slowest rank arrives last; fast ranks' allreduce time
         // includes waiting for it, so their traced durations exceed the
         // slow rank's.
-        let cluster = testbed(2, 2).cluster(2);
-        let res = cluster.run(|ctx| {
+        let cluster = observed(2, 2, 2);
+        let (_, log) = cluster.run_observed(|ctx| {
             let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
             let mut comm = Comm::world(ctx);
             let cfg = AmgProxyConfig {
@@ -176,60 +205,79 @@ mod tests {
                 noise: 0.0,
                 ..Default::default()
             };
-            let tr = amg_proxy(ctx, &mut comm, &mut clk, cfg);
-            tr.events().iter().map(|e| e.duration()).sum::<f64>() / tr.events().len() as f64
+            amg_proxy(ctx, &mut comm, &mut clk, cfg);
         });
+        let per_rank = per_rank_events(&log, AMG_SPAN);
+        let mean = |evs: &[crate::trace::TraceEvent]| {
+            evs.iter().map(|e| e.duration().seconds()).sum::<f64>() / evs.len() as f64
+        };
         // Rank 0 (fastest compute) waits longest inside the allreduce;
         // the last rank (slowest) waits least.
-        assert!(
-            res[0] > res[3],
-            "fast rank {:.3e} vs slow rank {:.3e}",
-            res[0],
-            res[3]
-        );
+        let fast = mean(&per_rank[0]);
+        let slow = mean(&per_rank[3]);
+        assert!(fast > slow, "fast rank {fast:.3e} vs slow rank {slow:.3e}");
     }
 
     #[test]
     fn halo_proxy_runs_and_records() {
-        let cluster = testbed(3, 2).cluster(6);
-        let res = cluster.run(|ctx| {
+        let cluster = observed(3, 2, 6);
+        let (sent, log) = cluster.run_observed(|ctx| {
             let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
             let mut comm = Comm::world(ctx);
             let cfg = HaloProxyConfig {
                 iterations: 12,
                 ..Default::default()
             };
-            let tr = halo_proxy(ctx, &mut comm, &mut clk, cfg);
-            (tr.events().len(), ctx.counters().sent_msgs)
+            halo_proxy(ctx, &mut comm, &mut clk, cfg);
+            ctx.counters().sent_msgs
         });
-        for &(n, sent) in &res {
-            assert_eq!(n, 12);
+        let per_rank = per_rank_events(&log, HALO_SPAN);
+        for evs in &per_rank {
+            assert_eq!(evs.len(), 12);
+        }
+        for &s in &sent {
             // 2 halo sends per iteration + allreduce traffic.
-            assert!(sent >= 24, "sent {sent}");
+            assert!(s >= 24, "sent {s}");
         }
     }
 
     #[test]
     fn halo_proxy_single_rank_degenerates_gracefully() {
-        let cluster = testbed(1, 1).cluster(7);
-        cluster.run(|ctx| {
+        let cluster = observed(1, 1, 7);
+        let (_, log) = cluster.run_observed(|ctx| {
             let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
             let mut comm = Comm::world(ctx);
-            let tr = halo_proxy(ctx, &mut comm, &mut clk, HaloProxyConfig::default());
-            assert_eq!(tr.events().len(), 20);
+            halo_proxy(ctx, &mut comm, &mut clk, HaloProxyConfig::default());
         });
+        assert_eq!(per_rank_events(&log, HALO_SPAN)[0].len(), 20);
     }
 
     #[test]
     fn proxy_is_deterministic() {
         let run = || {
-            testbed(2, 1).cluster(5).run(|ctx| {
+            let (_, log) = observed(2, 1, 5).run_observed(|ctx| {
                 let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
                 let mut comm = Comm::world(ctx);
-                let tr = amg_proxy(ctx, &mut comm, &mut clk, AmgProxyConfig::default());
-                tr.events().last().map(|e| e.exit)
-            })
+                amg_proxy(ctx, &mut comm, &mut clk, AmgProxyConfig::default());
+            });
+            per_rank_events(&log, AMG_SPAN)
+                .iter()
+                .map(|evs| evs.last().map(|e| e.exit))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn proxy_timeline_is_identical_with_observability_off() {
+        let body = |ctx: &mut RankCtx| {
+            let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            amg_proxy(ctx, &mut comm, &mut clk, AmgProxyConfig::default());
+            ctx.now()
+        };
+        let on = observed(2, 2, 9).run(body);
+        let off = testbed(2, 2).cluster(9).run(body);
+        assert_eq!(on, off);
     }
 }

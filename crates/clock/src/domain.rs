@@ -33,6 +33,8 @@
 //! version, so simulated timelines do not change (see BENCH_engine.json
 //! tracking).
 
+use hcs_sim::wire::Wire;
+
 pub use hcs_sim::timebase::{secs, Span};
 
 /// A reading of a rank's *local* clock (or any value in a client clock's
@@ -100,6 +102,23 @@ impl std::ops::AddAssign<Span> for LocalTime {
     #[inline]
     fn add_assign(&mut self, rhs: Span) {
         self.0 += rhs.seconds();
+    }
+}
+
+/// Wire form of a local reading: the raw seconds as little-endian
+/// `f64`. The typed `send_t`/`recv_t` path keeps the frame on both ends
+/// of the wire — decode yields a [`LocalTime`], not a bare float.
+impl Wire for LocalTime {
+    type Bytes = [u8; 8];
+
+    #[inline]
+    fn to_wire(self) -> [u8; 8] {
+        self.raw_seconds().to_le_bytes()
+    }
+
+    #[inline]
+    fn from_wire(bytes: &[u8]) -> Self {
+        LocalTime::from_raw_seconds(f64::from_wire(bytes))
     }
 }
 
@@ -198,6 +217,21 @@ impl std::ops::AddAssign<Span> for GlobalTime {
     }
 }
 
+/// Wire form of a global reading (see the [`LocalTime`] impl).
+impl Wire for GlobalTime {
+    type Bytes = [u8; 8];
+
+    #[inline]
+    fn to_wire(self) -> [u8; 8] {
+        self.raw_seconds().to_le_bytes()
+    }
+
+    #[inline]
+    fn from_wire(bytes: &[u8]) -> Self {
+        GlobalTime::from_raw_seconds(f64::from_wire(bytes))
+    }
+}
+
 impl std::fmt::Display for GlobalTime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         self.0.fmt(f)
@@ -246,6 +280,16 @@ mod tests {
     fn rebase_preserves_value() {
         let g = GlobalTime::from_raw_seconds(123.456);
         assert_eq!(g.rebase_local().raw_seconds(), 123.456);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_frame_value() {
+        let l = LocalTime::from_raw_seconds(17.125);
+        assert_eq!(LocalTime::from_wire(l.to_wire().as_ref()), l);
+        let g = GlobalTime::from_raw_seconds(-0.5);
+        assert_eq!(GlobalTime::from_wire(g.to_wire().as_ref()), g);
+        // Same byte layout as the raw float: the wire schema is unchanged.
+        assert_eq!(g.to_wire(), (-0.5f64).to_le_bytes());
     }
 
     #[test]

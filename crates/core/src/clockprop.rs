@@ -47,7 +47,10 @@ impl ClockSync for ClockPropSync {
         if comm.size() <= 1 {
             return clk;
         }
-        if comm.rank() == 0 {
+        if ctx.obs_on() {
+            ctx.obs_enter("clockprop/bcast");
+        }
+        let out = if comm.rank() == 0 {
             let buffer = flatten_clock(clk.as_ref());
             comm.bcast_f64(ctx, 0, buffer.len() as f64);
             comm.bcast(ctx, 0, &buffer);
@@ -57,7 +60,9 @@ impl ClockSync for ClockPropSync {
             let buffer = comm.bcast(ctx, 0, &[]);
             assert_eq!(buffer.len(), size, "clock buffer size mismatch");
             unflatten_clock(clk, &buffer)
-        }
+        };
+        ctx.obs_exit();
+        out
     }
 
     fn label(&self) -> String {

@@ -117,6 +117,9 @@ fn tree_sync(
     // models travel up the tree with everything else.
     if r >= max_power {
         let p_ref = r - max_power;
+        if ctx.obs_on() {
+            ctx.obs_enter("hca2/foldin/client");
+        }
         let lm = learn_clock_model(ctx, comm, offset_alg.as_mut(), params, p_ref, r, clk)
             .expect("client obtains a model");
         // lm maps my readings into p_ref's frame.
@@ -125,12 +128,17 @@ fn tree_sync(
             .map(|&(g, m)| (g, LinearModel::compose(&lm, &m)))
             .collect();
         ctx.send(comm.global_rank(p_ref), TAG_TABLE, &pack_table(&composed));
+        ctx.obs_exit();
     } else {
         if r + max_power < nprocs {
             let client = r + max_power;
+            if ctx.obs_on() {
+                ctx.obs_enter("hca2/foldin/ref");
+            }
             learn_clock_model(ctx, comm, offset_alg.as_mut(), params, r, client, clk);
             let buf = ctx.recv(comm.global_rank(client), TAG_TABLE);
             table.extend(unpack_table(&buf));
+            ctx.obs_exit();
         }
 
         // Inverted binomial tree: leaves first (Fig. 1a).
@@ -141,6 +149,9 @@ fn tree_sync(
                 // Client of r - next_power: learn, compose my whole
                 // subtree's models into the parent frame, ship them.
                 let p_ref = r - next_power;
+                if ctx.obs_on() {
+                    ctx.obs_enter_seq("hca2/round/client", i as u32);
+                }
                 let lm = learn_clock_model(ctx, comm, offset_alg.as_mut(), params, p_ref, r, clk)
                     .expect("client obtains a model");
                 let composed: Vec<(usize, LinearModel)> = table
@@ -148,19 +159,27 @@ fn tree_sync(
                     .map(|&(g, m)| (g, LinearModel::compose(&lm, &m)))
                     .collect();
                 ctx.send(comm.global_rank(p_ref), TAG_TABLE, &pack_table(&composed));
+                ctx.obs_exit();
                 break;
             } else if r.is_multiple_of(running_power) {
                 let client = r + next_power;
                 if client < max_power {
+                    if ctx.obs_on() {
+                        ctx.obs_enter_seq("hca2/round/ref", i as u32);
+                    }
                     learn_clock_model(ctx, comm, offset_alg.as_mut(), params, r, client, clk);
                     let buf = ctx.recv(comm.global_rank(client), TAG_TABLE);
                     table.extend(unpack_table(&buf));
+                    ctx.obs_exit();
                 }
             }
         }
     }
 
     // Root scatters each rank's model (paper Fig. 1a bottom).
+    if ctx.obs_on() {
+        ctx.obs_enter("hca2/scatter");
+    }
     let chunks: Option<Vec<Vec<u8>>> = if r == 0 {
         let mut per_rank = vec![LinearModel::IDENTITY; nprocs];
         assert_eq!(
@@ -177,7 +196,9 @@ fn tree_sync(
         None
     };
     let mine = comm.scatter(ctx, 0, chunks.as_deref());
-    unpack_table(&mine)[0].1
+    let lm_mine = unpack_table(&mine)[0].1;
+    ctx.obs_exit();
+    lm_mine
 }
 
 impl ClockSync for Hca2 {
@@ -259,6 +280,9 @@ impl ClockSync for Hca {
         // rank order; message matching sequences this naturally).
         let mut offset_alg = self.offset.build();
         let r = comm.rank();
+        if ctx.obs_on() {
+            ctx.obs_enter("hca/reanchor");
+        }
         if r == 0 {
             for client in 1..comm.size() {
                 offset_alg.measure_offset(ctx, comm, &mut clk, 0, client);
@@ -269,6 +293,7 @@ impl ClockSync for Hca {
                 .expect("client obtains an offset");
             lm.reanchor(o.timestamp, o.offset);
         }
+        ctx.obs_exit();
         GlobalClockLM::new(clk, lm).boxed()
     }
 

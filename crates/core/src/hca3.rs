@@ -93,6 +93,9 @@ impl ClockSync for Hca3 {
                 // Reference for this round: emulate the global clock.
                 let other_rank = r + next_power;
                 if other_rank < nprocs {
+                    if ctx.obs_on() {
+                        ctx.obs_enter_seq("hca3/round/ref", i as u32);
+                    }
                     learn_clock_model(
                         ctx,
                         comm,
@@ -102,11 +105,15 @@ impl ClockSync for Hca3 {
                         other_rank,
                         &mut my_clk,
                     );
+                    ctx.obs_exit();
                 }
             } else if r % running_power == next_power {
                 // Client: learn my drift against the (emulated) global
                 // clock of the reference.
                 let other_rank = r - next_power;
+                if ctx.obs_on() {
+                    ctx.obs_enter_seq("hca3/round/client", i as u32);
+                }
                 let lm = learn_clock_model(
                     ctx,
                     comm,
@@ -118,6 +125,7 @@ impl ClockSync for Hca3 {
                 )
                 .expect("client obtains a model");
                 my_clk = GlobalClockLM::new(my_clk, lm).boxed();
+                ctx.obs_exit();
             }
         }
 
@@ -125,6 +133,9 @@ impl ClockSync for Hca3 {
         // counterpart r - max_power (which now holds a global clock).
         if r >= max_power {
             let other_rank = r - max_power;
+            if ctx.obs_on() {
+                ctx.obs_enter("hca3/step2/client");
+            }
             let lm = learn_clock_model(
                 ctx,
                 comm,
@@ -136,8 +147,12 @@ impl ClockSync for Hca3 {
             )
             .expect("client obtains a model");
             my_clk = GlobalClockLM::new(my_clk, lm).boxed();
+            ctx.obs_exit();
         } else if r < nprocs - max_power {
             let other_rank = r + max_power;
+            if ctx.obs_on() {
+                ctx.obs_enter("hca3/step2/ref");
+            }
             learn_clock_model(
                 ctx,
                 comm,
@@ -147,6 +162,7 @@ impl ClockSync for Hca3 {
                 other_rank,
                 &mut my_clk,
             );
+            ctx.obs_exit();
         }
         my_clk
     }

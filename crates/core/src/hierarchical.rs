@@ -123,10 +123,19 @@ impl ClockSync for Hierarchical {
             .collect();
 
         let mut clk = clk;
-        for (plan, level_comm) in self.levels.iter_mut().zip(level_comms.iter_mut()) {
+        for (lvl, (plan, level_comm)) in self
+            .levels
+            .iter_mut()
+            .zip(level_comms.iter_mut())
+            .enumerate()
+        {
             if let Some(lc) = level_comm {
                 if lc.size() > 1 {
+                    if ctx.obs_on() {
+                        ctx.obs_enter_seq(&format!("hier/level/{}", plan.alg.label()), lvl as u32);
+                    }
                     clk = plan.alg.sync_clocks(ctx, lc, clk);
+                    ctx.obs_exit();
                 }
             }
         }

@@ -86,6 +86,9 @@ impl ClockSync for Jk {
         let mut offset_alg = self.offset.build();
         if r == 0 {
             for client in 1..comm.size() {
+                if ctx.obs_on() {
+                    ctx.obs_enter_seq("jk/client/ref", client as u32);
+                }
                 learn_clock_model(
                     ctx,
                     comm,
@@ -95,8 +98,12 @@ impl ClockSync for Jk {
                     client,
                     &mut my_clk,
                 );
+                ctx.obs_exit();
             }
         } else {
+            if ctx.obs_on() {
+                ctx.obs_enter_seq("jk/client/learn", r as u32);
+            }
             let lm = learn_clock_model(
                 ctx,
                 comm,
@@ -108,6 +115,7 @@ impl ClockSync for Jk {
             )
             .expect("client obtains a model");
             my_clk = GlobalClockLM::new(my_clk, lm).boxed();
+            ctx.obs_exit();
         }
         my_clk
     }

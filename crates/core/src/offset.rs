@@ -112,7 +112,7 @@ impl OffsetAlgorithm for SkampiOffset {
         let me = comm.rank();
         if me == p_ref {
             for _ in 0..self.params.nexchanges {
-                let _dummy = comm.recv_f64(ctx, client, TAG_PING);
+                let _dummy: f64 = comm.recv_t(ctx, client, TAG_PING);
                 let t_last = clk.get_time(ctx);
                 comm.send_time(ctx, p_ref_partner(client), TAG_PING, t_last);
             }
@@ -197,15 +197,15 @@ impl MeanRttOffset {
         for i in 0..=self.rtt_pingpongs {
             if me == client {
                 let t0 = clk.get_time(ctx);
-                comm.ssend_f64(ctx, p_ref, TAG_RTT, 0.0);
-                let _ = comm.recv_f64(ctx, p_ref, TAG_RTT);
+                comm.ssend_t(ctx, p_ref, TAG_RTT, 0.0f64);
+                let _: f64 = comm.recv_t(ctx, p_ref, TAG_RTT);
                 let t1 = clk.get_time(ctx);
                 if i > 0 {
                     sum += t1 - t0;
                 }
             } else {
-                let _ = comm.recv_f64(ctx, client, TAG_RTT);
-                comm.ssend_f64(ctx, client, TAG_RTT, 0.0);
+                let _: f64 = comm.recv_t(ctx, client, TAG_RTT);
+                comm.ssend_t(ctx, client, TAG_RTT, 0.0f64);
             }
         }
         sum / self.rtt_pingpongs as f64
@@ -245,7 +245,7 @@ impl OffsetAlgorithm for MeanRttOffset {
         };
         if me == p_ref {
             for _ in 0..self.params.nexchanges {
-                let _dummy = comm.recv_f64(ctx, client, TAG_PING);
+                let _dummy: f64 = comm.recv_t(ctx, client, TAG_PING);
                 let tlocal = clk.get_time(ctx);
                 comm.ssend_time(ctx, client, TAG_PING, tlocal);
             }
@@ -255,7 +255,7 @@ impl OffsetAlgorithm for MeanRttOffset {
             let mut local_time = Vec::with_capacity(n);
             let mut time_var = Vec::with_capacity(n);
             for _ in 0..n {
-                comm.ssend_f64(ctx, p_ref, TAG_PING, 0.0);
+                comm.ssend_t(ctx, p_ref, TAG_PING, 0.0f64);
                 let ref_time = comm.recv_time(ctx, p_ref, TAG_PING);
                 let lt = clk.get_time(ctx);
                 // ref stamped ~RTT/2 before our read; offset = ref - client.

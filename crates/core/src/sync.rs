@@ -38,17 +38,22 @@ pub struct SyncOutcome {
     pub duration: Span,
 }
 
-/// Runs `sync` and measures its duration on this rank.
+/// Runs `sync` and measures its duration on this rank. When
+/// observability is enabled, the whole synchronization is wrapped in a
+/// span named `sync/<label>`, with the algorithms' own per-round spans
+/// nested inside it.
 pub fn run_sync(
     sync: &mut dyn ClockSync,
     ctx: &mut RankCtx,
     comm: &mut Comm,
     clk: BoxClock,
 ) -> SyncOutcome {
+    if ctx.obs_on() {
+        ctx.obs_enter(&format!("sync/{}", sync.label()));
+    }
     let start = ctx.now();
     let clock = sync.sync_clocks(ctx, comm, clk);
-    SyncOutcome {
-        clock,
-        duration: ctx.now() - start,
-    }
+    let duration = ctx.now() - start;
+    ctx.obs_exit();
+    SyncOutcome { clock, duration }
 }

@@ -38,7 +38,7 @@ use std::sync::Arc;
 
 use hcs_clock::GlobalTime;
 use hcs_sim::msg::Payload;
-use hcs_sim::{Rank, RankCtx, Tag};
+use hcs_sim::{Rank, RankCtx, Tag, Wire};
 
 /// Bit position where the context id starts inside a tag.
 const CTX_SHIFT: u32 = 17;
@@ -163,36 +163,55 @@ impl Comm {
         ctx.recv(self.ranks[src], self.user_tag(tag))
     }
 
-    /// Sends an `f64` (timestamps are the dominant payload here).
+    /// Sends a typed value over the [`Wire`] encoding (timestamps and
+    /// flags are the dominant payloads here).
+    pub fn send_t<T: Wire>(&self, ctx: &mut RankCtx, dst: usize, tag: Tag, x: T) {
+        self.send(ctx, dst, tag, x.to_wire().as_ref());
+    }
+
+    /// Synchronous-sends a typed value.
+    pub fn ssend_t<T: Wire>(&self, ctx: &mut RankCtx, dst: usize, tag: Tag, x: T) {
+        self.ssend(ctx, dst, tag, x.to_wire().as_ref());
+    }
+
+    /// Receives a typed value over the [`Wire`] encoding.
+    pub fn recv_t<T: Wire>(&self, ctx: &mut RankCtx, src: usize, tag: Tag) -> T {
+        T::from_wire(self.recv(ctx, src, tag).as_ref())
+    }
+
+    /// Sends an `f64`.
+    #[deprecated(since = "0.2.0", note = "use send_t instead")]
     pub fn send_f64(&self, ctx: &mut RankCtx, dst: usize, tag: Tag, x: f64) {
-        self.send(ctx, dst, tag, &x.to_le_bytes());
+        self.send_t(ctx, dst, tag, x);
     }
 
     /// Synchronous-sends an `f64`.
+    #[deprecated(since = "0.2.0", note = "use ssend_t instead")]
     pub fn ssend_f64(&self, ctx: &mut RankCtx, dst: usize, tag: Tag, x: f64) {
-        self.ssend(ctx, dst, tag, &x.to_le_bytes());
+        self.ssend_t(ctx, dst, tag, x);
     }
 
     /// Receives an `f64`.
+    #[deprecated(since = "0.2.0", note = "use recv_t::<f64> instead")]
     pub fn recv_f64(&self, ctx: &mut RankCtx, src: usize, tag: Tag) -> f64 {
-        hcs_sim::msg::decode_f64(&self.recv(ctx, src, tag))
+        self.recv_t(ctx, src, tag)
     }
 
     /// Sends a clock reading. The frame travels by convention: sender and
     /// receiver must agree on which clock's asserted global frame the
     /// value is in (exactly as real MPI codes agree on timestamp units).
     pub fn send_time(&self, ctx: &mut RankCtx, dst: usize, tag: Tag, time: GlobalTime) {
-        self.send_f64(ctx, dst, tag, time.raw_seconds());
+        self.send_t(ctx, dst, tag, time);
     }
 
     /// Synchronous-sends a clock reading (see [`Comm::send_time`]).
     pub fn ssend_time(&self, ctx: &mut RankCtx, dst: usize, tag: Tag, time: GlobalTime) {
-        self.ssend_f64(ctx, dst, tag, time.raw_seconds());
+        self.ssend_t(ctx, dst, tag, time);
     }
 
     /// Receives a clock reading (see [`Comm::send_time`]).
     pub fn recv_time(&self, ctx: &mut RankCtx, src: usize, tag: Tag) -> GlobalTime {
-        GlobalTime::from_raw_seconds(self.recv_f64(ctx, src, tag))
+        self.recv_t(ctx, src, tag)
     }
 
     /// Combined exchange (the `MPI_Sendrecv` analogue): posts the eager
@@ -244,11 +263,11 @@ mod tests {
         c.run(|ctx| {
             let comm = Comm::world(ctx);
             if comm.rank() == 0 {
-                comm.send_f64(ctx, 1, 5, 1.5);
-                assert_eq!(comm.recv_f64(ctx, 1, 6), 2.5);
+                comm.send_t(ctx, 1, 5, 1.5f64);
+                assert_eq!(comm.recv_t::<f64>(ctx, 1, 6), 2.5);
             } else {
-                let v = comm.recv_f64(ctx, 0, 5);
-                comm.send_f64(ctx, 0, 6, v + 1.0);
+                let v: f64 = comm.recv_t(ctx, 0, 5);
+                comm.send_t(ctx, 0, 6, v + 1.0);
             }
         });
     }

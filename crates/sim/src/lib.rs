@@ -38,8 +38,20 @@
 //!   (interpreted by the `hcs-clock` crate),
 //! - [`machines`] — the three machine profiles of the paper's Table I,
 //! - [`engine`] — the rank threads, mailboxes and the [`engine::Cluster`]
-//!   entry point,
+//!   entry point (built via [`engine::ClusterBuilder`]),
+//! - [`wire`] — typed little-endian encoding for small fixed payloads,
 //! - [`rngx`] — seed derivation and distribution sampling helpers.
+//!
+//! ## Observability
+//!
+//! Each rank can record spans, message edges, compute slices and
+//! counters into a per-rank buffer (the `hcs-obs` crate, re-exported as
+//! [`obs`]). Enable it with [`engine::ClusterBuilder::observability`]
+//! and harvest the merged [`TraceLog`] from
+//! [`engine::Cluster::run_observed`]. Recording is host-side only: the
+//! simulated timeline is bit-identical with observability on or off,
+//! and with it off the per-event cost is a single enum-discriminant
+//! check (no allocation).
 
 pub mod clockspec;
 pub mod engine;
@@ -52,15 +64,51 @@ pub mod rngx;
 pub mod timebase;
 pub mod topology;
 pub mod waitgraph;
+pub mod wire;
 
 pub use clockspec::ClockSpec;
-pub use engine::{Cluster, RankCtx};
+pub use engine::{Cluster, ClusterBuilder, RankCtx};
 pub use machines::MachineSpec;
 pub use net::{Jitter, LevelLatency, NetworkModel};
 pub use noise::NoiseSpec;
 pub use pool::ClusterPool;
 pub use timebase::{secs, SimTime, Span};
 pub use topology::{Level, Topology};
+pub use wire::Wire;
+
+pub use hcs_obs as obs;
+pub use hcs_obs::{ObsSpec, TraceLog};
+
+/// Records a named span around an expression — the observability
+/// equivalent of a scoped timer.
+///
+/// The name expression is evaluated **only when recording is on**, so a
+/// `format!(..)` name costs nothing on the disabled path:
+///
+/// ```
+/// # use hcs_sim::{machines, obs_span};
+/// # let cluster = machines::testbed(1, 2).cluster(0);
+/// # cluster.run(|ctx| {
+/// let sum = obs_span!(ctx, format!("round/{}", 3), {
+///     ctx.compute(hcs_sim::secs(1e-6));
+///     40 + 2
+/// });
+/// # assert_eq!(sum, 42);
+/// # });
+/// ```
+#[macro_export]
+macro_rules! obs_span {
+    ($ctx:expr, $name:expr, $body:expr) => {{
+        if $ctx.obs_on() {
+            $ctx.obs_enter(::std::convert::AsRef::<str>::as_ref(&$name));
+            let out = $body;
+            $ctx.obs_exit();
+            out
+        } else {
+            $body
+        }
+    }};
+}
 
 /// Message tag type used by the engine and the MPI layer above it.
 pub type Tag = u32;

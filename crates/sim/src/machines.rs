@@ -51,16 +51,15 @@ impl MachineSpec {
 
     /// Builds a [`Cluster`] with the given seed.
     pub fn cluster(&self, seed: u64) -> Cluster {
-        let c = Cluster::from_parts(
-            self.topology.clone(),
-            self.network.clone(),
-            self.clock.clone(),
-            seed,
-        );
-        match self.noise {
-            Some(n) => c.with_noise(n),
-            None => c,
+        let mut b = Cluster::builder()
+            .topology(self.topology.clone())
+            .network(self.network.clone())
+            .clock(self.clock.clone())
+            .seed(seed);
+        if let Some(n) = self.noise {
+            b = b.noise(n);
         }
+        b.build()
     }
 }
 

@@ -1,0 +1,123 @@
+//! Deprecation freeze: the pre-builder `Cluster` surface and the
+//! `*_f64` wire helpers are kept as `#[deprecated]` shims for one
+//! release, but no code in this workspace — library, test, bench or
+//! example — may call them. rustc's own `deprecated` lint warns and is
+//! suppressible wholesale with one `#[allow]`; this pass makes each
+//! individual call site an `xtask check` error, so the frozen surface
+//! cannot creep back in while the shims still exist.
+//!
+//! Definition sites (`fn with_seed(...)`) are exempt — the shims have
+//! to be defined somewhere — and a deliberate call (e.g. the test that
+//! proves a shim still works) opts out per line with a trailing
+//! `// xtask-allow: deprecated-api` comment.
+
+use crate::scanner::{is_ident_byte, FileScan};
+use crate::{Finding, Level};
+
+/// Per-line escape hatch, written in a comment on the offending line.
+pub const ALLOW_MARKER: &str = "xtask-allow: deprecated-api";
+
+/// Frozen names and what replaced them.
+pub const DEPRECATED_CALLS: &[(&str, &str)] = &[
+    ("from_parts", "Cluster::builder()"),
+    ("with_noise", "ClusterBuilder::noise"),
+    ("with_seed", "Cluster::to_builder().seed(..)"),
+    (
+        "with_deadlock_detection",
+        "ClusterBuilder::deadlock_detection",
+    ),
+    ("send_f64", "send_t::<f64>"),
+    ("ssend_f64", "ssend_t::<f64>"),
+    ("recv_f64", "recv_t::<f64>"),
+];
+
+/// Flags every use of a frozen name outside its definition site, in all
+/// files (tests and benches included).
+pub fn deprecation(path: &str, scan: &FileScan, out: &mut Vec<Finding>) {
+    for (ln, line) in scan.code.iter().enumerate() {
+        for &(name, replacement) in DEPRECATED_CALLS {
+            if !has_call_occurrence(line, name) {
+                continue;
+            }
+            if scan.raw[ln].contains(ALLOW_MARKER) {
+                continue;
+            }
+            out.push(Finding {
+                path: path.to_string(),
+                line: ln + 1,
+                lint: "deprecated-api/frozen",
+                level: Level::Error,
+                msg: format!(
+                    "`{name}` is a frozen deprecated shim; use {replacement} (or `// {ALLOW_MARKER}` with a reason)"
+                ),
+            });
+        }
+    }
+}
+
+/// Does `line` contain a whole-word occurrence of `name` that is not a
+/// `fn {name}` definition?
+fn has_call_occurrence(line: &str, name: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(name) {
+        let p = start + pos;
+        let after = p + name.len();
+        let before_ok = p == 0 || !is_ident_byte(bytes[p - 1]);
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok && !is_definition(line, p) {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+/// Is the occurrence at byte offset `p` preceded by an `fn` token?
+fn is_definition(line: &str, p: usize) -> bool {
+    let head = line[..p].trim_end();
+    head.ends_with("fn") && (head.len() == 2 || !is_ident_byte(head.as_bytes()[head.len() - 3]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn hits(src: &str) -> Vec<usize> {
+        let mut out = Vec::new();
+        deprecation("crates/sim/src/x.rs", &scan(src), &mut out);
+        out.iter().map(|f| f.line).collect()
+    }
+
+    #[test]
+    fn call_sites_fire_everywhere_including_tests() {
+        let src = "fn f(c: &Cluster) { c.with_seed(1); }\n#[cfg(test)]\nmod tests {\n    fn t(ctx: &mut RankCtx) { ctx.send_f64(0, 0, 1.0); }\n}\n";
+        assert_eq!(hits(src), vec![1, 4]);
+    }
+
+    #[test]
+    fn definition_sites_are_exempt() {
+        let src = "pub fn with_seed(&self, seed: u64) -> Self {\n    self.to_builder().seed(seed).build()\n}\npub fn send_f64(&mut self) {}\n";
+        assert!(hits(src).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_and_comments_are_exempt() {
+        let src = "// calling send_f64 here would be wrong\nlet c = Cluster::from_parts(a, b, d); // xtask-allow: deprecated-api (shim regression test)\n";
+        assert!(hits(src).is_empty());
+    }
+
+    #[test]
+    fn word_boundaries_do_not_cross_names() {
+        // `ssend_f64` must not count as a `send_f64` call and longer
+        // identifiers must not match at all.
+        let src = "fn ssend_f64() {}\nlet x = my_send_f64_counter;\n";
+        assert!(hits(src).is_empty());
+        let ssend = "comm.ssend_f64(ctx, 0, 0, 1.0);\n";
+        let mut out = Vec::new();
+        deprecation("crates/core/src/y.rs", &scan(ssend), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].msg.contains("`ssend_f64`"));
+    }
+}

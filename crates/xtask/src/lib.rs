@@ -23,6 +23,9 @@
 //!   dynamic collective-tag range reserved by `Comm::next_coll_tag`;
 //! - **dependency freeze** — every `Cargo.toml` dependency is another
 //!   workspace member (the workspace builds offline, std-only);
+//! - **deprecation freeze** — the `#[deprecated]` pre-builder cluster
+//!   surface and `*_f64` wire helpers may be *defined* but never
+//!   *called*, in any file including tests; see [`deprecation`];
 //! - **style** (warning level) — no bare `unwrap()` in library code of
 //!   `crates/{sim,core,clock,mpi}`.
 //!
@@ -30,6 +33,7 @@
 //! run them over fixture snippets and over the real workspace.
 
 pub mod clockdomain;
+pub mod deprecation;
 pub mod deps;
 pub mod lints;
 pub mod scanner;

@@ -6,6 +6,7 @@
 //! error messages never fire.
 
 use crate::clockdomain::clockdomain;
+use crate::deprecation::deprecation;
 use crate::scanner::{has_word, FileScan};
 use crate::{Finding, Level};
 
@@ -13,12 +14,12 @@ use crate::{Finding, Level};
 /// reads, no randomized hashers, no ambient randomness. The simulated
 /// timeline and every derived artifact must be a pure function of the
 /// master seed.
-pub const DETERMINISM_CRATES: &[&str] = &["sim", "core", "clock", "mpi"];
+pub const DETERMINISM_CRATES: &[&str] = &["sim", "core", "clock", "mpi", "obs"];
 
 /// Crates whose library code is linted for bare `unwrap()` (warning
 /// level): failures there should carry rank/tag context via `expect` or
 /// be plumbed as `Result`s.
-pub const UNWRAP_CRATES: &[&str] = &["sim", "core", "clock", "mpi"];
+pub const UNWRAP_CRATES: &[&str] = &["sim", "core", "clock", "mpi", "obs"];
 
 /// What kind of file a path denotes, workspace-relative.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +59,7 @@ pub fn lint_file(path: &str, scan: &FileScan) -> Vec<Finding> {
         clockdomain(path, scan, &mut out);
     }
     unsafe_hygiene(path, scan, &mut out);
+    deprecation(path, scan, &mut out);
     if class.in_crate_src(UNWRAP_CRATES) {
         unwrap_warning(path, scan, &mut out);
     }

@@ -11,7 +11,6 @@
 //! cargo run --release --example trace_amg
 //! ```
 
-use hierarchical_clock_sync::bench::trace::gantt_rows;
 use hierarchical_clock_sync::prelude::*;
 
 const ITER_TO_SHOW: u32 = 10;
@@ -43,7 +42,11 @@ fn render(title: &str, rows: &[(usize, f64, f64)]) {
 
 fn main() {
     let machine = machines::jupiter().with_shape(4, 2, 2);
-    let cluster = machine.cluster(11);
+    let cluster = machine
+        .cluster(11)
+        .to_builder()
+        .observability(ObsSpec::spans_only())
+        .build();
     println!(
         "AMG2013 proxy on {}, 16 ranks, 8 B MPI_Allreduce per iteration\n",
         machine.name
@@ -53,7 +56,7 @@ fn main() {
         ("local clock (clock_gettime)", false),
         ("HCA3 global clock", true),
     ] {
-        let traces = cluster.run(|ctx| {
+        let (_, log) = cluster.run_observed(|ctx| {
             let mut comm = Comm::world(ctx);
             let base = LocalClock::new(ctx, TimeSource::RawMonotonic);
             let mut trace_clk: BoxClock = if use_global {
@@ -66,11 +69,13 @@ fn main() {
                 iterations: 12,
                 ..Default::default()
             };
-            let tracer = amg_proxy(ctx, &mut comm, trace_clk.as_mut(), cfg);
-            tracer.gather(ctx, &mut comm)
+            amg_proxy(ctx, &mut comm, trace_clk.as_mut(), cfg);
         });
-        let per_rank = traces[0].as_ref().expect("root gathers");
-        let mut rows = gantt_rows(per_rank, ITER_TO_SHOW);
+        let per_rank = per_rank_events(&log, AMG_SPAN);
+        let mut rows: Vec<(usize, f64, f64)> = gantt_rows(&per_rank, ITER_TO_SHOW)
+            .into_iter()
+            .map(|(rank, start, dur)| (rank, start.seconds(), dur.seconds()))
+            .collect();
         // Terminal chart: show the first 8 ranks only.
         rows.truncate(8);
         render(title, &rows);

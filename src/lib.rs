@@ -38,6 +38,7 @@ pub mod prelude {
     pub use hcs_core::prelude::*;
     pub use hcs_mpi::{BarrierAlgorithm, Comm};
     pub use hcs_sim::{
-        machines, secs, ClockSpec, Cluster, MachineSpec, RankCtx, SimTime, Topology,
+        machines, secs, ClockSpec, Cluster, ClusterBuilder, MachineSpec, ObsSpec, RankCtx, SimTime,
+        Topology, TraceLog,
     };
 }

@@ -54,16 +54,22 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 #[test]
 fn steady_state_small_messages_do_not_allocate() {
-    let cluster = machines::testbed(2, 1).cluster(1);
+    // Observability explicitly off: the disabled recorder
+    // (`Recorder::Off`) must stay on this zero-allocation path too.
+    let cluster = machines::testbed(2, 1)
+        .cluster(1)
+        .to_builder()
+        .observability(ObsSpec::off())
+        .build();
     cluster.run(|ctx| {
         let peer = 1 - ctx.rank();
         let trip = |ctx: &mut RankCtx, i: u32| {
             if ctx.rank() == 0 {
-                ctx.send_f64(peer, i & 0x7, i as f64);
-                let _ = ctx.recv_f64(peer, i & 0x7);
+                ctx.send_t(peer, i & 0x7, i as f64);
+                let _: f64 = ctx.recv_t(peer, i & 0x7);
             } else {
-                let v = ctx.recv_f64(peer, i & 0x7);
-                ctx.send_f64(peer, i & 0x7, v + 1.0);
+                let v: f64 = ctx.recv_t(peer, i & 0x7);
+                ctx.send_t(peer, i & 0x7, v + 1.0);
             }
         };
         // Warm-up: grow mailbox rings to their high-water capacity.

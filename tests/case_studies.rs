@@ -4,8 +4,9 @@
 use hierarchical_clock_sync::bench::guidelines::{check_guideline, Guideline};
 use hierarchical_clock_sync::bench::postmortem::{interpolate, measure_epoch};
 use hierarchical_clock_sync::bench::profile::Profiler;
+use hierarchical_clock_sync::bench::trace::per_rank_events;
 use hierarchical_clock_sync::bench::tuner::{tune_allreduce, TuneScheme};
-use hierarchical_clock_sync::bench::workloads::{halo_proxy, HaloProxyConfig};
+use hierarchical_clock_sync::bench::workloads::{halo_proxy, HaloProxyConfig, HALO_SPAN};
 use hierarchical_clock_sync::mpi::ReduceOp;
 use hierarchical_clock_sync::prelude::*;
 
@@ -81,14 +82,20 @@ fn guidelines_hold_on_every_machine_profile() {
 
 #[test]
 fn profiler_and_tracer_agree_on_halo_proxy() {
-    // The profiler's total region time must match the tracer's summed
-    // event durations (same clock, same instrumentation points).
-    let res = machines::testbed(3, 1).cluster(11).run(|ctx| {
+    // The profiler's total region time must cover the observability
+    // layer's summed halo spans (same clock readings, same
+    // instrumentation points).
+    let cluster = machines::testbed(3, 1)
+        .cluster(11)
+        .to_builder()
+        .observability(ObsSpec::full())
+        .build();
+    let (res, log) = cluster.run_observed(|ctx| {
         let mut clk = LocalClock::new(ctx, TimeSource::MpiWtime);
         let mut comm = Comm::world(ctx);
         let mut prof = Profiler::new();
         prof.enter("halo", &mut clk, ctx);
-        let tracer = halo_proxy(
+        halo_proxy(
             ctx,
             &mut comm,
             &mut clk,
@@ -98,14 +105,14 @@ fn profiler_and_tracer_agree_on_halo_proxy() {
             },
         );
         prof.leave("halo", &mut clk, ctx);
-        let traced: f64 = tracer.events().iter().map(|e| e.duration()).sum();
-        let profiled = prof.region("halo").total_s.seconds();
-        (traced, profiled)
+        prof.region("halo").total_s.seconds()
     });
-    for &(traced, profiled) in &res {
+    let spans = per_rank_events(&log, HALO_SPAN);
+    for (rank, &profiled) in res.iter().enumerate() {
+        let traced: f64 = spans[rank].iter().map(|e| e.duration().seconds()).sum();
         assert!(
             traced <= profiled,
-            "traced {traced} inside profiled {profiled}"
+            "rank {rank}: traced {traced} inside profiled {profiled}"
         );
         assert!(profiled > 0.0);
     }

@@ -57,7 +57,7 @@ fn pool_reuses_rank_threads_across_runs() {
     cluster.run(|ctx| ctx.rank()); // warm the pool to >= 8 workers
     let before = ClusterPool::global().threads_spawned();
     for seed in 0..10u64 {
-        cluster.with_seed(seed).run(|ctx| ctx.now());
+        cluster.to_builder().seed(seed).build().run(|ctx| ctx.now());
     }
     let after = ClusterPool::global().threads_spawned();
     assert_eq!(

@@ -187,6 +187,41 @@ fn xtask_allow_comment_silences_clockdomain() {
 }
 
 #[test]
+fn deprecated_call_is_an_error_even_in_tests() {
+    // The deprecation freeze bans calling the frozen shims anywhere —
+    // library, test, bench or example code.
+    let findings = lint_sources(&[(
+        "tests/something.rs",
+        "#[test]\nfn t() {\n    let c = machines::testbed(2, 1).cluster(1).with_seed(2);\n    c.run(|ctx| ctx.send_f64(0, 0, 1.0));\n}\n",
+    )]);
+    let ids = lint_ids(&findings);
+    assert_eq!(
+        ids.iter()
+            .filter(|l| **l == "deprecated-api/frozen")
+            .count(),
+        2,
+        "{findings:?}"
+    );
+    assert!(findings.iter().all(|f| f.level == Level::Error));
+}
+
+#[test]
+fn deprecated_definition_and_allowed_call_pass() {
+    // Shim definitions need no marker; a deliberate call opts out per
+    // line with the xtask-allow comment.
+    let ok = lint_sources(&[(
+        "crates/sim/src/engine.rs",
+        "#[deprecated(since = \"0.2.0\", note = \"use Cluster::to_builder().seed(..)\")]\npub fn with_seed(&self, seed: u64) -> Cluster {\n    self.to_builder().seed(seed).build()\n}\n",
+    )]);
+    assert!(ok.is_empty(), "{ok:?}");
+    let ok = lint_sources(&[(
+        "crates/sim/src/engine.rs",
+        "#[cfg(test)]\nmod tests {\n    fn t(c: &Cluster) {\n        let via = c.with_seed(3); // xtask-allow: deprecated-api (shim regression test)\n    }\n}\n",
+    )]);
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
 fn real_workspace_passes_clean() {
     // The self-check CI runs: no errors and no warnings anywhere in the
     // tree. If this fails, `cargo run -p xtask -- check` prints the
