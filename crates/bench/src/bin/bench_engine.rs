@@ -13,8 +13,12 @@
 //! `HCS_BENCH_TARGET_MS` to trade precision against runtime.
 
 use hcs_bench::microbench::Runner;
+use hcs_bench::sweep::{run_seed, SweepExecutor};
 use hcs_experiments::Args;
 use hcs_sim::{machines, ClusterPool, RankCtx};
+
+/// Repetitions per sweep in the `sweep_runs` groups.
+const SWEEP_RUNS: usize = 8;
 
 /// One ping-pong run of `msgs` round trips between ranks 0 and 1 on a
 /// `p`-rank cluster (the ISSUE's tracked repeated-run workload).
@@ -71,6 +75,27 @@ fn main() {
         r.case_throughput("engine_runs_fresh_spawn", &case, 1.0, "runs", || {
             pingpong_run(p, 100, 2, false)
         });
+    }
+
+    // Sweep throughput: SWEEP_RUNS independent repetitions through the
+    // SweepExecutor, sequential vs concurrent. On a multi-core host the
+    // jobs=4 rows should show the run-level speedup; jobs=1 tracks the
+    // executor's sequential overhead against the plain pooled rate.
+    for p in [32usize, 256] {
+        for jobs in [1usize, 4] {
+            let exec = SweepExecutor::new(jobs);
+            r.case_throughput(
+                "sweep_runs",
+                &format!("p{p}_jobs{jobs}"),
+                SWEEP_RUNS as f64,
+                "runs",
+                || {
+                    exec.run(SWEEP_RUNS, p, |i| {
+                        pingpong_run(p, 100, run_seed(3, i as u64), true)
+                    });
+                },
+            );
+        }
     }
 
     // Fan-in message rate.

@@ -8,9 +8,10 @@
 //! ```text
 //! cargo run --release -p hcs-experiments --bin fig4 \
 //!     [--nodes 16] [--ppn 8] [--runs 5] [--fithi 100] [--fitlo 50] \
-//!     [--pingpongs 10] [--wait 10] [--seed 1] [--csv out/fig4.csv]
+//!     [--pingpongs 10] [--wait 10] [--seed 1] [--jobs N] [--csv out/fig4.csv]
 //! ```
 
+use hcs_bench::sweep::SweepExecutor;
 use hcs_experiments::hier_experiment::{
     fig4_configs, print_hier_rows, run_hier_experiment, write_hier_csv,
 };
@@ -27,6 +28,7 @@ fn main() {
         "pingpongs",
         "wait",
         "seed",
+        "jobs",
         "csv",
     ]);
     let nodes = args.get_usize("nodes", 16);
@@ -46,8 +48,9 @@ fn main() {
         machine.topology.total_cores(),
         runs
     );
+    let exec = SweepExecutor::from_env(args.get_jobs(), machine.topology.total_cores());
     let configs = fig4_configs(fit_hi, fit_lo, pp);
-    let rows = run_hier_experiment(&machine, &configs, runs, wait, 1.0, seed);
+    let rows = run_hier_experiment(&machine, &configs, runs, wait, 1.0, seed, &exec);
     print_hier_rows(&rows, &configs, wait);
     println!("\nExpected shape (paper): the Top/.../ClockPropagation rows are faster");
     println!("(fewer tree levels) at equal or better accuracy.");

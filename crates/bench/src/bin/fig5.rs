@@ -6,9 +6,10 @@
 //! ```text
 //! cargo run --release -p hcs-experiments --bin fig5 \
 //!     [--nodes 18] [--ppn 16] [--runs 5] [--fithi 100] [--fitlo 50] \
-//!     [--pingpongs 10] [--wait 10] [--seed 1] [--csv out/fig5.csv]
+//!     [--pingpongs 10] [--wait 10] [--seed 1] [--jobs N] [--csv out/fig5.csv]
 //! ```
 
+use hcs_bench::sweep::SweepExecutor;
 use hcs_experiments::hier_experiment::{
     fig4_configs, print_hier_rows, run_hier_experiment, write_hier_csv,
 };
@@ -25,6 +26,7 @@ fn main() {
         "pingpongs",
         "wait",
         "seed",
+        "jobs",
         "csv",
     ]);
     let nodes = args.get_usize("nodes", 18);
@@ -44,8 +46,9 @@ fn main() {
         machine.topology.total_cores(),
         runs
     );
+    let exec = SweepExecutor::from_env(args.get_jobs(), machine.topology.total_cores());
     let configs = fig4_configs(fit_hi, fit_lo, pp);
-    let rows = run_hier_experiment(&machine, &configs, runs, wait, 1.0, seed);
+    let rows = run_hier_experiment(&machine, &configs, runs, wait, 1.0, seed, &exec);
     print_hier_rows(&rows, &configs, wait);
     println!("\nExpected shape (paper): all configurations sub-us right after sync on");
     println!("this faster network; precision degrades with the waiting time as the");

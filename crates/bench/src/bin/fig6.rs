@@ -9,10 +9,11 @@
 //! ```text
 //! cargo run --release -p hcs-experiments --bin fig6 \
 //!     [--nodes 128] [--runs 3] [--fithi 100] [--fitlo 50] \
-//!     [--pingpongs 10] [--wait 10] [--sample 0.1] [--seed 1] [--full] \
+//!     [--pingpongs 10] [--wait 10] [--sample 0.1] [--seed 1] [--jobs N] [--full] \
 //!     [--csv out/fig6.csv]
 //! ```
 
+use hcs_bench::sweep::SweepExecutor;
 use hcs_experiments::hier_experiment::{
     fig4_configs, print_hier_rows, run_hier_experiment, write_hier_csv,
 };
@@ -29,6 +30,7 @@ fn main() {
         "wait",
         "sample",
         "seed",
+        "jobs",
         "full",
         "csv",
     ]);
@@ -54,8 +56,9 @@ fn main() {
         runs,
         sample * 100.0
     );
+    let exec = SweepExecutor::from_env(args.get_jobs(), machine.topology.total_cores());
     let configs = fig4_configs(fit_hi, fit_lo, pp);
-    let rows = run_hier_experiment(&machine, &configs, runs, wait, sample, seed);
+    let rows = run_hier_experiment(&machine, &configs, runs, wait, sample, seed, &exec);
     print_hier_rows(&rows, &configs, wait);
     println!("\nExpected shape (paper): errors grow to a few us right after sync and");
     println!("10-30 us after 10 s; run-to-run variance is visibly larger than on the");

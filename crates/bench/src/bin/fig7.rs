@@ -8,10 +8,11 @@
 //! ```text
 //! cargo run --release -p hcs-experiments --bin fig7 \
 //!     [--nodes 16] [--ppn 8] [--reps 200] [--seed 1] [--with-double-ring] \
-//!     [--csv out/fig7.csv]
+//!     [--jobs N] [--csv out/fig7.csv]
 //! ```
 
 use hcs_bench::suites::{measure_allreduce, Suite, SuiteConfig};
+use hcs_bench::sweep::{run_cluster_sweep, SweepExecutor};
 use hcs_clock::{LocalClock, TimeSource};
 use hcs_core::prelude::*;
 use hcs_experiments::{Args, CsvWriter};
@@ -19,7 +20,15 @@ use hcs_mpi::{BarrierAlgorithm, Comm};
 use hcs_sim::machines;
 
 fn main() {
-    let args = Args::parse(&["nodes", "ppn", "reps", "seed", "with-double-ring", "csv"]);
+    let args = Args::parse(&[
+        "nodes",
+        "ppn",
+        "reps",
+        "seed",
+        "with-double-ring",
+        "jobs",
+        "csv",
+    ]);
     let nodes = args.get_usize("nodes", 16);
     let ppn = args.get_usize("ppn", 8);
     let reps = args.get_usize("reps", 200);
@@ -58,6 +67,38 @@ fn main() {
         )
     };
 
+    // One sweep point per (msize, barrier, suite); points at the same
+    // msize share a cluster seed so the suites are compared on the same
+    // machine realization, exactly as the sequential loops did.
+    let mut points = Vec::new();
+    for &msize in &msizes {
+        for &barrier in &barriers {
+            for &suite in &suites {
+                points.push((msize, barrier, suite));
+            }
+        }
+    }
+    let exec = SweepExecutor::from_env(args.get_jobs(), machine.topology.total_cores());
+    let results = run_cluster_sweep(
+        &exec,
+        &machine,
+        &points,
+        |&(msize, _, _), _| seed + msize as u64 * 17,
+        |&(msize, barrier, suite), ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut sync = Hca3::skampi(60, 10);
+            let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+            let cfg = SuiteConfig {
+                nreps: reps,
+                barrier,
+                time_slice_s: hcs_sim::secs(0.2),
+            };
+            measure_allreduce(ctx, &mut comm, g.as_mut(), suite, msize, cfg)
+        },
+    );
+
+    let mut idx = 0;
     for &msize in &msizes {
         println!("msize = {msize} Bytes");
         println!(
@@ -67,20 +108,8 @@ fn main() {
         for &barrier in &barriers {
             let mut cells = Vec::new();
             for &suite in &suites {
-                let cluster = machine.cluster(seed + msize as u64 * 17);
-                let results = cluster.run(|ctx| {
-                    let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
-                    let mut comm = Comm::world(ctx);
-                    let mut sync = Hca3::skampi(60, 10);
-                    let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
-                    let cfg = SuiteConfig {
-                        nreps: reps,
-                        barrier,
-                        time_slice_s: hcs_sim::secs(0.2),
-                    };
-                    measure_allreduce(ctx, &mut comm, g.as_mut(), suite, msize, cfg)
-                });
-                let r = results[0].expect("root reports");
+                let r = results[idx][0].expect("root reports");
+                idx += 1;
                 cells.push(r);
                 if let Some(w) = csv.as_mut() {
                     w.row(&[

@@ -6,10 +6,11 @@
 //! ```text
 //! cargo run --release -p hcs-experiments --bin fig9 \
 //!     [--nodes 32] [--runs 3] [--reps 200] [--slice 1.0] [--seed 1] \
-//!     [--csv out/fig9.csv]
+//!     [--jobs N] [--csv out/fig9.csv]
 //! ```
 
 use hcs_bench::suites::{measure_allreduce, Suite, SuiteConfig};
+use hcs_bench::sweep::{run_cluster_sweep, run_seed, SweepExecutor};
 use hcs_clock::{LocalClock, TimeSource};
 use hcs_core::prelude::*;
 use hcs_experiments::{Args, CsvWriter};
@@ -17,7 +18,7 @@ use hcs_mpi::{BarrierAlgorithm, Comm};
 use hcs_sim::machines;
 
 fn main() {
-    let args = Args::parse(&["nodes", "runs", "reps", "slice", "seed", "csv"]);
+    let args = Args::parse(&["nodes", "runs", "reps", "slice", "seed", "jobs", "csv"]);
     let nodes = args.get_usize("nodes", 32);
     let runs = args.get_usize("runs", 3);
     let reps = args.get_usize("reps", 200);
@@ -50,24 +51,45 @@ fn main() {
         "{:>8} {:>14} {:>22} {:>14} {:>22}",
         "msize", "OSU avg [us]", "OSU [min..max]", "RT avg [us]", "RT [min..max]"
     );
+    // One sweep point per (msize, run, suite). The per-repetition seed
+    // comes from the (seed + msize, run) stream — shared by both suites
+    // of the same repetition, so OSU and ReproMPI are still compared on
+    // the same machine realization.
+    let mut points = Vec::new();
+    for &msize in &msizes {
+        for run in 0..runs {
+            for suite in [Suite::Osu, Suite::ReproMpi] {
+                points.push((msize, run, suite));
+            }
+        }
+    }
+    let exec = SweepExecutor::from_env(args.get_jobs(), machine.topology.total_cores());
+    let all = run_cluster_sweep(
+        &exec,
+        &machine,
+        &points,
+        |&(msize, run, _), _| run_seed(seed.wrapping_add(msize as u64), run as u64),
+        |&(msize, _, suite), ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut sync = Hca3::skampi(60, 10);
+            let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+            let cfg = SuiteConfig {
+                nreps: reps,
+                barrier: BarrierAlgorithm::Bruck,
+                time_slice_s: hcs_sim::secs(slice),
+            };
+            measure_allreduce(ctx, &mut comm, g.as_mut(), suite, msize, cfg)
+        },
+    );
+
+    let mut idx = 0;
     for &msize in &msizes {
         let mut per_suite: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
         for run in 0..runs {
             for (si, suite) in [Suite::Osu, Suite::ReproMpi].into_iter().enumerate() {
-                let cluster = machine.cluster(seed + run as u64 * 101 + msize as u64);
-                let results = cluster.run(|ctx| {
-                    let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
-                    let mut comm = Comm::world(ctx);
-                    let mut sync = Hca3::skampi(60, 10);
-                    let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
-                    let cfg = SuiteConfig {
-                        nreps: reps,
-                        barrier: BarrierAlgorithm::Bruck,
-                        time_slice_s: hcs_sim::secs(slice),
-                    };
-                    measure_allreduce(ctx, &mut comm, g.as_mut(), suite, msize, cfg)
-                });
-                let lat = results[0].expect("root reports").latency_s;
+                let lat = all[idx][0].expect("root reports").latency_s;
+                idx += 1;
                 per_suite[si].push(lat);
                 if let Some(w) = csv.as_mut() {
                     w.row(&[

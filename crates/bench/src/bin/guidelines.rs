@@ -5,10 +5,11 @@
 //!
 //! ```text
 //! cargo run --release -p hcs-experiments --bin guidelines \
-//!     [--nodes 8] [--ppn 4] [--msizes 8,512,8192] [--reps 60] [--seed 1]
+//!     [--nodes 8] [--ppn 4] [--msizes 8,512,8192] [--reps 60] [--seed 1] [--jobs N]
 //! ```
 
 use hcs_bench::guidelines::{check_guideline, Guideline};
+use hcs_bench::sweep::{run_cluster_sweep, SweepExecutor};
 use hcs_bench::tuner::TuneScheme;
 use hcs_clock::{LocalClock, TimeSource};
 use hcs_core::prelude::*;
@@ -17,7 +18,7 @@ use hcs_mpi::{BarrierAlgorithm, Comm};
 use hcs_sim::machines;
 
 fn main() {
-    let args = Args::parse(&["nodes", "ppn", "msizes", "reps", "seed"]);
+    let args = Args::parse(&["nodes", "ppn", "msizes", "reps", "seed", "jobs"]);
     let nodes = args.get_usize("nodes", 8);
     let ppn = args.get_usize("ppn", 4);
     let msizes: Vec<usize> = args
@@ -52,34 +53,45 @@ fn main() {
         ),
     ];
 
+    let exec = SweepExecutor::from_env(args.get_jobs(), machine.topology.total_cores());
     for (scheme_name, scheme) in schemes {
         println!("scheme: {scheme_name}");
         println!(
             "{:<46} {:>8} {:>14} {:>14} {:>9} {:>8}",
             "guideline", "msize", "special [us]", "emulated [us]", "speedup", "holds?"
         );
+        // One sweep point per (msize, guideline); points at the same
+        // msize share a cluster seed, as the sequential loops did.
+        let mut points = Vec::new();
         for &msize in &msizes {
             for gl in Guideline::ALL {
-                let msizes_inner = msize;
-                let cluster = machine.cluster(seed + msize as u64);
-                let res = cluster.run(move |ctx| {
-                    let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
-                    let mut comm = Comm::world(ctx);
-                    let mut sync = Hca3::skampi(40, 8);
-                    let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
-                    check_guideline(ctx, &mut comm, g.as_mut(), scheme, gl, msizes_inner)
-                });
-                if let Some(v) = res[0] {
-                    println!(
-                        "{:<46} {:>8} {:>14.2} {:>14.2} {:>9.2} {:>8}",
-                        v.guideline.statement(),
-                        v.msize,
-                        v.specialized_s * 1e6,
-                        v.emulation_s * 1e6,
-                        v.speedup(),
-                        if v.holds(0.1) { "yes" } else { "VIOLATED" }
-                    );
-                }
+                points.push((msize, gl));
+            }
+        }
+        let results = run_cluster_sweep(
+            &exec,
+            &machine,
+            &points,
+            |&(msize, _), _| seed + msize as u64,
+            |&(msize, gl), ctx| {
+                let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+                let mut comm = Comm::world(ctx);
+                let mut sync = Hca3::skampi(40, 8);
+                let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+                check_guideline(ctx, &mut comm, g.as_mut(), scheme, gl, msize)
+            },
+        );
+        for res in &results {
+            if let Some(v) = res[0] {
+                println!(
+                    "{:<46} {:>8} {:>14.2} {:>14.2} {:>9.2} {:>8}",
+                    v.guideline.statement(),
+                    v.msize,
+                    v.specialized_s * 1e6,
+                    v.emulation_s * 1e6,
+                    v.speedup(),
+                    if v.holds(0.1) { "yes" } else { "VIOLATED" }
+                );
             }
         }
         println!();

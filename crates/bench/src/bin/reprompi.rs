@@ -10,11 +10,12 @@
 //! cargo run --release -p hcs-experiments --bin reprompi -- \
 //!     --machine jupiter --nodes 8 --ppn 4 \
 //!     --ops allreduce,bcast,barrier --msizes 8,64,512 \
-//!     --sync hca3 --scheme roundtime --reps 200 --seed 1
+//!     --sync hca3 --scheme roundtime --reps 200 --seed 1 [--jobs N]
 //! ```
 
 use hcs_bench::prelude::*;
 use hcs_bench::schemes::{run_barrier_scheme, run_round_time, RoundTimeConfig};
+use hcs_bench::sweep::{run_cluster_sweep, SweepExecutor};
 use hcs_clock::{BoxClock, GlobalTime, LocalClock, TimeSource};
 use hcs_core::prelude::*;
 use hcs_experiments::Args;
@@ -69,6 +70,7 @@ fn op_by_name(name: &str, msize: usize) -> BoxedOp<'_> {
 fn main() {
     let args = Args::parse(&[
         "machine", "nodes", "ppn", "ops", "msizes", "sync", "scheme", "reps", "slice", "seed",
+        "jobs",
     ]);
     let machine_name = args.get_str("machine", "jupiter");
     let nodes = args.get_usize("nodes", 8);
@@ -96,7 +98,6 @@ fn main() {
         1
     };
     machine = machine.with_shape(nodes, sockets, ppn / sockets);
-    let cluster = machine.cluster(seed);
 
     println!(
         "# reprompi (simulated) — machine {}, {} x {} = {} ranks",
@@ -114,74 +115,87 @@ fn main() {
         "op", "msize", "nrep", "median[us]", "mean[us]", "min[us]", "max[us]"
     );
 
+    // One sweep point per (op, msize). Every point uses the master seed
+    // directly — `Cluster::run` is stateless per call, so this matches
+    // the former shared-cluster loop bit for bit.
+    let mut points = Vec::new();
     for op_name in &ops {
         for &msize in &msizes {
-            let sync_name = sync_name.clone();
-            let scheme = scheme.clone();
-            let results = cluster.run(|ctx| {
-                let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
-                let mut comm = Comm::world(ctx);
-                let mut sync = sync_by_name(&sync_name);
-                let mut g: BoxClock = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
-                let mut op = op_by_name(op_name, msize);
-
-                let samples: Vec<f64> = match scheme.as_str() {
-                    "roundtime" => {
-                        let bl = estimate_bcast_latency(ctx, &mut comm, g.as_mut(), 10);
-                        let cfg = RoundTimeConfig {
-                            max_time_slice_s: secs(slice),
-                            max_nrep: reps,
-                            slack_b: 3.0,
-                            bcast_latency_s: bl,
-                        };
-                        let reps = run_round_time(ctx, &mut comm, g.as_mut(), cfg, op.as_mut());
-                        // Global latency per repetition.
-                        reps.iter()
-                            // Sample endpoints share the global frame.
-                            .map(|s| {
-                                let max_end = GlobalTime::from_raw_seconds(comm.allreduce_f64(
-                                    ctx,
-                                    s.end.raw_seconds(),
-                                    ReduceOp::F64Max,
-                                ));
-                                (max_end - s.start).seconds()
-                            })
-                            .collect()
-                    }
-                    "barrier" => run_barrier_scheme(
-                        ctx,
-                        &mut comm,
-                        g.as_mut(),
-                        BarrierAlgorithm::Bruck,
-                        reps,
-                        op.as_mut(),
-                    )
-                    .iter()
-                    .map(|s| s.latency().seconds())
-                    .collect(),
-                    other => panic!("unknown scheme {other:?} (roundtime|barrier)"),
-                };
-                (comm.rank() == 0).then_some(samples)
-            });
-            let samples = results[0].clone().expect("root collects");
-            if samples.is_empty() {
-                println!(
-                    "{:<12} {:>8} {:>10} (no valid repetitions)",
-                    op_name, msize, 0
-                );
-                continue;
-            }
-            let s = Summary::of(&samples);
-            println!(
-                "{:<12} {:>8} {:>10} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
-                op_name,
-                msize,
-                s.n,
-                s.median * 1e6,
-                s.mean * 1e6,
-                s.min * 1e6,
-                s.max * 1e6
-            );
+            points.push((op_name.clone(), msize));
         }
+    }
+    let exec = SweepExecutor::from_env(args.get_jobs(), machine.topology.total_cores());
+    let all = run_cluster_sweep(
+        &exec,
+        &machine,
+        &points,
+        |_, _| seed,
+        |(op_name, msize), ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut sync = sync_by_name(&sync_name);
+            let mut g: BoxClock = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+            let mut op = op_by_name(op_name, *msize);
+
+            let samples: Vec<f64> = match scheme.as_str() {
+                "roundtime" => {
+                    let bl = estimate_bcast_latency(ctx, &mut comm, g.as_mut(), 10);
+                    let cfg = RoundTimeConfig {
+                        max_time_slice_s: secs(slice),
+                        max_nrep: reps,
+                        slack_b: 3.0,
+                        bcast_latency_s: bl,
+                    };
+                    let reps = run_round_time(ctx, &mut comm, g.as_mut(), cfg, op.as_mut());
+                    // Global latency per repetition.
+                    reps.iter()
+                        // Sample endpoints share the global frame.
+                        .map(|s| {
+                            let max_end = GlobalTime::from_raw_seconds(comm.allreduce_f64(
+                                ctx,
+                                s.end.raw_seconds(),
+                                ReduceOp::F64Max,
+                            ));
+                            (max_end - s.start).seconds()
+                        })
+                        .collect()
+                }
+                "barrier" => run_barrier_scheme(
+                    ctx,
+                    &mut comm,
+                    g.as_mut(),
+                    BarrierAlgorithm::Bruck,
+                    reps,
+                    op.as_mut(),
+                )
+                .iter()
+                .map(|s| s.latency().seconds())
+                .collect(),
+                other => panic!("unknown scheme {other:?} (roundtime|barrier)"),
+            };
+            (comm.rank() == 0).then_some(samples)
+        },
+    );
+
+    for (results, (op_name, msize)) in all.iter().zip(&points) {
+        let samples = results[0].clone().expect("root collects");
+        if samples.is_empty() {
+            println!(
+                "{:<12} {:>8} {:>10} (no valid repetitions)",
+                op_name, msize, 0
+            );
+            continue;
+        }
+        let s = Summary::of(&samples);
+        println!(
+            "{:<12} {:>8} {:>10} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            op_name,
+            msize,
+            s.n,
+            s.median * 1e6,
+            s.mean * 1e6,
+            s.min * 1e6,
+            s.max * 1e6
+        );
     }
 }

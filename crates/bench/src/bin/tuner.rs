@@ -4,9 +4,10 @@
 //!
 //! ```text
 //! cargo run --release -p hcs-experiments --bin tuner \
-//!     [--nodes 16] [--ppn 8] [--msizes 8,64,512,4096] [--reps 100] [--seed 1]
+//!     [--nodes 16] [--ppn 8] [--msizes 8,64,512,4096] [--reps 100] [--seed 1] [--jobs N]
 //! ```
 
+use hcs_bench::sweep::{run_cluster_sweep, SweepExecutor};
 use hcs_bench::tuner::{tune_allreduce, TuneScheme, TuningResult};
 use hcs_clock::{LocalClock, TimeSource};
 use hcs_core::prelude::*;
@@ -14,25 +15,8 @@ use hcs_experiments::Args;
 use hcs_mpi::{BarrierAlgorithm, Comm};
 use hcs_sim::machines;
 
-fn run_scheme(
-    machine: &hcs_sim::MachineSpec,
-    seed: u64,
-    scheme: TuneScheme,
-    msizes: &[usize],
-) -> Vec<TuningResult> {
-    let cluster = machine.cluster(seed);
-    let res = cluster.run(|ctx| {
-        let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
-        let mut comm = Comm::world(ctx);
-        let mut sync = Hca3::skampi(60, 10);
-        let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
-        tune_allreduce(ctx, &mut comm, g.as_mut(), scheme, msizes)
-    });
-    res[0].clone().expect("root reports")
-}
-
 fn main() {
-    let args = Args::parse(&["nodes", "ppn", "msizes", "reps", "seed"]);
+    let args = Args::parse(&["nodes", "ppn", "msizes", "reps", "seed", "jobs"]);
     let nodes = args.get_usize("nodes", 16);
     let ppn = args.get_usize("ppn", 8);
     let msizes: Vec<usize> = args
@@ -78,9 +62,25 @@ fn main() {
     }
     println!();
 
-    let all: Vec<Vec<TuningResult>> = schemes
+    // One sweep point per scheme; all schemes reuse the master seed so
+    // they tune on the same machine realization (as before).
+    let exec = SweepExecutor::from_env(args.get_jobs(), machine.topology.total_cores());
+    let results = run_cluster_sweep(
+        &exec,
+        &machine,
+        &schemes,
+        |_, _| seed,
+        |&scheme, ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut sync = Hca3::skampi(60, 10);
+            let mut g = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+            tune_allreduce(ctx, &mut comm, g.as_mut(), scheme, &msizes)
+        },
+    );
+    let all: Vec<Vec<TuningResult>> = results
         .iter()
-        .map(|&s| run_scheme(&machine, seed, s, &msizes))
+        .map(|per_rank| per_rank[0].clone().expect("root reports"))
         .collect();
 
     for (i, &msize) in msizes.iter().enumerate() {

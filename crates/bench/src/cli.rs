@@ -61,6 +61,16 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// The `--jobs` sweep-concurrency override: `None` when absent or
+    /// `0`, letting `SweepExecutor::from_env` fall back to `HCS_JOBS`
+    /// and then the oversubscription-aware auto budget.
+    pub fn get_jobs(&self) -> Option<usize> {
+        match self.get_usize("jobs", 0) {
+            0 => None,
+            j => Some(j),
+        }
+    }
+
     /// An `f64` value with default.
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.check(key);

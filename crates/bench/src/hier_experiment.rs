@@ -1,6 +1,7 @@
 //! Shared driver for the hierarchical-synchronization experiments
 //! (Figs. 4, 5 and 6 differ only in machine, shape and sampling).
 
+use hcs_bench::sweep::{run_seed, SweepExecutor};
 use hcs_clock::{LocalClock, Span, TimeSource};
 use hcs_core::prelude::*;
 use hcs_core::SyncFactory;
@@ -59,6 +60,13 @@ pub fn fig4_configs(fit_hi: usize, fit_lo: usize, pingpongs: usize) -> Vec<(Stri
 /// Runs the configurations `runs` times each and collects the rows.
 /// `sample_frac` limits the accuracy check to a client sample (Fig. 6
 /// uses 10 %).
+///
+/// Independent (config, repetition) points execute through `exec`,
+/// possibly concurrently; rows come back in the sequential nesting
+/// order (configs outer, repetitions inner). Repetition `run` draws its
+/// master seed from the `(seed0, run)` stream — shared across configs,
+/// so all configurations of one repetition still see the same machine
+/// realization, and independent of how runs interleave on the host.
 pub fn run_hier_experiment(
     machine: &MachineSpec,
     configs: &[(String, SyncFactory)],
@@ -66,33 +74,33 @@ pub fn run_hier_experiment(
     wait: Span,
     sample_frac: f64,
     seed0: u64,
+    exec: &SweepExecutor,
 ) -> Vec<HierRow> {
-    let mut rows = Vec::new();
-    for (label, make) in configs {
-        for run in 0..runs {
-            let cluster = machine.cluster(seed0 + 1000 * run as u64);
-            let out = cluster.run(|ctx| {
-                let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
-                let mut comm = Comm::world(ctx);
-                let mut alg = make();
-                let outcome = run_sync(alg.as_mut(), ctx, &mut comm, Box::new(clk));
-                let mut g = outcome.clock;
-                let mut probe = SkampiOffset::new(10);
-                let report =
-                    check_clock_accuracy(ctx, &mut comm, g.as_mut(), &mut probe, wait, sample_frac);
-                (outcome.duration, report)
-            });
-            let duration = out.iter().map(|o| o.0).fold(Span::ZERO, Span::max);
-            let report = out[0].1.as_ref().expect("root reports");
-            rows.push(HierRow {
-                label: label.clone(),
-                duration,
-                max_at0: report.max_abs_at_sync(),
-                max_at_wait: report.max_abs_after_wait(),
-            });
+    let p = machine.topology.total_cores();
+    exec.run(configs.len() * runs, p, |i| {
+        let (label, make) = &configs[i / runs];
+        let run = i % runs;
+        let cluster = machine.cluster(run_seed(seed0, run as u64));
+        let out = cluster.run(|ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut alg = make();
+            let outcome = run_sync(alg.as_mut(), ctx, &mut comm, Box::new(clk));
+            let mut g = outcome.clock;
+            let mut probe = SkampiOffset::new(10);
+            let report =
+                check_clock_accuracy(ctx, &mut comm, g.as_mut(), &mut probe, wait, sample_frac);
+            (outcome.duration, report)
+        });
+        let duration = out.iter().map(|o| o.0).fold(Span::ZERO, Span::max);
+        let report = out[0].1.as_ref().expect("root reports");
+        HierRow {
+            label: label.clone(),
+            duration,
+            max_at0: report.max_abs_at_sync(),
+            max_at_wait: report.max_abs_after_wait(),
         }
-    }
-    rows
+    })
 }
 
 /// Prints the rows plus per-configuration means in the paper's format.

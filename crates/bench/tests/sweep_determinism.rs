@@ -1,0 +1,91 @@
+//! The sweep executor must be invisible in the artifacts: the rows (and
+//! the CSV bytes derived from them) of a hierarchical-sync experiment
+//! are identical whatever `jobs` setting executed it, through both the
+//! pooled and the fresh-spawn engine paths.
+
+use hcs_bench::sweep::SweepExecutor;
+use hcs_clock::Span;
+use hcs_experiments::hier_experiment::{
+    fig4_configs, run_hier_experiment, write_hier_csv, HierRow,
+};
+use hcs_sim::machines;
+use hcs_sim::secs;
+
+const SEED: u64 = 20_260_806;
+
+fn rows_with_jobs(jobs: usize) -> Vec<HierRow> {
+    let machine = machines::testbed(2, 2);
+    let configs = fig4_configs(12, 6, 4);
+    let exec = SweepExecutor::new(jobs);
+    run_hier_experiment(&machine, &configs, 2, secs(0.5), 1.0, SEED, &exec)
+}
+
+fn assert_rows_eq(a: &[HierRow], b: &[HierRow], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: row count differs");
+    for (ra, rb) in a.iter().zip(b) {
+        assert_eq!(ra.label, rb.label, "{what}: labels diverge");
+        assert_eq!(ra.duration, rb.duration, "{what}: durations diverge");
+        assert_eq!(ra.max_at0, rb.max_at0, "{what}: max@0 diverges");
+        assert_eq!(ra.max_at_wait, rb.max_at_wait, "{what}: max@wait diverges");
+    }
+}
+
+#[test]
+fn rows_and_csv_are_byte_identical_across_jobs_settings() {
+    let sequential = rows_with_jobs(1);
+    let concurrent = rows_with_jobs(4);
+    assert_rows_eq(&sequential, &concurrent, "jobs=1 vs jobs=4");
+
+    // And the CSV artifact derived from the rows is byte-identical.
+    let dir = std::env::temp_dir();
+    let p1 = dir.join("hcs_sweep_det_jobs1.csv");
+    let p4 = dir.join("hcs_sweep_det_jobs4.csv");
+    write_hier_csv(&sequential, p1.to_str().unwrap());
+    write_hier_csv(&concurrent, p4.to_str().unwrap());
+    let b1 = std::fs::read(&p1).unwrap();
+    let b4 = std::fs::read(&p4).unwrap();
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p4);
+    assert!(!b1.is_empty(), "CSV artifact is empty");
+    assert_eq!(b1, b4, "CSV bytes differ between jobs=1 and jobs=4");
+}
+
+#[test]
+fn concurrent_pooled_rows_match_fresh_spawn_rows() {
+    // The executor leases pool workers; a fresh-spawn cluster run of the
+    // same (config, repetition) point must produce the same row. This
+    // pins that neither pooling nor run-level concurrency leaks into
+    // virtual time.
+    use hcs_clock::{LocalClock, TimeSource};
+    use hcs_core::prelude::*;
+    use hcs_mpi::Comm;
+
+    let machine = machines::testbed(2, 2);
+    let configs = fig4_configs(12, 6, 4);
+    let concurrent = rows_with_jobs(2);
+
+    // Recompute row (config 1, run 1) unpooled, straight from the
+    // cluster, using the same per-run seed stream.
+    let (label, make) = &configs[1];
+    let cluster = machine.cluster(hcs_bench::sweep::run_seed(SEED, 1));
+    let out = cluster.run_unpooled(|ctx| {
+        let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+        let mut comm = Comm::world(ctx);
+        let mut alg = make();
+        let outcome = run_sync(alg.as_mut(), ctx, &mut comm, Box::new(clk));
+        let mut g = outcome.clock;
+        let mut probe = SkampiOffset::new(10);
+        let report = check_clock_accuracy(ctx, &mut comm, g.as_mut(), &mut probe, secs(0.5), 1.0);
+        (outcome.duration, report)
+    });
+    let duration = out.iter().map(|o| o.0).fold(Span::ZERO, Span::max);
+    let report = out[0].1.as_ref().expect("root reports");
+
+    // configs.len() == 4, runs == 2: row index = config * runs + run,
+    // so (config 1, run 1) lands at index 3.
+    let row = &concurrent[3];
+    assert_eq!(&row.label, label);
+    assert_eq!(row.duration, duration, "pooled sweep vs fresh spawn");
+    assert_eq!(row.max_at0, report.max_abs_at_sync());
+    assert_eq!(row.max_at_wait, report.max_abs_after_wait());
+}

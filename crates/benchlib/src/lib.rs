@@ -15,7 +15,10 @@
 //! - [`trace`] + [`workloads`] — typed trace extraction from the
 //!   observability layer and the AMG2013-proxy workload behind the
 //!   Gantt charts of Fig. 10,
-//! - [`stats`] — summary statistics used throughout.
+//! - [`stats`] — summary statistics used throughout,
+//! - [`sweep`] — the deterministic parallel sweep executor that runs
+//!   independent experiment repetitions concurrently while keeping
+//!   every artifact byte-identical to the sequential path.
 
 pub mod guidelines;
 pub mod imbalance;
@@ -25,6 +28,7 @@ pub mod profile;
 pub mod schemes;
 pub mod stats;
 pub mod suites;
+pub mod sweep;
 pub mod trace;
 pub mod tuner;
 pub mod workloads;
@@ -39,6 +43,7 @@ pub use schemes::{
 };
 pub use stats::{Histogram, Summary};
 pub use suites::{measure_allreduce, Suite, SuiteConfig, SuiteResult};
+pub use sweep::{run_cluster_sweep, run_seed, SweepExecutor};
 pub use trace::{gantt_rows, per_rank_events, TraceEvent};
 pub use tuner::{
     measure_candidate, tune_allreduce, tune_alltoall, CandidateResult, TuneScheme, TuningResult,
@@ -57,6 +62,7 @@ pub mod prelude {
     };
     pub use crate::stats::{Histogram, Summary};
     pub use crate::suites::{measure_allreduce, Suite, SuiteConfig, SuiteResult};
+    pub use crate::sweep::{run_cluster_sweep, run_seed, SweepExecutor};
     pub use crate::trace::{gantt_rows, per_rank_events, TraceEvent};
     pub use crate::tuner::{
         measure_candidate, tune_allreduce, tune_alltoall, CandidateResult, TuneScheme, TuningResult,

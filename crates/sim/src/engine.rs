@@ -23,10 +23,11 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex};
 
 use hcs_obs::{ClockReadings, ObsSpec, RankRecorder, Recorder, TraceLog};
 
+use crate::lockutil::lock_ignore_poison;
 use crate::msg::{Envelope, Payload, ACK_BIT};
 use crate::net::NetworkModel;
 use crate::pool::{ClusterPool, Job, Latch, RANK_STACK_BYTES};
@@ -51,10 +52,63 @@ const POISON_TAG: Tag = u32::MAX;
 /// messages.
 const DIRECT_CLAMP_MAX_RANKS: usize = 4096;
 
-fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
+/// Initial/probe spin budget of the mailbox receive fast path, in
+/// `spin_loop()` iterations. Deliberately small: on an oversubscribed
+/// host every missed spin iteration is time stolen from the very sender
+/// the receiver is waiting on, so the cheap probe only *samples* whether
+/// messages arrive within the window and lets hits grow the budget.
+const SPIN_BUDGET_PROBE: u32 = 1 << 8;
+
+/// Upper bound the budget can grow to when spins keep hitting.
+const SPIN_BUDGET_MAX: u32 = 1 << 14;
+
+/// After this many consecutive parks the budget is re-armed to
+/// [`SPIN_BUDGET_PROBE`], so a rank that collapsed to
+/// park-immediately mode can still discover a phase change back to
+/// tight message exchange (amortized cost: ~4 iterations per park).
+const SPIN_REARM_PARKS: u32 = 64;
+
+/// Adaptive spin budget for one rank's receive fast path.
+///
+/// Hits (the partner's message arrived within the spin window) double
+/// the budget up to [`SPIN_BUDGET_MAX`]; misses (the rank truly parked)
+/// halve it. On hosts where the sender cannot run concurrently — e.g.
+/// more runnable rank threads than cores — spins nearly always miss,
+/// the budget collapses to zero within a handful of receives, and the
+/// path degrades to park-immediately with only a single atomic load of
+/// overhead. Purely host-side state: it never influences virtual time.
+struct SpinWait {
+    budget: u32,
+    parks: u32,
+}
+
+impl SpinWait {
+    fn new() -> Self {
+        Self {
+            budget: SPIN_BUDGET_PROBE,
+            parks: 0,
+        }
+    }
+
+    #[inline]
+    fn budget(&self) -> u32 {
+        self.budget
+    }
+
+    #[inline]
+    fn hit(&mut self) {
+        self.parks = 0;
+        self.budget = (self.budget.max(64)).saturating_mul(2).min(SPIN_BUDGET_MAX);
+    }
+
+    #[inline]
+    fn miss(&mut self) {
+        self.budget /= 2;
+        self.parks += 1;
+        if self.parks >= SPIN_REARM_PARKS {
+            self.parks = 0;
+            self.budget = SPIN_BUDGET_PROBE;
+        }
     }
 }
 
@@ -62,9 +116,14 @@ fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// mutex, with a condvar for blocking receives. Unlike a linked-list
 /// channel, pushing a message allocates nothing once the buffer has
 /// reached its high-water capacity.
+///
+/// `len` mirrors `q.len()` (every store happens under the lock) so a
+/// receiver can watch for arrivals lock-free during the adaptive spin
+/// fast path of [`RunNet::recv`].
 struct Mailbox {
     q: Mutex<VecDeque<Envelope>>,
     cv: Condvar,
+    len: AtomicUsize,
 }
 
 /// Per-run communication state shared by all rank contexts: one mailbox
@@ -85,6 +144,7 @@ impl RunNet {
                 .map(|_| Mailbox {
                     q: Mutex::new(VecDeque::new()),
                     cv: Condvar::new(),
+                    len: AtomicUsize::new(0),
                 })
                 .collect(),
             alive: AtomicUsize::new(size),
@@ -141,6 +201,10 @@ impl RunNet {
         let mb = &self.boxes[dst];
         let mut q = lock_ignore_poison(&mb.q);
         q.push_back(env);
+        // Publish the new length while still holding the lock so the
+        // mirror never runs ahead of (or behind) the queue for longer
+        // than a critical section.
+        mb.len.store(q.len(), Ordering::Release);
         drop(q);
         mb.cv.notify_one();
     }
@@ -148,11 +212,48 @@ impl RunNet {
     /// Blocking receive; `None` means every other rank has finished, so
     /// no message can ever arrive (the pooled analogue of "all senders
     /// disconnected").
-    fn recv(&self, me: Rank) -> Option<Envelope> {
+    ///
+    /// Fast path: before touching the mutex/condvar, spin on the
+    /// lock-free length mirror for an adaptive, bounded number of
+    /// iterations. This rank is the only consumer of its own mailbox,
+    /// so a non-zero mirror guarantees the locked pop below succeeds —
+    /// a spin hit skips the park entirely, including the deadlock probe
+    /// (the rank never blocked). The wait edge published by the caller
+    /// stays registered while spinning — a spinning rank genuinely *is*
+    /// blocked on its `(src, tag)`, which is what lets *other* ranks'
+    /// probes still see a cycle through it; if its budget runs out it
+    /// parks below and runs detection itself, so a cycle of pure
+    /// spinners is always diagnosed.
+    ///
+    /// The spin is host-side only: whether a message is found by
+    /// spinning or after a park changes nothing about virtual time.
+    fn recv(&self, me: Rank, spin: &mut SpinWait) -> Option<Envelope> {
         let mb = &self.boxes[me];
+        let mut budget = spin.budget();
+        if budget > 0
+            && mb.len.load(Ordering::Acquire) == 0
+            && self.alive.load(Ordering::Acquire) > 1
+        {
+            loop {
+                std::hint::spin_loop();
+                budget -= 1;
+                if mb.len.load(Ordering::Acquire) > 0 {
+                    spin.hit();
+                    break;
+                }
+                if budget == 0 {
+                    spin.miss();
+                    break;
+                }
+                if self.alive.load(Ordering::Acquire) <= 1 {
+                    break;
+                }
+            }
+        }
         let mut q = lock_ignore_poison(&mb.q);
         loop {
             if let Some(env) = q.pop_front() {
+                mb.len.store(q.len(), Ordering::Release);
                 // Clear the wait edge while still holding the mailbox
                 // lock: confirmation probes take this same lock, so a
                 // probe can never observe "edge registered + queue
@@ -266,6 +367,81 @@ impl DstClamp {
                 }
             }
         }
+    }
+}
+
+/// Above this cluster size the out-of-order pending buffer switches
+/// from a direct-indexed bucket table to an association list. Lower
+/// than [`DIRECT_CLAMP_MAX_RANKS`] because each slot here is a whole
+/// `VecDeque` header, not 8 bytes.
+const DIRECT_PENDING_MAX_RANKS: usize = 1024;
+
+/// Out-of-order receive buffer, bucketed by source rank.
+///
+/// The old representation was a single deque scanned front to back —
+/// O(pending) per match, which is what flattened the fan-in throughput
+/// rows: with `s` senders racing one receiver, the buffer holds O(s)
+/// messages and each posted receive rescans all of them. Bucketing by
+/// source makes the lookup O(1) (direct) or O(#sources buffered)
+/// (sparse), and the in-bucket scan only walks messages *from the
+/// requested source*. Scanning a bucket front to back preserves
+/// per-`(src, tag)` FIFO order exactly as the flat scan did.
+///
+/// Sparse buckets are kept once created (bounded by the O(log p)
+/// partners a rank actually messages), so their ring capacity is
+/// reused instead of reallocated per out-of-order burst.
+enum PendingBuf {
+    /// `buckets` stays empty (no allocation, no O(p) zeroing per run)
+    /// until the first out-of-order message materializes the table.
+    Direct {
+        size: usize,
+        buckets: Vec<VecDeque<Envelope>>,
+    },
+    Sparse(Vec<(Rank, VecDeque<Envelope>)>),
+}
+
+impl PendingBuf {
+    fn new(size: usize) -> Self {
+        if size <= DIRECT_PENDING_MAX_RANKS {
+            PendingBuf::Direct {
+                size,
+                buckets: Vec::new(),
+            }
+        } else {
+            PendingBuf::Sparse(Vec::new())
+        }
+    }
+
+    fn push(&mut self, env: Envelope) {
+        match self {
+            PendingBuf::Direct { size, buckets } => {
+                if buckets.is_empty() {
+                    buckets.resize_with(*size, VecDeque::new);
+                }
+                buckets[env.src].push_back(env);
+            }
+            PendingBuf::Sparse(list) => {
+                if let Some((_, q)) = list.iter_mut().find(|(r, _)| *r == env.src) {
+                    q.push_back(env);
+                } else {
+                    let mut q = VecDeque::new();
+                    let src = env.src;
+                    q.push_back(env);
+                    list.push((src, q));
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the oldest buffered message from `src` with
+    /// `tag`, if any.
+    fn take(&mut self, src: Rank, tag: Tag) -> Option<Envelope> {
+        let q = match self {
+            PendingBuf::Direct { buckets, .. } => buckets.get_mut(src)?,
+            PendingBuf::Sparse(list) => &mut list.iter_mut().find(|(r, _)| *r == src)?.1,
+        };
+        let pos = q.iter().position(|e| e.tag == tag)?;
+        q.remove(pos)
     }
 }
 
@@ -705,11 +881,12 @@ pub struct RankCtx {
     net_rng: Pcg64,
     net: Arc<RunNet>,
     /// Out-of-order buffer: messages pulled from the mailbox that did
-    /// not match the receive in progress. A single reusable ring buffer
-    /// scanned front-to-back (which preserves per-`(src, tag)` FIFO
-    /// order); unlike the old per-key map of queues, it cannot
-    /// accumulate empty per-key entries over a long session.
-    pending: VecDeque<Envelope>,
+    /// not match the receive in progress, bucketed by source rank so a
+    /// match never scans other senders' messages (see [`PendingBuf`]).
+    pending: PendingBuf,
+    /// Adaptive spin budget for the mailbox receive fast path
+    /// (host-side only; see [`SpinWait`]).
+    spin: SpinWait,
     /// FIFO clamp: last arrival time scheduled to each destination.
     last_arrival_to: DstClamp,
     counters: TrafficCounters,
@@ -766,7 +943,8 @@ impl RankCtx {
             master_seed,
             net_rng: rngx::stream_rng(master_seed, label::rank_net(rank)),
             net,
-            pending: VecDeque::new(),
+            pending: PendingBuf::new(size),
+            spin: SpinWait::new(),
             last_arrival_to: DstClamp::new(size),
             counters: TrafficCounters::default(),
             noise,
@@ -1128,18 +1306,8 @@ impl RankCtx {
     }
 
     fn pull_match(&mut self, src: Rank, tag: Tag) -> Envelope {
-        // Front-to-back scan preserves per-(src, tag) FIFO order; the
-        // buffer only ever holds the few messages that arrived out of
-        // order relative to the posted receives.
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|e| e.src == src && e.tag == tag)
-        {
-            return self
-                .pending
-                .remove(pos)
-                .expect("position() returned a valid index");
+        if let Some(env) = self.pending.take(src, tag) {
+            return env;
         }
         // Publish the wait edge. It is cleared (under the mailbox lock)
         // every time an envelope is popped and re-registered if that
@@ -1148,7 +1316,7 @@ impl RankCtx {
         // deadlock detector's probes rely on.
         self.net.begin_wait(self.rank, src, tag);
         loop {
-            let env = self.net.recv(self.rank).unwrap_or_else(|| {
+            let env = self.net.recv(self.rank, &mut self.spin).unwrap_or_else(|| {
                 panic!(
                     "rank {}: all peers gone while receiving (src {src}, tag {tag})",
                     self.rank
@@ -1166,7 +1334,7 @@ impl RankCtx {
                 // `RunNet::recv`).
                 return env;
             }
-            self.pending.push_back(env);
+            self.pending.push(env);
             // The pop cleared the edge; this receive is still logically
             // blocked on the same (src, tag), so re-register before
             // going back to the mailbox. The generation bump this

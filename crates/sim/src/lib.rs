@@ -55,6 +55,7 @@
 
 pub mod clockspec;
 pub mod engine;
+pub mod lockutil;
 pub mod machines;
 pub mod msg;
 pub mod net;
@@ -71,7 +72,7 @@ pub use engine::{Cluster, ClusterBuilder, RankCtx};
 pub use machines::MachineSpec;
 pub use net::{Jitter, LevelLatency, NetworkModel};
 pub use noise::NoiseSpec;
-pub use pool::ClusterPool;
+pub use pool::{ClusterPool, PoolReservation};
 pub use timebase::{secs, SimTime, Span};
 pub use topology::{Level, Topology};
 pub use wire::Wire;

@@ -1,0 +1,19 @@
+//! Poison-transparent mutex locking, shared by the engine, the rank
+//! pool and the sweep executor in `hcs-bench`.
+//!
+//! A rank-body panic is always caught, diagnosed and re-thrown by the
+//! engine's own panic plumbing, so a poisoned mutex carries no
+//! information beyond what that machinery already reports. Every lock
+//! site in the simulator therefore treats poisoning as "locked
+//! normally" instead of double-panicking (which would replace the
+//! root-cause panic with a useless `PoisonError`).
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks `m`, treating a poisoned mutex as locked normally.
+pub fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

@@ -21,10 +21,18 @@
 //! - **Panic safety.** Rank bodies run under `catch_unwind`; a panic is
 //!   recorded and re-thrown on the *caller's* thread, and the worker
 //!   survives to serve later runs.
+//! - **Sweep coordination.** A parallel sweep (the `hcs-bench`
+//!   `SweepExecutor`) calls [`ClusterPool::reserve`] once up front so
+//!   its concurrent leases are served from pre-spawned parked workers
+//!   instead of racing into `spawn_worker`, and [`ClusterPool::trim`]
+//!   afterwards so a one-off wide sweep does not pin its worker
+//!   high-water mark for the rest of the process.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+use crate::lockutil::lock_ignore_poison;
 
 /// Stack size for rank threads. The clock-sync code is iterative, so a
 /// small stack keeps 16k-rank (Titan-scale) runs affordable.
@@ -43,23 +51,29 @@ struct Worker {
 pub struct ClusterPool {
     idle: Mutex<Vec<Worker>>,
     spawned: AtomicUsize,
-}
-
-fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    }
+    /// Concurrent leases currently checked out (one per in-flight
+    /// `Cluster::run`); lets callers and tests verify no run leaks its
+    /// block of workers.
+    active_leases: AtomicUsize,
+    /// Workers promised to outstanding [`ClusterPool::reserve`] guards;
+    /// [`ClusterPool::trim`] never shrinks the idle set below this.
+    reserved: AtomicUsize,
 }
 
 impl ClusterPool {
+    fn new() -> ClusterPool {
+        ClusterPool {
+            idle: Mutex::new(Vec::new()),
+            spawned: AtomicUsize::new(0),
+            active_leases: AtomicUsize::new(0),
+            reserved: AtomicUsize::new(0),
+        }
+    }
+
     /// The process-wide pool used by [`crate::Cluster::run`].
     pub fn global() -> &'static ClusterPool {
         static POOL: OnceLock<ClusterPool> = OnceLock::new();
-        POOL.get_or_init(|| ClusterPool {
-            idle: Mutex::new(Vec::new()),
-            spawned: AtomicUsize::new(0),
-        })
+        POOL.get_or_init(ClusterPool::new)
     }
 
     /// Total OS threads this pool has ever spawned. A repeated-runs
@@ -72,6 +86,54 @@ impl ClusterPool {
     /// Number of currently parked (leasable) workers.
     pub fn idle_workers(&self) -> usize {
         lock_ignore_poison(&self.idle).len()
+    }
+
+    /// Number of leases (worker blocks) currently checked out by
+    /// in-flight runs. Returns to its previous value when a run
+    /// completes — even a panicking one (the engine re-throws rank
+    /// panics only after its workers are checked back in).
+    pub fn active_leases(&self) -> usize {
+        self.active_leases.load(Ordering::Acquire)
+    }
+
+    /// Pre-spawns enough parked workers that `blocks` concurrent leases
+    /// of `p` workers each can all be served from the idle set, instead
+    /// of racing each other into `spawn_worker` mid-sweep. The returned
+    /// guard pins those workers against [`ClusterPool::trim`] until
+    /// dropped; it does *not* check anything out — leasing still
+    /// happens per run.
+    pub fn reserve(&self, blocks: usize, p: usize) -> PoolReservation<'_> {
+        let want = blocks * p;
+        {
+            let mut idle = lock_ignore_poison(&self.idle);
+            while idle.len() < want {
+                let w = self.spawn_worker();
+                idle.push(w);
+            }
+        }
+        self.reserved.fetch_add(want, Ordering::AcqRel);
+        PoolReservation {
+            pool: self,
+            count: want,
+        }
+    }
+
+    /// Drops parked workers beyond `max_idle` (their job channels close
+    /// and the threads exit), so a one-off large run does not pin its
+    /// worker set for the rest of the process. Never shrinks below the
+    /// workers promised to outstanding [`ClusterPool::reserve`] guards.
+    /// Checked-out workers are unaffected. Returns how many workers
+    /// were dropped.
+    pub fn trim(&self, max_idle: usize) -> usize {
+        let keep = max_idle.max(self.reserved.load(Ordering::Acquire));
+        let dropped = {
+            let mut idle = lock_ignore_poison(&self.idle);
+            if idle.len() <= keep {
+                return 0;
+            }
+            idle.split_off(keep)
+        };
+        dropped.len()
     }
 
     fn spawn_worker(&self) -> Worker {
@@ -115,6 +177,7 @@ impl ClusterPool {
     /// paths — the engine guarantees this by counting down outside its
     /// `catch_unwind`.
     pub(crate) fn run_jobs(&self, jobs: Vec<Job>, latch: &Latch) {
+        self.active_leases.fetch_add(1, Ordering::AcqRel);
         let workers = self.checkout(jobs.len());
         for (worker, job) in workers.iter().zip(jobs) {
             worker
@@ -124,6 +187,22 @@ impl ClusterPool {
         }
         latch.wait();
         self.checkin(workers);
+        self.active_leases.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Capacity pin handed out by [`ClusterPool::reserve`]: while alive,
+/// [`ClusterPool::trim`] keeps at least the reserved worker count
+/// parked. Dropping it releases the pin (workers stay parked until
+/// someone trims).
+pub struct PoolReservation<'a> {
+    pool: &'a ClusterPool,
+    count: usize,
+}
+
+impl Drop for PoolReservation<'_> {
+    fn drop(&mut self) {
+        self.pool.reserved.fetch_sub(self.count, Ordering::AcqRel);
     }
 }
 
@@ -214,6 +293,48 @@ mod tests {
         // itself found its 4 workers parked.
         assert!(pool.threads_spawned() >= 4);
         assert!(pool.threads_spawned() - before <= 4);
+    }
+
+    #[test]
+    fn reserve_prefills_and_trim_respects_reservation() {
+        // A private pool instance keeps the assertions isolated from
+        // whatever other tests lease from the global pool.
+        let pool = ClusterPool::new();
+        let guard = pool.reserve(2, 3);
+        assert_eq!(pool.idle_workers(), 6);
+        assert_eq!(pool.threads_spawned(), 6);
+        // Trimming below an outstanding reservation is a no-op.
+        assert_eq!(pool.trim(0), 0);
+        assert_eq!(pool.idle_workers(), 6);
+        drop(guard);
+        assert_eq!(pool.trim(2), 4);
+        assert_eq!(pool.idle_workers(), 2);
+        // The spawn counter is a monotonic total, not a live count.
+        assert_eq!(pool.threads_spawned(), 6);
+        // The survivors still serve jobs.
+        let latch = Arc::new(Latch::new(2));
+        let jobs: Vec<Job> = (0..2)
+            .map(|_| {
+                let latch = Arc::clone(&latch);
+                Box::new(move || latch.count_down()) as Job
+            })
+            .collect();
+        pool.run_jobs(jobs, &latch);
+    }
+
+    #[test]
+    fn lease_accounting_balances_even_for_panicking_jobs() {
+        let pool = ClusterPool::new();
+        assert_eq!(pool.active_leases(), 0);
+        let latch = Arc::new(Latch::new(1));
+        let l2 = Arc::clone(&latch);
+        let job: Job = Box::new(move || {
+            l2.count_down();
+            panic!("deliberate");
+        });
+        pool.run_jobs(vec![job], &latch);
+        assert_eq!(pool.active_leases(), 0);
+        assert_eq!(pool.idle_workers(), 1);
     }
 
     #[test]

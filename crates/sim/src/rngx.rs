@@ -70,6 +70,18 @@ impl Pcg64 {
         rng
     }
 
+    /// Creates the generator for sub-stream `stream` of `seed`: a pure
+    /// function of the pair, statistically independent across stream
+    /// indices (the pair is mixed through [`derive_seed`]).
+    ///
+    /// This is how sweep drivers derive per-repetition master seeds —
+    /// run `i` of a sweep seeded `s` uses `Pcg64::stream(s, i)` — so a
+    /// run's randomness depends only on its submission index, never on
+    /// how runs interleave on the host.
+    pub fn stream(seed: u64, stream: u64) -> Self {
+        Self::seed_from_u64(derive_seed(seed, stream))
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

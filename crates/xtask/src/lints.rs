@@ -58,6 +58,9 @@ pub fn lint_file(path: &str, scan: &FileScan) -> Vec<Finding> {
         determinism(path, scan, &mut out);
         clockdomain(path, scan, &mut out);
     }
+    if class.in_src {
+        host_parallelism(path, scan, &mut out);
+    }
     unsafe_hygiene(path, scan, &mut out);
     deprecation(path, scan, &mut out);
     if class.in_crate_src(UNWRAP_CRATES) {
@@ -131,6 +134,38 @@ fn determinism(path: &str, scan: &FileScan, out: &mut Vec<Finding>) {
                     msg: format!("`{word}` in deterministic crate: {why}"),
                 });
             }
+        }
+    }
+}
+
+/// The one file allowed to consult the host's core count. Everything
+/// else must take an explicit `jobs` parameter (or leave it to
+/// [`SweepExecutor::from_env`]) so concurrency decisions stay
+/// centralized, auditable, and overridable via `--jobs` / `HCS_JOBS`.
+const HOST_PARALLELISM_ALLOWED: &str = "crates/benchlib/src/sweep.rs";
+
+/// `available_parallelism` outside the sweep executor makes run counts
+/// and thread budgets host-shaped in ways the sweep layer cannot see or
+/// cap, and scatters the policy the executor exists to own.
+fn host_parallelism(path: &str, scan: &FileScan, out: &mut Vec<Finding>) {
+    if path == HOST_PARALLELISM_ALLOWED {
+        return;
+    }
+    for (ln, line) in scan.code.iter().enumerate() {
+        if scan.is_test[ln] {
+            continue;
+        }
+        if has_word(line, "available_parallelism") {
+            out.push(Finding {
+                path: path.to_string(),
+                line: ln + 1,
+                lint: "determinism/host-parallelism",
+                level: Level::Error,
+                msg: format!(
+                    "`available_parallelism` outside {HOST_PARALLELISM_ALLOWED}: host-shaped \
+                     concurrency decisions belong to SweepExecutor (pass a jobs count instead)"
+                ),
+            });
         }
     }
 }
@@ -226,6 +261,20 @@ mod tests {
             .any(|(l, _)| l == "unsafe/safety-comment"));
         let good = "// SAFETY: caller upholds the contract.\n#[allow(unused)]\nunsafe fn g() {}\n";
         assert!(lints_of("crates/sim/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn available_parallelism_is_blessed_only_in_sweep() {
+        let src = "fn f() { let n = std::thread::available_parallelism(); let _ = n; }\n";
+        let hits = lints_of("crates/bench/src/bin/fig5.rs", src);
+        assert!(hits
+            .iter()
+            .any(|(l, _)| l == "determinism/host-parallelism"));
+        // The sweep executor is the single blessed call site.
+        assert!(lints_of("crates/benchlib/src/sweep.rs", src).is_empty());
+        // Mentions in comments and tests never fire.
+        let quiet = "// available_parallelism would be wrong here\n#[cfg(test)]\nmod tests { fn t() { let _ = std::thread::available_parallelism(); } }\n";
+        assert!(lints_of("crates/benchlib/src/microbench.rs", quiet).is_empty());
     }
 
     #[test]

@@ -70,6 +70,41 @@ fn two_rank_mutual_receive_is_diagnosed() {
 }
 
 #[test]
+fn cycle_after_hot_spin_budget_is_still_diagnosed() {
+    // The adaptive mailbox fast path spins before parking, and the
+    // detector only runs at a true park. Grow each rank's spin budget
+    // to its maximum with a burst of successful receives, then enter a
+    // genuine cycle: every rank must exhaust its (maximal) budget, park,
+    // and the cycle must still be named — not spun on forever.
+    let cluster = machines::testbed(2, 1).cluster(13);
+    let payload = catch_unwind(AssertUnwindSafe(|| {
+        cluster.run(|ctx| {
+            let peer = 1 - ctx.rank();
+            // Ping-pong long enough that every receive is a spin hit.
+            for i in 0..64u32 {
+                if ctx.rank() == 0 {
+                    ctx.send_t(peer, 7, i);
+                    let _: u32 = ctx.recv_t(peer, 7);
+                } else {
+                    let _: u32 = ctx.recv_t(peer, 7);
+                    ctx.send_t(peer, 7, i);
+                }
+            }
+            // Now both ranks receive head-to-head: a real deadlock.
+            let _ = ctx.recv(peer, 77);
+        });
+    }))
+    .expect_err("cycle after a hot spin phase must panic, not hang");
+    let msg = panic_message(payload);
+    assert!(msg.contains("deadlock detected"), "{msg}");
+    assert!(
+        msg.contains("rank 0 waiting on (src 1, tag 77)")
+            && msg.contains("rank 1 waiting on (src 0, tag 77)"),
+        "{msg}"
+    );
+}
+
+#[test]
 fn full_sync_and_round_time_pipeline_has_no_false_positives() {
     // The densest communication pattern in the repo: HCA3 tree
     // synchronization (ping-pong offset measurements over shared tags)

@@ -92,6 +92,27 @@ fn external_dependency_is_an_error() {
 }
 
 #[test]
+fn host_parallelism_outside_sweep_is_an_error() {
+    // Concurrency budgets must flow through SweepExecutor; any other
+    // src file consulting the host's core count is an error.
+    let findings = lint_sources(&[(
+        "crates/bench/src/bin/fig4.rs",
+        "fn jobs() -> usize { std::thread::available_parallelism().map_or(1, |n| n.get()) }\n",
+    )]);
+    assert!(
+        lint_ids(&findings).contains(&"determinism/host-parallelism"),
+        "{findings:?}"
+    );
+    assert!(findings.iter().all(|f| f.level == Level::Error));
+    // The sweep executor itself is the single blessed call site.
+    let ok = lint_sources(&[(
+        "crates/benchlib/src/sweep.rs",
+        "fn auto() -> usize { std::thread::available_parallelism().map_or(1, |n| n.get()) }\n",
+    )]);
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
 fn bare_unwrap_in_library_code_is_a_warning() {
     let findings = lint_sources(&[(
         "crates/clock/src/global.rs",
