@@ -20,6 +20,11 @@ use hcs_sim::{machines, ClusterPool, RankCtx};
 /// Repetitions per sweep in the `sweep_runs` groups.
 const SWEEP_RUNS: usize = 8;
 
+/// Messages each sender (fan-in) or each destination (fan-out) streams
+/// per run in the fan groups. Matches the engine's staging-segment
+/// capacity so every burst is one batched mailbox mutation.
+const FAN_ROUNDS: usize = 32;
+
 /// One ping-pong run of `msgs` round trips between ranks 0 and 1 on a
 /// `p`-rank cluster (the ISSUE's tracked repeated-run workload).
 fn pingpong_run(p: usize, msgs: u32, seed: u64, pooled: bool) {
@@ -98,21 +103,59 @@ fn main() {
         }
     }
 
-    // Fan-in message rate.
-    for ranks in [16usize, 64, 256] {
+    // Fan-in message rate: every rank streams FAN_ROUNDS messages at
+    // rank 0. Each sender's burst is delivered in staged batches
+    // (STAGE_MAX-sized mailbox mutations), and rank 0's src-major
+    // receive order forces the out-of-order messages through the SoA
+    // pending buffer — this row tracks the full batched receive path,
+    // not run dispatch.
+    for ranks in [16usize, 64, 256, 1024] {
         r.case_throughput(
             "engine_fan_in",
             &ranks.to_string(),
-            ranks as f64,
+            ((ranks - 1) * FAN_ROUNDS) as f64,
             "msgs",
             || {
                 machines::testbed(ranks / 4, 4).cluster(2).run(|ctx| {
                     if ctx.rank() == 0 {
                         for src in 1..ctx.size() {
-                            let _ = ctx.recv(src, 0);
+                            for _ in 0..FAN_ROUNDS {
+                                let _ = ctx.recv(src, 0);
+                            }
                         }
                     } else {
-                        ctx.send(0, 0, &[0u8; 8]);
+                        for _ in 0..FAN_ROUNDS {
+                            ctx.send(0, 0, &[0u8; 8]);
+                        }
+                    }
+                });
+            },
+        );
+    }
+
+    // Fan-out message rate: rank 0 streams FAN_ROUNDS messages to every
+    // other rank, destination-major so consecutive sends coalesce into
+    // staged batches. Rank 0 runs first (caller-runs dispatch), so the
+    // receivers find their bursts already delivered — the row isolates
+    // sender-side staging plus receiver-side batch draining.
+    for ranks in [16usize, 64, 256, 1024] {
+        r.case_throughput(
+            "engine_fan_out",
+            &ranks.to_string(),
+            ((ranks - 1) * FAN_ROUNDS) as f64,
+            "msgs",
+            || {
+                machines::testbed(ranks / 4, 4).cluster(2).run(|ctx| {
+                    if ctx.rank() == 0 {
+                        for dst in 1..ctx.size() {
+                            for _ in 0..FAN_ROUNDS {
+                                ctx.send(dst, 0, &[0u8; 8]);
+                            }
+                        }
+                    } else {
+                        for _ in 0..FAN_ROUNDS {
+                            let _ = ctx.recv(0, 0);
+                        }
                     }
                 });
             },

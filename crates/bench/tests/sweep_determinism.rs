@@ -89,3 +89,65 @@ fn concurrent_pooled_rows_match_fresh_spawn_rows() {
     assert_eq!(row.max_at0, report.max_abs_at_sync());
     assert_eq!(row.max_at_wait, report.max_abs_after_wait());
 }
+
+#[test]
+fn concurrent_jobs_are_not_slower_than_sequential() {
+    // The PR-4 sweep executor made jobs=4 *slower* than jobs=1 at
+    // p=256 (shared pool state thrashed under the 4×256-thread
+    // footprint). This pins the fix: with sharded dispatch, lazy
+    // workers and the host-core clamp, a concurrent sweep must never
+    // lose to the sequential loop by more than measurement noise. The
+    // tolerance is deliberately generous (1.5×, best-of-interleaved
+    // trials) so a loaded CI host cannot flake it; a real regression of
+    // the old kind was a 2×+ slowdown.
+    use hcs_bench::sweep::run_seed;
+    use hcs_sim::{machines, RankCtx};
+    use std::time::Instant;
+
+    fn pingpong_run(p: usize, msgs: u32, seed: u64) {
+        let cluster = machines::testbed(p.div_ceil(4).max(1), p.min(4)).cluster(seed);
+        cluster.run(move |ctx: &mut RankCtx| match ctx.rank() {
+            0 => {
+                for i in 0..msgs {
+                    ctx.send_t(1, i & 0xFF, 1.0f64);
+                    let _: f64 = ctx.recv_t(1, i & 0xFF);
+                }
+            }
+            1 => {
+                for i in 0..msgs {
+                    let v: f64 = ctx.recv_t(0, i & 0xFF);
+                    ctx.send_t(0, i & 0xFF, v);
+                }
+            }
+            _ => {}
+        });
+    }
+
+    for p in [32usize, 256] {
+        let e1 = SweepExecutor::new(1);
+        let e4 = SweepExecutor::new(4);
+        let sweep = |exec: &SweepExecutor| {
+            exec.run(8, p, |i| pingpong_run(p, 50, run_seed(7, i as u64)));
+        };
+        // Warm both paths (pool spawn-up, page faults).
+        sweep(&e1);
+        sweep(&e4);
+        let mut best1 = f64::INFINITY;
+        let mut best4 = f64::INFINITY;
+        // Interleave the settings so host-load drift hits both equally.
+        for _ in 0..4 {
+            let t = Instant::now();
+            sweep(&e1);
+            best1 = best1.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            sweep(&e4);
+            best4 = best4.min(t.elapsed().as_secs_f64());
+        }
+        assert!(
+            best4 <= best1 * 1.5,
+            "p={p}: jobs=4 sweep ({:.2} ms) is more than 1.5x slower than jobs=1 ({:.2} ms)",
+            best4 * 1e3,
+            best1 * 1e3,
+        );
+    }
+}

@@ -4,9 +4,10 @@
 //! repository builds with no external dependencies (offline
 //! environments). The harness is deliberately simple: warm up once,
 //! pick an iteration count that fills a target wall-clock budget, time
-//! the batch, report mean per iteration plus an optional throughput
-//! rate, and optionally serialize everything as JSON for tracked
-//! baselines (`BENCH_engine.json`).
+//! it as several sub-batches and report the fastest batch's mean per
+//! iteration (a minimum is robust against one-sided scheduler/co-tenant
+//! noise) plus an optional throughput rate, and optionally serialize
+//! everything as JSON for tracked baselines (`BENCH_engine.json`).
 //!
 //! Environment knobs:
 //!
@@ -100,11 +101,27 @@ impl Runner {
         let probe = t0.elapsed().as_secs_f64().max(1e-9);
         let iters = ((self.target_s / probe) as u64).clamp(1, self.max_iters);
 
-        let t0 = Instant::now();
-        for _ in 0..iters {
-            std::hint::black_box(f());
+        // Best-of-K batches: the budget is split into sub-batches and
+        // the fastest batch mean is reported. External disturbances
+        // (scheduler preemption, co-tenant noise) only ever slow a
+        // batch down, so the minimum is the least-disturbed estimate —
+        // the noise floor a one-shot mean cannot reach.
+        const BATCHES: u64 = 5;
+        let per_batch = (iters / BATCHES).max(1);
+        let mut total_iters = 0u64;
+        let mut mean_s = f64::INFINITY;
+        for _ in 0..BATCHES {
+            let t0 = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(f());
+            }
+            mean_s = mean_s.min(t0.elapsed().as_secs_f64() / per_batch as f64);
+            total_iters += per_batch;
+            if total_iters >= self.max_iters {
+                break;
+            }
         }
-        let mean_s = t0.elapsed().as_secs_f64() / iters as f64;
+        let iters = total_iters;
 
         let result = CaseResult {
             group: group.to_string(),

@@ -28,10 +28,14 @@
 //! `max(1, available_parallelism / p_per_run)` (each in-flight run
 //! already owns `p` rank threads), overridable with `--jobs` on the
 //! experiment binaries or the `HCS_JOBS` environment variable. The
-//! executor coordinates with the global [`ClusterPool`]: it reserves
-//! the worker capacity for the whole sweep up front (so concurrent
-//! leases don't race each other into thread spawning) and trims the
-//! pool back down when the sweep finishes.
+//! executor coordinates with the global [`ClusterPool`]: each executor
+//! thread pins itself to its own pool shard via
+//! [`ClusterPool::with_shard`], so concurrent jobs dispatch through
+//! independent queue locks and worker sets instead of contending on
+//! shared pool state, and the pool is trimmed back down when the sweep
+//! finishes. The in-flight degree is additionally clamped to the host
+//! core count — beyond that, extra executor threads only interleave
+//! run working sets on the same cores (cache evictions, no speedup).
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -124,32 +128,54 @@ impl SweepExecutor {
         if jobs <= 1 {
             return (0..n_runs).map(f).collect();
         }
+        // Oversubscription clamp (with `auto_jobs`, a blessed
+        // host-introspection site — lint `determinism/host-parallelism`):
+        // more in-flight runs than host cores buys no parallelism, it
+        // only interleaves the runs' working sets on the same silicon —
+        // context switches plus cache evictions, the p256_jobs4
+        // regression in miniature. The `jobs` knob is a budget; the
+        // host caps the in-flight degree. Results are unaffected: run
+        // `i`'s output is a pure function of its submission index.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let in_flight = jobs.min(cores);
 
         let pool = ClusterPool::global();
-        // Capacity-plan the whole sweep up front: `jobs` concurrent
-        // leases of `p_per_run` workers each, spawned once instead of
-        // raced into existence by the first wave of runs.
-        let reservation = pool.reserve(jobs, p_per_run);
         let next = AtomicUsize::new(0);
         let slots: Vec<Slot<T>> = (0..n_runs).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..jobs {
-                let next = &next;
-                let slots = &slots;
-                let f = &f;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n_runs {
-                        break;
-                    }
-                    let out = catch_unwind(AssertUnwindSafe(|| f(i)));
-                    *lock_ignore_poison(&slots[i]) = Some(out);
-                });
-            }
-        });
-        drop(reservation);
-        // The sweep is over: release surplus workers, keeping this
-        // sweep's own footprint parked for whatever runs next.
+        let job_loop = |shard: usize| {
+            // Pin each executor thread to its own pool shard:
+            // concurrent jobs then dispatch through independent queue
+            // locks and worker sets, so they never contend on (or
+            // false-share) each other's pool state. The shard choice is
+            // pure scheduling — run `i` still derives all randomness
+            // from its submission index.
+            ClusterPool::with_shard(shard, || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_runs {
+                    break;
+                }
+                let out = catch_unwind(AssertUnwindSafe(|| f(i)));
+                *lock_ignore_poison(&slots[i]) = Some(out);
+            })
+        };
+        if in_flight <= 1 {
+            // Single-core host: same slot-and-drain semantics (a
+            // panicking run still lets its siblings complete), no
+            // executor threads.
+            job_loop(0);
+        } else {
+            std::thread::scope(|scope| {
+                for job in 0..in_flight {
+                    let job_loop = &job_loop;
+                    scope.spawn(move || job_loop(job));
+                }
+            });
+        }
+        // The sweep is over: release surplus workers, keeping at most
+        // this sweep's worst-case footprint parked for whatever runs
+        // next (the lazy pool usually has far fewer idle anyway).
         pool.trim(jobs * p_per_run);
 
         let mut out = Vec::with_capacity(n_runs);

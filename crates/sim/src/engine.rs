@@ -28,9 +28,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use hcs_obs::{ClockReadings, ObsSpec, RankRecorder, Recorder, TraceLog};
 
 use crate::lockutil::lock_ignore_poison;
-use crate::msg::{Envelope, Payload, ACK_BIT};
+use crate::msg::{Envelope, Payload, PendingBuf, ACK_BIT};
 use crate::net::NetworkModel;
-use crate::pool::{ClusterPool, Job, Latch, RANK_STACK_BYTES};
+use crate::pool::{self, ClusterPool, Job, Latch, RANK_STACK_BYTES};
 use crate::rngx::{self, label, Pcg64};
 use crate::timebase::Span;
 use crate::topology::Topology;
@@ -112,6 +112,13 @@ impl SpinWait {
     }
 }
 
+/// How many consecutive same-destination sends a rank stages locally
+/// before flushing them to the destination mailbox in one lock
+/// acquisition. Staged messages are also flushed whenever the sender
+/// switches destination, blocks, or its body ends, so batching only
+/// coalesces back-to-back traffic that was already in flight together.
+const STAGE_MAX: usize = 32;
+
 /// One rank's incoming-message queue: a reusable ring buffer under a
 /// mutex, with a condvar for blocking receives. Unlike a linked-list
 /// channel, pushing a message allocates nothing once the buffer has
@@ -119,7 +126,12 @@ impl SpinWait {
 ///
 /// `len` mirrors `q.len()` (every store happens under the lock) so a
 /// receiver can watch for arrivals lock-free during the adaptive spin
-/// fast path of [`RunNet::recv`].
+/// fast path of [`RunNet::recv_batch`].
+///
+/// Aligned to two cache lines so adjacent ranks' mailboxes in the
+/// `RunNet::boxes` vector never false-share a line between one rank's
+/// consumer loads and its neighbour's producer stores.
+#[repr(align(128))]
 struct Mailbox {
     q: Mutex<VecDeque<Envelope>>,
     cv: Condvar,
@@ -209,25 +221,41 @@ impl RunNet {
         mb.cv.notify_one();
     }
 
-    /// Blocking receive; `None` means every other rank has finished, so
-    /// no message can ever arrive (the pooled analogue of "all senders
-    /// disconnected").
+    /// Delivers a sender's staged batch to `dst` in one lock
+    /// acquisition and one wakeup. The staging buffer is drained in
+    /// push order, so per-`(src, dst)` FIFO delivery order is exactly
+    /// what a sequence of [`RunNet::send`] calls would have produced.
+    fn send_batch(&self, dst: Rank, stage: &mut Vec<Envelope>) {
+        let mb = &self.boxes[dst];
+        let mut q = lock_ignore_poison(&mb.q);
+        q.extend(stage.drain(..));
+        mb.len.store(q.len(), Ordering::Release);
+        drop(q);
+        mb.cv.notify_one();
+    }
+
+    /// Blocking receive of *everything* queued: drains the whole
+    /// mailbox into the receiver-local `ring` under one lock
+    /// acquisition and returns `true`. Returns `false` when every other
+    /// rank has finished and nothing is queued, so no message can ever
+    /// arrive (the pooled analogue of "all senders disconnected").
     ///
     /// Fast path: before touching the mutex/condvar, spin on the
     /// lock-free length mirror for an adaptive, bounded number of
     /// iterations. This rank is the only consumer of its own mailbox,
-    /// so a non-zero mirror guarantees the locked pop below succeeds —
-    /// a spin hit skips the park entirely, including the deadlock probe
-    /// (the rank never blocked). The wait edge published by the caller
-    /// stays registered while spinning — a spinning rank genuinely *is*
-    /// blocked on its `(src, tag)`, which is what lets *other* ranks'
-    /// probes still see a cycle through it; if its budget runs out it
-    /// parks below and runs detection itself, so a cycle of pure
-    /// spinners is always diagnosed.
+    /// so a non-zero mirror guarantees the locked drain below succeeds
+    /// — a spin hit skips the park entirely, including the deadlock
+    /// probe (the rank never blocked). The wait edge published by the
+    /// caller stays registered while spinning — a spinning rank
+    /// genuinely *is* blocked on its `(src, tag)`, which is what lets
+    /// *other* ranks' probes still see a cycle through it; if its
+    /// budget runs out it parks below and runs detection itself, so a
+    /// cycle of pure spinners is always diagnosed.
     ///
-    /// The spin is host-side only: whether a message is found by
-    /// spinning or after a park changes nothing about virtual time.
-    fn recv(&self, me: Rank, spin: &mut SpinWait) -> Option<Envelope> {
+    /// The spin and the batching are host-side only: whether messages
+    /// are found by spinning, one per lock or many per lock changes
+    /// nothing about virtual time (arrivals were fixed at send time).
+    fn recv_batch(&self, me: Rank, spin: &mut SpinWait, ring: &mut VecDeque<Envelope>) -> bool {
         let mb = &self.boxes[me];
         let mut budget = spin.budget();
         if budget > 0
@@ -251,20 +279,25 @@ impl RunNet {
             }
         }
         let mut q = lock_ignore_poison(&mb.q);
+        // Pool liveness marker, armed only if this rank truly parks
+        // (see `pool::blocking_section`); created lazily so spin hits
+        // and ready mailboxes stay off the bookkeeping path.
+        let mut block = None;
         loop {
-            if let Some(env) = q.pop_front() {
-                mb.len.store(q.len(), Ordering::Release);
+            if !q.is_empty() {
+                ring.extend(q.drain(..));
+                mb.len.store(0, Ordering::Release);
                 // Clear the wait edge while still holding the mailbox
                 // lock: confirmation probes take this same lock, so a
                 // probe can never observe "edge registered + queue
-                // empty" while the just-popped (possibly matching)
-                // envelope is in this rank's hand. The caller
-                // re-registers if the envelope does not match.
+                // empty" while the just-drained (possibly matching)
+                // envelopes are in this rank's hand. The caller
+                // re-registers when its ring runs dry without a match.
                 self.end_wait(me);
-                return Some(env);
+                return true;
             }
             if self.alive.load(Ordering::Acquire) <= 1 {
-                return None;
+                return false;
             }
             if self.waits.is_some() {
                 // About to park: check whether this wait closes a
@@ -277,6 +310,9 @@ impl RunNet {
                 if !q.is_empty() {
                     continue;
                 }
+            }
+            if block.is_none() {
+                block = Some(pool::blocking_section());
             }
             q = match mb.cv.wait(q) {
                 Ok(g) => g,
@@ -367,81 +403,6 @@ impl DstClamp {
                 }
             }
         }
-    }
-}
-
-/// Above this cluster size the out-of-order pending buffer switches
-/// from a direct-indexed bucket table to an association list. Lower
-/// than [`DIRECT_CLAMP_MAX_RANKS`] because each slot here is a whole
-/// `VecDeque` header, not 8 bytes.
-const DIRECT_PENDING_MAX_RANKS: usize = 1024;
-
-/// Out-of-order receive buffer, bucketed by source rank.
-///
-/// The old representation was a single deque scanned front to back —
-/// O(pending) per match, which is what flattened the fan-in throughput
-/// rows: with `s` senders racing one receiver, the buffer holds O(s)
-/// messages and each posted receive rescans all of them. Bucketing by
-/// source makes the lookup O(1) (direct) or O(#sources buffered)
-/// (sparse), and the in-bucket scan only walks messages *from the
-/// requested source*. Scanning a bucket front to back preserves
-/// per-`(src, tag)` FIFO order exactly as the flat scan did.
-///
-/// Sparse buckets are kept once created (bounded by the O(log p)
-/// partners a rank actually messages), so their ring capacity is
-/// reused instead of reallocated per out-of-order burst.
-enum PendingBuf {
-    /// `buckets` stays empty (no allocation, no O(p) zeroing per run)
-    /// until the first out-of-order message materializes the table.
-    Direct {
-        size: usize,
-        buckets: Vec<VecDeque<Envelope>>,
-    },
-    Sparse(Vec<(Rank, VecDeque<Envelope>)>),
-}
-
-impl PendingBuf {
-    fn new(size: usize) -> Self {
-        if size <= DIRECT_PENDING_MAX_RANKS {
-            PendingBuf::Direct {
-                size,
-                buckets: Vec::new(),
-            }
-        } else {
-            PendingBuf::Sparse(Vec::new())
-        }
-    }
-
-    fn push(&mut self, env: Envelope) {
-        match self {
-            PendingBuf::Direct { size, buckets } => {
-                if buckets.is_empty() {
-                    buckets.resize_with(*size, VecDeque::new);
-                }
-                buckets[env.src].push_back(env);
-            }
-            PendingBuf::Sparse(list) => {
-                if let Some((_, q)) = list.iter_mut().find(|(r, _)| *r == env.src) {
-                    q.push_back(env);
-                } else {
-                    let mut q = VecDeque::new();
-                    let src = env.src;
-                    q.push_back(env);
-                    list.push((src, q));
-                }
-            }
-        }
-    }
-
-    /// Removes and returns the oldest buffered message from `src` with
-    /// `tag`, if any.
-    fn take(&mut self, src: Rank, tag: Tag) -> Option<Envelope> {
-        let q = match self {
-            PendingBuf::Direct { buckets, .. } => buckets.get_mut(src)?,
-            PendingBuf::Sparse(list) => &mut list.iter_mut().find(|(r, _)| *r == src)?.1,
-        };
-        let pos = q.iter().position(|e| e.tag == tag)?;
-        q.remove(pos)
     }
 }
 
@@ -757,6 +718,11 @@ impl Cluster {
                 Arc::clone(&net),
             );
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
+            // Deliver anything still sitting in the staging segment —
+            // a body may end (or unwind) right after a send, and peers
+            // are entitled to receive every message posted before the
+            // body returned.
+            ctx.flush_staged();
             match result {
                 Ok(out) => {
                     *lock_ignore_poison(&results[rank]) = Some(out);
@@ -884,6 +850,18 @@ pub struct RankCtx {
     /// not match the receive in progress, bucketed by source rank so a
     /// match never scans other senders' messages (see [`PendingBuf`]).
     pending: PendingBuf,
+    /// Receiver-local delivery ring: [`RunNet::recv_batch`] drains the
+    /// whole mailbox here under one lock acquisition, and the matching
+    /// loop consumes it lock-free in delivery order.
+    ring: VecDeque<Envelope>,
+    /// Sender-side staging segment: consecutive sends to the same
+    /// destination collect here and are flushed to the destination
+    /// mailbox in one mutation (on destination change, capacity, any
+    /// blocking operation, or body end).
+    stage: Vec<Envelope>,
+    /// Destination of the staged segment (meaningless while `stage` is
+    /// empty).
+    stage_dst: Rank,
     /// Adaptive spin budget for the mailbox receive fast path
     /// (host-side only; see [`SpinWait`]).
     spin: SpinWait,
@@ -944,6 +922,9 @@ impl RankCtx {
             net_rng: rngx::stream_rng(master_seed, label::rank_net(rank)),
             net,
             pending: PendingBuf::new(size),
+            ring: VecDeque::new(),
+            stage: Vec::new(),
+            stage_dst: 0,
             spin: SpinWait::new(),
             last_arrival_to: DstClamp::new(size),
             counters: TrafficCounters::default(),
@@ -1193,14 +1174,38 @@ impl RankCtx {
             needs_ack,
             payload: Payload::from_slice(payload),
         };
-        // A send may race with the receiver having already returned from
-        // its closure; that's fine, the message is simply dropped at the
-        // end of the run.
-        self.net.send(dst, env);
+        // Stage instead of delivering directly: consecutive sends to
+        // one destination reach its mailbox in a single lock
+        // acquisition. A destination switch flushes first, so delivery
+        // order across destinations also matches post order; arrival
+        // times were fixed above, so *when* the host flush happens is
+        // invisible to virtual time. A send may race with the receiver
+        // having already returned from its closure; that's fine, the
+        // message is simply dropped at the end of the run.
+        if !self.stage.is_empty() && self.stage_dst != dst {
+            self.flush_staged();
+        }
+        self.stage_dst = dst;
+        self.stage.push(env);
+        if self.stage.len() >= STAGE_MAX {
+            self.flush_staged();
+        }
         if self.obs_spec.messages {
             if let Some(rec) = self.obs.get_mut() {
                 rec.send(self.now.seconds(), dst as u32, tag, payload.len() as u32);
             }
+        }
+    }
+
+    /// Delivers the staged send segment (if any) to its destination
+    /// mailbox in one mutation. Called on destination switch, staging
+    /// capacity, every potentially-blocking operation, and body end —
+    /// so a rank never parks (or finishes) holding undelivered sends,
+    /// which is what keeps the deadlock detector's "no message in
+    /// flight" reasoning valid under batching.
+    pub(crate) fn flush_staged(&mut self) {
+        if !self.stage.is_empty() {
+            self.net.send_batch(self.stage_dst, &mut self.stage);
         }
     }
 
@@ -1306,41 +1311,48 @@ impl RankCtx {
     }
 
     fn pull_match(&mut self, src: Rank, tag: Tag) -> Envelope {
+        // A receive may block; everything this rank has staged must be
+        // in its peers' mailboxes first, or two ranks could deadlock on
+        // messages neither has delivered.
+        self.flush_staged();
         if let Some(env) = self.pending.take(src, tag) {
             return env;
         }
-        // Publish the wait edge. It is cleared (under the mailbox lock)
-        // every time an envelope is popped and re-registered if that
-        // envelope did not match, so "edge registered" always implies
-        // this rank holds no envelope in hand — the invariant the
-        // deadlock detector's probes rely on.
-        self.net.begin_wait(self.rank, src, tag);
         loop {
-            let env = self.net.recv(self.rank, &mut self.spin).unwrap_or_else(|| {
+            // Drain the receiver-local ring first: these envelopes were
+            // already pulled out of the mailbox in one batch, and the
+            // wait edge was cleared (under the mailbox lock) when that
+            // batch was drained.
+            while let Some(env) = self.ring.pop_front() {
+                if env.tag == POISON_TAG {
+                    panic!(
+                        "rank {}: peer rank {} panicked while this rank was receiving (src {src}, tag {tag})",
+                        self.rank, env.src
+                    );
+                }
+                if env.src == src && env.tag == tag {
+                    return env;
+                }
+                self.pending.push(env);
+            }
+            // Ring exhausted — this receive is (still) logically
+            // blocked on (src, tag). Publish the wait edge before
+            // touching the mailbox: it is cleared when a batch is
+            // drained, so "edge registered" always implies this rank
+            // holds no envelope in hand — the invariant the deadlock
+            // detector's probes rely on. The generation bump on
+            // re-registration is what lets the detector prove that a
+            // confirmed cycle's edges all coexisted.
+            self.net.begin_wait(self.rank, src, tag);
+            if !self
+                .net
+                .recv_batch(self.rank, &mut self.spin, &mut self.ring)
+            {
                 panic!(
                     "rank {}: all peers gone while receiving (src {src}, tag {tag})",
                     self.rank
-                )
-            });
-            if env.tag == POISON_TAG {
-                panic!(
-                    "rank {}: peer rank {} panicked while this rank was receiving (src {src}, tag {tag})",
-                    self.rank, env.src
                 );
             }
-            if env.src == src && env.tag == tag {
-                // The wait edge was already cleared under the mailbox
-                // lock when this envelope was popped (see
-                // `RunNet::recv`).
-                return env;
-            }
-            self.pending.push(env);
-            // The pop cleared the edge; this receive is still logically
-            // blocked on the same (src, tag), so re-register before
-            // going back to the mailbox. The generation bump this
-            // causes is what lets the detector prove that a confirmed
-            // cycle's edges all coexisted.
-            self.net.begin_wait(self.rank, src, tag);
         }
     }
 }

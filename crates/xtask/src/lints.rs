@@ -278,6 +278,30 @@ mod tests {
     }
 
     #[test]
+    fn message_path_modules_classify_into_the_right_lint_sets() {
+        // The batched message path lives in these modules; a rename or
+        // crate move that silently dropped them out of the determinism
+        // set would let wall clocks / ambient RNG creep into the hot
+        // path unnoticed.
+        for path in [
+            "crates/sim/src/engine.rs",
+            "crates/sim/src/msg.rs",
+            "crates/sim/src/pool.rs",
+            "crates/sim/src/net.rs",
+        ] {
+            assert!(
+                FileClass::of(path).in_crate_src(DETERMINISM_CRATES),
+                "{path} must be determinism-linted"
+            );
+        }
+        // The sweep executor is host-facing by design: blessed for
+        // available_parallelism, outside the determinism set.
+        let sweep = FileClass::of(HOST_PARALLELISM_ALLOWED);
+        assert!(sweep.in_src);
+        assert!(!sweep.in_crate_src(DETERMINISM_CRATES));
+    }
+
+    #[test]
     fn unwrap_is_warning_level_and_skips_tests() {
         let src = "fn f(x: Option<u8>) { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t(x: Option<u8>) { x.unwrap(); } }\n";
         let findings = lint_file("crates/mpi/src/x.rs", &scan(src));

@@ -133,3 +133,33 @@ fn full_sync_and_round_time_pipeline_has_no_false_positives() {
         "pipeline completed with agreed sample counts: {res:?}"
     );
 }
+
+#[test]
+fn cycle_is_diagnosed_while_a_non_matching_batch_is_in_flight() {
+    // Batched delivery edge case: rank 0 sends rank 1 a message that
+    // does NOT match what rank 1 is receiving on, then both ranks block
+    // head-to-head. Rank 1 drains the batch (which clears its wait
+    // edge under the mailbox lock), buffers the non-matching envelope
+    // to pending, and must re-register its edge before parking again —
+    // otherwise the detector would either miss the cycle or report a
+    // stale generation.
+    let cluster = machines::testbed(2, 1).cluster(14);
+    let payload = catch_unwind(AssertUnwindSafe(|| {
+        cluster.run(|ctx| {
+            let peer = 1 - ctx.rank();
+            if ctx.rank() == 0 {
+                // Staged, flushed on the way into the blocking receive.
+                ctx.send_t(peer, 5, 1.0f64);
+            }
+            let _ = ctx.recv(peer, 99);
+        });
+    }))
+    .expect_err("cycle behind a non-matching batch must panic, not hang");
+    let msg = panic_message(payload);
+    assert!(msg.contains("deadlock detected"), "{msg}");
+    assert!(
+        msg.contains("rank 0 waiting on (src 1, tag 99)")
+            && msg.contains("rank 1 waiting on (src 0, tag 99)"),
+        "{msg}"
+    );
+}
