@@ -152,6 +152,10 @@ impl SweepExecutor {
             // pure scheduling — run `i` still derives all randomness
             // from its submission index.
             ClusterPool::with_shard(shard, || loop {
+                // atomics: work-stealing ticket counter. fetch_add is a
+                // full RMW, so every run index is claimed exactly once;
+                // the slot write it guards is published by the slot's
+                // own mutex, not by this counter's ordering.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n_runs {
                     break;

@@ -27,7 +27,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use hcs_obs::{ClockReadings, ObsSpec, RankRecorder, Recorder, TraceLog};
 
-use crate::lockutil::lock_ignore_poison;
+use crate::lockutil::{lock_ignore_poison, OrderedMutex};
 use crate::msg::{Envelope, Payload, PendingBuf, ACK_BIT};
 use crate::net::NetworkModel;
 use crate::pool::{self, ClusterPool, Job, Latch, RANK_STACK_BYTES};
@@ -133,8 +133,8 @@ const STAGE_MAX: usize = 32;
 /// consumer loads and its neighbour's producer stores.
 #[repr(align(128))]
 struct Mailbox {
-    q: Mutex<VecDeque<Envelope>>,
-    cv: Condvar,
+    q: OrderedMutex<VecDeque<Envelope>>, // lock-order: engine.mailbox level=10
+    cv: Condvar,                         // lock-order: engine.mailbox
     len: AtomicUsize,
 }
 
@@ -154,7 +154,7 @@ impl RunNet {
         Self {
             boxes: (0..size)
                 .map(|_| Mailbox {
-                    q: Mutex::new(VecDeque::new()),
+                    q: OrderedMutex::new("engine.mailbox", 10, VecDeque::new()),
                     cv: Condvar::new(),
                     len: AtomicUsize::new(0),
                 })
@@ -196,7 +196,7 @@ impl RunNet {
             return;
         };
         let confirmed = wg.confirm(anchor, |e| {
-            let q = lock_ignore_poison(&self.boxes[e.waiter].q);
+            let q = self.boxes[e.waiter].q.acquire();
             let still_blocked = wg.waiting_on(e.waiter) == Some((e.src, e.tag));
             still_blocked && q.is_empty()
         });
@@ -211,7 +211,7 @@ impl RunNet {
     #[inline]
     fn send(&self, dst: Rank, env: Envelope) {
         let mb = &self.boxes[dst];
-        let mut q = lock_ignore_poison(&mb.q);
+        let mut q = mb.q.acquire();
         q.push_back(env);
         // Publish the new length while still holding the lock so the
         // mirror never runs ahead of (or behind) the queue for longer
@@ -227,7 +227,7 @@ impl RunNet {
     /// what a sequence of [`RunNet::send`] calls would have produced.
     fn send_batch(&self, dst: Rank, stage: &mut Vec<Envelope>) {
         let mb = &self.boxes[dst];
-        let mut q = lock_ignore_poison(&mb.q);
+        let mut q = mb.q.acquire();
         q.extend(stage.drain(..));
         mb.len.store(q.len(), Ordering::Release);
         drop(q);
@@ -278,7 +278,7 @@ impl RunNet {
                 }
             }
         }
-        let mut q = lock_ignore_poison(&mb.q);
+        let mut q = mb.q.acquire();
         // Pool liveness marker, armed only if this rank truly parks
         // (see `pool::blocking_section`); created lazily so spin hits
         // and ready mailboxes stay off the bookkeeping path.
@@ -306,7 +306,7 @@ impl RunNet {
                 // no ordering deadlock) and re-check the queue after.
                 drop(q);
                 self.detect_deadlock(me);
-                q = lock_ignore_poison(&mb.q);
+                q = mb.q.acquire();
                 if !q.is_empty() {
                     continue;
                 }
@@ -314,10 +314,7 @@ impl RunNet {
             if block.is_none() {
                 block = Some(pool::blocking_section());
             }
-            q = match mb.cv.wait(q) {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            q = q.wait(&mb.cv);
         }
     }
 
@@ -327,7 +324,7 @@ impl RunNet {
     fn rank_done(&self) {
         if self.alive.fetch_sub(1, Ordering::AcqRel) == 2 {
             for mb in &self.boxes {
-                let _guard = lock_ignore_poison(&mb.q);
+                let _guard = mb.q.acquire();
                 mb.cv.notify_all();
             }
         }
@@ -698,10 +695,14 @@ impl Cluster {
     {
         let size = self.topology.total_cores();
         let net = Arc::new(RunNet::new(size, self.detect_deadlocks));
-        let results: Vec<Mutex<Option<R>>> = (0..size).map(|_| Mutex::new(None)).collect();
-        let recorders: Vec<Mutex<Option<RankRecorder>>> =
+        // Leaf locks: each is only ever held alone, for one slot write
+        // or drain, never while a mailbox or shard lock is wanted.
+        let results: Vec<Mutex<Option<R>>> = // lock-order: engine.results level=30
             (0..size).map(|_| Mutex::new(None)).collect();
-        let panics: Mutex<Vec<Box<dyn std::any::Any + Send>>> = Mutex::new(Vec::new());
+        let recorders: Vec<Mutex<Option<RankRecorder>>> = // lock-order: engine.recorders level=31
+            (0..size).map(|_| Mutex::new(None)).collect();
+        let panics: Mutex<Vec<Box<dyn std::any::Any + Send>>> = // lock-order: engine.panics level=32
+            Mutex::new(Vec::new());
 
         // The per-rank body shared by both execution modes. It must
         // never unwind: panics from `f` are recorded and re-thrown on
@@ -799,7 +800,7 @@ impl Cluster {
             .into_iter()
             .enumerate()
             .map(|(rank, slot)| {
-                lock_ignore_poison(&slot)
+                lock_ignore_poison(&slot) // lock-order: engine.results
                     .take()
                     .unwrap_or_else(|| panic!("rank {rank} produced no result"))
             })

@@ -69,6 +69,7 @@ pub mod wire;
 
 pub use clockspec::ClockSpec;
 pub use engine::{Cluster, ClusterBuilder, RankCtx};
+pub use lockutil::{lock_ignore_poison, OrderedGuard, OrderedMutex};
 pub use machines::MachineSpec;
 pub use net::{Jitter, LevelLatency, NetworkModel};
 pub use noise::NoiseSpec;

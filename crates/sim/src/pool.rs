@@ -45,7 +45,7 @@ use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
-use crate::lockutil::lock_ignore_poison;
+use crate::lockutil::{lock_ignore_poison, OrderedMutex};
 
 /// Stack size for rank threads. The clock-sync code is iterative, so a
 /// small stack keeps 16k-rank (Titan-scale) runs affordable.
@@ -83,12 +83,12 @@ struct ShardState {
 /// One dispatch shard: a job queue, its parked workers, and lock-free
 /// mirrors used by the dispatch/park fast paths.
 struct Shard {
-    state: Mutex<ShardState>,
+    state: OrderedMutex<ShardState>, // lock-order: pool.shard level=20
     /// Workers park here waiting for jobs.
-    work: Condvar,
+    work: Condvar, // lock-order: pool.shard
     /// Notified whenever a worker parks; only [`ClusterPool::reserve`]
     /// waits on it.
-    parked: Condvar,
+    parked: Condvar, // lock-order: pool.shard
     /// Mirror of `state.queue.len()`, readable without the lock by the
     /// spawn-before-block hook.
     queue_len: AtomicUsize,
@@ -105,11 +105,15 @@ struct Shard {
 impl Shard {
     fn new(spawned: Arc<AtomicUsize>) -> Arc<Shard> {
         Arc::new(Shard {
-            state: Mutex::new(ShardState {
-                queue: std::collections::VecDeque::new(),
-                idle: 0,
-                retire: 0,
-            }),
+            state: OrderedMutex::new(
+                "pool.shard",
+                20,
+                ShardState {
+                    queue: std::collections::VecDeque::new(),
+                    idle: 0,
+                    retire: 0,
+                },
+            ),
             work: Condvar::new(),
             parked: Condvar::new(),
             queue_len: AtomicUsize::new(0),
@@ -121,7 +125,7 @@ impl Shard {
     /// Ensures a non-empty queue has a serving worker: wakes a parked
     /// one, or spawns. Callers hold no shard lock.
     fn ensure_service(self: &Arc<Shard>) {
-        let st = lock_ignore_poison(&self.state);
+        let st = self.state.acquire();
         if st.queue.is_empty() {
             return;
         }
@@ -138,6 +142,8 @@ impl Shard {
     /// liveness checks already count it.
     fn spawn_worker(self: &Arc<Shard>) {
         self.serving.fetch_add(1, Ordering::SeqCst);
+        // atomics: monotonic thread-name counter; the value only feeds
+        // a debug name, no other memory depends on its order.
         let id = self.spawned.fetch_add(1, Ordering::Relaxed);
         let shard = Arc::clone(self);
         std::thread::Builder::new()
@@ -152,7 +158,7 @@ fn worker_loop(shard: Arc<Shard>) {
     WORKER_SHARD.with(|s| *s.borrow_mut() = Some(Arc::clone(&shard)));
     loop {
         let job = {
-            let mut st = lock_ignore_poison(&shard.state);
+            let mut st = shard.state.acquire();
             loop {
                 if let Some(job) = st.queue.pop_front() {
                     shard.queue_len.store(st.queue.len(), Ordering::SeqCst);
@@ -166,10 +172,7 @@ fn worker_loop(shard: Arc<Shard>) {
                 st.idle += 1;
                 shard.serving.fetch_sub(1, Ordering::SeqCst);
                 shard.parked.notify_all();
-                st = match shard.work.wait(st) {
-                    Ok(g) => g,
-                    Err(poisoned) => poisoned.into_inner(),
-                };
+                st = st.wait(&shard.work);
                 st.idle -= 1;
                 shard.serving.fetch_add(1, Ordering::SeqCst);
             }
@@ -266,6 +269,8 @@ impl ClusterPool {
     /// rank bodies, not the nominal cluster size — repeated same-shape
     /// runs plateau (the perf tests assert on this).
     pub fn threads_spawned(&self) -> usize {
+        // atomics: diagnostic read of a monotonic counter; callers only
+        // assert plateau behaviour, no synchronization is implied.
         self.spawned.load(Ordering::Relaxed)
     }
 
@@ -275,7 +280,7 @@ impl ClusterPool {
         self.shards
             .iter()
             .map(|s| {
-                let st = lock_ignore_poison(&s.state);
+                let st = s.state.acquire();
                 st.idle.saturating_sub(st.retire)
             })
             .sum()
@@ -302,18 +307,15 @@ impl ClusterPool {
         let extra = want % POOL_SHARDS;
         for (i, shard) in self.shards.iter().enumerate() {
             let target = base + usize::from(i < extra);
-            let mut st = lock_ignore_poison(&shard.state);
+            let mut st = shard.state.acquire();
             let have = st.idle.saturating_sub(st.retire);
             for _ in have..target {
                 drop(st);
                 shard.spawn_worker();
-                st = lock_ignore_poison(&shard.state);
+                st = shard.state.acquire();
             }
             while st.idle.saturating_sub(st.retire) < target {
-                st = match shard.parked.wait(st) {
-                    Ok(g) => g,
-                    Err(poisoned) => poisoned.into_inner(),
-                };
+                st = st.wait(&shard.parked);
             }
         }
         self.reserved.fetch_add(want, Ordering::AcqRel);
@@ -332,7 +334,7 @@ impl ClusterPool {
         let mut keep = max_idle.max(self.reserved.load(Ordering::Acquire));
         let mut dropped = 0;
         for shard in &self.shards {
-            let mut st = lock_ignore_poison(&shard.state);
+            let mut st = shard.state.acquire();
             let available = st.idle.saturating_sub(st.retire);
             let keep_here = available.min(keep);
             let retire_here = available - keep_here;
@@ -375,7 +377,7 @@ impl ClusterPool {
         // nobody serving.
         let helper = CallerWorker::enter(shard);
         {
-            let mut st = lock_ignore_poison(&shard.state);
+            let mut st = shard.state.acquire();
             st.queue.extend(jobs);
             shard.queue_len.store(st.queue.len(), Ordering::SeqCst);
             // Minimal-wake dispatch: if any worker (including the
@@ -397,7 +399,7 @@ impl ClusterPool {
         if helper.is_some() {
             loop {
                 let job = {
-                    let mut st = lock_ignore_poison(&shard.state);
+                    let mut st = shard.state.acquire();
                     match st.queue.pop_front() {
                         Some(job) => {
                             shard.queue_len.store(st.queue.len(), Ordering::SeqCst);
@@ -469,7 +471,7 @@ impl Drop for ClusterPool {
         // worker to exit so their threads do not outlive the shards'
         // usefulness. Serving workers exit when they next go idle.
         for shard in &self.shards {
-            let mut st = lock_ignore_poison(&shard.state);
+            let mut st = shard.state.acquire();
             st.retire = usize::MAX;
             shard.work.notify_all();
         }
@@ -498,8 +500,8 @@ impl Drop for PoolReservation<'_> {
 /// cost `p` uncontended atomics instead of `p` lock round-trips.
 pub(crate) struct Latch {
     remaining: AtomicUsize,
-    gate: Mutex<()>,
-    done: Condvar,
+    gate: Mutex<()>, // lock-order: pool.latch level=40
+    done: Condvar,   // lock-order: pool.latch
 }
 
 impl Latch {

@@ -48,6 +48,16 @@
 //! The slots are packed `(src, tag)` atomics: registration and the
 //! common no-cycle probe are a handful of atomic ops, keeping the
 //! blocking-receive path allocation-free (see `tests/alloc_free.rs`).
+//!
+//! ## Place in the lock hierarchy
+//!
+//! The graph itself owns no mutex: all slot and generation traffic is
+//! Acquire/Release atomics (never `Relaxed` — every load is paired
+//! with a release store it must observe, so the `concurrency` lint's
+//! `// atomics:` justifications are not needed here). Confirmation
+//! probes run under the *probed rank's* mailbox lock
+//! (`engine.mailbox`, level 10), one lock at a time while the caller
+//! holds none — see DESIGN.md §12.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -26,6 +26,13 @@
 //! - **deprecation freeze** — the `#[deprecated]` pre-builder cluster
 //!   surface and `*_f64` wire helpers may be *defined* but never
 //!   *called*, in any file including tests; see [`deprecation`];
+//! - **concurrency discipline** — every `Mutex`/`Condvar` in
+//!   `crates/sim` is registered in the lock hierarchy
+//!   (`// lock-order: <name> level=<N>`); a guard-scope walk flags
+//!   acquisitions whose levels do not strictly increase, unknown
+//!   locks, and guards held across park points; every
+//!   `Ordering::Relaxed` carries an `// atomics:` justification; bare
+//!   `.lock()` is banned outside `lockutil`; see [`concurrency`];
 //! - **style** (warning level) — no bare `unwrap()` in library code of
 //!   `crates/{sim,core,clock,mpi}`.
 //!
@@ -33,6 +40,7 @@
 //! run them over fixture snippets and over the real workspace.
 
 pub mod clockdomain;
+pub mod concurrency;
 pub mod deprecation;
 pub mod deps;
 pub mod lints;
@@ -97,6 +105,7 @@ pub fn lint_sources(files: &[(&str, &str)]) -> Vec<Finding> {
     let mut tag_defs = Vec::new();
     let mut coll_bit = None;
     let mut manifests = Vec::new();
+    let mut lock_files = Vec::new();
     for &(path, source) in files {
         if path.ends_with("Cargo.toml") {
             manifests.push((path.to_string(), source.to_string()));
@@ -110,8 +119,12 @@ pub fn lint_sources(files: &[(&str, &str)]) -> Vec<Finding> {
         if coll_bit.is_none() {
             coll_bit = tags::extract_coll_bit(&scan);
         }
+        if concurrency::in_lock_scope(path) {
+            lock_files.push((path.to_string(), scan));
+        }
     }
     findings.extend(tags::check_tags(&tag_defs, coll_bit.unwrap_or(1 << 16)));
+    findings.extend(concurrency::check_locks(&lock_files));
     findings.extend(deps::check_deps(&manifests));
     sort_findings(&mut findings);
     findings
@@ -126,6 +139,7 @@ pub fn check_workspace(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut tag_defs = Vec::new();
     let mut coll_bit = None;
+    let mut lock_files = Vec::new();
     for path in &rs_files {
         let rel = rel_path(root, path);
         let source = match fs::read_to_string(path) {
@@ -149,8 +163,12 @@ pub fn check_workspace(root: &Path) -> Vec<Finding> {
         if rel == "crates/mpi/src/lib.rs" {
             coll_bit = tags::extract_coll_bit(&scan);
         }
+        if concurrency::in_lock_scope(&rel) {
+            lock_files.push((rel, scan));
+        }
     }
     findings.extend(tags::check_tags(&tag_defs, coll_bit.unwrap_or(1 << 16)));
+    findings.extend(concurrency::check_locks(&lock_files));
 
     let mut manifests = Vec::new();
     for path in manifest_paths(root) {
@@ -161,6 +179,50 @@ pub fn check_workspace(root: &Path) -> Vec<Finding> {
     findings.extend(deps::check_deps(&manifests));
     sort_findings(&mut findings);
     findings
+}
+
+/// Renders findings as a JSON document for `--format json` (std-only,
+/// so escaping is done by hand; paths and messages are ASCII in
+/// practice). Every lint family — including `concurrency/*` — flows
+/// through this one serializer, so new passes appear in machine
+/// output without registration.
+pub fn render_json(findings: &[Finding], errors: usize, warnings: usize) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"level\": \"{}\", \"lint\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&f.path),
+            f.line,
+            f.level,
+            json_escape(f.lint),
+            json_escape(&f.msg)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"errors\": {errors},\n  \"warnings\": {warnings}\n}}"
+    ));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Is this file part of the static tag registry?

@@ -6,6 +6,7 @@
 //! error messages never fire.
 
 use crate::clockdomain::clockdomain;
+use crate::concurrency;
 use crate::deprecation::deprecation;
 use crate::scanner::{has_word, FileScan};
 use crate::{Finding, Level};
@@ -60,6 +61,10 @@ pub fn lint_file(path: &str, scan: &FileScan) -> Vec<Finding> {
     }
     if class.in_src {
         host_parallelism(path, scan, &mut out);
+        concurrency::raw_lock(path, scan, &mut out);
+    }
+    if class.in_crate_src(concurrency::ATOMICS_CRATES) {
+        concurrency::atomics(path, scan, &mut out);
     }
     unsafe_hygiene(path, scan, &mut out);
     deprecation(path, scan, &mut out);
@@ -192,23 +197,7 @@ fn unsafe_hygiene(path: &str, scan: &FileScan, out: &mut Vec<Finding>) {
 }
 
 fn has_safety_comment(scan: &FileScan, ln: usize) -> bool {
-    if scan.raw[ln].contains("SAFETY:") {
-        return true;
-    }
-    // Walk up through the contiguous run of comment / attribute lines.
-    let mut i = ln;
-    while i > 0 {
-        i -= 1;
-        let t = scan.raw[i].trim_start();
-        if t.starts_with("//") {
-            if t.contains("SAFETY:") {
-                return true;
-            }
-        } else if !t.starts_with("#[") {
-            break;
-        }
-    }
-    false
+    crate::scanner::annotation_above(scan, ln, "SAFETY:").is_some()
 }
 
 fn unwrap_warning(path: &str, scan: &FileScan, out: &mut Vec<Finding>) {

@@ -11,7 +11,7 @@
 
 use std::process::ExitCode;
 
-use xtask::{check_workspace, workspace_root, Finding, Level};
+use xtask::{check_workspace, render_json, workspace_root, Level};
 
 const USAGE: &str = "usage: cargo run -p xtask -- check [--deny-warnings] [--format json]";
 
@@ -72,45 +72,4 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
-}
-
-/// Renders the findings as a JSON document (std-only, so escaping is
-/// done by hand; paths and messages are ASCII in practice).
-fn render_json(findings: &[Finding], errors: usize, warnings: usize) -> String {
-    let mut out = String::from("{\n  \"findings\": [");
-    for (i, f) in findings.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "\n    {{\"path\": \"{}\", \"line\": {}, \"level\": \"{}\", \"lint\": \"{}\", \"message\": \"{}\"}}",
-            json_escape(&f.path),
-            f.line,
-            f.level,
-            json_escape(f.lint),
-            json_escape(&f.msg)
-        ));
-    }
-    if !findings.is_empty() {
-        out.push_str("\n  ");
-    }
-    out.push_str(&format!(
-        "],\n  \"errors\": {errors},\n  \"warnings\": {warnings}\n}}"
-    ));
-    out
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }

@@ -59,6 +59,44 @@ pub fn has_word(line: &str, word: &str) -> bool {
     false
 }
 
+/// Finds `marker` on line `ln` itself or in the contiguous run of
+/// comment / attribute lines directly above it, returning the trimmed
+/// text after the marker. This is the shared lookup for justification
+/// comments (`SAFETY:`, `lock-order:`, `atomics:`): an annotation
+/// belongs to the first non-comment line below it.
+pub fn annotation_above<'a>(scan: &'a FileScan, ln: usize, marker: &str) -> Option<&'a str> {
+    if let Some(pos) = scan.raw[ln].find(marker) {
+        return Some(scan.raw[ln][pos + marker.len()..].trim());
+    }
+    let mut i = ln;
+    while i > 0 {
+        i -= 1;
+        let t = scan.raw[i].trim_start();
+        if t.starts_with("//") {
+            if let Some(pos) = t.find(marker) {
+                return Some(t[pos + marker.len()..].trim());
+            }
+        } else if !t.starts_with("#[") {
+            break;
+        }
+    }
+    None
+}
+
+/// Net `{`/`}` depth change of one stripped code line. Comment and
+/// string braces never count because the scanner already blanked them.
+pub fn brace_delta(code_line: &str) -> i32 {
+    let mut delta = 0;
+    for b in code_line.bytes() {
+        match b {
+            b'{' => delta += 1,
+            b'}' => delta -= 1,
+            _ => {}
+        }
+    }
+    delta
+}
+
 /// Replaces comments and literal contents with spaces, preserving
 /// newlines and all code characters.
 fn strip(src: &str) -> String {

@@ -243,6 +243,148 @@ fn deprecated_definition_and_allowed_call_pass() {
 }
 
 #[test]
+fn inverted_lock_acquisition_is_an_error() {
+    // Two registered locks acquired against their declared levels: the
+    // lock-order walk flags the inverted pair at the second acquisition.
+    let src = "\
+struct Pair {
+    first: Mutex<u32>,  // lock-order: fix.first level=10
+    second: Mutex<u32>, // lock-order: fix.second level=20
+}
+impl Pair {
+    fn good(&self) {
+        let a = lock_ignore_poison(&self.first);
+        let b = lock_ignore_poison(&self.second);
+    }
+    fn bad(&self) {
+        let b = lock_ignore_poison(&self.second);
+        let a = lock_ignore_poison(&self.first);
+    }
+}
+";
+    let findings = lint_sources(&[("crates/sim/src/pool.rs", src)]);
+    assert_eq!(lint_ids(&findings), vec!["concurrency/lock-order"]);
+    assert_eq!(findings[0].line, 12, "{findings:?}");
+    assert!(findings.iter().all(|f| f.level == Level::Error));
+}
+
+#[test]
+fn unregistered_mutex_in_sim_is_an_error() {
+    // Every Mutex/Condvar in crates/sim must carry a lock-order
+    // registration; an anonymous one is flagged at its declaration.
+    let findings = lint_sources(&[(
+        "crates/sim/src/engine.rs",
+        "struct S {\n    m: Mutex<u32>,\n}\n",
+    )]);
+    assert_eq!(lint_ids(&findings), vec!["concurrency/unregistered-lock"]);
+    assert_eq!(findings[0].line, 2, "{findings:?}");
+    // The same declaration outside the lock scope (benchlib) is fine.
+    let ok = lint_sources(&[(
+        "crates/benchlib/src/stats.rs",
+        "struct S {\n    m: Mutex<u32>,\n}\n",
+    )]);
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn guard_held_across_blocking_is_an_error() {
+    // Holding a guard over a park point wedges every thread queued on
+    // that lock; the consumed-guard Condvar wait is the sanctioned form.
+    let src = "\
+struct S {
+    m: Mutex<u32>, // lock-order: fix.m level=10
+    cv: Condvar,   // lock-order: fix.m
+}
+fn bad(s: &S) {
+    let g = lock_ignore_poison(&s.m);
+    std::thread::park();
+}
+fn good(s: &S) {
+    let mut g = lock_ignore_poison(&s.m);
+    g = g.wait(&s.cv);
+    drop(g);
+    std::thread::park();
+}
+";
+    let findings = lint_sources(&[("crates/sim/src/engine.rs", src)]);
+    assert_eq!(
+        lint_ids(&findings),
+        vec!["concurrency/guard-across-blocking"]
+    );
+    assert_eq!(findings[0].line, 7, "{findings:?}");
+}
+
+#[test]
+fn relaxed_atomic_needs_an_atomics_justification() {
+    let bare = "\
+use std::sync::atomic::{AtomicUsize, Ordering};
+pub fn bump(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+";
+    let findings = lint_sources(&[("crates/sim/src/counters.rs", bare)]);
+    assert_eq!(lint_ids(&findings), vec!["concurrency/relaxed-atomic"]);
+    assert_eq!(findings[0].line, 3, "{findings:?}");
+    // An `// atomics:` comment above the use satisfies the pass.
+    let justified = "\
+use std::sync::atomic::{AtomicUsize, Ordering};
+pub fn bump(c: &AtomicUsize) -> usize {
+    // atomics: monotonic counter; readers only need eventual visibility.
+    c.fetch_add(1, Ordering::Relaxed)
+}
+";
+    let ok = lint_sources(&[("crates/sim/src/counters.rs", justified)]);
+    assert!(ok.is_empty(), "{ok:?}");
+    // So does a per-line opt-out.
+    let allowed = "\
+use std::sync::atomic::{AtomicUsize, Ordering};
+pub fn bump(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::Relaxed) // xtask-allow: concurrency
+}
+";
+    let ok = lint_sources(&[("crates/sim/src/counters.rs", allowed)]);
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn bare_lock_call_is_an_error_outside_lockutil() {
+    let src = "pub fn f(m: &std::sync::Mutex<u32>) -> u32 { *m.lock().expect(\"poisoned\") }\n";
+    let findings = lint_sources(&[("crates/benchlib/src/stats.rs", src)]);
+    assert_eq!(lint_ids(&findings), vec!["concurrency/raw-lock"]);
+    // lockutil itself is the blessed definition site for lock helpers.
+    let ok = lint_sources(&[("crates/sim/src/lockutil.rs", src)]);
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn concurrency_findings_render_in_json_and_matcher_shape() {
+    // The JSON feed and the CI problem matcher both consume the same
+    // findings stream; a concurrency finding must appear in each shape.
+    let findings = lint_sources(&[(
+        "crates/sim/src/engine.rs",
+        "struct S {\n    m: Mutex<u32>,\n}\n",
+    )]);
+    assert_eq!(findings.len(), 1);
+    let json = xtask::render_json(&findings, 1, 0);
+    assert!(
+        json.contains("\"lint\": \"concurrency/unregistered-lock\""),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"path\": \"crates/sim/src/engine.rs\""),
+        "{json}"
+    );
+    assert!(json.contains("\"errors\": 1"), "{json}");
+    // Text shape: `path:line: level [lint] message`, what
+    // .github/problem-matchers/xtask.json parses into PR annotations.
+    let row = findings[0].to_string();
+    assert!(
+        row.starts_with("crates/sim/src/engine.rs:2: error [concurrency/unregistered-lock] "),
+        "{row}"
+    );
+}
+
+#[test]
 fn real_workspace_passes_clean() {
     // The self-check CI runs: no errors and no warnings anywhere in the
     // tree. If this fails, `cargo run -p xtask -- check` prints the
