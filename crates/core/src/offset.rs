@@ -112,7 +112,11 @@ impl OffsetAlgorithm for SkampiOffset {
         let me = comm.rank();
         if me == p_ref {
             for _ in 0..self.params.nexchanges {
-                let _dummy: f64 = comm.recv_t(ctx, client, TAG_PING);
+                // The client's ping carries its GlobalTime send stamp
+                // (it is our reply, one line below, that matters);
+                // receiving the ping as a bare f64 was a wire-type
+                // mismatch the skeleton pass now rejects.
+                let _ping = comm.recv_time(ctx, client, TAG_PING);
                 let t_last = clk.get_time(ctx);
                 comm.send_time(ctx, p_ref_partner(client), TAG_PING, t_last);
             }

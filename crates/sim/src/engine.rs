@@ -1218,6 +1218,7 @@ impl RankCtx {
         assert_ne!(src, self.rank, "self-receives are not modeled");
         let env = self.pull_match(src, tag);
         self.absorb_arrival(&env);
+        self.monitor_delivery(&env);
         if self.obs_spec.messages {
             if let Some(rec) = self.obs.get_mut() {
                 rec.recv(
@@ -1235,6 +1236,24 @@ impl RankCtx {
         }
         env.payload
     }
+
+    /// Debug-only protocol-monitor hook on the payload-delivery path:
+    /// checks the matched (src, tag, len) against the generated
+    /// skeleton table when observability is on. Reads no clocks and
+    /// allocates nothing, so a panic-free monitored run is
+    /// timeline-identical to an unmonitored one.
+    #[cfg(debug_assertions)]
+    #[inline]
+    fn monitor_delivery(&self, env: &Envelope) {
+        if self.obs_on() {
+            crate::protomon::check_delivery(self.rank, env.src, env.tag, env.payload.len());
+        }
+    }
+
+    /// Release builds compile the protocol monitor out entirely.
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    fn monitor_delivery(&self, _env: &Envelope) {}
 
     /// Sends a typed value over the [`Wire`] encoding.
     pub fn send_t<T: Wire>(&mut self, dst: Rank, tag: Tag, x: T) {

@@ -61,7 +61,11 @@ pub mod msg;
 pub mod net;
 pub mod noise;
 pub mod pool;
+#[cfg(debug_assertions)]
+pub mod protomon;
 pub mod rngx;
+#[cfg(debug_assertions)]
+mod skeleton_gen;
 pub mod timebase;
 pub mod topology;
 pub mod waitgraph;

@@ -1,0 +1,135 @@
+//! Debug-only runtime protocol monitor.
+//!
+//! The xtask skeleton pass (`crates/xtask/src/skeleton.rs`) statically
+//! extracts the per-tag wire contract of every point-to-point exchange
+//! in `crates/{core,mpi,benchlib}` and emits it into
+//! [`crate::skeleton_gen`] (`cargo run -p xtask -- skeleton --emit`).
+//! This module is the runtime half of that contract: when
+//! observability is on, the engine calls [`check_delivery`] for every
+//! matched payload delivery and panics — naming the tag, the statically
+//! known send/recv sites and both types — if the delivered payload
+//! length contradicts the skeleton.
+//!
+//! The whole module (and the engine's call into it) is compiled only
+//! under `debug_assertions`; release builds carry no monitor code, no
+//! table, and no per-delivery branch, which the zero-alloc and
+//! timeline-identity tests pin. The monitor never touches virtual
+//! time, so a panic-free monitored run is bit-identical to an
+//! unmonitored one.
+
+use crate::msg::ACK_BIT;
+use crate::skeleton_gen::{SKELETON, SKELETON_COLL_BIT};
+use crate::{Rank, Tag};
+
+/// Static wire contract of one registered `TAG_*` constant, generated
+/// by `cargo run -p xtask -- skeleton --emit`.
+#[derive(Debug)]
+pub struct SkeletonEntry {
+    /// Tag value (below `SKELETON_COLL_BIT`, no context-id bits).
+    pub tag: Tag,
+    /// Constant name (`TAG_PING`, ...).
+    pub name: &'static str,
+    /// `|`-joined payload-kind labels seen at the static call sites.
+    pub kinds: &'static str,
+    /// Legal payload lengths in bytes; empty means not statically
+    /// fixed (raw byte-slice traffic), which matches any length.
+    pub sizes: &'static [usize],
+    /// Static send sites, `path:line,line; path:line` format.
+    pub send_sites: &'static str,
+    /// Static recv sites, same format.
+    pub recv_sites: &'static str,
+}
+
+/// Looks up the skeleton entry for a wire tag as seen by the engine.
+/// ACK tags and dynamically allocated collective tags (anything with
+/// `SKELETON_COLL_BIT` or above set) carry no static contract; for
+/// user tags the context-id bits above `SKELETON_COLL_BIT` are
+/// stripped before the table lookup.
+pub fn lookup(wire_tag: Tag) -> Option<&'static SkeletonEntry> {
+    if wire_tag & (ACK_BIT | SKELETON_COLL_BIT) != 0 {
+        return None;
+    }
+    let user = wire_tag & (SKELETON_COLL_BIT - 1);
+    SKELETON
+        .binary_search_by_key(&user, |e| e.tag)
+        .ok()
+        .map(|i| &SKELETON[i])
+}
+
+/// Checks one matched payload delivery against the static skeleton.
+///
+/// # Panics
+///
+/// Panics when `payload_len` is not a legal wire size for the tag's
+/// statically extracted payload kinds. Unknown tags and tags with no
+/// statically fixed size always pass.
+pub fn check_delivery(rank: Rank, src: Rank, wire_tag: Tag, payload_len: usize) {
+    let Some(e) = lookup(wire_tag) else {
+        return;
+    };
+    if e.sizes.is_empty() || e.sizes.contains(&payload_len) {
+        return;
+    }
+    panic!(
+        "protocol monitor: rank {rank} received a {payload_len}-byte payload from rank {src} \
+         on {} ({:#06x}), but the static skeleton allows only `{}` ({:?} bytes) — \
+         send sites: {}; recv sites: {}",
+        e.name, e.tag, e.kinds, e.sizes, e.send_sites, e.recv_sites
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_for_binary_search() {
+        for pair in SKELETON.windows(2) {
+            assert!(
+                pair[0].tag < pair[1].tag,
+                "skeleton table must be strictly sorted by tag ({:#x} !< {:#x}); \
+                 regenerate with `cargo run -p xtask -- skeleton --emit`",
+                pair[0].tag,
+                pair[1].tag
+            );
+        }
+    }
+
+    #[test]
+    fn ack_and_collective_tags_have_no_contract() {
+        assert!(lookup(ACK_BIT | 0x0101).is_none());
+        assert!(lookup(SKELETON_COLL_BIT | 0x0101).is_none());
+        // A context-id above the collective bit still resolves to the
+        // same user tag.
+        if let Some(e) = lookup(0x0101) {
+            let ctx_shifted = (1 << 17) | 0x0101;
+            assert_eq!(lookup(ctx_shifted).map(|e2| e2.tag), Some(e.tag));
+        }
+    }
+
+    #[test]
+    fn unknown_tags_and_unfixed_sizes_pass() {
+        // Not in the table at all.
+        check_delivery(0, 1, 0xFFFF, 12345);
+        // Every unfixed-size entry accepts any length.
+        for e in SKELETON.iter().filter(|e| e.sizes.is_empty()) {
+            check_delivery(0, 1, e.tag, 12345);
+        }
+    }
+
+    #[test]
+    fn wrong_size_on_a_fixed_tag_panics() {
+        let Some(e) = SKELETON.iter().find(|e| !e.sizes.is_empty()) else {
+            return;
+        };
+        let bad = e.sizes.iter().max().expect("non-empty") + 1;
+        let err = std::panic::catch_unwind(|| check_delivery(0, 1, e.tag, bad))
+            .expect_err("mis-sized delivery must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic carries a String payload");
+        assert!(msg.contains("protocol monitor"), "{msg}");
+        assert!(msg.contains(e.name), "{msg}");
+    }
+}

@@ -33,11 +33,20 @@
 //!   locks, and guards held across park points; every
 //!   `Ordering::Relaxed` carries an `// atomics:` justification; bare
 //!   `.lock()` is banned outside `lockutil`; see [`concurrency`];
+//! - **communication skeletons** — every wire call site across
+//!   `crates/{core,mpi,benchlib}` is extracted into a per-tag protocol
+//!   skeleton; orphan tags, send/recv payload-type disagreements,
+//!   role-branch send/recv asymmetries and raw sends on unregistered
+//!   tag expressions are hard failures, and the same extraction emits
+//!   the runtime `ProtocolMonitor` table (`skeleton --emit`); see
+//!   [`skeleton`];
 //! - **style** (warning level) — no bare `unwrap()` in library code of
 //!   `crates/{sim,core,clock,mpi}`.
 //!
 //! The passes are exposed as a library so `tests/xtask_lints.rs` can
-//! run them over fixture snippets and over the real workspace.
+//! run them over fixture snippets and over the real workspace. Pass
+//! families can be filtered with `--only`/`--skip` (see [`PassFilter`])
+//! for fast local iteration; CI always runs everything.
 
 pub mod clockdomain;
 pub mod concurrency;
@@ -45,6 +54,7 @@ pub mod deprecation;
 pub mod deps;
 pub mod lints;
 pub mod scanner;
+pub mod skeleton;
 pub mod tags;
 
 use std::fmt;
@@ -95,43 +105,123 @@ impl fmt::Display for Finding {
     }
 }
 
+/// Every pass family selectable via `--only` / `--skip`. A family is
+/// the leading segment of a lint id (`skeleton/orphan-tag` →
+/// `skeleton`), except `io/unreadable`, which always runs.
+pub const PASS_FAMILIES: &[&str] = &[
+    "clockdomain",
+    "concurrency",
+    "deprecated-api",
+    "deps",
+    "determinism",
+    "skeleton",
+    "style",
+    "tags",
+    "unsafe",
+];
+
+/// Which pass families run. Built from the CLI's `--only`/`--skip`
+/// flags; [`PassFilter::all`] (the CI configuration) runs everything.
+#[derive(Debug, Clone, Default)]
+pub struct PassFilter {
+    only: Option<Vec<String>>,
+    skip: Vec<String>,
+}
+
+impl PassFilter {
+    /// Runs every pass.
+    pub fn all() -> Self {
+        PassFilter::default()
+    }
+
+    /// Builds a filter, rejecting unknown family names so a typo does
+    /// not silently skip the pass it meant to select.
+    pub fn new(only: Option<Vec<String>>, skip: Vec<String>) -> Result<Self, String> {
+        for name in only.iter().flatten().chain(skip.iter()) {
+            if !PASS_FAMILIES.contains(&name.as_str()) {
+                return Err(format!(
+                    "unknown pass family `{name}` (known: {})",
+                    PASS_FAMILIES.join(", ")
+                ));
+            }
+        }
+        Ok(PassFilter { only, skip })
+    }
+
+    /// Does the family run under this filter?
+    pub fn runs(&self, family: &str) -> bool {
+        if self.skip.iter().any(|s| s == family) {
+            return false;
+        }
+        match &self.only {
+            Some(only) => only.iter().any(|o| o == family),
+            None => true,
+        }
+    }
+}
+
 /// Runs every lint over in-memory `(path, source)` pairs: the per-file
 /// passes plus the cross-file tag registry (using the `COLL_BIT` found
 /// in the sources, or the engine default `1 << 16`). Manifest paths
 /// (`Cargo.toml`) go through the dependency-freeze pass. This is the
 /// entry point used by fixture tests.
 pub fn lint_sources(files: &[(&str, &str)]) -> Vec<Finding> {
+    lint_sources_filtered(files, &PassFilter::all())
+}
+
+/// [`lint_sources`] restricted to the pass families `filter` selects.
+pub fn lint_sources_filtered(files: &[(&str, &str)], filter: &PassFilter) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut tag_defs = Vec::new();
     let mut coll_bit = None;
     let mut manifests = Vec::new();
     let mut lock_files = Vec::new();
+    let mut skeletons = Vec::new();
     for &(path, source) in files {
         if path.ends_with("Cargo.toml") {
             manifests.push((path.to_string(), source.to_string()));
             continue;
         }
         let scan = scanner::scan(source);
-        findings.extend(lints::lint_file(path, &scan));
+        findings.extend(lints::lint_file_filtered(path, &scan, filter));
         if in_tag_registry(path) {
-            tag_defs.extend(tags::extract_tags(path, &scan));
+            if filter.runs("tags") {
+                tag_defs.extend(tags::extract_tags(path, &scan));
+            }
+            if filter.runs("skeleton") && skeleton::in_skeleton_scope(path) {
+                skeletons.push(skeleton::collect(path, &scan));
+            }
         }
         if coll_bit.is_none() {
             coll_bit = tags::extract_coll_bit(&scan);
         }
-        if concurrency::in_lock_scope(path) {
+        if filter.runs("concurrency") && concurrency::in_lock_scope(path) {
             lock_files.push((path.to_string(), scan));
         }
     }
-    findings.extend(tags::check_tags(&tag_defs, coll_bit.unwrap_or(1 << 16)));
+    if filter.runs("tags") {
+        findings.extend(tags::check_tags(&tag_defs, coll_bit.unwrap_or(1 << 16)));
+    }
+    if filter.runs("skeleton") {
+        findings.extend(skeleton::check(&skeletons));
+    }
     findings.extend(concurrency::check_locks(&lock_files));
-    findings.extend(deps::check_deps(&manifests));
+    if filter.runs("deps") {
+        findings.extend(deps::check_deps(&manifests));
+    }
     sort_findings(&mut findings);
     findings
 }
 
 /// Runs the full check over the workspace rooted at `root`.
 pub fn check_workspace(root: &Path) -> Vec<Finding> {
+    check_workspace_filtered(root, &PassFilter::all())
+}
+
+/// [`check_workspace`] restricted to the pass families `filter`
+/// selects. `io/unreadable` always runs: an unscannable source would
+/// silently exempt itself from every pass.
+pub fn check_workspace_filtered(root: &Path, filter: &PassFilter) -> Vec<Finding> {
     let mut rs_files = Vec::new();
     collect_rs_files(root, &mut rs_files);
     rs_files.sort();
@@ -140,6 +230,7 @@ pub fn check_workspace(root: &Path) -> Vec<Finding> {
     let mut tag_defs = Vec::new();
     let mut coll_bit = None;
     let mut lock_files = Vec::new();
+    let mut skeletons = Vec::new();
     for path in &rs_files {
         let rel = rel_path(root, path);
         let source = match fs::read_to_string(path) {
@@ -156,29 +247,66 @@ pub fn check_workspace(root: &Path) -> Vec<Finding> {
             }
         };
         let scan = scanner::scan(&source);
-        findings.extend(lints::lint_file(&rel, &scan));
+        findings.extend(lints::lint_file_filtered(&rel, &scan, filter));
         if in_tag_registry(&rel) {
-            tag_defs.extend(tags::extract_tags(&rel, &scan));
+            if filter.runs("tags") {
+                tag_defs.extend(tags::extract_tags(&rel, &scan));
+            }
+            if filter.runs("skeleton") && skeleton::in_skeleton_scope(&rel) {
+                skeletons.push(skeleton::collect(&rel, &scan));
+            }
         }
         if rel == "crates/mpi/src/lib.rs" {
             coll_bit = tags::extract_coll_bit(&scan);
         }
-        if concurrency::in_lock_scope(&rel) {
+        if filter.runs("concurrency") && concurrency::in_lock_scope(&rel) {
             lock_files.push((rel, scan));
         }
     }
-    findings.extend(tags::check_tags(&tag_defs, coll_bit.unwrap_or(1 << 16)));
+    if filter.runs("tags") {
+        findings.extend(tags::check_tags(&tag_defs, coll_bit.unwrap_or(1 << 16)));
+    }
+    if filter.runs("skeleton") {
+        findings.extend(skeleton::check(&skeletons));
+    }
     findings.extend(concurrency::check_locks(&lock_files));
 
-    let mut manifests = Vec::new();
-    for path in manifest_paths(root) {
-        if let Ok(text) = fs::read_to_string(&path) {
-            manifests.push((rel_path(root, &path), text));
+    if filter.runs("deps") {
+        let mut manifests = Vec::new();
+        for path in manifest_paths(root) {
+            if let Ok(text) = fs::read_to_string(&path) {
+                manifests.push((rel_path(root, &path), text));
+            }
         }
+        findings.extend(deps::check_deps(&manifests));
     }
-    findings.extend(deps::check_deps(&manifests));
     sort_findings(&mut findings);
     findings
+}
+
+/// Renders the generated skeleton table for the workspace at `root` —
+/// the payload of `cargo run -p xtask -- skeleton [--emit]`. Reads
+/// `COLL_BIT` from `crates/mpi/src/lib.rs` like [`check_workspace`].
+pub fn skeleton_table(root: &Path) -> String {
+    let mut rs_files = Vec::new();
+    collect_rs_files(root, &mut rs_files);
+    rs_files.sort();
+    let mut coll_bit = None;
+    let mut skeletons = Vec::new();
+    for path in &rs_files {
+        let rel = rel_path(root, path);
+        let Ok(source) = fs::read_to_string(path) else {
+            continue;
+        };
+        let scan = scanner::scan(&source);
+        if skeleton::in_skeleton_scope(&rel) {
+            skeletons.push(skeleton::collect(&rel, &scan));
+        }
+        if rel == "crates/mpi/src/lib.rs" {
+            coll_bit = tags::extract_coll_bit(&scan);
+        }
+    }
+    skeleton::render_table(&skeletons, coll_bit.unwrap_or(1 << 16))
 }
 
 /// Renders findings as a JSON document for `--format json` (std-only,

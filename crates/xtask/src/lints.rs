@@ -9,7 +9,7 @@ use crate::clockdomain::clockdomain;
 use crate::concurrency;
 use crate::deprecation::deprecation;
 use crate::scanner::{has_word, FileScan};
-use crate::{Finding, Level};
+use crate::{Finding, Level, PassFilter};
 
 /// Crates whose *library* code must stay deterministic: no wall-clock
 /// reads, no randomized hashers, no ambient randomness. The simulated
@@ -53,22 +53,39 @@ impl FileClass {
 
 /// Runs every per-file lint applicable to `path` over `scan`.
 pub fn lint_file(path: &str, scan: &FileScan) -> Vec<Finding> {
+    lint_file_filtered(path, scan, &PassFilter::all())
+}
+
+/// [`lint_file`] restricted to the pass families `filter` selects.
+pub fn lint_file_filtered(path: &str, scan: &FileScan, filter: &PassFilter) -> Vec<Finding> {
     let class = FileClass::of(path);
     let mut out = Vec::new();
     if class.in_crate_src(DETERMINISM_CRATES) {
-        determinism(path, scan, &mut out);
-        clockdomain(path, scan, &mut out);
+        if filter.runs("determinism") {
+            determinism(path, scan, &mut out);
+        }
+        if filter.runs("clockdomain") {
+            clockdomain(path, scan, &mut out);
+        }
     }
     if class.in_src {
-        host_parallelism(path, scan, &mut out);
-        concurrency::raw_lock(path, scan, &mut out);
+        if filter.runs("determinism") {
+            host_parallelism(path, scan, &mut out);
+        }
+        if filter.runs("concurrency") {
+            concurrency::raw_lock(path, scan, &mut out);
+        }
     }
-    if class.in_crate_src(concurrency::ATOMICS_CRATES) {
+    if filter.runs("concurrency") && class.in_crate_src(concurrency::ATOMICS_CRATES) {
         concurrency::atomics(path, scan, &mut out);
     }
-    unsafe_hygiene(path, scan, &mut out);
-    deprecation(path, scan, &mut out);
-    if class.in_crate_src(UNWRAP_CRATES) {
+    if filter.runs("unsafe") {
+        unsafe_hygiene(path, scan, &mut out);
+    }
+    if filter.runs("deprecated-api") {
+        deprecation(path, scan, &mut out);
+    }
+    if filter.runs("style") && class.in_crate_src(UNWRAP_CRATES) {
         unwrap_warning(path, scan, &mut out);
     }
     out

@@ -1,0 +1,1448 @@
+//! Communication-skeleton pass.
+//!
+//! Extracts every point-to-point wire call site across
+//! `crates/{core,mpi,benchlib}` — method, payload type (turbofish or
+//! typed binding), tag expression, peer expression, enclosing function
+//! and enclosing role branch — and checks the assembled protocol:
+//!
+//! - `skeleton/orphan-tag` — a `TAG_*` constant defined but never sent
+//!   or never received anywhere in the registry crates;
+//! - `skeleton/type-mismatch` — send and recv sites on the same tag
+//!   disagree on the wire payload type (checked per enclosing function
+//!   when both directions appear there, and globally per tag);
+//! - `skeleton/role-asymmetry` — inside a role-discriminated `if`
+//!   chain (`if rank == ref { .. } else { .. }`), a constant tag is
+//!   sent in one branch with no matching recv in any sibling branch;
+//! - `skeleton/untyped-wire` — a raw byte-slice send/recv whose tag
+//!   expression is neither a `TAG_*` constant, a `Tag`-typed function
+//!   parameter, nor on the collective (`COLL_BIT` / `next_coll_tag` /
+//!   `user_tag`) path.
+//!
+//! Two per-line escapes exist: `// xtask-allow: skeleton` suppresses
+//! any skeleton finding for that line, and `// skeleton: paired-with
+//! <fn>` marks a site whose counterpart lives in another function
+//! (cross-function protocols), which exempts it from the
+//! role-asymmetry check only.
+//!
+//! The same extraction feeds [`render_table`], which emits the
+//! generated `crates/sim/src/skeleton_gen.rs` module consumed by the
+//! debug-only runtime `ProtocolMonitor` — static checking and runtime
+//! conformance share one source of truth.
+//!
+//! The walker is a brace-depth heuristic over stripped source, not a
+//! parser; its known approximations are documented in DESIGN.md §13.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::scanner::{brace_delta, has_word, is_ident_byte, FileScan};
+use crate::{tags, Finding, Level};
+
+/// Crates whose `src/` trees participate in the skeleton.
+pub const SKELETON_CRATES: &[&str] = &["core", "mpi", "benchlib"];
+
+/// Is this workspace-relative path inside the skeleton scope?
+pub fn in_skeleton_scope(rel: &str) -> bool {
+    SKELETON_CRATES
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// Per-line escape suppressing every skeleton finding on that line.
+pub const ALLOW_MARKER: &str = "xtask-allow: skeleton";
+
+/// Per-line alias for cross-function protocols: exempts the site from
+/// the role-asymmetry check, naming the function holding its pair.
+pub const PAIRED_MARKER: &str = "skeleton: paired-with";
+
+/// Wire payload type of a call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PayloadKind {
+    /// Time-typed API (`send_time` / `recv_time`, `GlobalTime`).
+    Time,
+    /// `f64` scalar.
+    F64,
+    /// `u32` scalar.
+    U32,
+    /// `u64` scalar.
+    U64,
+    /// `[f64; 2]` pair.
+    F64Pair,
+    /// Raw byte slice (length unknown statically).
+    Bytes,
+    /// Typed call whose concrete type could not be inferred.
+    Unknown,
+}
+
+impl PayloadKind {
+    /// Encoded size on the wire, `None` when not statically fixed.
+    pub fn wire_size(self) -> Option<usize> {
+        match self {
+            PayloadKind::Time | PayloadKind::F64 | PayloadKind::U64 => Some(8),
+            PayloadKind::U32 => Some(4),
+            PayloadKind::F64Pair => Some(16),
+            PayloadKind::Bytes | PayloadKind::Unknown => None,
+        }
+    }
+
+    /// Short label used in messages and the generated table.
+    pub fn label(self) -> &'static str {
+        match self {
+            PayloadKind::Time => "time",
+            PayloadKind::F64 => "f64",
+            PayloadKind::U32 => "u32",
+            PayloadKind::U64 => "u64",
+            PayloadKind::F64Pair => "[f64;2]",
+            PayloadKind::Bytes => "bytes",
+            PayloadKind::Unknown => "unknown",
+        }
+    }
+
+    /// Wildcard kinds match anything and never enter type comparison.
+    fn is_wildcard(self) -> bool {
+        matches!(self, PayloadKind::Bytes | PayloadKind::Unknown)
+    }
+}
+
+/// Direction of a call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// `send` / `ssend` family.
+    Send,
+    /// `recv` family.
+    Recv,
+}
+
+/// One extracted wire call site.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// 1-based line of the method name.
+    pub line: usize,
+    /// Direction.
+    pub dir: Dir,
+    /// Method name as written (`send_t`, `recv_time`, ...).
+    pub method: &'static str,
+    /// Raw byte-slice call (`send`/`ssend`/`recv`/`sendrecv` halves).
+    pub raw: bool,
+    /// `TAG_*` constant name when the tag expression is one.
+    pub tag_name: Option<String>,
+    /// Tag expression verbatim.
+    pub tag_expr: String,
+    /// Inferred payload kind.
+    pub kind: PayloadKind,
+    /// Peer (src/dst) expression verbatim.
+    pub peer: String,
+    /// Index into [`FileSkeleton::funcs`] of the enclosing function.
+    pub func: Option<usize>,
+    /// Line carries `// xtask-allow: skeleton`.
+    pub allowed: bool,
+    /// Function named by `// skeleton: paired-with <fn>`, if present.
+    pub paired: Option<String>,
+}
+
+/// One function definition encountered while walking a file.
+#[derive(Debug, Clone)]
+pub struct FuncInfo {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Names of parameters declared with type `Tag`.
+    pub tag_params: Vec<String>,
+    /// Body mentions `next_coll_tag` (collective path).
+    pub uses_next_coll_tag: bool,
+}
+
+/// One `const TAG_*` declaration.
+#[derive(Debug, Clone)]
+pub struct TagDecl {
+    /// Constant name.
+    pub name: String,
+    /// Evaluated value.
+    pub value: u64,
+    /// 1-based line of the declaration.
+    pub line: usize,
+    /// Declaration line carries the allow marker.
+    pub allowed: bool,
+}
+
+/// Extracted skeleton of one source file.
+#[derive(Debug, Clone)]
+pub struct FileSkeleton {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Wire call sites in source order.
+    pub sites: Vec<Site>,
+    /// Function definitions in source order.
+    pub funcs: Vec<FuncInfo>,
+    /// `TAG_*` declarations in source order.
+    pub tag_decls: Vec<TagDecl>,
+    /// `skeleton/role-asymmetry` findings, produced during the walk.
+    pub role_findings: Vec<Finding>,
+}
+
+/// One open `if`/`else` chain on the walker stack.
+struct Chain {
+    /// Brace depth just before the chain's first `{` opened.
+    open_depth: i32,
+    /// Any branch condition looked role-discriminating.
+    role: bool,
+    /// Index of the branch currently open.
+    cur: usize,
+    /// Branches seen so far.
+    nbranches: usize,
+    /// (branch, site index) pairs attached to this chain.
+    sites: Vec<(usize, usize)>,
+    /// A `} else if <cond>` ran past end of line; the opening `{` is
+    /// still pending, so the chain must not be popped yet.
+    awaiting_brace: bool,
+    /// Condition text accumulated while `awaiting_brace`.
+    pending_cond: String,
+}
+
+struct FnFrame {
+    idx: usize,
+    open_depth: i32,
+}
+
+struct PendingFn {
+    name: String,
+    start: usize,
+    sig: String,
+    lines: usize,
+}
+
+struct PendingIf {
+    cond: String,
+    lines: usize,
+}
+
+/// Walks one scanned file into its [`FileSkeleton`]. Role-asymmetry is
+/// checked here (it needs branch structure); the cross-file checks run
+/// in [`check`].
+pub fn collect(path: &str, scan: &FileScan) -> FileSkeleton {
+    let mut sk = FileSkeleton {
+        path: path.to_string(),
+        sites: Vec::new(),
+        funcs: Vec::new(),
+        tag_decls: Vec::new(),
+        role_findings: Vec::new(),
+    };
+    let mut claimed: Vec<bool> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut chains: Vec<Chain> = Vec::new();
+    let mut fn_stack: Vec<FnFrame> = Vec::new();
+    let mut pending_fn: Option<PendingFn> = None;
+    let mut pending_if: Option<PendingIf> = None;
+
+    for ln in 0..scan.code.len() {
+        let code = scan.code[ln].clone();
+        let is_test = scan.is_test[ln];
+        let trimmed = code.trim();
+        let delta = brace_delta(&code);
+
+        // 1. `} else [if ..] {` branch transition on the innermost
+        //    chain, or completion of a multiline else-if condition.
+        let mut else_transition = false;
+        if let Some(top) = chains.last_mut() {
+            if top.awaiting_brace {
+                let frag = match code.find('{') {
+                    Some(i) => &code[..i],
+                    None => &code[..],
+                };
+                top.pending_cond.push(' ');
+                top.pending_cond.push_str(frag.trim());
+                if code.contains('{') {
+                    top.role |= is_role_cond(&top.pending_cond);
+                    top.pending_cond.clear();
+                    top.awaiting_brace = false;
+                }
+            } else if top.open_depth == depth - 1
+                && trimmed.starts_with('}')
+                && has_word(&code, "else")
+            {
+                else_transition = true;
+                top.cur = top.nbranches;
+                top.nbranches += 1;
+                if let Some(pos) = word_pos(&code, "if") {
+                    let after = &code[pos + 2..];
+                    match after.find('{') {
+                        Some(b) => top.role |= is_role_cond(&after[..b]),
+                        None => {
+                            top.awaiting_brace = true;
+                            top.pending_cond = after.to_string();
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. Open a new `if` chain (possibly with a multiline
+        //    condition accumulated across a few lines).
+        if !is_test && !else_transition {
+            if let Some(p) = pending_if.as_mut() {
+                p.lines += 1;
+                if trimmed.contains(';') || p.lines > 4 {
+                    pending_if = None;
+                } else {
+                    let frag = match code.find('{') {
+                        Some(i) => &code[..i],
+                        None => &code[..],
+                    };
+                    p.cond.push(' ');
+                    p.cond.push_str(frag.trim());
+                    if code.contains('{') {
+                        if delta > 0 {
+                            chains.push(new_chain(depth, is_role_cond(&p.cond)));
+                        }
+                        pending_if = None;
+                    }
+                }
+            } else if !trimmed.starts_with('}') && has_word(&code, "if") {
+                if let Some(pos) = word_pos(&code, "if") {
+                    let after = &code[pos + 2..];
+                    match after.find('{') {
+                        Some(b) => {
+                            if delta > 0 {
+                                chains.push(new_chain(depth, is_role_cond(&after[..b])));
+                            }
+                        }
+                        None => {
+                            if !code.contains(';') {
+                                pending_if = Some(PendingIf {
+                                    cond: after.to_string(),
+                                    lines: 0,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if !is_test {
+            // 3. Function signatures (may span lines until the body `{`).
+            if pending_fn.is_none() {
+                if let Some(pos) = word_pos(&code, "fn") {
+                    let name = ident_after(&code, pos + 2);
+                    if !name.is_empty() {
+                        pending_fn = Some(PendingFn {
+                            name,
+                            start: ln,
+                            sig: String::new(),
+                            lines: 0,
+                        });
+                    }
+                }
+            }
+            if let Some(pf) = pending_fn.as_mut() {
+                let brace = code.find('{');
+                let semi = code.find(';');
+                let end = brace.unwrap_or(code.len());
+                pf.sig.push(' ');
+                pf.sig.push_str(&code[..end]);
+                pf.lines += 1;
+                match (brace, semi) {
+                    (Some(b), Some(s)) if s < b => pending_fn = None,
+                    (Some(_), _) => {
+                        let pf = pending_fn.take().expect("checked above");
+                        fn_stack.push(FnFrame {
+                            idx: sk.funcs.len(),
+                            open_depth: depth,
+                        });
+                        sk.funcs.push(FuncInfo {
+                            name: pf.name,
+                            line: pf.start + 1,
+                            tag_params: tag_params_of(&pf.sig),
+                            uses_next_coll_tag: false,
+                        });
+                    }
+                    (None, Some(_)) => pending_fn = None,
+                    (None, None) => {
+                        if pf.lines > 12 {
+                            pending_fn = None;
+                        }
+                    }
+                }
+            }
+
+            // 4. Tag declarations and collective-path usage.
+            if let Some((name, value)) = tags::parse_tag_const(&code, "TAG_") {
+                sk.tag_decls.push(TagDecl {
+                    name,
+                    value,
+                    line: ln + 1,
+                    allowed: scan.raw[ln].contains(ALLOW_MARKER),
+                });
+            }
+            if has_word(&code, "next_coll_tag") {
+                if let Some(frame) = fn_stack.last() {
+                    sk.funcs[frame.idx].uses_next_coll_tag = true;
+                }
+            }
+
+            // 5. Wire call sites; each attaches to every open chain's
+            //    current branch (the claiming rule decides which chain
+            //    actually checks it).
+            for raw_site in extract_sites(scan, ln) {
+                let idx = sk.sites.len();
+                let allowed = scan.raw[ln].contains(ALLOW_MARKER);
+                let paired = scan.raw[ln].find(PAIRED_MARKER).map(|p| {
+                    scan.raw[ln][p + PAIRED_MARKER.len()..]
+                        .split_whitespace()
+                        .next()
+                        .unwrap_or("")
+                        .to_string()
+                });
+                sk.sites.push(Site {
+                    line: ln + 1,
+                    dir: raw_site.dir,
+                    method: raw_site.method,
+                    raw: raw_site.raw,
+                    tag_name: tag_name_of(&raw_site.tag_expr),
+                    tag_expr: raw_site.tag_expr,
+                    kind: raw_site.kind,
+                    peer: raw_site.peer,
+                    func: fn_stack.last().map(|f| f.idx),
+                    allowed,
+                    paired,
+                });
+                claimed.push(false);
+                for c in chains.iter_mut() {
+                    c.sites.push((c.cur, idx));
+                }
+            }
+        }
+
+        // 6. Depth bookkeeping; pop chains (innermost first) and
+        //    function frames that just closed.
+        depth += delta;
+        while chains
+            .last()
+            .is_some_and(|c| !c.awaiting_brace && c.open_depth >= depth)
+        {
+            let chain = chains.pop().expect("checked above");
+            finalize_chain(chain, path, &sk.sites, &mut claimed, &mut sk.role_findings);
+        }
+        while fn_stack.last().is_some_and(|f| f.open_depth >= depth) {
+            fn_stack.pop();
+        }
+    }
+    while let Some(chain) = chains.pop() {
+        finalize_chain(chain, path, &sk.sites, &mut claimed, &mut sk.role_findings);
+    }
+    sk
+}
+
+fn new_chain(open_depth: i32, role: bool) -> Chain {
+    Chain {
+        open_depth,
+        role,
+        cur: 0,
+        nbranches: 1,
+        sites: Vec::new(),
+        awaiting_brace: false,
+        pending_cond: String::new(),
+    }
+}
+
+/// The claiming rule: a site is checked only by its innermost
+/// multi-branch *role* chain. Chains pop innermost-first, so the first
+/// qualifying chain validates its still-unclaimed constant-tag sites
+/// and claims them; enclosing chains then skip them.
+fn finalize_chain(
+    chain: Chain,
+    path: &str,
+    sites: &[Site],
+    claimed: &mut [bool],
+    out: &mut Vec<Finding>,
+) {
+    if !chain.role || chain.nbranches < 2 {
+        return;
+    }
+    for &(branch, idx) in &chain.sites {
+        if claimed[idx] {
+            continue;
+        }
+        let s = &sites[idx];
+        let Some(tag) = s.tag_name.as_deref() else {
+            continue;
+        };
+        if s.allowed || s.paired.is_some() {
+            continue;
+        }
+        let mirrored = chain.sites.iter().any(|&(b2, i2)| {
+            b2 != branch && sites[i2].dir != s.dir && sites[i2].tag_name.as_deref() == Some(tag)
+        });
+        if !mirrored {
+            let (this, other) = match s.dir {
+                Dir::Send => ("sent", "received"),
+                Dir::Recv => ("received", "sent"),
+            };
+            out.push(Finding {
+                path: path.to_string(),
+                line: s.line,
+                lint: "skeleton/role-asymmetry",
+                level: Level::Error,
+                msg: format!(
+                    "{tag} is {this} in this role branch but never {other} in a sibling \
+                     branch of the same `if` chain; if the matching site lives in another \
+                     function, annotate with `// {PAIRED_MARKER} <fn>` (or `// {ALLOW_MARKER}`)"
+                ),
+            });
+        }
+    }
+    for &(_, idx) in &chain.sites {
+        if sites[idx].tag_name.is_some() {
+            claimed[idx] = true;
+        }
+    }
+}
+
+/// Words that mark a comparison operand as a rank/role identity.
+const ROLE_WORDS: &[&str] = &[
+    "rank", "r", "me", "my_pos", "vr", "root", "p_ref", "client", "parent", "leader", "peer",
+];
+
+/// Does this `if` condition look like it discriminates on a rank role?
+/// Requires both a comparison shape and a role-named operand, so
+/// `if p > 1` (a size guard) and `if ctx.obs_on()` stay out.
+fn is_role_cond(cond: &str) -> bool {
+    let cmp = cond.contains("==")
+        || cond.contains("!=")
+        || cond.contains("<=")
+        || cond.contains(">=")
+        || {
+            let bare = cond
+                .replace("<<", "")
+                .replace(">>", "")
+                .replace("->", "")
+                .replace("=>", "");
+            bare.contains('<') || bare.contains('>')
+        }
+        || cond.contains(" % ")
+        || has_word(cond, "is_multiple_of")
+        || cond.contains(".contains(");
+    cmp && ROLE_WORDS.iter().any(|w| has_word(cond, w))
+}
+
+/// Position of `word` in `line` at identifier boundaries.
+fn word_pos(line: &str, word: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let p = start + pos;
+        let before_ok = p == 0 || !is_ident_byte(bytes[p - 1]);
+        let after = p + word.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return Some(p);
+        }
+        start = p + word.len();
+    }
+    None
+}
+
+fn ident_after(line: &str, from: usize) -> String {
+    let bytes = line.as_bytes();
+    let mut i = from;
+    while i < bytes.len() && bytes[i] == b' ' {
+        i += 1;
+    }
+    let start = i;
+    while i < bytes.len() && is_ident_byte(bytes[i]) {
+        i += 1;
+    }
+    line[start..i].to_string()
+}
+
+/// Extracts the names of `Tag`-typed parameters from an accumulated
+/// `fn` signature.
+fn tag_params_of(sig: &str) -> Vec<String> {
+    let Some(open) = sig.find('(') else {
+        return Vec::new();
+    };
+    let body = &sig[open + 1..];
+    let mut depth = 0i32;
+    let mut end = body.len();
+    let b = body.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'(' | b'[' | b'{' | b'<' => depth += 1,
+            b')' | b']' | b'}' => {
+                if b[i] == b')' && depth == 0 {
+                    end = i;
+                    break;
+                }
+                depth -= 1;
+            }
+            // Skip the `>` of `->` arrows.
+            b'>' if i == 0 || b[i - 1] != b'-' => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    let params = &body[..end];
+    let mut out = Vec::new();
+    let mut part = String::new();
+    let mut d = 0i32;
+    for (j, c) in params.char_indices() {
+        match c {
+            '(' | '[' | '{' | '<' => d += 1,
+            ')' | ']' | '}' => d -= 1,
+            '>' if j == 0 || params.as_bytes()[j - 1] != b'-' => d -= 1,
+            ',' if d == 0 => {
+                push_tag_param(&part, &mut out);
+                part.clear();
+                continue;
+            }
+            _ => {}
+        }
+        part.push(c);
+    }
+    push_tag_param(&part, &mut out);
+    out
+}
+
+fn push_tag_param(part: &str, out: &mut Vec<String>) {
+    let Some(colon) = part.find(':') else {
+        return;
+    };
+    let ty = part[colon + 1..].trim();
+    if ty != "Tag" {
+        return;
+    }
+    let name = part[..colon].trim();
+    let name = name.strip_prefix("mut ").unwrap_or(name).trim();
+    if !name.is_empty() && name.bytes().all(is_ident_byte) {
+        out.push(name.to_string());
+    }
+}
+
+/// `Some(TAG_X)` when the whole tag expression is a path ending in a
+/// `TAG_`-prefixed segment.
+fn tag_name_of(expr: &str) -> Option<String> {
+    let e = expr.trim();
+    if e.is_empty()
+        || !e
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == ':')
+    {
+        return None;
+    }
+    let last = e.rsplit("::").next().expect("rsplit yields at least one");
+    if last.starts_with("TAG_") {
+        Some(last.to_string())
+    } else {
+        None
+    }
+}
+
+struct RawSite {
+    dir: Dir,
+    method: &'static str,
+    raw: bool,
+    kind: PayloadKind,
+    tag_expr: String,
+    peer: String,
+}
+
+/// Wire methods, longest names first so prefix matching is exact.
+/// (`sendrecv` is special-cased into a send half and a recv half.)
+const METHODS: &[(&str, Dir, bool, bool)] = &[
+    // (name, dir, raw, time) — dir unused for sendrecv.
+    ("sendrecv", Dir::Send, true, false),
+    ("ssend_time", Dir::Send, false, true),
+    ("send_time", Dir::Send, false, true),
+    ("recv_time", Dir::Recv, false, true),
+    ("ssend_t", Dir::Send, false, false),
+    ("send_t", Dir::Send, false, false),
+    ("recv_t", Dir::Recv, false, false),
+    ("ssend", Dir::Send, true, false),
+    ("send", Dir::Send, true, false),
+    ("recv", Dir::Recv, true, false),
+];
+
+/// Extracts the wire call sites whose method name sits on line `ln`.
+fn extract_sites(scan: &FileScan, ln: usize) -> Vec<RawSite> {
+    let code = &scan.code[ln];
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'.' {
+            i += 1;
+            continue;
+        }
+        let rest = &code[i + 1..];
+        let Some(&(name, dir, raw, time)) = METHODS.iter().find(|&&(n, ..)| {
+            rest.starts_with(n)
+                && !rest
+                    .as_bytes()
+                    .get(n.len())
+                    .copied()
+                    .is_some_and(is_ident_byte)
+        }) else {
+            i += 1;
+            continue;
+        };
+        let receiver = ident_before(code, i);
+        let mut j = i + 1 + name.len();
+        let mut turbo: Option<String> = None;
+        if code[j..].starts_with("::<") {
+            match parse_turbofish(code, j + 2) {
+                Some((t, nj)) => {
+                    turbo = Some(t);
+                    j = nj;
+                }
+                None => {
+                    i = j;
+                    continue;
+                }
+            }
+        }
+        if !code[j..].starts_with('(') {
+            i = j;
+            continue;
+        }
+        let Some(args) = split_call_args(scan, ln, j) else {
+            i = j;
+            continue;
+        };
+        // Form classification kills non-wire receivers (mpsc channels
+        // etc.): either the receiver is `ctx` (engine form) or the
+        // first argument is (comm form threads the ctx through).
+        let comm_form = args.first().map(|a| a.trim() == "ctx").unwrap_or(false);
+        let ctx_form = !comm_form && receiver == "ctx";
+        if !comm_form && !ctx_form {
+            i = j;
+            continue;
+        }
+        if name == "sendrecv" {
+            if comm_form && args.len() == 6 {
+                out.push(RawSite {
+                    dir: Dir::Send,
+                    method: "sendrecv",
+                    raw: true,
+                    kind: PayloadKind::Bytes,
+                    tag_expr: args[2].trim().to_string(),
+                    peer: args[1].trim().to_string(),
+                });
+                out.push(RawSite {
+                    dir: Dir::Recv,
+                    method: "sendrecv",
+                    raw: true,
+                    kind: PayloadKind::Bytes,
+                    tag_expr: args[5].trim().to_string(),
+                    peer: args[4].trim().to_string(),
+                });
+            }
+            i = j;
+            continue;
+        }
+        let base = if comm_form { 1 } else { 0 };
+        let want = match dir {
+            Dir::Send => base + 3,
+            Dir::Recv => base + 2,
+        };
+        if args.len() != want {
+            i = j;
+            continue;
+        }
+        let peer = args[base].trim().to_string();
+        let tag_expr = args[base + 1].trim().to_string();
+        let kind = if raw {
+            PayloadKind::Bytes
+        } else if time {
+            PayloadKind::Time
+        } else if let Some(t) = &turbo {
+            parse_ty(t)
+        } else if dir == Dir::Recv {
+            binding_ty(&code[..i])
+                .map(|t| parse_ty(&t))
+                .unwrap_or(PayloadKind::Unknown)
+        } else {
+            payload_kind_guess(&args[base + 2])
+        };
+        out.push(RawSite {
+            dir,
+            method: name,
+            raw,
+            kind,
+            tag_expr,
+            peer,
+        });
+        i = j;
+    }
+    out
+}
+
+fn ident_before(code: &str, dot: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut start = dot;
+    while start > 0 && is_ident_byte(bytes[start - 1]) {
+        start -= 1;
+    }
+    code[start..dot].to_string()
+}
+
+/// Parses `::<T>` starting at the `<`; returns `(T, index after '>')`.
+fn parse_turbofish(code: &str, lt: usize) -> Option<(String, usize)> {
+    let bytes = code.as_bytes();
+    if bytes.get(lt) != Some(&b'<') {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut i = lt;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'<' => depth += 1,
+            b'>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((code[lt + 1..i].to_string(), i + 1));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Splits the argument list opening at `code[open] == '('` on line
+/// `ln`, joining up to 8 continuation lines for rustfmt-wrapped calls.
+fn split_call_args(scan: &FileScan, ln: usize, open: usize) -> Option<Vec<String>> {
+    let mut args = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 1i32;
+    for (k, line) in scan.code.iter().enumerate().skip(ln).take(9) {
+        let text = if k == ln {
+            &line[open + 1..]
+        } else {
+            &line[..]
+        };
+        for c in text.chars() {
+            match c {
+                '(' | '[' | '{' => {
+                    depth += 1;
+                    cur.push(c);
+                }
+                ')' | ']' | '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if !cur.trim().is_empty() || !args.is_empty() {
+                            args.push(cur.trim().to_string());
+                        }
+                        return Some(args);
+                    }
+                    cur.push(c);
+                }
+                ',' if depth == 1 => {
+                    args.push(cur.trim().to_string());
+                    cur.clear();
+                }
+                _ => cur.push(c),
+            }
+        }
+        cur.push(' ');
+    }
+    None
+}
+
+/// `let <pat>: <ty> =` binding type on the text before a recv site.
+fn binding_ty(before: &str) -> Option<String> {
+    let pos = word_pos(before, "let")?;
+    let rest = &before[pos + 3..];
+    let colon = rest.find(':')?;
+    let eq = rest.find('=')?;
+    if colon > eq {
+        return None;
+    }
+    Some(rest[colon + 1..eq].trim().to_string())
+}
+
+fn parse_ty(t: &str) -> PayloadKind {
+    let t = t.trim();
+    match t {
+        "f64" => PayloadKind::F64,
+        "u32" => PayloadKind::U32,
+        "u64" => PayloadKind::U64,
+        _ if t.starts_with("[f64") => PayloadKind::F64Pair,
+        _ if t == "GlobalTime"
+            || t == "LocalTime"
+            || t.ends_with("::GlobalTime")
+            || t.ends_with("::LocalTime") =>
+        {
+            PayloadKind::Time
+        }
+        _ => PayloadKind::Unknown,
+    }
+}
+
+/// Best-effort payload kind of a `send_t` argument without turbofish:
+/// literal suffixes, bare float literals, and `.seconds()` unwraps.
+fn payload_kind_guess(arg: &str) -> PayloadKind {
+    let a = arg.trim();
+    if a.ends_with(".seconds()") {
+        return PayloadKind::F64;
+    }
+    for (suffix, kind) in [
+        ("f64", PayloadKind::F64),
+        ("u32", PayloadKind::U32),
+        ("u64", PayloadKind::U64),
+    ] {
+        if let Some(stem) = a.strip_suffix(suffix) {
+            if stem
+                .bytes()
+                .last()
+                .is_some_and(|b| b.is_ascii_digit() || b == b'_' || b == b'.')
+            {
+                return kind;
+            }
+        }
+    }
+    if !a.is_empty()
+        && a.contains('.')
+        && a.chars()
+            .all(|c| c.is_ascii_digit() || c == '.' || c == '_' || c == '-')
+    {
+        return PayloadKind::F64;
+    }
+    PayloadKind::Unknown
+}
+
+/// Cross-file checks over collected skeletons: orphan tags, type
+/// mismatches, untyped wire calls, plus the role findings produced
+/// during collection.
+pub fn check(files: &[FileSkeleton]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        out.extend(f.role_findings.iter().cloned());
+    }
+    untyped_wire(files, &mut out);
+    type_mismatch(files, &mut out);
+    orphan_tags(files, &mut out);
+    out
+}
+
+fn untyped_wire(files: &[FileSkeleton], out: &mut Vec<Finding>) {
+    for f in files {
+        for s in &f.sites {
+            if !s.raw || s.allowed || s.tag_name.is_some() {
+                continue;
+            }
+            let e = s.tag_expr.trim();
+            let fn_blessed = s.func.is_some_and(|i| {
+                let fi = &f.funcs[i];
+                fi.uses_next_coll_tag || fi.tag_params.iter().any(|p| p == e)
+            });
+            if fn_blessed
+                || has_word(e, "user_tag")
+                || has_word(e, "next_coll_tag")
+                || has_word(e, "COLL_BIT")
+                || e.contains("TAG_")
+            {
+                continue;
+            }
+            out.push(Finding {
+                path: f.path.clone(),
+                line: s.line,
+                lint: "skeleton/untyped-wire",
+                level: Level::Error,
+                msg: format!(
+                    "raw wire {} on tag expression `{e}` that is neither a `TAG_*` constant, \
+                     a `Tag`-typed parameter, nor on the collective \
+                     (`COLL_BIT`/`next_coll_tag`/`user_tag`) path; register the tag or \
+                     annotate with `// {ALLOW_MARKER}`",
+                    s.method
+                ),
+            });
+        }
+    }
+}
+
+/// `(file index, site index)` reference into a [`FileSkeleton`] slice.
+type SiteRef = (usize, usize);
+
+fn type_mismatch(files: &[FileSkeleton], out: &mut Vec<Finding>) {
+    // Scope A: per (file, enclosing function, tag) — catches a mistyped
+    // half of an otherwise-symmetric exchange even when other functions
+    // legitimately move a different type on the same tag. Scope B: the
+    // whole workspace per tag. Findings dedupe on (path, line).
+    let mut scopes: BTreeMap<(usize, usize, &str), Vec<SiteRef>> = BTreeMap::new();
+    let mut global: BTreeMap<&str, Vec<SiteRef>> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (si, s) in f.sites.iter().enumerate() {
+            let Some(tag) = s.tag_name.as_deref() else {
+                continue;
+            };
+            if s.allowed {
+                continue;
+            }
+            global.entry(tag).or_default().push((fi, si));
+            if let Some(func) = s.func {
+                scopes.entry((fi, func, tag)).or_default().push((fi, si));
+            }
+        }
+    }
+    let mut seen: BTreeSet<(String, usize)> = BTreeSet::new();
+    for ((_, _, tag), members) in &scopes {
+        check_type_scope(files, tag, members, &mut seen, out);
+    }
+    for (tag, members) in &global {
+        check_type_scope(files, tag, members, &mut seen, out);
+    }
+}
+
+fn check_type_scope(
+    files: &[FileSkeleton],
+    tag: &str,
+    members: &[SiteRef],
+    seen: &mut BTreeSet<(String, usize)>,
+    out: &mut Vec<Finding>,
+) {
+    let site = |&(fi, si): &SiteRef| &files[fi].sites[si];
+    let concrete = |d: Dir| -> BTreeSet<PayloadKind> {
+        members
+            .iter()
+            .map(site)
+            .filter(|s| s.dir == d && !s.kind.is_wildcard())
+            .map(|s| s.kind)
+            .collect()
+    };
+    let send_kinds = concrete(Dir::Send);
+    let recv_kinds = concrete(Dir::Recv);
+    // Wildcard (raw / uninferred) sides never constrain; a direction
+    // with no concrete site leaves nothing to compare against.
+    if send_kinds.is_empty() || recv_kinds.is_empty() {
+        return;
+    }
+    for m in members {
+        let s = site(m);
+        if s.kind.is_wildcard() {
+            continue;
+        }
+        let (opposite, opp_name) = match s.dir {
+            Dir::Send => (&recv_kinds, "recv"),
+            Dir::Recv => (&send_kinds, "send"),
+        };
+        if opposite.contains(&s.kind) {
+            continue;
+        }
+        let path = files[m.0].path.clone();
+        if !seen.insert((path.clone(), s.line)) {
+            continue;
+        }
+        let opp_desc = opposite
+            .iter()
+            .map(|k| k.label())
+            .collect::<Vec<_>>()
+            .join("|");
+        let opp_sites: Vec<String> = members
+            .iter()
+            .filter(|m2| {
+                let s2 = site(m2);
+                s2.dir != s.dir && !s2.kind.is_wildcard()
+            })
+            .take(3)
+            .map(|&(fi2, si2)| format!("{}:{}", files[fi2].path, files[fi2].sites[si2].line))
+            .collect();
+        let verb = match s.dir {
+            Dir::Send => "sends",
+            Dir::Recv => "receives",
+        };
+        out.push(Finding {
+            path,
+            line: s.line,
+            lint: "skeleton/type-mismatch",
+            level: Level::Error,
+            msg: format!(
+                "{} {verb} {tag} as `{}` but the matching {opp_name} site(s) use `{opp_desc}` \
+                 ({}): both ends of a tag must agree on the wire payload type",
+                s.method,
+                s.kind.label(),
+                opp_sites.join(", ")
+            ),
+        });
+    }
+}
+
+fn orphan_tags(files: &[FileSkeleton], out: &mut Vec<Finding>) {
+    let mut sent: BTreeSet<&str> = BTreeSet::new();
+    let mut recvd: BTreeSet<&str> = BTreeSet::new();
+    for f in files {
+        for s in &f.sites {
+            if let Some(tag) = s.tag_name.as_deref() {
+                match s.dir {
+                    Dir::Send => sent.insert(tag),
+                    Dir::Recv => recvd.insert(tag),
+                };
+            }
+        }
+    }
+    for f in files {
+        for d in &f.tag_decls {
+            if d.allowed {
+                continue;
+            }
+            let is_sent = sent.contains(d.name.as_str());
+            let is_recvd = recvd.contains(d.name.as_str());
+            let what = match (is_sent, is_recvd) {
+                (true, true) => continue,
+                (false, false) => "never sent or received",
+                (true, false) => "never received",
+                (false, true) => "never sent",
+            };
+            out.push(Finding {
+                path: f.path.clone(),
+                line: d.line,
+                lint: "skeleton/orphan-tag",
+                level: Level::Error,
+                msg: format!(
+                    "{} is defined but {what}: dead protocol vocabulary — delete it or \
+                     annotate the definition with `// {ALLOW_MARKER}`",
+                    d.name
+                ),
+            });
+        }
+    }
+}
+
+/// Renders the generated `crates/sim/src/skeleton_gen.rs` module: one
+/// `SkeletonEntry` per registered tag that has call sites, sorted by
+/// tag value for binary search. `coll_bit` mirrors `hcs-mpi::COLL_BIT`
+/// so the runtime monitor can ignore dynamic collective tags.
+pub fn render_table(files: &[FileSkeleton], coll_bit: u64) -> String {
+    struct Agg {
+        kinds: BTreeSet<PayloadKind>,
+        sends: Vec<(String, usize)>,
+        recvs: Vec<(String, usize)>,
+    }
+    let mut values: BTreeMap<&str, u64> = BTreeMap::new();
+    for f in files {
+        for d in &f.tag_decls {
+            values.insert(&d.name, d.value);
+        }
+    }
+    let mut aggs: BTreeMap<(u64, &str), Agg> = BTreeMap::new();
+    for f in files {
+        for s in &f.sites {
+            let Some(tag) = s.tag_name.as_deref() else {
+                continue;
+            };
+            let Some(&value) = values.get(tag) else {
+                continue;
+            };
+            let agg = aggs.entry((value, tag)).or_insert_with(|| Agg {
+                kinds: BTreeSet::new(),
+                sends: Vec::new(),
+                recvs: Vec::new(),
+            });
+            agg.kinds.insert(s.kind);
+            let list = match s.dir {
+                Dir::Send => &mut agg.sends,
+                Dir::Recv => &mut agg.recvs,
+            };
+            list.push((f.path.clone(), s.line));
+        }
+    }
+    let mut out = String::new();
+    out.push_str(
+        "//! Generated communication-skeleton table. **DO NOT EDIT.**\n\
+         //!\n\
+         //! Regenerate with `cargo run -p xtask -- skeleton --emit`; the CI\n\
+         //! lint job fails when this file drifts from the skeleton extracted\n\
+         //! out of `crates/{core,mpi,benchlib}` sources.\n\n\
+         use crate::protomon::SkeletonEntry;\n\n\
+         /// Collective-tag marker bit, mirrored from `hcs-mpi::COLL_BIT` at\n\
+         /// emit time: tags with this bit (or anything above it) set are\n\
+         /// dynamically allocated and carry no static contract.\n",
+    );
+    out.push_str(&format!(
+        "pub(crate) const SKELETON_COLL_BIT: u32 = {coll_bit:#x};\n\n"
+    ));
+    out.push_str(
+        "/// Per-tag wire contract extracted by the xtask skeleton pass,\n\
+         /// sorted by tag value for binary search. Empty `sizes` means the\n\
+         /// payload length is not statically fixed (raw byte-slice traffic).\n\
+         #[rustfmt::skip]\n\
+         pub(crate) const SKELETON: &[SkeletonEntry] = &[\n",
+    );
+    for ((value, tag), agg) in &aggs {
+        let kinds = agg
+            .kinds
+            .iter()
+            .map(|k| k.label())
+            .collect::<Vec<_>>()
+            .join("|");
+        let sizes = if agg.kinds.iter().any(|k| k.is_wildcard()) {
+            String::from("&[]")
+        } else {
+            let set: BTreeSet<usize> = agg.kinds.iter().filter_map(|k| k.wire_size()).collect();
+            format!(
+                "&[{}]",
+                set.iter()
+                    .map(usize::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        out.push_str(&format!(
+            "    SkeletonEntry {{\n        tag: {value:#x},\n        name: \"{tag}\",\n        \
+             kinds: \"{kinds}\",\n        sizes: {sizes},\n        send_sites: \"{}\",\n        \
+             recv_sites: \"{}\",\n    }},\n",
+            site_list(&agg.sends),
+            site_list(&agg.recvs),
+        ));
+    }
+    out.push_str("];\n");
+    out
+}
+
+/// `path:l1,l2; path2:l3` — sites grouped per file, sorted.
+fn site_list(sites: &[(String, usize)]) -> String {
+    let mut sorted = sites.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+    for (path, line) in sorted {
+        match groups.last_mut() {
+            Some((p, lines)) if *p == path => lines.push(line),
+            _ => groups.push((path, vec![line])),
+        }
+    }
+    groups
+        .iter()
+        .map(|(p, lines)| {
+            format!(
+                "{p}:{}",
+                lines
+                    .iter()
+                    .map(usize::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn collect_src(src: &str) -> FileSkeleton {
+        collect("crates/core/src/fx.rs", &scan(src))
+    }
+
+    #[test]
+    fn sites_and_kinds_are_extracted() {
+        let src = "\
+const TAG_A: Tag = 0x0410;
+fn f(comm: &Comm, ctx: &mut RankCtx, g: GlobalTime) {
+    comm.send_t(ctx, 1, TAG_A, 0.5f64);
+    let _x: f64 = comm.recv_t(ctx, 1, TAG_A);
+    let _y = comm.recv_t::<u32>(ctx, 1, TAG_A);
+    comm.send_time(ctx, 1, TAG_A, g);
+    ctx.send(3, TAG_A, &[0u8; 4]);
+    tx.send(5);
+}
+";
+        let sk = collect_src(src);
+        let kinds: Vec<(Dir, PayloadKind)> = sk.sites.iter().map(|s| (s.dir, s.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (Dir::Send, PayloadKind::F64),
+                (Dir::Recv, PayloadKind::F64),
+                (Dir::Recv, PayloadKind::U32),
+                (Dir::Send, PayloadKind::Time),
+                (Dir::Send, PayloadKind::Bytes),
+            ]
+        );
+        assert!(sk
+            .sites
+            .iter()
+            .all(|s| s.tag_name.as_deref() == Some("TAG_A")));
+        assert_eq!(sk.tag_decls.len(), 1);
+        assert_eq!(sk.funcs.len(), 1);
+        assert_eq!(sk.sites[4].peer, "3");
+    }
+
+    #[test]
+    fn sendrecv_produces_both_halves() {
+        let src = "\
+fn f(comm: &Comm, ctx: &mut RankCtx, tag: Tag) {
+    comm.sendrecv(ctx, right, tag, &buf, left, tag);
+}
+";
+        let sk = collect_src(src);
+        assert_eq!(sk.sites.len(), 2);
+        assert_eq!(sk.sites[0].dir, Dir::Send);
+        assert_eq!(sk.sites[1].dir, Dir::Recv);
+        assert_eq!(sk.sites[1].peer, "left");
+        assert_eq!(sk.funcs[0].tag_params, vec!["tag".to_string()]);
+        // Tag-typed parameter blesses the raw sites.
+        assert!(check(&[sk]).is_empty());
+    }
+
+    #[test]
+    fn role_asymmetry_fires_and_escapes_work() {
+        let bad = "\
+const TAG_B: Tag = 0x0411;
+fn f(comm: &Comm, ctx: &mut RankCtx, me: usize) {
+    if me == 0 {
+        comm.send_t(ctx, 1, TAG_B, 1.0f64);
+    } else {
+        comm.send_t(ctx, 0, TAG_B, 2.0f64);
+    }
+}
+fn drain(comm: &Comm, ctx: &mut RankCtx) {
+    let _a: f64 = comm.recv_t(ctx, 0, TAG_B);
+    let _b: f64 = comm.recv_t(ctx, 1, TAG_B);
+}
+";
+        let sk = collect_src(bad);
+        assert_eq!(
+            sk.role_findings
+                .iter()
+                .filter(|f| f.lint == "skeleton/role-asymmetry")
+                .count(),
+            2
+        );
+        let paired = bad.replace(
+            "comm.send_t(ctx, 1, TAG_B, 1.0f64);",
+            "comm.send_t(ctx, 1, TAG_B, 1.0f64); // skeleton: paired-with drain",
+        );
+        let sk = collect_src(&paired);
+        assert_eq!(sk.role_findings.len(), 1); // only the un-annotated branch
+        let good = "\
+const TAG_B: Tag = 0x0411;
+fn f(comm: &Comm, ctx: &mut RankCtx, me: usize) {
+    if me == 0 {
+        comm.send_t(ctx, 1, TAG_B, 1.0f64);
+    } else {
+        let _a: f64 = comm.recv_t(ctx, 0, TAG_B);
+    }
+}
+";
+        assert!(collect_src(good).role_findings.is_empty());
+    }
+
+    #[test]
+    fn claiming_rule_scopes_nested_chains() {
+        // Mirrors hca2: the outer role chain pairs a send with a recv
+        // that sits inside a nested single-branch `if`, while an inner
+        // role chain owns its own send/recv pair. Neither may leak a
+        // false asymmetry into the other.
+        let src = "\
+const TAG_C: Tag = 0x0412;
+fn f(ctx: &mut RankCtx, r: usize) {
+    if r >= max_power {
+        ctx.send(1, TAG_C, &buf);
+    } else {
+        if r + max_power < nprocs {
+            let _ = ctx.recv(2, TAG_C);
+        }
+        for i in 0..n {
+            if r % running_power == next_power {
+                ctx.send(3, TAG_C, &buf);
+            } else if r.is_multiple_of(running_power) {
+                if client < max_power {
+                    let _ = ctx.recv(4, TAG_C);
+                }
+            }
+        }
+    }
+}
+";
+        assert!(collect_src(src).role_findings.is_empty());
+    }
+
+    #[test]
+    fn per_function_type_scope_catches_masked_mismatch() {
+        // Globally TAG_D carries both f64 and time, so only the
+        // per-function scope can see that `f` itself is inconsistent.
+        let src = "\
+const TAG_D: Tag = 0x0413;
+fn f(comm: &Comm, ctx: &mut RankCtx, me: usize, g: GlobalTime) {
+    if me == 0 {
+        let _x: f64 = comm.recv_t(ctx, 1, TAG_D);
+        comm.send_time(ctx, 1, TAG_D, g);
+    } else {
+        comm.send_time(ctx, 0, TAG_D, g);
+        let _t = comm.recv_time(ctx, 0, TAG_D);
+    }
+}
+fn other(comm: &Comm, ctx: &mut RankCtx) {
+    comm.send_t(ctx, 1, TAG_D, 0.5f64);
+}
+";
+        let findings = check(&[collect_src(src)]);
+        let mism: Vec<_> = findings
+            .iter()
+            .filter(|f| f.lint == "skeleton/type-mismatch")
+            .collect();
+        assert_eq!(mism.len(), 1, "{findings:?}");
+        assert_eq!(mism[0].line, 4);
+    }
+
+    #[test]
+    fn orphan_and_untyped_wire() {
+        let src = "\
+const TAG_E: Tag = 0x0414;
+const TAG_F: Tag = 0x0415; // xtask-allow: skeleton
+fn f(comm: &Comm, ctx: &mut RankCtx) {
+    comm.send_t(ctx, 1, TAG_E, 1.0f64);
+    comm.send(ctx, 1, 0x0777, &buf);
+}
+";
+        let findings = check(&[collect_src(src)]);
+        assert!(findings
+            .iter()
+            .any(|f| f.lint == "skeleton/orphan-tag" && f.line == 1));
+        assert!(!findings
+            .iter()
+            .any(|f| f.lint == "skeleton/orphan-tag" && f.line == 2));
+        assert!(findings
+            .iter()
+            .any(|f| f.lint == "skeleton/untyped-wire" && f.line == 5));
+    }
+
+    #[test]
+    fn collective_and_user_tag_paths_are_blessed() {
+        let src = "\
+fn f(ctx: &mut RankCtx) {
+    ctx.send(self.ranks[dst], self.user_tag(tag), payload);
+    let tag = self.next_coll_tag();
+    ctx.send(dst, tag, payload);
+}
+";
+        let sk = collect_src(src);
+        assert!(check(&[sk]).is_empty());
+    }
+
+    #[test]
+    fn table_renders_sorted_with_sizes() {
+        let src = "\
+const TAG_H: Tag = 0x0420;
+const TAG_G: Tag = 0x0300;
+fn f(comm: &Comm, ctx: &mut RankCtx, g: GlobalTime) {
+    comm.send_time(ctx, 1, TAG_H, g);
+    let _t = comm.recv_time(ctx, 1, TAG_H);
+    comm.send(ctx, 1, TAG_G, &buf);
+    let _ = comm.recv(ctx, 1, TAG_G);
+}
+";
+        let table = render_table(&[collect_src(src)], 1 << 16);
+        assert!(table.contains("SKELETON_COLL_BIT: u32 = 0x10000"));
+        let g = table.find("TAG_G").expect("TAG_G in table");
+        let h = table.find("TAG_H").expect("TAG_H in table");
+        assert!(g < h, "entries sorted by tag value");
+        assert!(table.contains("sizes: &[8]"));
+        assert!(table.contains("sizes: &[],"));
+        assert!(table.contains("crates/core/src/fx.rs:4"));
+    }
+}

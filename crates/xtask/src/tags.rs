@@ -27,7 +27,7 @@ pub struct TagDef {
 /// Crates participating in the static user-tag registry.
 pub const TAG_CRATES: &[&str] = &["core", "mpi", "benchlib"];
 
-/// Extracts every `const TAG_*: Tag|u32 = <int expr>;` from a file.
+/// Extracts every `const TAG_*: Tag|u32|u64 = <int expr>;` from a file.
 pub fn extract_tags(path: &str, scan: &FileScan) -> Vec<TagDef> {
     let mut out = Vec::new();
     for (ln, line) in scan.code.iter().enumerate() {
@@ -52,8 +52,9 @@ pub fn extract_coll_bit(scan: &FileScan) -> Option<u64> {
 }
 
 /// Parses `const <prefix>NAME: Tag = <expr>;` on one code line, where
-/// `<expr>` is an integer expression of literals, `<<` and `|`.
-fn parse_tag_const(line: &str, prefix: &str) -> Option<(String, u64)> {
+/// `<expr>` is an integer expression of literals, `<<` and `|`. Shared
+/// with the skeleton pass so both agree on what counts as a tag.
+pub(crate) fn parse_tag_const(line: &str, prefix: &str) -> Option<(String, u64)> {
     let t = line.trim_start();
     let t = t.strip_prefix("pub ").unwrap_or(t);
     let rest = t.strip_prefix("const ")?;
@@ -64,7 +65,7 @@ fn parse_tag_const(line: &str, prefix: &str) -> Option<(String, u64)> {
     let name = rest[..colon].trim().to_string();
     let rest = &rest[colon + 1..];
     let ty = rest.split('=').next()?.trim();
-    if ty != "Tag" && ty != "u32" {
+    if ty != "Tag" && ty != "u32" && ty != "u64" {
         return None;
     }
     let eq = rest.find('=')?;
@@ -163,6 +164,17 @@ mod tests {
         let findings = check_tags(&defs, 1 << 16);
         assert!(findings.iter().any(|f| f.lint == "tags/duplicate"));
         assert!(findings.iter().any(|f| f.lint == "tags/collective-range"));
+    }
+
+    #[test]
+    fn u64_typed_tag_consts_join_the_registry() {
+        // Wide tag constants (e.g. staged for a 64-bit wire format)
+        // must still collide-check against the u32-typed ones.
+        let src = "const TAG_WIDE: u64 = 0x0101;\nconst TAG_NARROW: Tag = 0x0101;\n";
+        let defs = extract_tags("f.rs", &scan(src));
+        assert_eq!(defs.len(), 2);
+        let findings = check_tags(&defs, 1 << 16);
+        assert!(findings.iter().any(|f| f.lint == "tags/duplicate"));
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Runtime half of the communication-skeleton contract: the debug-only
+//! `ProtocolMonitor` must panic on a delivery whose payload length
+//! contradicts the generated skeleton table, stay inert when
+//! observability is off, and pass a clean fully-observed sync run
+//! untouched.
+//!
+//! The whole file is debug-only; release test runs skip it, mirroring
+//! the monitor itself being compiled out of release builds (pinned by
+//! the zero-alloc and timeline-identity tests).
+#![cfg(debug_assertions)]
+
+use hierarchical_clock_sync::prelude::*;
+use hierarchical_clock_sync::sim::protomon;
+
+/// `TAG_PING`'s registry value (`crates/core/src/offset.rs`). The
+/// world communicator has context id 0, so the wire tag equals it.
+const TAG_PING: u32 = 0x0101;
+
+/// Two ranks exchanging a 16-byte payload on a tag whose static
+/// skeleton fixes the wire size at 8 bytes.
+fn mistyped_exchange(obs: ObsSpec) -> Vec<()> {
+    machines::testbed(2, 1)
+        .cluster(11)
+        .to_builder()
+        .observability(obs)
+        .build()
+        .run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, TAG_PING, &[0u8; 16]);
+            } else {
+                let _ = ctx.recv(0, TAG_PING);
+            }
+        })
+}
+
+#[test]
+#[should_panic(expected = "protocol monitor")]
+fn mistyped_delivery_panics_under_observed_debug_run() {
+    mistyped_exchange(ObsSpec::full());
+}
+
+#[test]
+fn monitor_is_inert_with_observability_off() {
+    // Same mismatch, no recorder: the monitor is gated on `obs_on()`,
+    // so unobserved runs never pay for (or see) the check.
+    let out = mistyped_exchange(ObsSpec::off());
+    assert_eq!(out.len(), 2);
+}
+
+#[test]
+fn clean_sync_run_passes_the_monitor() {
+    // A full HCA3+Skampi sync under full observability: every real
+    // protocol delivery must satisfy the generated skeleton. This is
+    // also the monitor-enabled run the TSan smoke lane executes.
+    let offsets = machines::testbed(4, 2)
+        .cluster(42)
+        .to_builder()
+        .observability(ObsSpec::full())
+        .build()
+        .run(|ctx| {
+            let clk = LocalClock::new(ctx, TimeSource::MpiWtime);
+            let mut comm = Comm::world(ctx);
+            let mut sync = Hca3::skampi(20, 5);
+            let global = sync.sync_clocks(ctx, &mut comm, Box::new(clk));
+            global.true_eval(SimTime::ZERO)
+        });
+    assert_eq!(offsets.len(), 8);
+}
+
+#[test]
+fn skeleton_table_covers_the_ping_tag() {
+    // The generated table and this test agree on the contract the
+    // panic test above relies on.
+    let entry = protomon::lookup(TAG_PING).expect("TAG_PING has a static contract");
+    assert_eq!(entry.name, "TAG_PING");
+    assert_eq!(entry.sizes, &[8]);
+    // Collective and ACK tags never have one.
+    assert!(protomon::lookup(TAG_PING | (1 << 16)).is_none());
+}

@@ -3,7 +3,7 @@
 //! the real workspace must pass clean (the same invariant CI enforces
 //! via `cargo run -p xtask -- check`).
 
-use xtask::{lint_sources, Level};
+use xtask::{lint_sources, lint_sources_filtered, Level, PassFilter};
 
 fn lint_ids(findings: &[xtask::Finding]) -> Vec<&'static str> {
     findings.iter().map(|f| f.lint).collect()
@@ -382,6 +382,166 @@ fn concurrency_findings_render_in_json_and_matcher_shape() {
         row.starts_with("crates/sim/src/engine.rs:2: error [concurrency/unregistered-lock] "),
         "{row}"
     );
+}
+
+#[test]
+fn orphan_tag_is_an_error() {
+    // Defined but never moved on the wire: dead protocol vocabulary.
+    let findings = lint_sources(&[(
+        "crates/core/src/proto.rs",
+        "const TAG_ORPHAN: Tag = 0x0711;\n",
+    )]);
+    assert_eq!(lint_ids(&findings), vec!["skeleton/orphan-tag"]);
+    assert!(findings.iter().all(|f| f.level == Level::Error));
+    // A tag that is both sent and received is fine.
+    let ok = lint_sources(&[(
+        "crates/core/src/proto.rs",
+        "const TAG_ORPHAN: Tag = 0x0711;\nfn f(comm: &Comm, ctx: &mut RankCtx) {\n    comm.send_t(ctx, 1, TAG_ORPHAN, 0.5f64);\n    let _v: f64 = comm.recv_t(ctx, 1, TAG_ORPHAN);\n}\n",
+    )]);
+    assert!(ok.is_empty(), "{ok:?}");
+    // The allow marker on the declaration opts it out (intentionally
+    // reserved vocabulary).
+    let ok = lint_sources(&[(
+        "crates/core/src/proto.rs",
+        "const TAG_ORPHAN: Tag = 0x0711; // xtask-allow: skeleton\n",
+    )]);
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn wire_type_mismatch_is_an_error() {
+    // Send and recv sites on the same tag disagreeing on the payload
+    // type: both ends of the exchange are flagged.
+    let findings = lint_sources(&[(
+        "crates/core/src/proto.rs",
+        "const TAG_VAL: Tag = 0x0712;\nfn f(comm: &Comm, ctx: &mut RankCtx) {\n    comm.send_t(ctx, 1, TAG_VAL, 0.5f64);\n    let _v: u32 = comm.recv_t(ctx, 1, TAG_VAL);\n}\n",
+    )]);
+    assert_eq!(
+        lint_ids(&findings),
+        vec!["skeleton/type-mismatch", "skeleton/type-mismatch"]
+    );
+    assert_eq!(findings[0].line, 3, "{findings:?}");
+    assert_eq!(findings[1].line, 4, "{findings:?}");
+    assert!(findings.iter().all(|f| f.level == Level::Error));
+    // Matching types pass.
+    let ok = lint_sources(&[(
+        "crates/core/src/proto.rs",
+        "const TAG_VAL: Tag = 0x0712;\nfn f(comm: &Comm, ctx: &mut RankCtx) {\n    comm.send_t(ctx, 1, TAG_VAL, 0.5f64);\n    let _v: f64 = comm.recv_t(ctx, 1, TAG_VAL);\n}\n",
+    )]);
+    assert!(ok.is_empty(), "{ok:?}");
+    // The allow marker removes the annotated site from the comparison.
+    let ok = lint_sources(&[(
+        "crates/core/src/proto.rs",
+        "const TAG_VAL: Tag = 0x0712;\nfn f(comm: &Comm, ctx: &mut RankCtx) {\n    comm.send_t(ctx, 1, TAG_VAL, 0.5f64);\n    let _v: u32 = comm.recv_t(ctx, 1, TAG_VAL); // xtask-allow: skeleton\n}\n",
+    )]);
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn role_asymmetry_is_an_error() {
+    // Inside a role-discriminated `if` chain, the second branch sends
+    // TAG_SYNC back but no sibling branch ever receives it.
+    let findings = lint_sources(&[(
+        "crates/core/src/proto.rs",
+        "const TAG_SYNC: Tag = 0x0713;\nfn f(comm: &Comm, ctx: &mut RankCtx, me: usize) {\n    if me == 0 {\n        comm.send_t(ctx, 1, TAG_SYNC, 1.0f64);\n    } else {\n        let _a: f64 = comm.recv_t(ctx, 0, TAG_SYNC);\n        comm.send_t(ctx, 0, TAG_SYNC, 2.0f64);\n    }\n}\n",
+    )]);
+    assert_eq!(lint_ids(&findings), vec!["skeleton/role-asymmetry"]);
+    assert_eq!(findings[0].line, 7, "{findings:?}");
+    assert!(findings.iter().all(|f| f.level == Level::Error));
+    // The symmetric exchange passes.
+    let ok = lint_sources(&[(
+        "crates/core/src/proto.rs",
+        "const TAG_SYNC: Tag = 0x0713;\nfn f(comm: &Comm, ctx: &mut RankCtx, me: usize) {\n    if me == 0 {\n        comm.send_t(ctx, 1, TAG_SYNC, 1.0f64);\n        let _b: f64 = comm.recv_t(ctx, 1, TAG_SYNC);\n    } else {\n        let _a: f64 = comm.recv_t(ctx, 0, TAG_SYNC);\n        comm.send_t(ctx, 0, TAG_SYNC, 2.0f64);\n    }\n}\n",
+    )]);
+    assert!(ok.is_empty(), "{ok:?}");
+    // `// skeleton: paired-with <fn>` marks a cross-function protocol:
+    // the counterpart recv lives in `drain`, outside the chain.
+    let ok = lint_sources(&[(
+        "crates/core/src/proto.rs",
+        "const TAG_SYNC: Tag = 0x0713;\nfn f(comm: &Comm, ctx: &mut RankCtx, me: usize) {\n    if me == 0 {\n        comm.send_t(ctx, 1, TAG_SYNC, 1.0f64);\n    } else {\n        let _a: f64 = comm.recv_t(ctx, 0, TAG_SYNC);\n        comm.send_t(ctx, 0, TAG_SYNC, 2.0f64); // skeleton: paired-with drain\n    }\n}\nfn drain(comm: &Comm, ctx: &mut RankCtx) {\n    let _c: f64 = comm.recv_t(ctx, 1, TAG_SYNC);\n}\n",
+    )]);
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn untyped_wire_tag_is_an_error() {
+    // A raw send on a bare numeric tag expression bypasses both the
+    // tag registry and the type skeleton.
+    let findings = lint_sources(&[(
+        "crates/core/src/proto.rs",
+        "fn f(ctx: &mut RankCtx) {\n    ctx.send(1, 0x0777, &buf);\n}\n",
+    )]);
+    assert_eq!(lint_ids(&findings), vec!["skeleton/untyped-wire"]);
+    assert!(findings.iter().all(|f| f.level == Level::Error));
+    // A `Tag`-typed parameter is a legitimate forwarded tag.
+    let ok = lint_sources(&[(
+        "crates/core/src/proto.rs",
+        "fn f(ctx: &mut RankCtx, tag: Tag) {\n    ctx.send(1, tag, &buf);\n}\n",
+    )]);
+    assert!(ok.is_empty(), "{ok:?}");
+    // And the per-line opt-out works like everywhere else.
+    let ok = lint_sources(&[(
+        "crates/core/src/proto.rs",
+        "fn f(ctx: &mut RankCtx) {\n    ctx.send(1, 0x0777, &buf); // xtask-allow: skeleton\n}\n",
+    )]);
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn skeleton_findings_render_in_json_and_matcher_shape() {
+    // Skeleton findings flow through the same JSON feed and CI problem
+    // matcher as every other pass.
+    let findings = lint_sources(&[(
+        "crates/core/src/proto.rs",
+        "fn f(ctx: &mut RankCtx) {\n    ctx.send(1, 0x0777, &buf);\n}\n",
+    )]);
+    assert_eq!(findings.len(), 1);
+    let json = xtask::render_json(&findings, 1, 0);
+    assert!(
+        json.contains("\"lint\": \"skeleton/untyped-wire\""),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"path\": \"crates/core/src/proto.rs\""),
+        "{json}"
+    );
+    assert!(json.contains("\"errors\": 1"), "{json}");
+    let row = findings[0].to_string();
+    assert!(
+        row.starts_with("crates/core/src/proto.rs:2: error [skeleton/untyped-wire] "),
+        "{row}"
+    );
+}
+
+#[test]
+fn pass_filter_selects_and_skips_families() {
+    // One wall-clock violation plus one skeleton violation in a single
+    // fixture: `--only skeleton` sees only the latter, `--skip
+    // skeleton` only the former, and an unknown family is rejected.
+    let fixture: &[(&str, &str)] = &[(
+        "crates/core/src/proto.rs",
+        "use std::time::Instant;\nfn f(ctx: &mut RankCtx) {\n    let _t = Instant::now();\n    ctx.send(1, 0x0777, &buf);\n}\n",
+    )];
+    let everything = lint_sources(fixture);
+    let ids = lint_ids(&everything);
+    assert!(ids.contains(&"determinism/wall-clock"), "{everything:?}");
+    assert!(ids.contains(&"skeleton/untyped-wire"), "{everything:?}");
+
+    let only = PassFilter::new(Some(vec!["skeleton".into()]), vec![]).expect("known family");
+    let findings = lint_sources_filtered(fixture, &only);
+    assert_eq!(lint_ids(&findings), vec!["skeleton/untyped-wire"]);
+
+    let skip = PassFilter::new(None, vec!["skeleton".into()]).expect("known family");
+    let findings = lint_sources_filtered(fixture, &skip);
+    let ids = lint_ids(&findings);
+    assert!(ids.contains(&"determinism/wall-clock"), "{findings:?}");
+    assert!(
+        !ids.iter().any(|l| l.starts_with("skeleton/")),
+        "{findings:?}"
+    );
+
+    let err = PassFilter::new(Some(vec!["skelton".into()]), vec![]).expect_err("typo rejected");
+    assert!(err.contains("unknown pass family"), "{err}");
 }
 
 #[test]
