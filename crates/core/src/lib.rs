@@ -49,7 +49,7 @@ pub use offset::{
 };
 pub use offset_only::OffsetOnlySync;
 pub use resync::ResyncSession;
-pub use sync::{run_sync, ClockSync, SyncFactory, SyncOutcome};
+pub use sync::{run_sync, run_sync_with_timeout, ClockSync, SyncFactory, SyncOutcome};
 
 /// One-stop imports for downstream crates.
 pub mod prelude {
@@ -65,5 +65,5 @@ pub mod prelude {
     };
     pub use crate::offset_only::OffsetOnlySync;
     pub use crate::resync::ResyncSession;
-    pub use crate::sync::{run_sync, ClockSync, SyncFactory, SyncOutcome};
+    pub use crate::sync::{run_sync, run_sync_with_timeout, ClockSync, SyncFactory, SyncOutcome};
 }

@@ -57,3 +57,24 @@ pub fn run_sync(
     ctx.obs_exit();
     SyncOutcome { clock, duration }
 }
+
+/// [`run_sync`] under a per-receive timeout policy: every blocking
+/// receive the algorithm issues (directly or through `Comm`) carries an
+/// implicit deadline of `per_recv` virtual seconds, so message loss or a
+/// partition degrades into a per-rank timeout outcome (see
+/// `Cluster::run_outcome`) instead of a wait-graph hang. The previous
+/// timeout policy is restored before returning, even though a timeout
+/// itself unwinds out of this function.
+pub fn run_sync_with_timeout(
+    sync: &mut dyn ClockSync,
+    ctx: &mut RankCtx,
+    comm: &mut Comm,
+    clk: BoxClock,
+    per_recv: Span,
+) -> SyncOutcome {
+    let prev = ctx.recv_timeout();
+    ctx.set_recv_timeout(Some(per_recv));
+    let out = run_sync(sync, ctx, comm, clk);
+    ctx.set_recv_timeout(prev);
+    out
+}

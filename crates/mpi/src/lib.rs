@@ -179,24 +179,6 @@ impl Comm {
         T::from_wire(self.recv(ctx, src, tag).as_ref())
     }
 
-    /// Sends an `f64`.
-    #[deprecated(since = "0.2.0", note = "use send_t instead")]
-    pub fn send_f64(&self, ctx: &mut RankCtx, dst: usize, tag: Tag, x: f64) {
-        self.send_t(ctx, dst, tag, x);
-    }
-
-    /// Synchronous-sends an `f64`.
-    #[deprecated(since = "0.2.0", note = "use ssend_t instead")]
-    pub fn ssend_f64(&self, ctx: &mut RankCtx, dst: usize, tag: Tag, x: f64) {
-        self.ssend_t(ctx, dst, tag, x);
-    }
-
-    /// Receives an `f64`.
-    #[deprecated(since = "0.2.0", note = "use recv_t::<f64> instead")]
-    pub fn recv_f64(&self, ctx: &mut RankCtx, src: usize, tag: Tag) -> f64 {
-        self.recv_t(ctx, src, tag)
-    }
-
     /// Sends a clock reading. The frame travels by convention: sender and
     /// receiver must agree on which clock's asserted global frame the
     /// value is in (exactly as real MPI codes agree on timestamp units).

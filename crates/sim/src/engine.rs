@@ -22,11 +22,12 @@
 //! of a hash map.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use hcs_obs::{ClockReadings, ObsSpec, RankRecorder, Recorder, TraceLog};
 
+use crate::fault::{FaultDecision, FaultPlan, FaultState, FaultVerdict};
 use crate::lockutil::{lock_ignore_poison, OrderedMutex};
 use crate::msg::{Envelope, Payload, PendingBuf, ACK_BIT};
 use crate::net::NetworkModel;
@@ -144,13 +145,39 @@ struct Mailbox {
 struct RunNet {
     boxes: Vec<Mailbox>,
     alive: AtomicUsize,
+    /// Per-rank "this rank's closure returned (or aborted)" flags. A
+    /// finished rank can never send again — its body flushed every
+    /// staged message *before* the flag was set — so "mailbox empty +
+    /// sender done + no buffered match" is deterministic proof that a
+    /// deadline receive can only resolve as a timeout.
+    done: Vec<AtomicBool>,
+    /// Whether `rank_done` must notify *every* mailbox (not just when
+    /// the run collapses to one live rank): armed when the fault plan is
+    /// non-empty or any rank registers a deadline receive, so parked
+    /// deadline waiters observe sender completion. Benign runs keep the
+    /// legacy single notify-all.
+    wake_done: AtomicBool,
     /// Wait-for-graph deadlock detector; `None` when opted out via
     /// [`ClusterBuilder::deadlock_detection`].
     waits: Option<WaitGraph>,
 }
 
+/// Outcome of one [`RunNet::recv_batch`] park/drain cycle.
+enum BatchWait {
+    /// The mailbox had (or received) envelopes; they are in the ring.
+    Got,
+    /// Every other rank finished and nothing is queued.
+    PeersGone,
+    /// The awaited sender finished without a matching send (deadline
+    /// receives only).
+    SenderDone,
+    /// A confirmed wait cycle fired this deadline wait (see
+    /// [`WaitGraph::fire_deadline_members`]).
+    DeadlineFired,
+}
+
 impl RunNet {
-    fn new(size: usize, detect_deadlocks: bool) -> Self {
+    fn new(size: usize, detect_deadlocks: bool, wake_on_done: bool) -> Self {
         Self {
             boxes: (0..size)
                 .map(|_| Mailbox {
@@ -160,16 +187,32 @@ impl RunNet {
                 })
                 .collect(),
             alive: AtomicUsize::new(size),
+            done: (0..size).map(|_| AtomicBool::new(false)).collect(),
+            wake_done: AtomicBool::new(wake_on_done),
             waits: detect_deadlocks.then(|| WaitGraph::new(size)),
         }
     }
 
+    /// Arms per-rank completion wakeups (idempotent). Called the first
+    /// time any rank registers a deadline receive; SeqCst pairs with the
+    /// `done`-flag handshake in [`RunNet::rank_done`] (Dekker-style: a
+    /// deadline waiter stores this flag before checking `done[src]`, a
+    /// finishing rank stores `done` before loading this flag — at least
+    /// one side always observes the other, so the wakeup is never lost).
+    fn enable_done_wakeups(&self) {
+        if !self.wake_done.load(Ordering::SeqCst) {
+            self.wake_done.store(true, Ordering::SeqCst);
+        }
+    }
+
     /// Registers the wait edge of one logical receive (no-op when
-    /// detection is off).
+    /// detection is off). Returns the wait's registration generation
+    /// (0 when detection is off).
     #[inline]
-    fn begin_wait(&self, me: Rank, src: Rank, tag: Tag) {
-        if let Some(wg) = &self.waits {
-            wg.begin_wait(me, src, tag);
+    fn begin_wait(&self, me: Rank, src: Rank, tag: Tag, deadline: bool) -> u64 {
+        match &self.waits {
+            Some(wg) => wg.begin_wait(me, src, tag, deadline),
+            None => 0,
         }
     }
 
@@ -201,6 +244,21 @@ impl RunNet {
             still_blocked && q.is_empty()
         });
         if let Some(cycle) = confirmed {
+            // A confirmed cycle with deadline members is not a bug: it
+            // is message loss showing up as mutual waits. Fire every
+            // deadline member (each resolves as a timeout at its own
+            // deadline) and wake them under their mailbox locks so the
+            // wakeup cannot be lost. The cycle is frozen, so which rank
+            // runs this is host-dependent but the fired set — and hence
+            // the virtual timeline — is not. A cycle with *zero*
+            // deadline members keeps the exact legacy diagnosis.
+            if wg.fire_deadline_members(&cycle) > 0 {
+                for e in cycle.iter().filter(|e| e.deadline) {
+                    let _guard = self.boxes[e.waiter].q.acquire();
+                    self.boxes[e.waiter].cv.notify_all();
+                }
+                return;
+            }
             panic!(
                 "deadlock detected: {} (diagnosed by rank {me}; benches can opt out via ClusterBuilder::deadlock_detection(false))",
                 WaitGraph::describe(&cycle)
@@ -236,9 +294,15 @@ impl RunNet {
 
     /// Blocking receive of *everything* queued: drains the whole
     /// mailbox into the receiver-local `ring` under one lock
-    /// acquisition and returns `true`. Returns `false` when every other
-    /// rank has finished and nothing is queued, so no message can ever
-    /// arrive (the pooled analogue of "all senders disconnected").
+    /// acquisition and returns [`BatchWait::Got`]. Returns
+    /// [`BatchWait::PeersGone`] when every other rank has finished and
+    /// nothing is queued, so no message can ever arrive (the pooled
+    /// analogue of "all senders disconnected"). Deadline receives
+    /// (`deadline = true`, with `wait_gen` from `begin_wait`) observe
+    /// two additional resolutions — the awaited sender finished
+    /// ([`BatchWait::SenderDone`]) or a confirmed wait cycle fired this
+    /// wait ([`BatchWait::DeadlineFired`]); both checks are gated on
+    /// `deadline` so plain receives keep the legacy behavior exactly.
     ///
     /// Fast path: before touching the mutex/condvar, spin on the
     /// lock-free length mirror for an adaptive, bounded number of
@@ -255,7 +319,15 @@ impl RunNet {
     /// The spin and the batching are host-side only: whether messages
     /// are found by spinning, one per lock or many per lock changes
     /// nothing about virtual time (arrivals were fixed at send time).
-    fn recv_batch(&self, me: Rank, spin: &mut SpinWait, ring: &mut VecDeque<Envelope>) -> bool {
+    fn recv_batch(
+        &self,
+        me: Rank,
+        src: Rank,
+        wait_gen: u64,
+        deadline: bool,
+        spin: &mut SpinWait,
+        ring: &mut VecDeque<Envelope>,
+    ) -> BatchWait {
         let mb = &self.boxes[me];
         let mut budget = spin.budget();
         if budget > 0
@@ -283,6 +355,10 @@ impl RunNet {
         // (see `pool::blocking_section`); created lazily so spin hits
         // and ready mailboxes stay off the bookkeeping path.
         let mut block = None;
+        // Whether this park attempt already ran cycle detection. Reset
+        // on every real wakeup, so each park is preceded by exactly one
+        // probe — as before — without the probe window losing wakeups.
+        let mut probed = false;
         loop {
             if !q.is_empty() {
                 ring.extend(q.drain(..));
@@ -294,35 +370,72 @@ impl RunNet {
                 // envelopes are in this rank's hand. The caller
                 // re-registers when its ring runs dry without a match.
                 self.end_wait(me);
-                return true;
+                return BatchWait::Got;
+            }
+            if deadline {
+                // Fired-cycle check FIRST: every member of a confirmed
+                // cycle is stamped before any member is notified, while
+                // `alive` and `done[src]` only change after a fired
+                // peer resumed and *finished its body*. Consulting
+                // those first would let host timing pick between
+                // WaitCycle and SenderFinished for the same simulated
+                // state.
+                if let Some(wg) = &self.waits {
+                    if wg.deadline_fired(me, wait_gen) {
+                        self.end_wait(me);
+                        return BatchWait::DeadlineFired;
+                    }
+                }
             }
             if self.alive.load(Ordering::Acquire) <= 1 {
-                return false;
+                return BatchWait::PeersGone;
             }
-            if self.waits.is_some() {
+            if deadline {
+                // SeqCst: the `done` store / `wake_done` load handshake
+                // in `rank_done` (see `enable_done_wakeups`) guarantees
+                // we either see the flag here or get the notify below.
+                // Sound because the sender's body flushed every staged
+                // message before setting `done`: seeing the flag with an
+                // empty queue (held lock) proves no match is coming.
+                if self.done[src].load(Ordering::SeqCst) {
+                    self.end_wait(me);
+                    return BatchWait::SenderDone;
+                }
+            }
+            if self.waits.is_some() && !probed {
                 // About to park: check whether this wait closes a
                 // cycle. Detection probes other mailboxes, so release
                 // our own lock first (probes take one lock at a time —
-                // no ordering deadlock) and re-check the queue after.
+                // no ordering deadlock). Then loop back instead of
+                // parking directly: a fire / completion / last-rank
+                // notification delivered while we held no lock and were
+                // not yet parked would be lost for good, so every
+                // resolution must be re-checked under the re-acquired
+                // lock (`probed` keeps this from spinning).
                 drop(q);
                 self.detect_deadlock(me);
                 q = mb.q.acquire();
-                if !q.is_empty() {
-                    continue;
-                }
+                probed = true;
+                continue;
             }
             if block.is_none() {
                 block = Some(pool::blocking_section());
             }
             q = q.wait(&mb.cv);
+            probed = false;
         }
     }
 
-    /// Marks one rank as finished. When only one rank remains, every
-    /// mailbox is notified (under its lock, to avoid lost wakeups) so a
-    /// blocked receiver can observe that its peers are gone.
-    fn rank_done(&self) {
-        if self.alive.fetch_sub(1, Ordering::AcqRel) == 2 {
+    /// Marks one rank as finished. When only one rank remains — or when
+    /// completion wakeups are armed (fault injection / deadline
+    /// receives) — every mailbox is notified (under its lock, to avoid
+    /// lost wakeups) so a blocked receiver can observe that its peer is
+    /// gone. The `done` store uses SeqCst to close the Dekker handshake
+    /// with [`RunNet::enable_done_wakeups`].
+    fn rank_done(&self, rank: Rank) {
+        self.done[rank].store(true, Ordering::SeqCst);
+        let last_pair = self.alive.fetch_sub(1, Ordering::AcqRel) == 2;
+        if last_pair || self.wake_done.load(Ordering::SeqCst) {
             for mb in &self.boxes {
                 let _guard = mb.q.acquire();
                 mb.cv.notify_all();
@@ -344,11 +457,192 @@ impl RunNet {
                         send_time: SimTime::ZERO,
                         arrival: SimTime::ZERO,
                         needs_ack: false,
+                        dropped: false,
                         payload: Payload::empty(),
                     },
                 );
             }
         }
+    }
+}
+
+/// Why a receive timed out (see [`RecvTimeout`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutReason {
+    /// A matching message exists but arrives after the deadline.
+    DeadlinePassed,
+    /// The matching message was dropped by the fault plan (the receiver
+    /// consumed its tombstone).
+    MessageLost,
+    /// The awaited sender's closure finished (or it crashed) without a
+    /// matching send ever being posted.
+    SenderFinished,
+    /// This wait was a member of a confirmed wait-for cycle containing
+    /// deadline receives — message loss manifesting as mutual waits.
+    WaitCycle,
+}
+
+impl std::fmt::Display for TimeoutReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TimeoutReason::DeadlinePassed => "deadline passed",
+            TimeoutReason::MessageLost => "message lost",
+            TimeoutReason::SenderFinished => "sender finished",
+            TimeoutReason::WaitCycle => "wait cycle",
+        })
+    }
+}
+
+/// A deadline receive that could not complete. Returned by
+/// [`RankCtx::recv_deadline`]; also the unwind payload of a plain
+/// [`RankCtx::recv`] under [`RankCtx::set_recv_timeout`], which
+/// [`Cluster::run_outcome`] catches into [`RankOutcome::TimedOut`].
+///
+/// `at` is the virtual time at which the timeout resolved (the deadline
+/// for late/lost messages; the current time when the sender was already
+/// gone). All fields are simulation state, so a timed-out run is exactly
+/// as reproducible as a completed one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecvTimeout {
+    /// The receiving rank.
+    pub rank: Rank,
+    /// The awaited source rank.
+    pub src: Rank,
+    /// The awaited tag.
+    pub tag: Tag,
+    /// Virtual time at which the timeout resolved.
+    pub at: SimTime,
+    /// Why the receive could not complete.
+    pub reason: TimeoutReason,
+}
+
+impl std::fmt::Display for RecvTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} receive (src {}, tag {}) timed out at t={:.9}s: {}",
+            self.rank,
+            self.src,
+            self.tag,
+            self.at.seconds(),
+            self.reason
+        )
+    }
+}
+
+/// A timed-out receive unwinds with [`RecvTimeout`] as its panic
+/// payload and is always caught by `run_outcome_inner`, so the default
+/// panic hook's "thread panicked" message plus backtrace is pure noise
+/// for it. Wrap the hook (once per process) to swallow exactly that
+/// payload type; every other panic still reports normally.
+fn silence_recv_timeout_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !info.payload().is::<RecvTimeout>() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Per-rank result of a fault-tolerant run (see
+/// [`Cluster::run_outcome`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RankOutcome<R> {
+    /// The rank's closure ran to completion.
+    Completed(R),
+    /// The rank abandoned its body at a timed-out receive.
+    TimedOut(RecvTimeout),
+}
+
+impl<R> RankOutcome<R> {
+    /// Whether this rank completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RankOutcome::Completed(_))
+    }
+
+    /// The completion value, if any.
+    pub fn completed(&self) -> Option<&R> {
+        match self {
+            RankOutcome::Completed(r) => Some(r),
+            RankOutcome::TimedOut(_) => None,
+        }
+    }
+
+    /// The timeout record, if any.
+    pub fn timed_out(&self) -> Option<&RecvTimeout> {
+        match self {
+            RankOutcome::Completed(_) => None,
+            RankOutcome::TimedOut(t) => Some(t),
+        }
+    }
+}
+
+/// Result of [`Cluster::run_outcome`]: one [`RankOutcome`] per rank, in
+/// rank order. Unlike [`Cluster::run`], injected faults degrade into
+/// per-rank timeouts here instead of a run-level panic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome<R> {
+    /// Per-rank outcomes, indexed by rank.
+    pub ranks: Vec<RankOutcome<R>>,
+}
+
+impl<R> RunOutcome<R> {
+    /// Number of ranks that completed.
+    pub fn completed_count(&self) -> usize {
+        self.ranks.iter().filter(|r| r.is_completed()).count()
+    }
+
+    /// Number of ranks that timed out.
+    pub fn timed_out_count(&self) -> usize {
+        self.ranks.len() - self.completed_count()
+    }
+
+    /// Whether every rank completed.
+    pub fn all_completed(&self) -> bool {
+        self.timed_out_count() == 0
+    }
+}
+
+/// The complete simulated environment of a cluster: latency model, OS
+/// noise and fault plan, grouped so experiment drivers can pass "the
+/// world" as one value. [`ClusterBuilder::env`] consumes it;
+/// [`ClusterBuilder::network`], [`ClusterBuilder::noise`] and
+/// [`ClusterBuilder::faults`] remain as per-field sugar.
+#[derive(Debug, Clone)]
+pub struct EnvSpec {
+    /// The network latency model (required).
+    pub network: NetworkModel,
+    /// OS-noise injection; `None` for a quiet machine.
+    pub noise: Option<crate::noise::NoiseSpec>,
+    /// Seeded fault plan; empty for a benign run.
+    pub faults: FaultPlan,
+}
+
+impl EnvSpec {
+    /// A benign environment: the given network, no noise, no faults.
+    pub fn new(network: NetworkModel) -> Self {
+        Self {
+            network,
+            noise: None,
+            faults: FaultPlan::new(),
+        }
+    }
+
+    /// Adds OS-noise injection.
+    #[must_use]
+    pub fn noise(mut self, noise: crate::noise::NoiseSpec) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// Adds a fault plan.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -411,6 +705,7 @@ pub struct Cluster {
     network: Arc<NetworkModel>,
     clock: Arc<ClockSpec>,
     noise: Option<crate::noise::NoiseSpec>,
+    faults: Arc<FaultPlan>,
     seed: u64,
     detect_deadlocks: bool,
     obs: ObsSpec,
@@ -438,6 +733,7 @@ pub struct ClusterBuilder {
     network: Option<Arc<NetworkModel>>,
     clock: Option<Arc<ClockSpec>>,
     noise: Option<crate::noise::NoiseSpec>,
+    faults: Arc<FaultPlan>,
     seed: u64,
     detect_deadlocks: bool,
     obs: ObsSpec,
@@ -450,6 +746,7 @@ impl Default for ClusterBuilder {
             network: None,
             clock: None,
             noise: None,
+            faults: Arc::new(FaultPlan::new()),
             seed: 0,
             detect_deadlocks: true,
             obs: ObsSpec::off(),
@@ -464,31 +761,61 @@ impl ClusterBuilder {
     }
 
     /// Sets the cluster shape (required).
+    #[must_use]
     pub fn topology(mut self, topology: Topology) -> Self {
         self.topology = Some(Arc::new(topology));
         self
     }
 
-    /// Sets the network latency model (required).
+    /// Sets the network latency model (required). Sugar for the
+    /// `network` field of [`ClusterBuilder::env`].
+    #[must_use]
     pub fn network(mut self, network: NetworkModel) -> Self {
         self.network = Some(Arc::new(network));
         self
     }
 
     /// Sets the oscillator parameters (required).
+    #[must_use]
     pub fn clock(mut self, clock: ClockSpec) -> Self {
         self.clock = Some(Arc::new(clock));
         self
     }
 
     /// Enables OS-noise injection (see [`crate::noise::NoiseSpec`]).
+    /// Sugar for the `noise` field of [`ClusterBuilder::env`].
+    #[must_use]
     pub fn noise(mut self, noise: crate::noise::NoiseSpec) -> Self {
         self.noise = Some(noise);
         self
     }
 
+    /// Installs a seeded fault plan (see [`crate::fault::FaultPlan`]).
+    /// Sugar for the `faults` field of [`ClusterBuilder::env`]. An empty
+    /// plan (the default) leaves every timeline bit-identical to a
+    /// cluster built without one.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Arc::new(faults);
+        self
+    }
+
+    /// Sets the whole simulated environment — network, noise and fault
+    /// plan — from one [`EnvSpec`]. This is the consolidated surface;
+    /// [`ClusterBuilder::network`] / [`ClusterBuilder::noise`] /
+    /// [`ClusterBuilder::faults`] set the same fields individually.
+    #[must_use]
+    pub fn env(mut self, env: EnvSpec) -> Self {
+        self.network = Some(Arc::new(env.network));
+        self.noise = env.noise;
+        self.faults = Arc::new(env.faults);
+        self
+    }
+
     /// Sets the master seed (default 0). Every random quantity in a run
-    /// — latency jitter, clock parameters, OS noise — derives from it.
+    /// — latency jitter, clock parameters, OS noise, fault draws —
+    /// derives from it.
+    #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -501,6 +828,7 @@ impl ClusterBuilder {
     /// perturb the simulated timeline. Benches that want the absolute
     /// minimum per-receive overhead can opt out — a deadlocked run then
     /// hangs, exactly as before.
+    #[must_use]
     pub fn deadlock_detection(mut self, on: bool) -> Self {
         self.detect_deadlocks = on;
         self
@@ -511,6 +839,7 @@ impl ClusterBuilder {
     /// [`Cluster::run_observed`] returns them merged in rank order.
     /// Recording is purely host-side: the simulated timeline is
     /// bit-identical with observability on or off.
+    #[must_use]
     pub fn observability(mut self, spec: ObsSpec) -> Self {
         self.obs = spec;
         self
@@ -532,6 +861,7 @@ impl ClusterBuilder {
                 .clock
                 .expect("ClusterBuilder: missing .clock(..) — the oscillator spec is required"),
             noise: self.noise,
+            faults: self.faults,
             seed: self.seed,
             detect_deadlocks: self.detect_deadlocks,
             obs: self.obs,
@@ -549,49 +879,18 @@ impl Cluster {
     /// way to derive variants (different seed, observability on, ...)
     /// without re-assembling the parts. Used by the experiment drivers
     /// for repeated "mpiruns" seed sweeps.
+    #[must_use]
     pub fn to_builder(&self) -> ClusterBuilder {
         ClusterBuilder {
             topology: Some(Arc::clone(&self.topology)),
             network: Some(Arc::clone(&self.network)),
             clock: Some(Arc::clone(&self.clock)),
             noise: self.noise,
+            faults: Arc::clone(&self.faults),
             seed: self.seed,
             detect_deadlocks: self.detect_deadlocks,
             obs: self.obs,
         }
-    }
-
-    /// Builds a cluster from explicit parts.
-    #[deprecated(since = "0.2.0", note = "use Cluster::builder() instead")]
-    pub fn from_parts(
-        topology: Topology,
-        network: NetworkModel,
-        clock: ClockSpec,
-        seed: u64,
-    ) -> Self {
-        Cluster::builder()
-            .topology(topology)
-            .network(network)
-            .clock(clock)
-            .seed(seed)
-            .build()
-    }
-
-    /// Enables OS-noise injection (see [`crate::noise::NoiseSpec`]).
-    #[deprecated(since = "0.2.0", note = "use ClusterBuilder::noise instead")]
-    pub fn with_noise(mut self, noise: crate::noise::NoiseSpec) -> Self {
-        self.noise = Some(noise);
-        self
-    }
-
-    /// Enables or disables the wait-for-graph deadlock detector.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use ClusterBuilder::deadlock_detection instead"
-    )]
-    pub fn with_deadlock_detection(mut self, on: bool) -> Self {
-        self.detect_deadlocks = on;
-        self
     }
 
     /// Whether the wait-for-graph deadlock detector is enabled.
@@ -612,6 +911,11 @@ impl Cluster {
     /// The network model.
     pub fn network(&self) -> &NetworkModel {
         &self.network
+    }
+
+    /// The fault plan (empty for a benign cluster).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The oscillator parameters.
@@ -688,13 +992,78 @@ impl Cluster {
         self.run_inner(&f, false)
     }
 
+    /// Fault-tolerant variant of [`Cluster::run`]: a rank whose receive
+    /// times out (deadline receives via [`RankCtx::recv_deadline`], or
+    /// plain receives under [`RankCtx::set_recv_timeout`]) yields
+    /// [`RankOutcome::TimedOut`] instead of panicking the whole run.
+    /// Genuine panics still propagate. The timeline — including every
+    /// surviving rank's result — is exactly as deterministic as
+    /// [`Cluster::run`].
+    pub fn run_outcome<R, F>(&self, f: F) -> RunOutcome<R>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        let (outcome, _log) = self.run_outcome_inner(&f, true);
+        outcome
+    }
+
+    /// Like [`Cluster::run_outcome`], additionally returning the merged
+    /// observability [`TraceLog`].
+    pub fn run_outcome_observed<R, F>(&self, f: F) -> (RunOutcome<R>, TraceLog)
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        self.run_outcome_inner(&f, true)
+    }
+
+    /// Unpooled variant of [`Cluster::run_outcome`] (determinism
+    /// cross-checks).
+    pub fn run_outcome_unpooled<R, F>(&self, f: F) -> RunOutcome<R>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        let (outcome, _log) = self.run_outcome_inner(&f, false);
+        outcome
+    }
+
+    fn run_outcome_inner<R, F>(&self, f: &F, pooled: bool) -> (RunOutcome<R>, TraceLog)
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        silence_recv_timeout_panic_hook();
+        // Catch the RecvTimeout unwind *inside* the rank body, so
+        // run_inner sees a completed rank (no poison broadcast, no
+        // rank-level panic bookkeeping): message loss stays a per-rank
+        // outcome, not a run-level failure.
+        let g = |ctx: &mut RankCtx| {
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)));
+            match res {
+                Ok(r) => RankOutcome::Completed(r),
+                Err(payload) => match payload.downcast::<RecvTimeout>() {
+                    Ok(t) => RankOutcome::TimedOut(*t),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                },
+            }
+        };
+        let (ranks, log) = self.run_inner(&g, pooled);
+        (RunOutcome { ranks }, log)
+    }
+
     fn run_inner<R, F>(&self, f: &F, pooled: bool) -> (Vec<R>, TraceLog)
     where
         R: Send,
         F: Fn(&mut RankCtx) -> R + Sync,
     {
         let size = self.topology.total_cores();
-        let net = Arc::new(RunNet::new(size, self.detect_deadlocks));
+        let net = Arc::new(RunNet::new(
+            size,
+            self.detect_deadlocks,
+            !self.faults.is_empty(),
+        ));
         // Leaf locks: each is only ever held alone, for one slot write
         // or drain, never while a mailbox or shard lock is wanted.
         let results: Vec<Mutex<Option<R>>> = // lock-order: engine.results level=30
@@ -714,16 +1083,20 @@ impl Cluster {
                 Arc::clone(&self.network),
                 Arc::clone(&self.clock),
                 self.noise,
+                &self.faults,
                 self.seed,
                 self.obs,
                 Arc::clone(&net),
             );
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
-            // Deliver anything still sitting in the staging segment —
-            // a body may end (or unwind) right after a send, and peers
-            // are entitled to receive every message posted before the
-            // body returned.
+            // Deliver anything still sitting in the staging segment or
+            // the reorder hold — a body may end (or unwind) right after
+            // a send, and peers are entitled to receive every message
+            // posted before the body returned. Both must land before
+            // `rank_done` below, or the "done + empty = no match coming"
+            // proof of deadline receives would be unsound.
             ctx.flush_staged();
+            ctx.flush_reorder_holds();
             match result {
                 Ok(out) => {
                     *lock_ignore_poison(&results[rank]) = Some(out);
@@ -736,7 +1109,7 @@ impl Cluster {
                     lock_ignore_poison(&panics).push(payload);
                 }
             }
-            net.rank_done();
+            net.rank_done(rank);
         };
 
         if pooled {
@@ -783,8 +1156,13 @@ impl Cluster {
         let mut panics = std::mem::take(&mut *lock_ignore_poison(&panics));
         if !panics.is_empty() {
             // Prefer the root-cause panic over the "peer panicked"
-            // consequence panics triggered by the poison broadcast.
+            // consequence panics triggered by the poison broadcast, and
+            // over timeout unwinds (a genuine bug on one rank routinely
+            // times out its peers' deadline receives).
             let is_consequence = |p: &Box<dyn std::any::Any + Send>| {
+                if p.is::<RecvTimeout>() {
+                    return true;
+                }
                 let msg = p
                     .downcast_ref::<String>()
                     .map(String::as_str)
@@ -793,7 +1171,11 @@ impl Cluster {
                 msg.contains("panicked while this rank was receiving")
             };
             let idx = panics.iter().position(|p| !is_consequence(p)).unwrap_or(0);
-            std::panic::resume_unwind(panics.swap_remove(idx));
+            let chosen = panics.swap_remove(idx);
+            if let Some(t) = chosen.downcast_ref::<RecvTimeout>() {
+                panic!("{t} (timeouts are per-rank outcomes under Cluster::run_outcome)");
+            }
+            std::panic::resume_unwind(chosen);
         }
 
         let out: Vec<R> = results
@@ -863,6 +1245,19 @@ pub struct RankCtx {
     /// Destination of the staged segment (meaningless while `stage` is
     /// empty).
     stage_dst: Rank,
+    /// Fault-injection state (`None` on the benign fast path: zero
+    /// loads, zero draws, timelines bit-identical to pre-fault builds).
+    faults: Option<FaultState>,
+    /// Reorder hold-back: a fault-reordered envelope is withheld here
+    /// and released only after the *next* post to the same destination
+    /// (or at any blocking point / body end), so it genuinely overtakes
+    /// in delivery order. Driven purely by sender program order —
+    /// deterministic.
+    reorder_hold: Vec<(Rank, Envelope)>,
+    /// Per-receive timeout policy: when set, every plain [`RankCtx::recv`]
+    /// behaves as `recv_deadline(now + span)` and unwinds with
+    /// [`RecvTimeout`] on failure (see [`RankCtx::set_recv_timeout`]).
+    recv_timeout: Option<Span>,
     /// Adaptive spin budget for the mailbox receive fast path
     /// (host-side only; see [`SpinWait`]).
     spin: SpinWait,
@@ -897,6 +1292,7 @@ impl RankCtx {
         network: Arc<NetworkModel>,
         clock: Arc<ClockSpec>,
         noise: Option<crate::noise::NoiseSpec>,
+        fault_plan: &Arc<FaultPlan>,
         master_seed: u64,
         obs_spec: ObsSpec,
         net: Arc<RunNet>,
@@ -926,6 +1322,9 @@ impl RankCtx {
             ring: VecDeque::new(),
             stage: Vec::new(),
             stage_dst: 0,
+            faults: FaultState::new(fault_plan, master_seed, rank),
+            reorder_hold: Vec::new(),
+            recv_timeout: None,
             spin: SpinWait::new(),
             last_arrival_to: DstClamp::new(size),
             counters: TrafficCounters::default(),
@@ -1140,11 +1539,26 @@ impl RankCtx {
     /// Synchronous send (`MPI_Ssend` semantics): completes only once the
     /// receiver has matched the message; modeled as a rendezvous with an
     /// acknowledgement travelling back over the same network level.
+    /// Under [`RankCtx::set_recv_timeout`] the ack wait times out like
+    /// any receive (a dropped data message never gets acked).
     pub fn ssend(&mut self, dst: Rank, tag: Tag, payload: &[u8]) {
         self.post(dst, tag, payload, true);
         // Wait for the ack; its arrival time carries the completion time.
-        let env = self.pull_match(dst, tag | ACK_BIT);
-        self.absorb_arrival(&env);
+        let deadline = self.recv_timeout.map(|s| self.now + s);
+        match self.pull_match_deadline(dst, tag | ACK_BIT, deadline) {
+            Ok(env) => self.absorb_arrival(&env),
+            Err(t) => std::panic::panic_any(t),
+        }
+    }
+
+    /// Evaluates the fault plan for a message to `dst` posted now
+    /// ([`FaultDecision::CLEAN`] on the benign fast path).
+    #[inline]
+    fn fault_decision(&mut self, dst: Rank) -> FaultDecision {
+        match &mut self.faults {
+            Some(fs) => fs.decide(self.rank, dst, self.now),
+            None => FaultDecision::CLEAN,
+        }
     }
 
     fn post(&mut self, dst: Rank, tag: Tag, payload: &[u8], needs_ack: bool) {
@@ -1161,7 +1575,44 @@ impl RankCtx {
             self.network
                 .sample_latency(&mut self.net_rng, level, self.rank, dst, payload.len());
         lat += self.contention_delay(level);
-        let arrival = self.last_arrival_to.clamp_and_update(dst, self.now + lat);
+        // Fault interpretation happens at this delivery boundary, after
+        // the unchanged latency/contention sampling, so an empty plan
+        // leaves the timeline bit-identical (see `fault` module docs).
+        let decision = self.fault_decision(dst);
+        if decision.scale != 1.0 {
+            lat = lat * decision.scale;
+            self.obs_note("fault/latency");
+        }
+        let mut dropped = false;
+        let mut reorder_extra = None;
+        match decision.verdict {
+            FaultVerdict::Deliver => {}
+            FaultVerdict::Drop(note) => {
+                dropped = true;
+                self.obs_note(note);
+            }
+            FaultVerdict::Reorder(extra) => {
+                reorder_extra = Some(extra);
+                self.obs_note("fault/reorder");
+            }
+        }
+        // Reordered messages bypass the FIFO clamp entirely (that *is*
+        // the fault) and leave the channel watermark untouched.
+        let arrival = match reorder_extra {
+            Some(extra) => self.now + lat + extra,
+            None => self.last_arrival_to.clamp_and_update(dst, self.now + lat),
+        };
+        // Receiver inside a crash blackout at the arrival instant: the
+        // message is lost on delivery (tombstoned like a drop).
+        if !dropped {
+            if let Some(fs) = &self.faults {
+                if fs.plan().crashed_at(dst, arrival) {
+                    dropped = true;
+                    self.obs_note("fault/crash");
+                }
+            }
+        }
+        let reordered = reorder_extra.is_some() && !dropped;
         self.counters.sent_msgs += 1;
         self.counters.sent_bytes += payload.len() as u64;
         if level == crate::topology::Level::InterNode {
@@ -1172,8 +1623,13 @@ impl RankCtx {
             tag,
             send_time: self.now,
             arrival,
-            needs_ack,
-            payload: Payload::from_slice(payload),
+            needs_ack: needs_ack && !dropped,
+            dropped,
+            payload: if dropped {
+                Payload::empty()
+            } else {
+                Payload::from_slice(payload)
+            },
         };
         // Stage instead of delivering directly: consecutive sends to
         // one destination reach its mailbox in a single lock
@@ -1183,18 +1639,84 @@ impl RankCtx {
         // invisible to virtual time. A send may race with the receiver
         // having already returned from its closure; that's fine, the
         // message is simply dropped at the end of the run.
-        if !self.stage.is_empty() && self.stage_dst != dst {
-            self.flush_staged();
+        if reordered {
+            // Held back past the *next* post to this destination (or
+            // any blocking point / body end) — true overtaking, driven
+            // purely by sender program order.
+            self.reorder_hold.push((dst, env));
+        } else {
+            if !self.stage.is_empty() && self.stage_dst != dst {
+                self.flush_staged();
+            }
+            self.stage_dst = dst;
+            self.stage.push(env);
+            // This post is the "next message" any held envelope to the
+            // same destination was waiting to be overtaken by.
+            self.release_holds_for(dst);
+            if self.stage.len() >= STAGE_MAX {
+                self.flush_staged();
+            }
         }
-        self.stage_dst = dst;
-        self.stage.push(env);
-        if self.stage.len() >= STAGE_MAX {
-            self.flush_staged();
+        if let (Some(extra), false) = (decision.duplicate, dropped) {
+            self.obs_note("fault/duplicate");
+            let dup = Envelope {
+                src: self.rank,
+                tag,
+                send_time: self.now,
+                arrival: arrival + extra,
+                needs_ack: false,
+                dropped: false,
+                payload: Payload::from_slice(payload),
+            };
+            // The copy trails its primary wherever that went; it is not
+            // a posted message (counters untouched, no watermark).
+            if reordered {
+                self.reorder_hold.push((dst, dup));
+            } else {
+                self.stage.push(dup);
+                if self.stage.len() >= STAGE_MAX {
+                    self.flush_staged();
+                }
+            }
         }
         if self.obs_spec.messages {
             if let Some(rec) = self.obs.get_mut() {
                 rec.send(self.now.seconds(), dst as u32, tag, payload.len() as u32);
             }
+        }
+    }
+
+    /// Moves every held (fault-reordered) envelope for `dst` into the
+    /// staging segment *behind* the message just staged there.
+    fn release_holds_for(&mut self, dst: Rank) {
+        if self.reorder_hold.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.reorder_hold.len() {
+            let (held_dst, _) = &self.reorder_hold[i];
+            if *held_dst == dst {
+                let (_, env) = self.reorder_hold.remove(i);
+                self.stage.push(env);
+                if self.stage.len() >= STAGE_MAX {
+                    self.flush_staged();
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Delivers every held (fault-reordered) envelope directly to its
+    /// destination mailbox, in hold order. Called at every blocking
+    /// point and at body end, *after* [`RankCtx::flush_staged`] — a rank
+    /// never parks or finishes holding undelivered messages, which keeps
+    /// both the deadlock detector's and the deadline receives'
+    /// "nothing in flight" reasoning valid.
+    pub(crate) fn flush_reorder_holds(&mut self) {
+        while !self.reorder_hold.is_empty() {
+            let (dst, env) = self.reorder_hold.remove(0);
+            self.net.send(dst, env);
         }
     }
 
@@ -1213,10 +1735,76 @@ impl RankCtx {
     /// Blocking receive of a message from `src` with `tag`. Advances this
     /// rank's virtual time to the message arrival (if in the future) plus
     /// the receive overhead, then returns the payload.
+    ///
+    /// Under fault injection a lost message (or, with
+    /// [`RankCtx::set_recv_timeout`], a timed-out one) unwinds with a
+    /// [`RecvTimeout`]; use [`Cluster::run_outcome`] to observe that as a
+    /// per-rank outcome instead of a run-level panic.
     pub fn recv(&mut self, src: Rank, tag: Tag) -> Payload {
+        let deadline = self.recv_timeout.map(|s| self.now + s);
+        match self.recv_impl(src, tag, deadline) {
+            Ok(p) => p,
+            Err(t) => std::panic::panic_any(t),
+        }
+    }
+
+    /// Blocking receive that gives up at virtual time `deadline`: if no
+    /// matching message with `arrival <= deadline` can ever be matched
+    /// — it was dropped, arrives too late, the sender finished without
+    /// sending, or the wait is part of a fault-induced cycle — the
+    /// receive resolves as `Err(RecvTimeout)` with this rank's clock at
+    /// the deadline, instead of hanging. A matching message that merely
+    /// arrives *after* the deadline stays buffered for a later receive.
+    ///
+    /// This is the primitive that lets synchronization rounds degrade
+    /// into an invalid round under message loss rather than a hang; the
+    /// resolution time is pure virtual time, so timed-out runs replay
+    /// byte-identically.
+    pub fn recv_deadline(
+        &mut self,
+        src: Rank,
+        tag: Tag,
+        deadline: SimTime,
+    ) -> Result<Payload, RecvTimeout> {
+        self.recv_impl(src, tag, Some(deadline))
+    }
+
+    /// [`RankCtx::recv_deadline`] with a deadline of `now + within`.
+    pub fn recv_within(
+        &mut self,
+        src: Rank,
+        tag: Tag,
+        within: Span,
+    ) -> Result<Payload, RecvTimeout> {
+        self.recv_deadline(src, tag, self.now + within)
+    }
+
+    /// Installs (or clears) a per-receive timeout policy: while set,
+    /// every plain [`RankCtx::recv`] / [`RankCtx::ssend`] behaves as a
+    /// deadline receive with deadline `now + timeout`, unwinding with
+    /// [`RecvTimeout`] on failure. Pair with [`Cluster::run_outcome`] to
+    /// turn those unwinds into per-rank outcomes.
+    pub fn set_recv_timeout(&mut self, timeout: Option<Span>) {
+        if timeout.is_some() {
+            self.net.enable_done_wakeups();
+        }
+        self.recv_timeout = timeout;
+    }
+
+    /// The currently installed receive-timeout policy.
+    pub fn recv_timeout(&self) -> Option<Span> {
+        self.recv_timeout
+    }
+
+    fn recv_impl(
+        &mut self,
+        src: Rank,
+        tag: Tag,
+        deadline: Option<SimTime>,
+    ) -> Result<Payload, RecvTimeout> {
         assert!(src < self.size, "recv from out-of-range rank {src}");
         assert_ne!(src, self.rank, "self-receives are not modeled");
-        let env = self.pull_match(src, tag);
+        let env = self.pull_match_deadline(src, tag, deadline)?;
         self.absorb_arrival(&env);
         self.monitor_delivery(&env);
         if self.obs_spec.messages {
@@ -1234,7 +1822,7 @@ impl RankCtx {
             // zero-byte message on the same level.
             self.post_ack(env.src, env.tag | ACK_BIT);
         }
-        env.payload
+        Ok(env.payload)
     }
 
     /// Debug-only protocol-monitor hook on the payload-delivery path:
@@ -1274,24 +1862,6 @@ impl RankCtx {
         T::from_wire(self.recv(src, tag).as_ref())
     }
 
-    /// Receives and decodes an `f64` (convenience for timestamps).
-    #[deprecated(since = "0.2.0", note = "use recv_t::<f64> instead")]
-    pub fn recv_f64(&mut self, src: Rank, tag: Tag) -> f64 {
-        self.recv_t(src, tag)
-    }
-
-    /// Sends an `f64` (convenience for timestamps).
-    #[deprecated(since = "0.2.0", note = "use send_t instead")]
-    pub fn send_f64(&mut self, dst: Rank, tag: Tag, x: f64) {
-        self.send_t(dst, tag, x);
-    }
-
-    /// Synchronous-send an `f64`.
-    #[deprecated(since = "0.2.0", note = "use ssend_t instead")]
-    pub fn ssend_f64(&mut self, dst: Rank, tag: Tag, x: f64) {
-        self.ssend_t(dst, tag, x);
-    }
-
     /// Statistical NIC queueing delay for inter-node messages while
     /// multiple node peers are communicating (LogGP-style gap model).
     fn contention_delay(&mut self, level: crate::topology::Level) -> Span {
@@ -1310,13 +1880,42 @@ impl RankCtx {
             .network
             .sample_latency(&mut self.net_rng, level, self.rank, dst, 0);
         lat += self.contention_delay(level);
+        // Acks cross the same faulty links as data. There is one ack per
+        // rendezvous, so a reorder verdict degrades to its extra delay
+        // under the normal FIFO clamp, and duplication is ignored.
+        let decision = self.fault_decision(dst);
+        if decision.scale != 1.0 {
+            lat = lat * decision.scale;
+            self.obs_note("fault/latency");
+        }
+        let mut dropped = false;
+        match decision.verdict {
+            FaultVerdict::Deliver => {}
+            FaultVerdict::Drop(note) => {
+                dropped = true;
+                self.obs_note(note);
+            }
+            FaultVerdict::Reorder(extra) => {
+                lat += extra;
+                self.obs_note("fault/reorder");
+            }
+        }
         let arrival = self.last_arrival_to.clamp_and_update(dst, self.now + lat);
+        if !dropped {
+            if let Some(fs) = &self.faults {
+                if fs.plan().crashed_at(dst, arrival) {
+                    dropped = true;
+                    self.obs_note("fault/crash");
+                }
+            }
+        }
         let env = Envelope {
             src: self.rank,
             tag: ack_tag,
             send_time: self.now,
             arrival,
             needs_ack: false,
+            dropped,
             payload: Payload::empty(),
         };
         self.net.send(dst, env);
@@ -1330,13 +1929,61 @@ impl RankCtx {
         self.counters.recv_msgs += 1;
     }
 
-    fn pull_match(&mut self, src: Rank, tag: Tag) -> Envelope {
-        // A receive may block; everything this rank has staged must be
-        // in its peers' mailboxes first, or two ranks could deadlock on
-        // messages neither has delivered.
+    /// Resolves a receive as a timeout: jumps this rank's clock to the
+    /// resolution instant (never backward), records the obs instant and
+    /// builds the [`RecvTimeout`] record. Purely virtual-time state, so
+    /// timed-out timelines replay byte-identically.
+    fn recv_timeout_err(
+        &mut self,
+        src: Rank,
+        tag: Tag,
+        at: SimTime,
+        reason: TimeoutReason,
+    ) -> RecvTimeout {
+        self.jump_to(at);
+        self.obs_note("recv/timeout");
+        RecvTimeout {
+            rank: self.rank,
+            src,
+            tag,
+            at: self.now,
+            reason,
+        }
+    }
+
+    fn pull_match_deadline(
+        &mut self,
+        src: Rank,
+        tag: Tag,
+        deadline: Option<SimTime>,
+    ) -> Result<Envelope, RecvTimeout> {
+        // A receive may block; everything this rank has staged or held
+        // back must be in its peers' mailboxes first, or two ranks
+        // could deadlock on messages neither has delivered.
         self.flush_staged();
-        if let Some(env) = self.pending.take(src, tag) {
-            return env;
+        self.flush_reorder_holds();
+        if deadline.is_some() {
+            // Arm completion wakeups so a parked deadline wait observes
+            // its sender finishing (Dekker handshake with `rank_done`).
+            self.net.enable_done_wakeups();
+        }
+        // Buffered match first. Peek the metadata before consuming: a
+        // tombstone is consumed (it proves loss), but a *late* live
+        // message stays buffered for a later receive.
+        if let Some((arrival, dropped)) = self.pending.meta(src, tag) {
+            if dropped {
+                let env = self.pending.take(src, tag).expect("peeked envelope");
+                let at = deadline.unwrap_or(env.arrival);
+                return Err(self.recv_timeout_err(src, tag, at, TimeoutReason::MessageLost));
+            }
+            match deadline {
+                Some(dl) if arrival > dl => {
+                    return Err(self.recv_timeout_err(src, tag, dl, TimeoutReason::DeadlinePassed));
+                }
+                _ => {
+                    return Ok(self.pending.take(src, tag).expect("peeked envelope"));
+                }
+            }
         }
         loop {
             // Drain the receiver-local ring first: these envelopes were
@@ -1351,7 +1998,28 @@ impl RankCtx {
                     );
                 }
                 if env.src == src && env.tag == tag {
-                    return env;
+                    if env.dropped {
+                        let at = deadline.unwrap_or(env.arrival);
+                        return Err(self.recv_timeout_err(
+                            src,
+                            tag,
+                            at,
+                            TimeoutReason::MessageLost,
+                        ));
+                    }
+                    if let Some(dl) = deadline {
+                        if env.arrival > dl {
+                            // Late, not lost: keep it for a later receive.
+                            self.pending.push(env);
+                            return Err(self.recv_timeout_err(
+                                src,
+                                tag,
+                                dl,
+                                TimeoutReason::DeadlinePassed,
+                            ));
+                        }
+                    }
+                    return Ok(env);
                 }
                 self.pending.push(env);
             }
@@ -1363,15 +2031,41 @@ impl RankCtx {
             // detector's probes rely on. The generation bump on
             // re-registration is what lets the detector prove that a
             // confirmed cycle's edges all coexisted.
-            self.net.begin_wait(self.rank, src, tag);
-            if !self
-                .net
-                .recv_batch(self.rank, &mut self.spin, &mut self.ring)
-            {
-                panic!(
-                    "rank {}: all peers gone while receiving (src {src}, tag {tag})",
-                    self.rank
-                );
+            let wait_gen = self.net.begin_wait(self.rank, src, tag, deadline.is_some());
+            match self.net.recv_batch(
+                self.rank,
+                src,
+                wait_gen,
+                deadline.is_some(),
+                &mut self.spin,
+                &mut self.ring,
+            ) {
+                BatchWait::Got => {}
+                BatchWait::PeersGone => {
+                    if let Some(dl) = deadline {
+                        // Every peer (so in particular `src`) finished:
+                        // same resolution as SenderDone, so which of the
+                        // two host-side checks fires first is invisible.
+                        return Err(self.recv_timeout_err(
+                            src,
+                            tag,
+                            dl,
+                            TimeoutReason::SenderFinished,
+                        ));
+                    }
+                    panic!(
+                        "rank {}: all peers gone while receiving (src {src}, tag {tag})",
+                        self.rank
+                    );
+                }
+                BatchWait::SenderDone => {
+                    let dl = deadline.expect("SenderDone only on deadline receives");
+                    return Err(self.recv_timeout_err(src, tag, dl, TimeoutReason::SenderFinished));
+                }
+                BatchWait::DeadlineFired => {
+                    let dl = deadline.expect("DeadlineFired only on deadline receives");
+                    return Err(self.recv_timeout_err(src, tag, dl, TimeoutReason::WaitCycle));
+                }
             }
         }
     }
@@ -1718,11 +2412,8 @@ mod tests {
 
     #[test]
     #[allow(deprecated)]
-    fn deprecated_shims_still_build_the_same_cluster() {
-        let topo = Topology::new(2, 1, 2);
-        let via_shim = // xtask-allow markers are line-scoped: keep each frozen call on one line
-            Cluster::from_parts(topo, test_network(true), ClockSpec::ideal(), 13) // xtask-allow: deprecated-api
-                .with_seed(14); // xtask-allow: deprecated-api
+    fn deprecated_with_seed_shim_still_builds_the_same_cluster() {
+        let via_shim = small_cluster(true, 13).with_seed(14); // xtask-allow: deprecated-api
         let via_builder = small_cluster(true, 14);
         assert_eq!(via_shim.seed(), via_builder.seed());
         assert_eq!(
@@ -1733,6 +2424,49 @@ mod tests {
             via_shim.topology().total_cores(),
             via_builder.topology().total_cores()
         );
+    }
+
+    #[test]
+    fn env_spec_sets_network_noise_and_faults_like_the_sugar() {
+        let plan = FaultPlan::new().drop_messages(
+            crate::fault::LinkSel::any(),
+            0.5,
+            crate::fault::Window::all(),
+        );
+        let via_env = Cluster::builder()
+            .topology(Topology::new(2, 1, 2))
+            .env(
+                EnvSpec::new(test_network(true))
+                    .noise(crate::noise::NoiseSpec::commodity_linux())
+                    .faults(plan.clone()),
+            )
+            .clock(ClockSpec::ideal())
+            .seed(5)
+            .build();
+        let via_sugar = Cluster::builder()
+            .topology(Topology::new(2, 1, 2))
+            .network(test_network(true))
+            .noise(crate::noise::NoiseSpec::commodity_linux())
+            .faults(plan.clone())
+            .clock(ClockSpec::ideal())
+            .seed(5)
+            .build();
+        assert_eq!(
+            via_env.fault_plan().canonical_string(),
+            via_sugar.fault_plan().canonical_string()
+        );
+        assert_eq!(
+            via_env.fault_plan().canonical_string(),
+            plan.canonical_string()
+        );
+        // to_builder round-trips the plan.
+        let rebuilt = via_env.to_builder().build();
+        assert_eq!(
+            rebuilt.fault_plan().canonical_string(),
+            plan.canonical_string()
+        );
+        // Default is the empty plan.
+        assert!(small_cluster(false, 1).fault_plan().is_empty());
     }
 
     fn observed_workload(ctx: &mut RankCtx) -> SimTime {

@@ -39,6 +39,10 @@
 //! - [`machines`] — the three machine profiles of the paper's Table I,
 //! - [`engine`] — the rank threads, mailboxes and the [`engine::Cluster`]
 //!   entry point (built via [`engine::ClusterBuilder`]),
+//! - [`fault`] — seeded fault injection: a pure-data [`FaultPlan`]
+//!   (drops, duplication, reordering, latency scaling, partitions, rank
+//!   crashes) interpreted deterministically at the delivery boundary;
+//!   grouped with network and noise into [`engine::EnvSpec`],
 //! - [`wire`] — typed little-endian encoding for small fixed payloads,
 //! - [`rngx`] — seed derivation and distribution sampling helpers.
 //!
@@ -55,6 +59,7 @@
 
 pub mod clockspec;
 pub mod engine;
+pub mod fault;
 pub mod lockutil;
 pub mod machines;
 pub mod msg;
@@ -72,7 +77,10 @@ pub mod waitgraph;
 pub mod wire;
 
 pub use clockspec::ClockSpec;
-pub use engine::{Cluster, ClusterBuilder, RankCtx};
+pub use engine::{
+    Cluster, ClusterBuilder, EnvSpec, RankCtx, RankOutcome, RecvTimeout, RunOutcome, TimeoutReason,
+};
+pub use fault::{FaultPlan, LinkSel, RankSel, Window};
 pub use lockutil::{lock_ignore_poison, OrderedGuard, OrderedMutex};
 pub use machines::MachineSpec;
 pub use net::{Jitter, LevelLatency, NetworkModel};

@@ -13,6 +13,7 @@
 //! *shapes* of the paper's figures.
 
 use crate::clockspec::ClockSpec;
+use crate::engine::EnvSpec;
 use crate::net::{Jitter, LevelLatency, NetworkModel};
 use crate::noise::NoiseSpec;
 use crate::timebase::{secs, Span};
@@ -49,17 +50,26 @@ impl MachineSpec {
         self
     }
 
+    /// This machine's environment — network model plus optional OS
+    /// noise, no faults — as one [`EnvSpec`] value. Chaos drivers add a
+    /// [`crate::fault::FaultPlan`] via [`EnvSpec::faults`] before
+    /// handing it to [`crate::ClusterBuilder::env`].
+    pub fn env_spec(&self) -> EnvSpec {
+        let mut env = EnvSpec::new(self.network.clone());
+        if let Some(n) = self.noise {
+            env = env.noise(n);
+        }
+        env
+    }
+
     /// Builds a [`Cluster`] with the given seed.
     pub fn cluster(&self, seed: u64) -> Cluster {
-        let mut b = Cluster::builder()
+        Cluster::builder()
             .topology(self.topology.clone())
-            .network(self.network.clone())
+            .env(self.env_spec())
             .clock(self.clock.clone())
-            .seed(seed);
-        if let Some(n) = self.noise {
-            b = b.noise(n);
-        }
-        b.build()
+            .seed(seed)
+            .build()
     }
 }
 

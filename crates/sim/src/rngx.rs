@@ -137,6 +137,14 @@ pub mod label {
     pub fn rank_workload(rank: usize) -> u64 {
         0x5000_0000_0000_0000 | rank as u64
     }
+    /// Per-rank, per-fault-kind injection stream (`kind` is a
+    /// `fault::FaultKind` discriminant). Dedicated streams keep fault
+    /// draws out of the jitter/noise/oscillator sequences, so adding or
+    /// removing fault clauses never perturbs a benign timeline.
+    pub fn rank_fault(rank: usize, kind: u64) -> u64 {
+        debug_assert!(kind < 1 << 12, "fault kind field is 12 bits");
+        0x6000_0000_0000_0000 | (kind << 48) | rank as u64
+    }
 }
 
 /// Samples a standard normal deviate via Box–Muller.

@@ -66,14 +66,25 @@ use crate::{Rank, Tag};
 /// Sentinel: rank is not blocked in a receive.
 const IDLE: u64 = u64::MAX;
 
+/// High bit of a slot: the wait carries a virtual-time deadline
+/// (`recv_deadline` / a receive-timeout policy). A confirmed cycle with
+/// deadline members is *fired* (each member resolves as a timeout at its
+/// own deadline) instead of panicking; detection itself stays exact.
+const DEADLINE_BIT: u64 = 1 << 63; // xtask-allow: clockdomain (packed-slot bit flag, not a timestamp)
+
 #[inline]
-fn pack(src: Rank, tag: Tag) -> u64 {
-    ((src as u64) << 32) | tag as u64
+fn pack(src: Rank, tag: Tag, deadline: bool) -> u64 {
+    debug_assert!(src < (1 << 30), "rank field is 30 bits + deadline flag");
+    ((src as u64) << 32) | tag as u64 | if deadline { DEADLINE_BIT } else { 0 }
 }
 
 #[inline]
-fn unpack(v: u64) -> (Rank, Tag) {
-    ((v >> 32) as Rank, v as u32)
+fn unpack(v: u64) -> (Rank, Tag, bool) {
+    (
+        ((v & !DEADLINE_BIT) >> 32) as Rank,
+        v as u32,
+        v & DEADLINE_BIT != 0,
+    )
 }
 
 /// One wait-for edge: `waiter` is blocked until `src` sends `tag`.
@@ -85,6 +96,8 @@ pub struct WaitEdge {
     pub src: Rank,
     /// The awaited tag.
     pub tag: Tag,
+    /// Whether the wait carries a deadline (can resolve as a timeout).
+    pub deadline: bool,
 }
 
 /// The per-run wait-for graph: one slot per rank.
@@ -96,6 +109,11 @@ pub struct WaitGraph {
     /// registered from a byte-identical edge re-registered by a later
     /// receive iteration (the ABA case of ping-pong loops).
     gens: Vec<AtomicU64>,
+    /// Per-rank fired flag, stamped with the *generation* of the wait a
+    /// confirmed deadline cycle resolved. Generation-stamping makes the
+    /// firing idempotent and immune to stale wake-ups: a later wait of
+    /// the same rank (different generation) never observes it.
+    fired: Vec<AtomicU64>,
 }
 
 impl WaitGraph {
@@ -104,15 +122,43 @@ impl WaitGraph {
         Self {
             slots: (0..size).map(|_| AtomicU64::new(IDLE)).collect(),
             gens: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            fired: (0..size).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
     /// Registers that `me` starts blocking until `src` sends `tag`.
+    /// `deadline` marks waits that can resolve as timeouts. Returns the
+    /// registration generation of this wait (used to match a later
+    /// [`WaitGraph::deadline_fired`] check to exactly this wait).
     #[inline]
-    pub fn begin_wait(&self, me: Rank, src: Rank, tag: Tag) {
+    pub fn begin_wait(&self, me: Rank, src: Rank, tag: Tag, deadline: bool) -> u64 {
         debug_assert_ne!(src, me, "self-waits are not modeled");
-        self.gens[me].fetch_add(1, Ordering::AcqRel);
-        self.slots[me].store(pack(src, tag), Ordering::Release);
+        let gen = self.gens[me].fetch_add(1, Ordering::AcqRel) + 1;
+        self.slots[me].store(pack(src, tag, deadline), Ordering::Release);
+        gen
+    }
+
+    /// Marks every deadline-carrying member of a confirmed cycle as
+    /// fired (stamping the member's current wait generation) and returns
+    /// how many members were fired. With zero deadline members the cycle
+    /// is a genuine programming-error deadlock and the caller panics.
+    pub fn fire_deadline_members(&self, cycle: &[WaitEdge]) -> usize {
+        let mut n = 0;
+        for e in cycle.iter().filter(|e| e.deadline) {
+            // The cycle is double-confirmed, hence frozen: the member's
+            // generation cannot advance until we fire it.
+            let gen = self.gens[e.waiter].load(Ordering::Acquire);
+            self.fired[e.waiter].store(gen, Ordering::Release);
+            n += 1;
+        }
+        n
+    }
+
+    /// Whether the wait registered with generation `gen` was fired by a
+    /// confirmed deadline cycle.
+    #[inline]
+    pub fn deadline_fired(&self, me: Rank, gen: u64) -> bool {
+        gen != 0 && self.fired[me].load(Ordering::Acquire) == gen
     }
 
     /// Clears `me`'s wait edge (its receive matched).
@@ -124,6 +170,12 @@ impl WaitGraph {
     /// What `r` is currently blocked on, if anything.
     #[inline]
     pub fn waiting_on(&self, r: Rank) -> Option<(Rank, Tag)> {
+        self.waiting_full(r).map(|(src, tag, _)| (src, tag))
+    }
+
+    /// Like [`WaitGraph::waiting_on`], with the deadline flag.
+    #[inline]
+    fn waiting_full(&self, r: Rank) -> Option<(Rank, Tag, bool)> {
         match self.slots[r].load(Ordering::Acquire) {
             IDLE => None,
             v => Some(unpack(v)),
@@ -187,11 +239,12 @@ impl WaitGraph {
         let mut cycle = Vec::new();
         let mut w = anchor;
         loop {
-            let (src, tag) = self.waiting_on(w)?;
+            let (src, tag, deadline) = self.waiting_full(w)?;
             cycle.push(WaitEdge {
                 waiter: w,
                 src,
                 tag,
+                deadline,
             });
             w = src;
             if w == anchor {
@@ -213,11 +266,12 @@ impl WaitGraph {
         let mut gen_sum = 0u64;
         for step in 0..self.slots.len() {
             let gen = self.gens[r].load(Ordering::Acquire);
-            let (src, tag) = self.waiting_on(r)?;
+            let (src, tag, deadline) = self.waiting_full(r)?;
             if !edge_holds(WaitEdge {
                 waiter: r,
                 src,
                 tag,
+                deadline,
             }) {
                 return None;
             }
@@ -256,7 +310,7 @@ mod tests {
     fn idle_graph_has_no_candidate() {
         let g = WaitGraph::new(4);
         assert_eq!(g.find_candidate(0), None);
-        g.begin_wait(0, 1, 7);
+        g.begin_wait(0, 1, 7, false);
         assert_eq!(g.find_candidate(0), None, "chain ends at idle rank 1");
         g.end_wait(0);
         assert_eq!(g.waiting_on(0), None);
@@ -265,9 +319,9 @@ mod tests {
     #[test]
     fn three_cycle_is_found_and_confirmed() {
         let g = WaitGraph::new(3);
-        g.begin_wait(0, 1, 11);
-        g.begin_wait(1, 2, 12);
-        g.begin_wait(2, 0, 13);
+        g.begin_wait(0, 1, 11, false);
+        g.begin_wait(1, 2, 12, false);
+        g.begin_wait(2, 0, 13, false);
         let anchor = g.find_candidate(0).expect("cycle exists");
         let cycle = g.confirm(anchor, |_| true).expect("all edges hold");
         assert_eq!(cycle.len(), 3);
@@ -284,8 +338,8 @@ mod tests {
     #[test]
     fn refuted_edge_aborts_confirmation() {
         let g = WaitGraph::new(2);
-        g.begin_wait(0, 1, 5);
-        g.begin_wait(1, 0, 6);
+        g.begin_wait(0, 1, 5, false);
+        g.begin_wait(1, 0, 6, false);
         let anchor = g.find_candidate(0).expect("2-cycle candidate");
         assert_eq!(g.confirm(anchor, |e| e.waiter != 1), None);
     }
@@ -295,9 +349,9 @@ mod tests {
         // 0 -> 1 -> 2 -> 1: rank 0 is not on the cycle but blocked
         // behind it.
         let g = WaitGraph::new(3);
-        g.begin_wait(0, 1, 1);
-        g.begin_wait(1, 2, 2);
-        g.begin_wait(2, 1, 3);
+        g.begin_wait(0, 1, 1, false);
+        g.begin_wait(1, 2, 2, false);
+        g.begin_wait(2, 1, 3, false);
         let anchor = g.find_candidate(0).expect("cycle reachable from 0");
         let cycle = g.confirm(anchor, |_| true).expect("cycle confirmed");
         assert_eq!(cycle.len(), 2);
@@ -313,8 +367,8 @@ mod tests {
         // confirmation must abort even though every single probe sees a
         // registered edge with the expected value.
         let g = WaitGraph::new(2);
-        g.begin_wait(0, 1, 5);
-        g.begin_wait(1, 0, 5);
+        g.begin_wait(0, 1, 5, false);
+        g.begin_wait(1, 0, 5, false);
         let anchor = g.find_candidate(0).expect("2-cycle candidate");
         let mut probes = 0;
         let refuted = g.confirm(anchor, |e| {
@@ -323,7 +377,7 @@ mod tests {
                 // First walk just probed both edges; simulate rank 1's
                 // receive completing and re-blocking on the same pair.
                 g.end_wait(e.waiter);
-                g.begin_wait(e.waiter, e.src, e.tag);
+                g.begin_wait(e.waiter, e.src, e.tag, false);
             }
             true
         });
@@ -335,7 +389,44 @@ mod tests {
     #[test]
     fn pack_roundtrips_extremes() {
         let g = WaitGraph::new(2);
-        g.begin_wait(0, 1, u32::MAX - 1);
+        g.begin_wait(0, 1, u32::MAX - 1, false);
         assert_eq!(g.waiting_on(0), Some((1, u32::MAX - 1)));
+        // The deadline flag rides in the high bit without corrupting
+        // the (src, tag) payload.
+        g.begin_wait(0, 1, u32::MAX - 1, true);
+        assert_eq!(g.waiting_on(0), Some((1, u32::MAX - 1)));
+    }
+
+    #[test]
+    fn deadline_cycle_fires_only_deadline_members() {
+        let g = WaitGraph::new(3);
+        let g0 = g.begin_wait(0, 1, 1, true);
+        let g1 = g.begin_wait(1, 2, 2, false);
+        let g2 = g.begin_wait(2, 0, 3, true);
+        let anchor = g.find_candidate(0).expect("cycle");
+        let cycle = g.confirm(anchor, |_| true).expect("confirmed");
+        assert_eq!(g.fire_deadline_members(&cycle), 2);
+        assert!(g.deadline_fired(0, g0));
+        assert!(!g.deadline_fired(1, g1), "plain wait is never fired");
+        assert!(g.deadline_fired(2, g2));
+    }
+
+    #[test]
+    fn fired_flag_is_generation_scoped() {
+        let g = WaitGraph::new(2);
+        let first = g.begin_wait(0, 1, 7, true);
+        let cycle = [WaitEdge {
+            waiter: 0,
+            src: 1,
+            tag: 7,
+            deadline: true,
+        }];
+        assert_eq!(g.fire_deadline_members(&cycle), 1);
+        assert!(g.deadline_fired(0, first));
+        // A later wait of the same rank must not observe the stale fire.
+        g.end_wait(0);
+        let second = g.begin_wait(0, 1, 7, true);
+        assert!(!g.deadline_fired(0, second));
+        assert!(!g.deadline_fired(0, 0), "generation 0 never fires");
     }
 }

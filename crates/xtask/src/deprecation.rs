@@ -1,14 +1,17 @@
-//! Deprecation freeze: the pre-builder `Cluster` surface and the
-//! `*_f64` wire helpers are kept as `#[deprecated]` shims for one
-//! release, but no code in this workspace — library, test, bench or
-//! example — may call them. rustc's own `deprecated` lint warns and is
-//! suppressible wholesale with one `#[allow]`; this pass makes each
-//! individual call site an `xtask check` error, so the frozen surface
-//! cannot creep back in while the shims still exist.
+//! Deprecation freeze: deprecated shims kept for one release may not be
+//! called by any code in this workspace — library, test, bench or
+//! example. rustc's own `deprecated` lint warns and is suppressible
+//! wholesale with one `#[allow]`; this pass makes each individual call
+//! site an `xtask check` error, so the frozen surface cannot creep back
+//! in while a shim still exists.
 //!
-//! Definition sites (`fn with_seed(...)`) are exempt — the shims have
-//! to be defined somewhere — and a deliberate call (e.g. the test that
-//! proves a shim still works) opts out per line with a trailing
+//! The pre-builder `Cluster` construction shims and the `*_f64` wire
+//! helpers completed their freeze window and were deleted; only
+//! `Cluster::with_seed` remains frozen.
+//!
+//! Definition sites (`fn with_seed(...)`) are exempt — the shim has to
+//! be defined somewhere — and a deliberate call (e.g. the test that
+//! proves the shim still works) opts out per line with a trailing
 //! `// xtask-allow: deprecated-api` comment.
 
 use crate::scanner::{is_ident_byte, FileScan};
@@ -18,18 +21,7 @@ use crate::{Finding, Level};
 pub const ALLOW_MARKER: &str = "xtask-allow: deprecated-api";
 
 /// Frozen names and what replaced them.
-pub const DEPRECATED_CALLS: &[(&str, &str)] = &[
-    ("from_parts", "Cluster::builder()"),
-    ("with_noise", "ClusterBuilder::noise"),
-    ("with_seed", "Cluster::to_builder().seed(..)"),
-    (
-        "with_deadlock_detection",
-        "ClusterBuilder::deadlock_detection",
-    ),
-    ("send_f64", "send_t::<f64>"),
-    ("ssend_f64", "ssend_t::<f64>"),
-    ("recv_f64", "recv_t::<f64>"),
-];
+pub const DEPRECATED_CALLS: &[(&str, &str)] = &[("with_seed", "Cluster::to_builder().seed(..)")];
 
 /// Flags every use of a frozen name outside its definition site, in all
 /// files (tests and benches included).
@@ -92,32 +84,31 @@ mod tests {
 
     #[test]
     fn call_sites_fire_everywhere_including_tests() {
-        let src = "fn f(c: &Cluster) { c.with_seed(1); }\n#[cfg(test)]\nmod tests {\n    fn t(ctx: &mut RankCtx) { ctx.send_f64(0, 0, 1.0); }\n}\n";
+        let src = "fn f(c: &Cluster) { c.with_seed(1); }\n#[cfg(test)]\nmod tests {\n    fn t(c: &Cluster) { let _ = c.with_seed(2); }\n}\n";
         assert_eq!(hits(src), vec![1, 4]);
     }
 
     #[test]
     fn definition_sites_are_exempt() {
-        let src = "pub fn with_seed(&self, seed: u64) -> Self {\n    self.to_builder().seed(seed).build()\n}\npub fn send_f64(&mut self) {}\n";
+        let src = "pub fn with_seed(&self, seed: u64) -> Self {\n    self.to_builder().seed(seed).build()\n}\n";
         assert!(hits(src).is_empty());
     }
 
     #[test]
     fn allow_marker_and_comments_are_exempt() {
-        let src = "// calling send_f64 here would be wrong\nlet c = Cluster::from_parts(a, b, d); // xtask-allow: deprecated-api (shim regression test)\n";
+        let src = "// calling with_seed here would be wrong\nlet c = base.with_seed(3); // xtask-allow: deprecated-api (shim regression test)\n";
         assert!(hits(src).is_empty());
     }
 
     #[test]
     fn word_boundaries_do_not_cross_names() {
-        // `ssend_f64` must not count as a `send_f64` call and longer
-        // identifiers must not match at all.
-        let src = "fn ssend_f64() {}\nlet x = my_send_f64_counter;\n";
+        // Longer identifiers containing the frozen name must not match.
+        let src = "fn cluster_with_seed_suffix() {}\nlet x = my_with_seed_counter;\n";
         assert!(hits(src).is_empty());
-        let ssend = "comm.ssend_f64(ctx, 0, 0, 1.0);\n";
+        let call = "let c = base.with_seed(7);\n";
         let mut out = Vec::new();
-        deprecation("crates/core/src/y.rs", &scan(ssend), &mut out);
+        deprecation("crates/core/src/y.rs", &scan(call), &mut out);
         assert_eq!(out.len(), 1, "{out:?}");
-        assert!(out[0].msg.contains("`ssend_f64`"));
+        assert!(out[0].msg.contains("`with_seed`"));
     }
 }

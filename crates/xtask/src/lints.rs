@@ -294,6 +294,7 @@ mod tests {
             "crates/sim/src/msg.rs",
             "crates/sim/src/pool.rs",
             "crates/sim/src/net.rs",
+            "crates/sim/src/fault.rs",
         ] {
             assert!(
                 FileClass::of(path).in_crate_src(DETERMINISM_CRATES),

@@ -38,7 +38,8 @@ pub mod prelude {
     pub use hcs_core::prelude::*;
     pub use hcs_mpi::{BarrierAlgorithm, Comm};
     pub use hcs_sim::{
-        machines, secs, ClockSpec, Cluster, ClusterBuilder, MachineSpec, ObsSpec, RankCtx, SimTime,
-        Topology, TraceLog,
+        machines, secs, ClockSpec, Cluster, ClusterBuilder, EnvSpec, FaultPlan, LinkSel,
+        MachineSpec, ObsSpec, RankCtx, RankOutcome, RecvTimeout, RunOutcome, SimTime,
+        TimeoutReason, Topology, TraceLog, Window,
     };
 }

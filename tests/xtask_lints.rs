@@ -42,6 +42,31 @@ fn default_hasher_in_deterministic_crate_is_an_error() {
 }
 
 #[test]
+fn fault_module_is_in_the_determinism_lint_set() {
+    // The fault interpreter sits on the message delivery path; ambient
+    // randomness or wall-clock reads there would break the replay
+    // contract (same seed + plan => byte-identical faulted timeline),
+    // so crates/sim/src/fault.rs must be covered by the determinism
+    // lints like the rest of the sim crate.
+    let findings = lint_sources(&[(
+        "crates/sim/src/fault.rs",
+        "pub fn draw() -> f64 { rand::thread_rng().gen() }\n",
+    )]);
+    assert!(
+        lint_ids(&findings).contains(&"determinism/ambient-randomness"),
+        "{findings:?}"
+    );
+    let findings = lint_sources(&[(
+        "crates/sim/src/fault.rs",
+        "use std::time::Instant;\nfn t() -> Instant { Instant::now() }\n",
+    )]);
+    assert!(
+        lint_ids(&findings).contains(&"determinism/wall-clock"),
+        "{findings:?}"
+    );
+}
+
+#[test]
 fn safety_less_unsafe_is_an_error_anywhere() {
     let findings = lint_sources(&[(
         "crates/benchlib/src/trace.rs",
@@ -209,18 +234,20 @@ fn xtask_allow_comment_silences_clockdomain() {
 
 #[test]
 fn deprecated_call_is_an_error_even_in_tests() {
-    // The deprecation freeze bans calling the frozen shims anywhere —
-    // library, test, bench or example code.
+    // The deprecation freeze bans calling the frozen shim anywhere —
+    // library, test, bench or example code. (`with_seed` is the only
+    // remaining frozen name; the other shims completed their freeze
+    // window and were deleted outright.)
     let findings = lint_sources(&[(
         "tests/something.rs",
-        "#[test]\nfn t() {\n    let c = machines::testbed(2, 1).cluster(1).with_seed(2);\n    c.run(|ctx| ctx.send_f64(0, 0, 1.0));\n}\n",
+        "#[test]\nfn t() {\n    let c = machines::testbed(2, 1).cluster(1).with_seed(2);\n    c.run(|ctx| ctx.now());\n}\n",
     )]);
     let ids = lint_ids(&findings);
     assert_eq!(
         ids.iter()
             .filter(|l| **l == "deprecated-api/frozen")
             .count(),
-        2,
+        1,
         "{findings:?}"
     );
     assert!(findings.iter().all(|f| f.level == Level::Error));
