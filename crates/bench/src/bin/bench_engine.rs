@@ -6,8 +6,13 @@
 //! the simulator is recorded in-repo, PR over PR.
 //!
 //! ```text
-//! cargo run --release -p hcs-experiments --bin bench_engine [--out BENCH_engine.json]
+//! cargo run --release -p hcs-experiments --bin bench_engine \
+//!     [--out BENCH_engine.json] [--group <prefix>]
 //! ```
+//!
+//! `--group` restricts the run to groups whose name starts with the
+//! given prefix (e.g. `--group engine_runs` for the repeated-run rows
+//! only); the emitted JSON then contains just the filtered cases.
 //!
 //! Iteration counts auto-calibrate to a wall-clock budget; set
 //! `HCS_BENCH_TARGET_MS` to trade precision against runtime.
@@ -15,7 +20,7 @@
 use hcs_bench::microbench::Runner;
 use hcs_bench::sweep::{run_seed, SweepExecutor};
 use hcs_experiments::Args;
-use hcs_sim::{machines, ClusterPool, RankCtx};
+use hcs_sim::{machines, ClusterPool, EngineMode, RankCtx};
 
 /// Repetitions per sweep in the `sweep_runs` groups.
 const SWEEP_RUNS: usize = 8;
@@ -27,8 +32,12 @@ const FAN_ROUNDS: usize = 32;
 
 /// One ping-pong run of `msgs` round trips between ranks 0 and 1 on a
 /// `p`-rank cluster (the ISSUE's tracked repeated-run workload).
-fn pingpong_run(p: usize, msgs: u32, seed: u64, pooled: bool) {
-    let cluster = machines::testbed(p.div_ceil(4).max(1), p.min(4)).cluster(seed);
+fn pingpong_run(p: usize, msgs: u32, seed: u64, pooled: bool, engine: EngineMode) {
+    let cluster = machines::testbed(p.div_ceil(4).max(1), p.min(4))
+        .cluster(seed)
+        .to_builder()
+        .engine(engine)
+        .build();
     let body = move |ctx: &mut RankCtx| {
         match ctx.rank() {
             0 => {
@@ -55,10 +64,14 @@ fn pingpong_run(p: usize, msgs: u32, seed: u64, pooled: bool) {
 }
 
 fn main() {
-    let args = Args::parse(&["out"]);
+    let args = Args::parse(&["out", "group"]);
     let out_path = args.get_str("out", "BENCH_engine.json");
+    let group = args.get_str("group", "");
 
     let mut r = Runner::from_env();
+    if !group.is_empty() {
+        r.set_group_filter(&group);
+    }
 
     // Message throughput (2 messages per round trip).
     for msgs in [1_000u32, 10_000] {
@@ -67,18 +80,37 @@ fn main() {
             &msgs.to_string(),
             msgs as f64 * 2.0,
             "msgs",
-            || pingpong_run(2, msgs, 1, true),
+            || pingpong_run(2, msgs, 1, true, EngineMode::Threads),
         );
     }
 
-    // Repeated-run rate: pooled vs fresh-spawn at the tracked sizes.
+    // Repeated-run rate: pooled vs fresh-spawn at the tracked sizes,
+    // plus the event-driven executor at the same sizes (`p*_events`).
+    // The events engine has no pooled/fresh distinction — one row.
     for p in [32usize, 256, 2048] {
         let case = format!("p{p}");
         r.case_throughput("engine_runs_pooled", &case, 1.0, "runs", || {
-            pingpong_run(p, 100, 2, true)
+            pingpong_run(p, 100, 2, true, EngineMode::Threads)
         });
+        r.case_throughput(
+            "engine_runs_pooled",
+            &format!("{case}_events"),
+            1.0,
+            "runs",
+            || pingpong_run(p, 100, 2, true, EngineMode::Events),
+        );
         r.case_throughput("engine_runs_fresh_spawn", &case, 1.0, "runs", || {
-            pingpong_run(p, 100, 2, false)
+            pingpong_run(p, 100, 2, false, EngineMode::Threads)
+        });
+    }
+
+    // The scale wall: repeated-run rate at rank counts a thread-per-rank
+    // engine cannot schedule on one host (16Ki and 128Ki OS threads).
+    // Events engine only — rank bodies are continuations multiplexed on
+    // a few workers, so p is bounded by memory, not by the scheduler.
+    for p in [16_384usize, 131_072] {
+        r.case_throughput("engine_runs", &format!("p{p}"), 1.0, "runs", || {
+            pingpong_run(p, 100, 2, true, EngineMode::Events)
         });
     }
 
@@ -96,7 +128,7 @@ fn main() {
                 "runs",
                 || {
                     exec.run(SWEEP_RUNS, p, |i| {
-                        pingpong_run(p, 100, run_seed(3, i as u64), true)
+                        pingpong_run(p, 100, run_seed(3, i as u64), true, EngineMode::Threads)
                     });
                 },
             );

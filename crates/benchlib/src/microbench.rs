@@ -42,6 +42,7 @@ impl CaseResult {
 pub struct Runner {
     target_s: f64,
     max_iters: u64,
+    group_filter: Option<String>,
     results: Vec<CaseResult>,
 }
 
@@ -65,8 +66,19 @@ impl Runner {
         Self {
             target_s: target_ms * 1e-3,
             max_iters,
+            group_filter: None,
             results: Vec::new(),
         }
+    }
+
+    /// Restricts subsequent cases to groups whose name starts with
+    /// `prefix`. Filtered-out cases are skipped entirely — not run, not
+    /// recorded, not serialized — so `--group` on the bench binaries
+    /// can re-measure one group (or smoke-test a subset in CI) without
+    /// paying for the whole suite. Skipped cases return `f64::NAN` from
+    /// [`Runner::case`] and friends.
+    pub fn set_group_filter(&mut self, prefix: &str) {
+        self.group_filter = Some(prefix.to_string());
     }
 
     /// Times `f`, printing one progress line, and records the result.
@@ -95,6 +107,12 @@ impl Runner {
         units_per_iter: Option<(f64, &'static str)>,
         mut f: impl FnMut() -> R,
     ) -> f64 {
+        if let Some(prefix) = &self.group_filter {
+            if !group.starts_with(prefix.as_str()) {
+                return f64::NAN;
+            }
+        }
+
         // Warm-up iteration doubles as the calibration probe.
         let t0 = Instant::now();
         std::hint::black_box(f());
@@ -195,6 +213,22 @@ mod tests {
         assert_eq!(res.group, "g");
         assert!(res.iters >= 1);
         assert!(res.rate().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn group_filter_skips_non_matching_cases_entirely() {
+        std::env::set_var("HCS_BENCH_TARGET_MS", "1");
+        let mut r = Runner::from_env();
+        r.set_group_filter("engine_runs");
+        let mut ran = false;
+        let skipped = r.case("engine_pingpong", "1000", || ran = true);
+        assert!(!ran, "filtered case must not execute its body");
+        assert!(skipped.is_nan());
+        r.case("engine_runs", "p16384", || 1);
+        r.case("engine_runs_pooled", "p32", || 1);
+        let groups: Vec<&str> = r.results().iter().map(|c| c.group.as_str()).collect();
+        assert_eq!(groups, ["engine_runs", "engine_runs_pooled"]);
+        assert!(!r.to_json("engine").contains("engine_pingpong"));
     }
 
     #[test]

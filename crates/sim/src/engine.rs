@@ -23,10 +23,12 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use hcs_obs::{ClockReadings, ObsSpec, RankRecorder, Recorder, TraceLog};
 
+use crate::cont;
+use crate::events::{self, EventSched};
 use crate::fault::{FaultDecision, FaultPlan, FaultState, FaultVerdict};
 use crate::lockutil::{lock_ignore_poison, OrderedMutex};
 use crate::msg::{Envelope, Payload, PendingBuf, ACK_BIT};
@@ -160,6 +162,11 @@ struct RunNet {
     /// Wait-for-graph deadlock detector; `None` when opted out via
     /// [`ClusterBuilder::deadlock_detection`].
     waits: Option<WaitGraph>,
+    /// Event scheduler of this run, set (once, before any rank starts)
+    /// only in [`EngineMode::Events`]. Every notification path pairs
+    /// its condvar notify with a continuation wake through this handle;
+    /// in thread mode the single relaxed-free `get()` is the only cost.
+    events: OnceLock<Arc<EventSched>>,
 }
 
 /// Outcome of one [`RunNet::recv_batch`] park/drain cycle.
@@ -190,6 +197,19 @@ impl RunNet {
             done: (0..size).map(|_| AtomicBool::new(false)).collect(),
             wake_done: AtomicBool::new(wake_on_done),
             waits: detect_deadlocks.then(|| WaitGraph::new(size)),
+            events: OnceLock::new(),
+        }
+    }
+
+    /// Requeues `rank`'s continuation if it is parked (no-op in thread
+    /// mode). Callers pair this with their condvar notify; taking the
+    /// scheduler lock (level 15) inside a held mailbox lock (level 10)
+    /// is a legal nesting, and the scheduler never acquires a mailbox,
+    /// so the edge is one-directional.
+    #[inline]
+    fn wake_events(&self, rank: Rank) {
+        if let Some(sched) = self.events.get() {
+            sched.wake(rank);
         }
     }
 
@@ -254,8 +274,11 @@ impl RunNet {
             // deadline members keeps the exact legacy diagnosis.
             if wg.fire_deadline_members(&cycle) > 0 {
                 for e in cycle.iter().filter(|e| e.deadline) {
-                    let _guard = self.boxes[e.waiter].q.acquire();
-                    self.boxes[e.waiter].cv.notify_all();
+                    {
+                        let _guard = self.boxes[e.waiter].q.acquire();
+                        self.boxes[e.waiter].cv.notify_all();
+                    }
+                    self.wake_events(e.waiter);
                 }
                 return;
             }
@@ -277,6 +300,7 @@ impl RunNet {
         mb.len.store(q.len(), Ordering::Release);
         drop(q);
         mb.cv.notify_one();
+        self.wake_events(dst);
     }
 
     /// Delivers a sender's staged batch to `dst` in one lock
@@ -290,6 +314,7 @@ impl RunNet {
         mb.len.store(q.len(), Ordering::Release);
         drop(q);
         mb.cv.notify_one();
+        self.wake_events(dst);
     }
 
     /// Blocking receive of *everything* queued: drains the whole
@@ -319,17 +344,27 @@ impl RunNet {
     /// The spin and the batching are host-side only: whether messages
     /// are found by spinning, one per lock or many per lock changes
     /// nothing about virtual time (arrivals were fixed at send time).
+    #[allow(clippy::too_many_arguments)] // one call site; the args are one receive's state
     fn recv_batch(
         &self,
         me: Rank,
         src: Rank,
         wait_gen: u64,
         deadline: bool,
+        now: SimTime,
         spin: &mut SpinWait,
         ring: &mut VecDeque<Envelope>,
     ) -> BatchWait {
         let mb = &self.boxes[me];
-        let mut budget = spin.budget();
+        // In events mode the spin fast path would burn a worker that
+        // could be running another rank's continuation instead, and a
+        // continuation park is two lock acquisitions — so the spin is
+        // gated off entirely there.
+        let mut budget = if self.events.get().is_some() {
+            0
+        } else {
+            spin.budget()
+        };
         if budget > 0
             && mb.len.load(Ordering::Acquire) == 0
             && self.alive.load(Ordering::Acquire) > 1
@@ -418,6 +453,23 @@ impl RunNet {
                 probed = true;
                 continue;
             }
+            if self.events.get().is_some() {
+                // Events mode: park the *continuation*, not the OS
+                // thread. Release the mailbox lock, then yield back to
+                // the event executor keyed on this rank's current
+                // virtual time. A notification arriving between the
+                // release and the executor publishing the parked slot
+                // is latched as `wake_pending` and converted into an
+                // immediate requeue (see [`EventSched::wake`]), so no
+                // wakeup is lost — the same guarantee the condvar gives
+                // the thread engine. On resume, re-acquire and re-check
+                // every resolution, exactly like a condvar wakeup.
+                drop(q);
+                cont::suspend_current(events::time_key(now.seconds()));
+                q = mb.q.acquire();
+                probed = false;
+                continue;
+            }
             if block.is_none() {
                 block = Some(pool::blocking_section());
             }
@@ -436,9 +488,23 @@ impl RunNet {
         self.done[rank].store(true, Ordering::SeqCst);
         let last_pair = self.alive.fetch_sub(1, Ordering::AcqRel) == 2;
         if last_pair || self.wake_done.load(Ordering::SeqCst) {
-            for mb in &self.boxes {
-                let _guard = mb.q.acquire();
-                mb.cv.notify_all();
+            for (dst, mb) in self.boxes.iter().enumerate() {
+                // A done rank's body has returned — it can never be
+                // blocked in a receive again, so its notification would
+                // be pure overhead. Skipping it turns the common
+                // "everyone finishes about together" case from p
+                // lock+notify cycles into p flag loads plus a handful
+                // of real notifications. (`done` is only ever set
+                // *after* a rank's last receive, so a skipped rank
+                // provably has no waiter to lose.)
+                if dst == rank || self.done[dst].load(Ordering::SeqCst) {
+                    continue;
+                }
+                {
+                    let _guard = mb.q.acquire();
+                    mb.cv.notify_all();
+                }
+                self.wake_events(dst);
             }
         }
     }
@@ -463,6 +529,40 @@ impl RunNet {
                 );
             }
         }
+    }
+}
+
+/// One rank's output slot: interior-mutable without a lock. Sound
+/// because every slot has exactly one writer (rank r's body, which runs
+/// exactly once) and the run's caller reads only after the engine's
+/// completion barrier — there is never a concurrent reader or a second
+/// writer to exclude, so a mutex would buy nothing but p lock rounds
+/// per run.
+struct OutSlot<T>(std::cell::UnsafeCell<Option<T>>);
+
+// SAFETY: see the type docs — disjoint single-writer slots, with every
+// read ordered strictly after the writers by the engine's completion
+// barrier (latch / scope join / `events::drive`).
+unsafe impl<T: Send> Sync for OutSlot<T> {}
+
+impl<T> OutSlot<T> {
+    fn new() -> Self {
+        OutSlot(std::cell::UnsafeCell::new(None))
+    }
+
+    /// Stores the value.
+    ///
+    /// # Safety
+    /// The caller must be the slot's unique writer, and all reads must
+    /// be ordered after this call by a synchronization barrier.
+    // SAFETY: uniqueness and ordering are the caller's contract (above).
+    unsafe fn put(&self, v: T) {
+        // SAFETY: uniqueness and ordering are the caller's contract.
+        unsafe { *self.0.get() = Some(v) }; // xtask-allow: clockdomain (slot cell, not a time newtype)
+    }
+
+    fn into_inner(self) -> Option<T> {
+        self.0.into_inner() // xtask-allow: clockdomain (slot cell, not a time newtype)
     }
 }
 
@@ -651,14 +751,25 @@ impl EnvSpec {
 /// where `p` slots per rank would cost O(p²) memory cluster-wide while
 /// the algorithms under study only message O(log p) partners.
 enum DstClamp {
-    Direct(Vec<SimTime>),
+    /// Direct-indexed table, materialized on first use: at p=2048 the
+    /// table is 16 KiB per rank (32 MiB per run), which dominated run
+    /// setup for benchmarks where most ranks message O(1) partners.
+    /// Allocating lazily keeps the common "this rank never sends"
+    /// and "run torn down before first send" paths allocation-free.
+    Direct {
+        size: usize,
+        table: Vec<SimTime>,
+    },
     Sparse(Vec<(Rank, SimTime)>),
 }
 
 impl DstClamp {
     fn new(size: usize) -> Self {
         if size <= DIRECT_CLAMP_MAX_RANKS {
-            DstClamp::Direct(vec![SimTime::NEG_INFINITY; size])
+            DstClamp::Direct {
+                size,
+                table: Vec::new(),
+            }
         } else {
             DstClamp::Sparse(Vec::new())
         }
@@ -669,7 +780,10 @@ impl DstClamp {
     #[inline]
     fn clamp_and_update(&mut self, dst: Rank, arrival: SimTime) -> SimTime {
         match self {
-            DstClamp::Direct(table) => {
+            DstClamp::Direct { size, table } => {
+                if table.is_empty() {
+                    table.resize(*size, SimTime::NEG_INFINITY);
+                }
                 let last = &mut table[dst];
                 let a = if arrival <= *last {
                     *last + FIFO_EPS
@@ -697,6 +811,21 @@ impl DstClamp {
     }
 }
 
+/// How a run's rank bodies are executed on the host. Host-side only:
+/// both engines produce bit-identical virtual timelines, CSV rows and
+/// traces for the same cluster and seed (enforced by the differential
+/// oracle in `tests/engine_equivalence.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// One OS thread per rank (pooled across runs). The original
+    /// engine; practical up to p≈2048.
+    Threads,
+    /// Ranks are stackful continuations driven by a virtual-time event
+    /// queue on a small worker pool; a blocked `recv` parks the
+    /// continuation instead of an OS thread. Scales to p≥131072.
+    Events,
+}
+
 /// A simulated cluster: topology, network model, clock parameters and a
 /// master seed. Cheap to clone. Built via [`Cluster::builder`].
 #[derive(Debug, Clone)]
@@ -709,6 +838,7 @@ pub struct Cluster {
     seed: u64,
     detect_deadlocks: bool,
     obs: ObsSpec,
+    engine: Option<EngineMode>,
 }
 
 /// Builder for [`Cluster`] — the single construction surface.
@@ -737,6 +867,7 @@ pub struct ClusterBuilder {
     seed: u64,
     detect_deadlocks: bool,
     obs: ObsSpec,
+    engine: Option<EngineMode>,
 }
 
 impl Default for ClusterBuilder {
@@ -750,6 +881,7 @@ impl Default for ClusterBuilder {
             seed: 0,
             detect_deadlocks: true,
             obs: ObsSpec::off(),
+            engine: None,
         }
     }
 }
@@ -845,6 +977,18 @@ impl ClusterBuilder {
         self
     }
 
+    /// Pins the execution engine (see [`EngineMode`]). When not set,
+    /// runs consult the `HCS_ENGINE` environment variable at run time
+    /// (`events` / `threads`, default threads), so whole test suites
+    /// can be re-executed under the event engine without code changes.
+    /// Engine choice is host-side only — the virtual timeline is
+    /// bit-identical either way.
+    #[must_use]
+    pub fn engine(mut self, mode: EngineMode) -> Self {
+        self.engine = Some(mode);
+        self
+    }
+
     /// Builds the [`Cluster`].
     ///
     /// # Panics
@@ -865,6 +1009,7 @@ impl ClusterBuilder {
             seed: self.seed,
             detect_deadlocks: self.detect_deadlocks,
             obs: self.obs,
+            engine: self.engine,
         }
     }
 }
@@ -890,12 +1035,28 @@ impl Cluster {
             seed: self.seed,
             detect_deadlocks: self.detect_deadlocks,
             obs: self.obs,
+            engine: self.engine,
         }
     }
 
     /// Whether the wait-for-graph deadlock detector is enabled.
     pub fn deadlock_detection(&self) -> bool {
         self.detect_deadlocks
+    }
+
+    /// The execution engine this run will use: the builder's explicit
+    /// choice if one was made, otherwise the `HCS_ENGINE` environment
+    /// variable (`events` selects the event engine; anything else —
+    /// including unset — selects threads). Read fresh on every call so
+    /// a test harness can flip the variable between runs.
+    pub fn engine_mode(&self) -> EngineMode {
+        match self.engine {
+            Some(mode) => mode,
+            None => match std::env::var("HCS_ENGINE") {
+                Ok(v) if v.eq_ignore_ascii_case("events") => EngineMode::Events,
+                _ => EngineMode::Threads,
+            },
+        }
     }
 
     /// The observability configuration of this cluster.
@@ -1064,12 +1225,16 @@ impl Cluster {
             self.detect_deadlocks,
             !self.faults.is_empty(),
         ));
-        // Leaf locks: each is only ever held alone, for one slot write
-        // or drain, never while a mailbox or shard lock is wanted.
-        let results: Vec<Mutex<Option<R>>> = // lock-order: engine.results level=30
-            (0..size).map(|_| Mutex::new(None)).collect();
-        let recorders: Vec<Mutex<Option<RankRecorder>>> = // lock-order: engine.recorders level=31
-            (0..size).map(|_| Mutex::new(None)).collect();
+        // Single-writer slots (no lock): rank r's body writes slot r
+        // exactly once, and this frame reads them only after the
+        // engine's completion barrier. The recorder vector is empty
+        // when observability is off — no body ever indexes it then.
+        let results: Vec<OutSlot<R>> = (0..size).map(|_| OutSlot::new()).collect();
+        let recorders: Vec<OutSlot<RankRecorder>> = if self.obs.enabled {
+            (0..size).map(|_| OutSlot::new()).collect()
+        } else {
+            Vec::new()
+        };
         let panics: Mutex<Vec<Box<dyn std::any::Any + Send>>> = // lock-order: engine.panics level=32
             Mutex::new(Vec::new());
 
@@ -1099,9 +1264,16 @@ impl Cluster {
             ctx.flush_reorder_holds();
             match result {
                 Ok(out) => {
-                    *lock_ignore_poison(&results[rank]) = Some(out);
+                    // SAFETY: this body is rank `rank`'s unique
+                    // execution; nothing else writes these slots, and
+                    // the caller reads them only after the completion
+                    // barrier (latch / scope join / `events::drive`).
+                    unsafe { results[rank].put(out) };
                     if let Some(rec) = ctx.obs.take() {
-                        *lock_ignore_poison(&recorders[rank]) = Some(rec);
+                        // SAFETY: as above (single writer, read after
+                        // the barrier); non-empty because `obs.take()`
+                        // only yields a recorder when obs is enabled.
+                        unsafe { recorders[rank].put(rec) };
                     }
                 }
                 Err(payload) => {
@@ -1112,7 +1284,30 @@ impl Cluster {
             net.rank_done(rank);
         };
 
-        if pooled {
+        if self.engine_mode() == EngineMode::Events {
+            // Events engine: the scheduler drives `body(rank)` once per
+            // rank as a virtual-time continuation — one shared closure
+            // for the whole run, so seeding allocates nothing per rank.
+            // `pooled` is a thread-engine distinction and is ignored.
+            let shared: Box<dyn Fn(Rank) + Send + Sync + '_> = Box::new(&body);
+            // SAFETY: same argument as the pooled transmute below, with
+            // `events::drive` as the completion barrier — it returns
+            // only after every continuation has run to completion, so
+            // the borrows of `body` (and through it `f`, `net`,
+            // `results`, `panics`) never outlive this frame. The
+            // transmute only widens the trait object's lifetime
+            // parameter.
+            let shared: events::RankBody = unsafe {
+                std::mem::transmute::<Box<dyn Fn(Rank) + Send + Sync + '_>, events::RankBody>(
+                    shared,
+                )
+            };
+            let sched = Arc::new(EventSched::new(size, shared, events::backend_from_env()));
+            if net.events.set(Arc::clone(&sched)).is_err() {
+                unreachable!("run_inner sets the events slot exactly once per RunNet");
+            }
+            events::drive(&sched);
+        } else if pooled {
             let latch = Latch::new(size);
             let body = &body;
             let latch_ref = &latch;
@@ -1182,8 +1377,7 @@ impl Cluster {
             .into_iter()
             .enumerate()
             .map(|(rank, slot)| {
-                lock_ignore_poison(&slot) // lock-order: engine.results
-                    .take()
+                slot.into_inner()
                     .unwrap_or_else(|| panic!("rank {rank} produced no result"))
             })
             .collect();
@@ -1193,10 +1387,7 @@ impl Cluster {
         let log = TraceLog::new(
             recorders
                 .into_iter()
-                .filter_map(|slot| match slot.into_inner() {
-                    Ok(rec) => rec,
-                    Err(poisoned) => poisoned.into_inner(),
-                })
+                .filter_map(OutSlot::into_inner)
                 .collect(),
         );
         (out, log)
@@ -1227,7 +1418,10 @@ pub struct RankCtx {
     network: Arc<NetworkModel>,
     clock: Arc<ClockSpec>,
     master_seed: u64,
-    net_rng: Pcg64,
+    /// Per-rank message-jitter stream, materialized on first send: most
+    /// ranks of a large run never send, and first use derives the exact
+    /// same seeded stream construction would have.
+    net_rng: Option<Pcg64>,
     net: Arc<RunNet>,
     /// Out-of-order buffer: messages pulled from the mailbox that did
     /// not match the receive in progress, bucketed by source rank so a
@@ -1267,7 +1461,9 @@ pub struct RankCtx {
     /// OS-noise process state: spec, dedicated RNG, cumulative compute
     /// time and the (cumulative-compute) instant of the next preemption.
     noise: Option<crate::noise::NoiseSpec>,
-    noise_rng: Pcg64,
+    /// `Some` exactly when OS-noise preemptions are enabled (rate > 0);
+    /// the stream is never touched otherwise.
+    noise_rng: Option<Pcg64>,
     cum_compute: f64,
     next_noise_at: f64,
     /// Monotonic per-rank counter for deriving fresh deterministic RNG
@@ -1284,6 +1480,14 @@ pub struct RankCtx {
     obs: Recorder,
 }
 
+/// Materializes [`RankCtx::net_rng`] on first use. A free function
+/// (rather than a method) so call sites keep field-disjoint borrows of
+/// `self.network` and `self.net_rng`.
+#[inline]
+fn lazy_net_rng(slot: &mut Option<Pcg64>, master_seed: u64, rank: Rank) -> &mut Pcg64 {
+    slot.get_or_insert_with(|| rngx::stream_rng(master_seed, label::rank_net(rank)))
+}
+
 impl RankCtx {
     #[allow(clippy::too_many_arguments)]
     fn new(
@@ -1298,10 +1502,13 @@ impl RankCtx {
         net: Arc<RunNet>,
     ) -> Self {
         let size = topology.total_cores();
-        let mut noise_rng = rngx::stream_rng(master_seed, label::rank_workload(rank) ^ 0x9E15E);
-        let next_noise_at = match noise {
-            Some(n) if n.rate_hz > 0.0 => rngx::exponential(&mut noise_rng, 1.0 / n.rate_hz),
-            _ => f64::INFINITY,
+        let (noise_rng, next_noise_at) = match noise {
+            Some(n) if n.rate_hz > 0.0 => {
+                let mut rng = rngx::stream_rng(master_seed, label::rank_workload(rank) ^ 0x9E15E);
+                let at = rngx::exponential(&mut rng, 1.0 / n.rate_hz);
+                (Some(rng), at)
+            }
+            _ => (None, f64::INFINITY),
         };
         let obs = if obs_spec.enabled {
             Recorder::on(rank as u32, obs_spec.capacity_per_rank)
@@ -1316,7 +1523,7 @@ impl RankCtx {
             network,
             clock,
             master_seed,
-            net_rng: rngx::stream_rng(master_seed, label::rank_net(rank)),
+            net_rng: None,
             net,
             pending: PendingBuf::new(size),
             ring: VecDeque::new(),
@@ -1501,11 +1708,12 @@ impl RankCtx {
             // stealing an exponential slice of wall time.
             self.cum_compute += dt.seconds();
             while self.cum_compute >= self.next_noise_at {
-                self.now += Span::from_secs(rngx::exponential(
-                    &mut self.noise_rng,
-                    n.mean_preempt_s.seconds(),
-                ));
-                self.next_noise_at += rngx::exponential(&mut self.noise_rng, 1.0 / n.rate_hz);
+                let rng = self
+                    .noise_rng
+                    .as_mut()
+                    .expect("a finite next_noise_at implies an initialized noise stream");
+                self.now += Span::from_secs(rngx::exponential(rng, n.mean_preempt_s.seconds()));
+                self.next_noise_at += rngx::exponential(rng, 1.0 / n.rate_hz);
             }
         }
         if self.obs_spec.compute {
@@ -1571,9 +1779,13 @@ impl RankCtx {
         assert_eq!(tag & ACK_BIT, 0, "tag {tag:#x} uses the reserved ACK bit");
         self.now += self.network.send_overhead_s;
         let level = self.topology.level(self.rank, dst);
-        let mut lat =
-            self.network
-                .sample_latency(&mut self.net_rng, level, self.rank, dst, payload.len());
+        let mut lat = self.network.sample_latency(
+            lazy_net_rng(&mut self.net_rng, self.master_seed, self.rank),
+            level,
+            self.rank,
+            dst,
+            payload.len(),
+        );
         lat += self.contention_delay(level);
         // Fault interpretation happens at this delivery boundary, after
         // the unchanged latency/contention sampling, so an empty plan
@@ -1870,15 +2082,20 @@ impl RankCtx {
         {
             return Span::ZERO;
         }
-        gap * self.net_rng.range(0.0, (self.active_peers - 1) as f64)
+        let rng = lazy_net_rng(&mut self.net_rng, self.master_seed, self.rank);
+        gap * rng.range(0.0, (self.active_peers - 1) as f64)
     }
 
     fn post_ack(&mut self, dst: Rank, ack_tag: Tag) {
         self.now += self.network.send_overhead_s;
         let level = self.topology.level(self.rank, dst);
-        let mut lat = self
-            .network
-            .sample_latency(&mut self.net_rng, level, self.rank, dst, 0);
+        let mut lat = self.network.sample_latency(
+            lazy_net_rng(&mut self.net_rng, self.master_seed, self.rank),
+            level,
+            self.rank,
+            dst,
+            0,
+        );
         lat += self.contention_delay(level);
         // Acks cross the same faulty links as data. There is one ack per
         // rendezvous, so a reorder verdict degrades to its extra delay
@@ -2037,6 +2254,7 @@ impl RankCtx {
                 src,
                 wait_gen,
                 deadline.is_some(),
+                self.now,
                 &mut self.spin,
                 &mut self.ring,
             ) {

@@ -14,7 +14,10 @@
 //!
 //! ## Execution model
 //!
-//! Every simulated MPI rank runs on its own OS thread and carries its own
+//! Every simulated MPI rank is an independent execution — an OS thread
+//! in [`engine::EngineMode::Threads`], a stackful continuation on a
+//! virtual-time event queue in [`engine::EngineMode::Events`] — and
+//! carries its own
 //! *virtual true time* (`RankCtx::now`). Local computation advances that
 //! time explicitly ([`RankCtx::compute`]). A send stamps the message with
 //! an arrival time computed from the sender's current time plus a modeled
@@ -58,7 +61,9 @@
 //! check (no allocation).
 
 pub mod clockspec;
+mod cont;
 pub mod engine;
+mod events;
 pub mod fault;
 pub mod lockutil;
 pub mod machines;
@@ -78,7 +83,8 @@ pub mod wire;
 
 pub use clockspec::ClockSpec;
 pub use engine::{
-    Cluster, ClusterBuilder, EnvSpec, RankCtx, RankOutcome, RecvTimeout, RunOutcome, TimeoutReason,
+    Cluster, ClusterBuilder, EngineMode, EnvSpec, RankCtx, RankOutcome, RecvTimeout, RunOutcome,
+    TimeoutReason,
 };
 pub use fault::{FaultPlan, LinkSel, RankSel, Window};
 pub use lockutil::{lock_ignore_poison, OrderedGuard, OrderedMutex};

@@ -19,6 +19,15 @@
 //! runtime in debug builds: each thread keeps a thread-local set of
 //! held levels, and an out-of-order acquisition panics naming both
 //! locks. Release builds compile the bookkeeping out entirely.
+//!
+//! The registry spans both engine cores: the event executor's ready
+//! queue (`events.sched`, level 15), continuation handshake
+//! (`events.cont`, 5) and fiber stack pool (`events.stacks`, 6) are
+//! `OrderedMutex`es like the mailbox and shard locks. Continuation
+//! suspension points add a second rule the static walk enforces — no
+//! guard may be held across `cont::suspend_current`, since a migrating
+//! continuation would release it on the wrong OS thread (DESIGN.md
+//! §15).
 
 use std::sync::{Condvar, Mutex, MutexGuard};
 

@@ -299,10 +299,27 @@ impl ClusterPool {
     /// against [`ClusterPool::trim`] until dropped; it does *not*
     /// dedicate anything — dispatch still queues per run.
     ///
+    /// The pin is effective from the moment this method is *entered*,
+    /// not from when it returns: the reservation count is published
+    /// before any worker is spawned or awaited, so a trim racing with
+    /// an in-progress reserve already honors the promised floor and can
+    /// never retire the workers this call is parking.
+    ///
     /// With queued dispatch this is a warm-up/test facility, not a
     /// capacity requirement: shards grow on demand either way.
     pub fn reserve(&self, blocks: usize, p: usize) -> PoolReservation<'_> {
         let want = blocks * p;
+        // Publish the reservation FIRST. Doing it after the spawn loop
+        // (as an earlier revision did) left a window where a concurrent
+        // `trim(0)` read `reserved` without this claim and retired the
+        // freshly-parked workers before the guard existed. Constructing
+        // the guard now also keeps the count balanced if a spawn below
+        // panics.
+        self.reserved.fetch_add(want, Ordering::AcqRel);
+        let guard = PoolReservation {
+            pool: self,
+            count: want,
+        };
         let base = want / POOL_SHARDS;
         let extra = want % POOL_SHARDS;
         for (i, shard) in self.shards.iter().enumerate() {
@@ -318,11 +335,7 @@ impl ClusterPool {
                 st = st.wait(&shard.parked);
             }
         }
-        self.reserved.fetch_add(want, Ordering::AcqRel);
-        PoolReservation {
-            pool: self,
-            count: want,
-        }
+        guard
     }
 
     /// Asks parked workers beyond `max_idle` to exit, so a one-off
@@ -701,6 +714,41 @@ mod tests {
         let latch = Arc::new(Latch::new(2));
         pool.run_jobs(counted_jobs(2, &hits, &latch), &latch);
         assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn reserve_is_pinned_against_concurrent_trim() {
+        // Regression: `reserve` used to publish its reservation only
+        // *after* spawning and parking its workers, so a trim racing
+        // with the spawn loop read a stale floor and retired the
+        // freshly-parked workers before the guard existed. The pin must
+        // be active from the moment reserve is entered.
+        let pool = ClusterPool::new();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while !stop.load(Ordering::Acquire) {
+                    pool.trim(0);
+                    std::thread::yield_now();
+                }
+            });
+            for _ in 0..100 {
+                let guard = pool.reserve(1, 8);
+                assert!(
+                    pool.idle_workers() >= 8,
+                    "a concurrent trim reclaimed reserved workers"
+                );
+                // A trim issued by the holder itself must be a no-op
+                // below the floor too.
+                pool.trim(0);
+                assert!(
+                    pool.idle_workers() >= 8,
+                    "trim dipped below an active reservation"
+                );
+                drop(guard);
+            }
+            stop.store(true, Ordering::Release);
+        });
     }
 
     #[test]

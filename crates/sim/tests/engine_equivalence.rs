@@ -1,0 +1,174 @@
+//! Differential oracle: the thread engine and the event engine must be
+//! indistinguishable in every artifact — results, `RunOutcome`s, chrome
+//! traces, summary JSON — for the same cluster and seed. The thread
+//! engine is the reference implementation; any divergence here means
+//! the event executor leaked host scheduling into virtual time.
+//!
+//! Matrix: p ∈ {2, 8, 32, 256} × seeds, with observability on and off,
+//! plus a chaotic fault-plan run and a timeout run (the two paths where
+//! the wait-graph/deadline machinery interacts with parking).
+
+use hcs_obs::{chrome_trace, summary_json, ObsSpec};
+use hcs_sim::{
+    machines, secs, Cluster, EngineMode, FaultPlan, LinkSel, RankCtx, RankOutcome, Window,
+};
+
+/// (nodes, cores_per_node) shapes giving p ∈ {2, 8, 32, 256}.
+const SHAPES: [(usize, usize); 4] = [(1, 2), (2, 4), (4, 8), (16, 16)];
+const SEEDS: [u64; 2] = [7, 20_260_807];
+
+fn pair(nodes: usize, cores: usize, seed: u64) -> (Cluster, Cluster) {
+    let base = machines::testbed(nodes, cores).cluster(seed);
+    let threads = base.to_builder().engine(EngineMode::Threads).build();
+    let events = base.to_builder().engine(EngineMode::Events).build();
+    (threads, events)
+}
+
+/// A ring exchange with rank-dependent compute: every rank both sends
+/// and blocks, so the event executor's park/wake path is exercised on
+/// every round at every p.
+fn ring(ctx: &mut RankCtx) -> (u64, u64) {
+    let p = ctx.size();
+    let (me, next, prev) = (ctx.rank(), (ctx.rank() + 1) % p, (ctx.rank() + p - 1) % p);
+    let mut acc = me as u64;
+    for round in 0..3u32 {
+        ctx.compute(secs(1e-6 * ((me % 7) as f64 + 1.0)));
+        ctx.send_t::<u64>(next, round, acc);
+        let got = ctx.recv_t::<u64>(prev, round);
+        acc = acc.wrapping_mul(31).wrapping_add(got);
+    }
+    (acc, ctx.now().seconds().to_bits())
+}
+
+#[test]
+fn results_are_identical_across_engines() {
+    for (nodes, cores) in SHAPES {
+        for seed in SEEDS {
+            let (threads, events) = pair(nodes, cores, seed);
+            let want = threads.run(ring);
+            let got = events.run(ring);
+            assert_eq!(want, got, "p={} seed={seed}", nodes * cores);
+        }
+    }
+}
+
+#[test]
+fn traces_and_results_are_identical_with_obs_on_and_off() {
+    for (nodes, cores) in SHAPES {
+        let seed = SEEDS[0];
+        let base = machines::testbed(nodes, cores).cluster(seed);
+        let threads = base
+            .to_builder()
+            .engine(EngineMode::Threads)
+            .observability(ObsSpec::full())
+            .build();
+        let events = threads.to_builder().engine(EngineMode::Events).build();
+        let (r_t, log_t) = threads.run_observed(ring);
+        let (r_e, log_e) = events.run_observed(ring);
+        assert_eq!(r_t, r_e, "observed results, p={}", nodes * cores);
+        assert_eq!(
+            chrome_trace(&log_t),
+            chrome_trace(&log_e),
+            "chrome trace bytes, p={}",
+            nodes * cores
+        );
+        assert_eq!(
+            summary_json(&log_t),
+            summary_json(&log_e),
+            "summary json, p={}",
+            nodes * cores
+        );
+        // Observability itself must not perturb either engine's
+        // timeline: the plain (obs-off) run returns the same results.
+        let (plain_t, plain_e) = pair(nodes, cores, seed);
+        assert_eq!(plain_t.run(ring), r_t, "threads: obs on vs off");
+        assert_eq!(plain_e.run(ring), r_e, "events: obs on vs off");
+    }
+}
+
+#[test]
+fn unpooled_threads_match_events() {
+    // The events engine ignores the pooled/unpooled distinction; both
+    // thread variants must still agree with it.
+    let (threads, events) = pair(2, 4, SEEDS[1]);
+    assert_eq!(threads.run_unpooled(ring), events.run(ring));
+}
+
+/// Lossy-link workload: deadline receives degrade losses into per-rank
+/// ring breaks instead of hangs. Chaotic enough that drops, duplicates,
+/// reordering and latency scaling all trigger at these seeds.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::new()
+        .drop_messages(LinkSel::any(), 0.25, Window::all())
+        .duplicate_messages(LinkSel::any(), 0.2, secs(2e-5), Window::all())
+        .reorder_messages(LinkSel::any(), 0.3, secs(1.5e-5), Window::all())
+        .scale_latency(LinkSel::any(), 2.5, Window::all())
+}
+
+fn lossy_ring(ctx: &mut RankCtx) -> (u64, u32) {
+    let p = ctx.size();
+    let (next, prev) = ((ctx.rank() + 1) % p, (ctx.rank() + p - 1) % p);
+    let mut acc = ctx.rank() as u64;
+    let mut completed_rounds = 0u32;
+    for round in 0..4u32 {
+        ctx.send_t::<u64>(next, round, acc);
+        match ctx.recv_within(prev, round, secs(5e-3)) {
+            Ok(payload) => {
+                acc = acc
+                    .wrapping_mul(33)
+                    .wrapping_add(payload.as_slice().len() as u64);
+                completed_rounds += 1;
+            }
+            Err(_) => break,
+        }
+    }
+    (acc, completed_rounds)
+}
+
+#[test]
+fn chaotic_fault_plan_outcomes_are_identical() {
+    for (nodes, cores) in [(2, 4), (4, 8)] {
+        for seed in SEEDS {
+            let base = machines::testbed(nodes, cores).cluster(seed);
+            let threads = base
+                .to_builder()
+                .faults(chaos_plan())
+                .engine(EngineMode::Threads)
+                .build();
+            let events = threads.to_builder().engine(EngineMode::Events).build();
+            let want = threads.run_outcome(lossy_ring);
+            let got = events.run_outcome(lossy_ring);
+            assert_eq!(want, got, "chaos p={} seed={seed}", nodes * cores);
+        }
+    }
+}
+
+#[test]
+fn timeout_runs_are_identical() {
+    // Rank 0 waits for a message rank 1 never sends: the deadline
+    // resolution (SenderDone vs DeadlinePassed, the timeout's virtual
+    // time) must be byte-identical across engines.
+    let workload = |ctx: &mut RankCtx| -> Result<u64, String> {
+        if ctx.rank() == 0 {
+            match ctx.recv_within(1, 999, secs(1e-3)) {
+                Ok(_) => Err("unexpected message".into()),
+                Err(t) => Ok(t.at.seconds().to_bits()),
+            }
+        } else {
+            ctx.compute(secs(5e-6));
+            Ok(0)
+        }
+    };
+    for (nodes, cores) in [(1, 2), (2, 4)] {
+        let (threads, events) = pair(nodes, cores, SEEDS[0]);
+        let want = threads.run_outcome(workload);
+        let got = events.run_outcome(workload);
+        assert_eq!(want, got, "timeout p={}", nodes * cores);
+        assert!(
+            want.ranks
+                .iter()
+                .all(|r| matches!(r, RankOutcome::Completed(Ok(_)))),
+            "workload completes via Result, not unwind"
+        );
+    }
+}

@@ -504,14 +504,19 @@ fn lock_order_walk(
 /// sees guards held. The consumed-guard condvar wait
 /// (`g = g.wait(&cv)`) is the one sanctioned shape — the innermost
 /// guard is handed to the condvar, and nothing else may be held.
+/// `suspend_current` is stricter still: a continuation suspension may
+/// resume on a *different OS thread* (cont.rs), so a guard held across
+/// it would be released on the wrong thread — no consumed-guard
+/// exemption exists for it.
 fn check_blocking(path: &str, ln: usize, line: &str, held: &[Held], out: &mut Vec<Finding>) {
     let wait = line.contains(".wait(");
     let park = has_word(line, "park");
     let recv = has_word(line, "recv_batch");
-    if !wait && !park && !recv {
+    let susp = has_word(line, "suspend_current");
+    if !wait && !park && !recv && !susp {
         return;
     }
-    if wait && !park && !recv {
+    if wait && !park && !recv && !susp {
         let innermost = held.last().expect("caller checked non-empty");
         let consumed = innermost.var.as_deref().is_some_and(|v| has_word(line, v));
         if consumed && held.len() == 1 {
@@ -839,6 +844,32 @@ fn good(s: &S) {
         assert_eq!(
             hits,
             vec![("concurrency/guard-across-blocking".to_string(), 7)]
+        );
+    }
+
+    #[test]
+    fn suspend_current_is_a_park_point_with_no_consumed_guard_exemption() {
+        // A continuation suspension can resume on a different OS
+        // thread, so *no* guard — not even the innermost consumed-guard
+        // shape condvar waits get — may be held across it.
+        let src = "\
+struct S {
+    m: Mutex<u32>, // lock-order: fix.m level=10
+}
+fn bad(s: &S) {
+    let g = lock_ignore_poison(&s.m);
+    crate::cont::suspend_current(g_key(&g));
+}
+fn good(s: &S) {
+    let g = lock_ignore_poison(&s.m);
+    drop(g);
+    crate::cont::suspend_current(0);
+}
+";
+        let hits = lock_findings(&[("crates/sim/src/engine.rs", src)]);
+        assert_eq!(
+            hits,
+            vec![("concurrency/guard-across-blocking".to_string(), 6)]
         );
     }
 

@@ -160,17 +160,21 @@ fn determinism(path: &str, scan: &FileScan, out: &mut Vec<Finding>) {
     }
 }
 
-/// The one file allowed to consult the host's core count. Everything
-/// else must take an explicit `jobs` parameter (or leave it to
-/// [`SweepExecutor::from_env`]) so concurrency decisions stay
-/// centralized, auditable, and overridable via `--jobs` / `HCS_JOBS`.
-const HOST_PARALLELISM_ALLOWED: &str = "crates/benchlib/src/sweep.rs";
+/// The files allowed to consult the host's core count: the sweep
+/// executor (owns run-count policy, overridable via `--jobs` /
+/// `HCS_JOBS`) and the event executor's worker-count default (pure
+/// host-side wall-clock policy, overridable via `HCS_EVENT_WORKERS`;
+/// worker count provably cannot affect virtual time — DESIGN.md §15).
+/// Everything else must take an explicit `jobs` parameter so
+/// concurrency decisions stay centralized and auditable.
+const HOST_PARALLELISM_ALLOWED: &[&str] =
+    &["crates/benchlib/src/sweep.rs", "crates/sim/src/events.rs"];
 
-/// `available_parallelism` outside the sweep executor makes run counts
-/// and thread budgets host-shaped in ways the sweep layer cannot see or
-/// cap, and scatters the policy the executor exists to own.
+/// `available_parallelism` outside the blessed call sites makes run
+/// counts and thread budgets host-shaped in ways the owning layer
+/// cannot see or cap, and scatters the policy those sites exist to own.
 fn host_parallelism(path: &str, scan: &FileScan, out: &mut Vec<Finding>) {
-    if path == HOST_PARALLELISM_ALLOWED {
+    if HOST_PARALLELISM_ALLOWED.contains(&path) {
         return;
     }
     for (ln, line) in scan.code.iter().enumerate() {
@@ -184,8 +188,9 @@ fn host_parallelism(path: &str, scan: &FileScan, out: &mut Vec<Finding>) {
                 lint: "determinism/host-parallelism",
                 level: Level::Error,
                 msg: format!(
-                    "`available_parallelism` outside {HOST_PARALLELISM_ALLOWED}: host-shaped \
-                     concurrency decisions belong to SweepExecutor (pass a jobs count instead)"
+                    "`available_parallelism` outside {}: host-shaped concurrency decisions \
+                     belong to SweepExecutor or the event executor (pass a jobs count instead)",
+                    HOST_PARALLELISM_ALLOWED.join(", ")
                 ),
             });
         }
@@ -270,14 +275,23 @@ mod tests {
     }
 
     #[test]
-    fn available_parallelism_is_blessed_only_in_sweep() {
+    fn available_parallelism_is_blessed_only_in_allowed_files() {
         let src = "fn f() { let n = std::thread::available_parallelism(); let _ = n; }\n";
         let hits = lints_of("crates/bench/src/bin/fig5.rs", src);
         assert!(hits
             .iter()
             .any(|(l, _)| l == "determinism/host-parallelism"));
-        // The sweep executor is the single blessed call site.
+        // The sweep executor and the event executor's worker-count
+        // default are the only blessed call sites.
         assert!(lints_of("crates/benchlib/src/sweep.rs", src).is_empty());
+        let events = "fn worker_count() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }\n";
+        assert!(lints_of("crates/sim/src/events.rs", events)
+            .iter()
+            .all(|(l, _)| l != "determinism/host-parallelism"));
+        // Any other sim module stays banned.
+        assert!(lints_of("crates/sim/src/pool.rs", src)
+            .iter()
+            .any(|(l, _)| l == "determinism/host-parallelism"));
         // Mentions in comments and tests never fire.
         let quiet = "// available_parallelism would be wrong here\n#[cfg(test)]\nmod tests { fn t() { let _ = std::thread::available_parallelism(); } }\n";
         assert!(lints_of("crates/benchlib/src/microbench.rs", quiet).is_empty());
@@ -302,10 +316,16 @@ mod tests {
             );
         }
         // The sweep executor is host-facing by design: blessed for
-        // available_parallelism, outside the determinism set.
-        let sweep = FileClass::of(HOST_PARALLELISM_ALLOWED);
+        // available_parallelism, outside the determinism set. The event
+        // executor is blessed too but — living in the sim crate — stays
+        // under every other determinism lint.
+        let sweep = FileClass::of("crates/benchlib/src/sweep.rs");
         assert!(sweep.in_src);
         assert!(!sweep.in_crate_src(DETERMINISM_CRATES));
+        assert!(HOST_PARALLELISM_ALLOWED.contains(&"crates/benchlib/src/sweep.rs"));
+        assert!(HOST_PARALLELISM_ALLOWED.contains(&"crates/sim/src/events.rs"));
+        let events = FileClass::of("crates/sim/src/events.rs");
+        assert!(events.in_crate_src(DETERMINISM_CRATES));
     }
 
     #[test]
